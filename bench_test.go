@@ -1,0 +1,211 @@
+// Package repro's top-level benchmarks regenerate every table and figure of
+// the paper, one benchmark per experiment (the E1–E9 index of DESIGN.md).
+// Each iteration performs the complete experiment, so b.N timings measure
+// the full regeneration cost; the measured values themselves are reported
+// as custom benchmark metrics so `go test -bench` output doubles as a
+// results table.
+//
+//	go test -bench=. -benchmem
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/experiments"
+	"repro/internal/uwb"
+)
+
+// BenchmarkFigure5Interference regenerates E1 (Figure 5): APs detected per
+// 802.11 channel under each Crazyradio setting.
+func BenchmarkFigure5Interference(b *testing.B) {
+	var off, on2450 float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure5(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		off = res.TotalOff()
+		on2450 = res.TotalOn(2450)
+	}
+	b.ReportMetric(off, "APs-radio-off")
+	b.ReportMetric(on2450, "APs-radio-2450MHz")
+}
+
+// BenchmarkEnduranceTest regenerates E2: the battery endurance test
+// (paper: 36 scans over 6 min 12 s).
+func BenchmarkEnduranceTest(b *testing.B) {
+	var scans, minutes float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Endurance(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		scans = float64(res.Scans)
+		minutes = res.FlightTime.Minutes()
+	}
+	b.ReportMetric(scans, "scans")
+	b.ReportMetric(minutes, "flight-min")
+}
+
+// BenchmarkMissionDataCollection regenerates E3: the two-UAV validation
+// mission and its dataset statistics (paper: 2696 samples, 73 MACs, 49
+// SSIDs, mean RSS ≈ −73 dBm).
+func BenchmarkMissionDataCollection(b *testing.B) {
+	var total, macs, ssids, meanRSS float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunMission(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		total = float64(res.Stats.Total)
+		macs = float64(res.Stats.DistinctMACs)
+		ssids = float64(res.Stats.DistinctSSIDs)
+		meanRSS = res.Stats.MeanRSSI
+	}
+	b.ReportMetric(total, "samples")
+	b.ReportMetric(macs, "MACs")
+	b.ReportMetric(ssids, "SSIDs")
+	b.ReportMetric(meanRSS, "mean-RSS-dBm")
+}
+
+// BenchmarkFigure6SamplesPerLocation regenerates E4 (Figure 6): per-UAV,
+// per-waypoint sample counts (paper: A=1495 > B=1201).
+func BenchmarkFigure6SamplesPerLocation(b *testing.B) {
+	var a, bb float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunMission(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		a = float64(res.Stats.PerUAV["A"])
+		bb = float64(res.Stats.PerUAV["B"])
+	}
+	b.ReportMetric(a, "UAV-A-samples")
+	b.ReportMetric(bb, "UAV-B-samples")
+}
+
+// BenchmarkFigure7Histograms regenerates E5 (Figure 7): the 0.5 m-bin
+// histograms along x and y whose counts rise toward the building core.
+func BenchmarkFigure7Histograms(b *testing.B) {
+	var firstX, lastX float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunMission(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		bins, err := res.Data.Histogram(dataset.AxisX, 0.5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		firstX = float64(bins[0].Count)
+		lastX = float64(bins[len(bins)-1].Count)
+	}
+	b.ReportMetric(firstX, "x-first-bin")
+	b.ReportMetric(lastX, "x-last-bin")
+}
+
+// BenchmarkFigure8ModelRMSE regenerates E6 (Figure 8): the estimator RMSE
+// comparison (paper: baseline 4.8107, best kNN 4.4186, NN 4.4870 dBm).
+func BenchmarkFigure8ModelRMSE(b *testing.B) {
+	var baseline, best, nn float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure8(1, false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, s := range res.Scores {
+			switch s.Name {
+			case "baseline mean-per-MAC":
+				baseline = s.RMSE
+			case "NN 16-node sigmoid Adam":
+				nn = s.RMSE
+			}
+		}
+		best = res.Scores[res.Best].RMSE
+	}
+	b.ReportMetric(baseline, "baseline-RMSE-dB")
+	b.ReportMetric(best, "best-kNN-RMSE-dB")
+	b.ReportMetric(nn, "NN-RMSE-dB")
+}
+
+// BenchmarkAnchorAblation regenerates E7: hover localization accuracy vs
+// anchor count (paper cites ≈9 cm at 6 anchors).
+func BenchmarkAnchorAblation(b *testing.B) {
+	var sixAnchorTWR float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.AnchorAblation(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range res.Rows {
+			if row.Anchors == 6 && row.Mode == uwb.TWR {
+				sixAnchorTWR = row.MeanErrM
+			}
+		}
+	}
+	b.ReportMetric(sixAnchorTWR*100, "hover-err-cm-6anchors")
+}
+
+// BenchmarkMitigationAblation regenerates E8: the radio-off-during-scan
+// design versus leaving the radio on.
+func BenchmarkMitigationAblation(b *testing.B) {
+	var loss float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.MitigationAblation(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		loss = res.LossFraction()
+	}
+	b.ReportMetric(100*loss, "samples-lost-pct")
+}
+
+// BenchmarkWaypointDensitySweep regenerates E9: prediction RMSE versus the
+// number of surveyed waypoints.
+func BenchmarkWaypointDensitySweep(b *testing.B) {
+	var sparse, dense float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.DensitySweep(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sparse = res.Rows[0].BestRMSE
+		dense = res.Rows[len(res.Rows)-1].BestRMSE
+	}
+	b.ReportMetric(sparse, "RMSE-8wp-dB")
+	b.ReportMetric(dense, "RMSE-72wp-dB")
+}
+
+// BenchmarkGridSearch regenerates E10: the §III-B kNN hyper-parameter grid
+// search (paper winners: k=3/distance/p=2 plain, k=16 scaled).
+func BenchmarkGridSearch(b *testing.B) {
+	var bestPlainK, bestScaledK float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.GridSearchReproduction(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		bestPlainK = res.BestPlain()["k"]
+		bestScaledK = res.BestScaled()["k"]
+	}
+	b.ReportMetric(bestPlainK, "best-k-plain")
+	b.ReportMetric(bestScaledK, "best-k-scaled")
+}
+
+// BenchmarkLighthouseComparison regenerates E11: two-station Lighthouse vs
+// the paper's 8-anchor UWB deployment (paper §IV: comparable precision with
+// fewer anchors).
+func BenchmarkLighthouseComparison(b *testing.B) {
+	var uwbErr, lhErr float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.LighthouseComparison(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		uwbErr = res.Rows[0].MeanErrM
+		lhErr = res.Rows[1].MeanErrM
+	}
+	b.ReportMetric(uwbErr*100, "UWB-err-cm")
+	b.ReportMetric(lhErr*100, "lighthouse-err-cm")
+}

@@ -1,0 +1,160 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation, plus this repository's ablations. Each experiment prints an
+// aligned text table with the paper's reference numbers alongside.
+//
+// Usage:
+//
+//	experiments -all
+//	experiments -fig5 -fig8 -seed 7
+//	experiments -stats -fig6 -fig7
+//	experiments -endurance -anchors -mitigation -density
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		seed       = flag.Uint64("seed", 1, "master seed for the simulated world")
+		all        = flag.Bool("all", false, "run every experiment")
+		fig5       = flag.Bool("fig5", false, "E1: Crazyradio interference per Wi-Fi channel (Figure 5)")
+		endurance  = flag.Bool("endurance", false, "E2: battery endurance under periodic scanning")
+		stats      = flag.Bool("stats", false, "E3: dataset statistics of the validation mission")
+		fig6       = flag.Bool("fig6", false, "E4: samples per UAV and scanned location (Figure 6)")
+		fig7       = flag.Bool("fig7", false, "E5: sample histograms in 0.5 m bins (Figure 7)")
+		fig8       = flag.Bool("fig8", false, "E6: estimator RMSE comparison (Figure 8)")
+		extended   = flag.Bool("extended", false, "add IDW/kriging estimators to -fig8")
+		anchors    = flag.Bool("anchors", false, "E7: localization accuracy vs anchor count")
+		mitigation = flag.Bool("mitigation", false, "E8: radio-off-during-scan ablation")
+		density    = flag.Bool("density", false, "E9: waypoint-density sweep")
+		gridsearch = flag.Bool("gridsearch", false, "E10: reproduce the §III-B kNN hyper-parameter grid search")
+		lh         = flag.Bool("lighthouse", false, "E11: Lighthouse vs UWB localization (§IV future work)")
+	)
+	flag.Parse()
+
+	any := *fig5 || *endurance || *stats || *fig6 || *fig7 || *fig8 || *anchors || *mitigation || *density || *gridsearch || *lh
+	if !any && !*all {
+		flag.Usage()
+		return fmt.Errorf("select at least one experiment or -all")
+	}
+	out := os.Stdout
+	section := func(id string) { fmt.Fprintf(out, "\n================ %s ================\n", id) }
+
+	if *all || *fig5 {
+		section("E1 / Figure 5")
+		r, err := experiments.Figure5(*seed)
+		if err != nil {
+			return err
+		}
+		if err := r.WriteText(out); err != nil {
+			return err
+		}
+	}
+	if *all || *endurance {
+		section("E2 / endurance")
+		r, err := experiments.Endurance(*seed)
+		if err != nil {
+			return err
+		}
+		if err := r.WriteText(out); err != nil {
+			return err
+		}
+	}
+	if *all || *stats || *fig6 || *fig7 {
+		r, err := experiments.RunMission(*seed)
+		if err != nil {
+			return err
+		}
+		if *all || *stats {
+			section("E3 / dataset statistics")
+			if err := r.WriteStats(out); err != nil {
+				return err
+			}
+		}
+		if *all || *fig6 {
+			section("E4 / Figure 6")
+			if err := r.WriteFigure6(out); err != nil {
+				return err
+			}
+		}
+		if *all || *fig7 {
+			section("E5 / Figure 7")
+			if err := r.WriteFigure7(out); err != nil {
+				return err
+			}
+		}
+	}
+	if *all || *fig8 {
+		section("E6 / Figure 8")
+		r, err := experiments.Figure8(*seed, *extended)
+		if err != nil {
+			return err
+		}
+		if err := r.WriteText(out); err != nil {
+			return err
+		}
+	}
+	if *all || *anchors {
+		section("E7 / anchor ablation")
+		r, err := experiments.AnchorAblation(*seed)
+		if err != nil {
+			return err
+		}
+		if err := r.WriteText(out); err != nil {
+			return err
+		}
+	}
+	if *all || *mitigation {
+		section("E8 / mitigation ablation")
+		r, err := experiments.MitigationAblation(*seed)
+		if err != nil {
+			return err
+		}
+		if err := r.WriteText(out); err != nil {
+			return err
+		}
+	}
+	if *all || *density {
+		section("E9 / density sweep")
+		r, err := experiments.DensitySweep(*seed)
+		if err != nil {
+			return err
+		}
+		if err := r.WriteText(out); err != nil {
+			return err
+		}
+	}
+	if *all || *gridsearch {
+		section("E10 / hyper-parameter grid search")
+		r, err := experiments.GridSearchReproduction(*seed)
+		if err != nil {
+			return err
+		}
+		if err := r.WriteText(out); err != nil {
+			return err
+		}
+	}
+	if *all || *lh {
+		section("E11 / Lighthouse vs UWB")
+		r, err := experiments.LighthouseComparison(*seed)
+		if err != nil {
+			return err
+		}
+		if err := r.WriteText(out); err != nil {
+			return err
+		}
+	}
+	return nil
+}

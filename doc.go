@@ -1,0 +1,7 @@
+// Package repro is a from-scratch Go reproduction of "Small UAVs-supported
+// Autonomous Generation of Fine-grained 3D Indoor Radio Environmental Maps"
+// (Mendes, Lemic, Famaey — ICDCS 2022). The library lives under internal/,
+// the executables under cmd/, runnable examples under examples/, and the
+// top-level benchmarks in bench_test.go regenerate every table and figure of
+// the paper. See README.md, DESIGN.md and EXPERIMENTS.md.
+package repro

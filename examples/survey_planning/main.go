@@ -1,0 +1,113 @@
+// Survey planning: size a REM survey before flying it. Given a larger
+// volume than the paper's living room (an open-plan office floor) and the
+// measured battery budget, compute how many UAV sorties the survey needs,
+// partition the waypoints, optimise each tour with 2-opt, and fly the
+// resulting plan — demonstrating the paper's claim that "the system can be
+// scaled by simply adding sets of waypoints and parameters".
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/floorplan"
+	"repro/internal/geom"
+	"repro/internal/mission"
+	"repro/internal/planner"
+	"repro/internal/simrand"
+	"repro/internal/wifi"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "survey_planning:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// A 7 × 6 × 2.6 m open-plan space: roughly three times the paper's
+	// volume, needing a denser lattice than two sorties can cover.
+	volume := geom.MustCuboid(geom.V(0, 0, 0), 7.0, 6.0, 2.6)
+	points, err := volume.Lattice(6, 6, 4, 0.35)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("survey volume %v m, %d waypoints\n", volume.Size(), len(points))
+
+	// Fleet sizing from the paper's measured battery budget.
+	budget := planner.PaperBudget()
+	fleet, err := planner.FleetSize(len(points), budget)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("battery budget allows %d waypoints per sortie → %d sorties needed\n",
+		budget.MaxWaypoints(), fleet)
+
+	parts, err := planner.Partition(points, budget)
+	if err != nil {
+		return err
+	}
+
+	// Build the mission plan: one UAV per sortie, tours tightened by 2-opt.
+	plan := &mission.Plan{
+		Volume:          volume,
+		LegTime:         4 * time.Second,
+		ScanStop:        3 * time.Second,
+		ResultLatency:   1200 * time.Millisecond,
+		TakeoffAltitude: 0.5,
+	}
+	for i, part := range parts {
+		start := geom.V(0.6+0.4*float64(i), 0.5, 0)
+		tour := planner.TwoOpt(start, part, 20)
+		before := planner.TourLength(start, part)
+		after := planner.TourLength(start, tour)
+		fmt.Printf("sortie %c: %d waypoints, tour %.1f m → %.1f m after 2-opt\n",
+			'A'+rune(i), len(tour), before, after)
+		plan.UAVs = append(plan.UAVs, mission.UAVPlan{
+			Name:         string(rune('A' + i)),
+			RadioChannel: 60 + 10*i,
+			Start:        start,
+			Waypoints:    tour,
+		})
+	}
+	if err := plan.Validate(); err != nil {
+		return err
+	}
+
+	// The environment: the paper's apartment model stretched to the
+	// larger room.
+	env := floorplan.PaperApartment()
+	env.Room = volume
+	rng := simrand.New(11)
+	aps, err := wifi.GeneratePopulation(env, wifi.DefaultPopulation(), rng.Derive("population"))
+	if err != nil {
+		return err
+	}
+	net, err := wifi.NewNetwork(aps, wifi.DefaultChannelParams(env, 11))
+	if err != nil {
+		return err
+	}
+	ctrl, err := mission.NewController(plan, env, net, wifi.DefaultScanner(), mission.DefaultOptions(11))
+	if err != nil {
+		return err
+	}
+	data, report, err := ctrl.Run()
+	if err != nil {
+		return err
+	}
+	fmt.Println()
+	for _, s := range report.Sorties {
+		status := "ok"
+		if s.Err != nil {
+			status = s.Err.Error()
+		}
+		fmt.Printf("sortie %s: %d/%d waypoints, %d samples, battery used %.0f%% (%s)\n",
+			s.UAV, s.WaypointsVisited, s.WaypointsPlanned, s.Samples, 100*s.BatteryUsedFrac, status)
+	}
+	st := data.Stats()
+	fmt.Printf("\nsurvey dataset: %d samples from %d APs over %v of flying\n",
+		st.Total, st.DistinctMACs, report.TotalTime.Round(time.Second))
+	return nil
+}

@@ -1,0 +1,263 @@
+// Package core assembles the paper's toolchain end to end — the system's
+// primary contribution: UAV-collected, location-annotated signal samples are
+// streamed into an ML stage, estimators are trained and compared (Figure 8),
+// and the best one is materialised into a queryable fine-grained 3-D Radio
+// Environmental Map.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/dataset"
+	"repro/internal/geom"
+	"repro/internal/mission"
+	"repro/internal/ml"
+	"repro/internal/ml/baseline"
+	"repro/internal/ml/knn"
+	"repro/internal/ml/nn"
+	"repro/internal/rem"
+	"repro/internal/simrand"
+)
+
+// EstimatorSpec names an estimator together with its feature encoding.
+type EstimatorSpec struct {
+	// Name labels the estimator in reports (Figure 8's x-axis).
+	Name string
+	// Features selects the design-matrix encoding.
+	Features dataset.FeatureOptions
+	// Build constructs a fresh estimator.
+	Build func() (ml.Estimator, error)
+}
+
+// PaperEstimators returns the estimator suite of the paper's Figure 8: the
+// per-MAC-mean baseline, the plain tuned kNN, the scaled-one-hot kNN (the
+// paper's best), the per-MAC kNN ensemble, and the tuned neural network.
+func PaperEstimators(seed uint64) []EstimatorSpec {
+	plain := dataset.FeatureOptions{OneHotMACScale: 1}
+	scaled := dataset.FeatureOptions{OneHotMACScale: 3}
+	return []EstimatorSpec{
+		{
+			Name:     "baseline mean-per-MAC",
+			Features: plain,
+			Build:    func() (ml.Estimator, error) { return &baseline.MeanPerKey{KeyOffset: 3}, nil },
+		},
+		{
+			Name:     "kNN k=3 distance-weighted",
+			Features: plain,
+			Build:    func() (ml.Estimator, error) { return knn.New(knn.PaperPlainConfig()) },
+		},
+		{
+			Name:     "kNN one-hot×3 k=16",
+			Features: scaled,
+			Build:    func() (ml.Estimator, error) { return knn.New(knn.PaperScaledConfig()) },
+		},
+		{
+			Name:     "per-MAC kNN",
+			Features: plain,
+			Build: func() (ml.Estimator, error) {
+				return &knn.PerKey{Sub: knn.PaperPlainConfig(), KeyOffset: 3}, nil
+			},
+		},
+		{
+			Name:     "NN 16-node sigmoid Adam",
+			Features: plain,
+			Build:    func() (ml.Estimator, error) { return nn.New(nn.PaperConfig(seed)) },
+		},
+	}
+}
+
+// ExtendedEstimators appends the geostatistical interpolators this
+// repository adds beyond the paper: per-MAC IDW and per-MAC ordinary
+// kriging.
+func ExtendedEstimators(seed uint64) []EstimatorSpec {
+	plain := dataset.FeatureOptions{OneHotMACScale: 1}
+	extra := []EstimatorSpec{
+		{
+			Name:     "per-MAC IDW p=2",
+			Features: plain,
+			Build: func() (ml.Estimator, error) {
+				return &ml.PerKeyEnsemble{
+					Factory:   func() ml.Estimator { return &rem.IDW{Power: 2, Smoothing: 0.05} },
+					KeyOffset: 3,
+				}, nil
+			},
+		},
+		{
+			Name:     "per-MAC ordinary kriging",
+			Features: plain,
+			Build: func() (ml.Estimator, error) {
+				return &ml.PerKeyEnsemble{
+					Factory:   func() ml.Estimator { return &rem.Kriging{Nugget: -1} },
+					KeyOffset: 3,
+				}, nil
+			},
+		},
+	}
+	return append(PaperEstimators(seed), extra...)
+}
+
+// Config tunes a pipeline run.
+type Config struct {
+	// Seed drives the mission, splits and weight initialisation.
+	Seed uint64
+	// Mission selects mission options; zero value means paper defaults.
+	Mission mission.Options
+	// TrainFraction is the train share of the 75/25 split.
+	TrainFraction float64
+	// MinSamplesPerMAC is the §III-B retention threshold.
+	MinSamplesPerMAC int
+	// Estimators is the suite to compare; nil means PaperEstimators.
+	Estimators []EstimatorSpec
+	// REMResolution is the map grid (cells per axis); zero disables REM
+	// construction.
+	REMResolution [3]int
+}
+
+// DefaultConfig reproduces the paper's §III-B evaluation.
+func DefaultConfig(seed uint64) Config {
+	return Config{
+		Seed:             seed,
+		Mission:          mission.DefaultOptions(seed),
+		TrainFraction:    0.75,
+		MinSamplesPerMAC: dataset.MinSamplesPerMAC,
+		REMResolution:    [3]int{12, 10, 6},
+	}
+}
+
+// Score is one estimator's Figure 8 result.
+type Score struct {
+	// Name is the estimator label.
+	Name string
+	// RMSE is the test-set root-mean-square error in dB.
+	RMSE float64
+	// MAE is the test-set mean absolute error in dB.
+	MAE float64
+}
+
+// Result is the full pipeline output.
+type Result struct {
+	// Data is the raw mission dataset.
+	Data *dataset.Dataset
+	// Report is the mission flight report.
+	Report *mission.Report
+	// Pre is the preprocessed dataset.
+	Pre *dataset.Preprocessed
+	// Scores are the estimator comparisons, in suite order.
+	Scores []Score
+	// Best indexes the lowest-RMSE estimator in Scores.
+	Best int
+	// REM is the map built from the best estimator (nil if disabled).
+	REM *rem.Map
+}
+
+// BestScore returns the winning estimator's score.
+func (r *Result) BestScore() Score { return r.Scores[r.Best] }
+
+// Run executes the paper pipeline: fly the mission, preprocess, train and
+// compare the estimator suite, and build the REM from the winner.
+func Run(cfg Config) (*Result, error) {
+	if cfg.TrainFraction <= 0 || cfg.TrainFraction >= 1 {
+		return nil, fmt.Errorf("core: train fraction %g outside (0, 1)", cfg.TrainFraction)
+	}
+	if cfg.MinSamplesPerMAC < 1 {
+		return nil, errors.New("core: MinSamplesPerMAC must be ≥1")
+	}
+	ctrl, err := mission.NewPaperController(cfg.Mission)
+	if err != nil {
+		return nil, err
+	}
+	data, report, err := ctrl.Run()
+	if err != nil {
+		return nil, err
+	}
+	return RunWithDataset(cfg, data, report)
+}
+
+// RunWithDataset executes the ML half of the pipeline on an existing
+// dataset — useful for re-analysing stored CSV missions.
+func RunWithDataset(cfg Config, data *dataset.Dataset, report *mission.Report) (*Result, error) {
+	if data == nil || data.Len() == 0 {
+		return nil, errors.New("core: empty dataset")
+	}
+	pre, err := dataset.Preprocess(data, cfg.MinSamplesPerMAC)
+	if err != nil {
+		return nil, err
+	}
+	rng := simrand.New(cfg.Seed).Derive("pipeline")
+	train, test, err := pre.Split(cfg.TrainFraction, rng.Derive("split"))
+	if err != nil {
+		return nil, err
+	}
+
+	specs := cfg.Estimators
+	if specs == nil {
+		specs = PaperEstimators(cfg.Seed)
+	}
+	res := &Result{Data: data, Report: report, Pre: pre}
+	bestRMSE := 0.0
+	var bestSpec EstimatorSpec
+	for i, spec := range specs {
+		est, err := spec.Build()
+		if err != nil {
+			return nil, fmt.Errorf("core: building %s: %w", spec.Name, err)
+		}
+		trX, trY := train.DesignMatrix(spec.Features)
+		teX, teY := test.DesignMatrix(spec.Features)
+		if err := est.Fit(trX, trY); err != nil {
+			return nil, fmt.Errorf("core: fitting %s: %w", spec.Name, err)
+		}
+		pred, err := ml.PredictAll(est, teX)
+		if err != nil {
+			return nil, fmt.Errorf("core: evaluating %s: %w", spec.Name, err)
+		}
+		rmse, err := ml.RMSE(pred, teY)
+		if err != nil {
+			return nil, err
+		}
+		mae, err := ml.MAE(pred, teY)
+		if err != nil {
+			return nil, err
+		}
+		res.Scores = append(res.Scores, Score{Name: spec.Name, RMSE: rmse, MAE: mae})
+		if i == 0 || rmse < bestRMSE {
+			bestRMSE = rmse
+			res.Best = i
+			bestSpec = spec
+		}
+	}
+
+	if cfg.REMResolution[0] > 0 {
+		m, err := buildREM(cfg, pre, bestSpec)
+		if err != nil {
+			return nil, err
+		}
+		res.REM = m
+	}
+	return res, nil
+}
+
+// buildREM refits the winning estimator on the full dataset and rasterises
+// it over the scan volume.
+func buildREM(cfg Config, pre *dataset.Preprocessed, spec EstimatorSpec) (*rem.Map, error) {
+	est, err := spec.Build()
+	if err != nil {
+		return nil, err
+	}
+	allX, allY := pre.DesignMatrix(spec.Features)
+	if err := est.Fit(allX, allY); err != nil {
+		return nil, fmt.Errorf("core: refitting %s for REM: %w", spec.Name, err)
+	}
+	dim := pre.FeatureDim(spec.Features)
+	scale := spec.Features.OneHotMACScale
+	predict := func(pos geom.Vec3, keyIdx int) (float64, error) {
+		q := make([]float64, dim)
+		q[0], q[1], q[2] = pos.X, pos.Y, pos.Z
+		if scale != 0 {
+			q[3+keyIdx] = scale
+		}
+		return est.Predict(q)
+	}
+	vol := geom.PaperScanVolume()
+	return rem.BuildMap(vol, cfg.REMResolution[0], cfg.REMResolution[1], cfg.REMResolution[2], pre.MACs, predict)
+}

@@ -1,0 +1,167 @@
+// Package crtp models the Crazyradio RealTime Protocol link between the base
+// station and a Crazyflie (§II-C): packet framing, the firmware's bounded TX
+// queue, and radio power control. Two behaviours from the paper are central:
+// the radio can be shut down during REM scans to avoid self-interference
+// (registering itself as a 2.4 GHz interferer only while on), and the TX
+// queue — enlarged in the paper's firmware patch via CRTP_TX_QUEUE_SIZE —
+// buffers full scan results until the radio comes back online.
+package crtp
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/spectrum"
+)
+
+// Port identifies a CRTP service, mirroring the Crazyflie port map.
+type Port uint8
+
+// CRTP ports used by this system.
+const (
+	PortConsole   Port = 0x0
+	PortParam     Port = 0x2
+	PortCommander Port = 0x3
+	PortAppData   Port = 0xD // scan results travel on the app channel
+	PortLink      Port = 0xF
+)
+
+// MaxPayload is the CRTP payload limit (30 bytes on the wire; results are
+// fragmented across packets).
+const MaxPayload = 30
+
+// Packet is one CRTP frame.
+type Packet struct {
+	// Port and Channel address the service endpoint.
+	Port    Port
+	Channel uint8
+	// Payload carries up to MaxPayload bytes.
+	Payload []byte
+}
+
+// Validate checks the packet against protocol limits.
+func (p Packet) Validate() error {
+	if p.Port > 0xF {
+		return fmt.Errorf("crtp: port %d out of range", p.Port)
+	}
+	if p.Channel > 3 {
+		return fmt.Errorf("crtp: channel %d out of range", p.Channel)
+	}
+	if len(p.Payload) > MaxPayload {
+		return fmt.Errorf("crtp: payload %d bytes exceeds %d", len(p.Payload), MaxPayload)
+	}
+	return nil
+}
+
+// Queue sizing constants.
+const (
+	// DefaultTxQueueSize is the stock firmware CRTP_TX_QUEUE_SIZE.
+	DefaultTxQueueSize = 16
+	// PaperTxQueueSize is the enlarged queue of the paper's firmware patch,
+	// sized so a full AT+CWLAP result set survives a radio-off scan.
+	PaperTxQueueSize = 120
+)
+
+// ErrQueueFull is returned when the firmware TX queue overflows; packets are
+// dropped, which with the stock queue size loses scan results (the failure
+// the paper's patch prevents).
+var ErrQueueFull = errors.New("crtp: TX queue full, packet dropped")
+
+// Link is one radio link between the base station and a UAV.
+type Link struct {
+	radioChannel int
+	radioOn      bool
+	queueSize    int
+	txQueue      []Packet
+	delivered    []Packet
+	droppedTx    int
+	sentTx       int
+}
+
+// NewLink creates a link on the given nRF24 channel with the given firmware
+// TX queue capacity. The radio starts powered on.
+func NewLink(radioChannel, queueSize int) (*Link, error) {
+	if _, err := spectrum.CrazyradioChannelFreqMHz(radioChannel); err != nil {
+		return nil, err
+	}
+	if queueSize < 1 {
+		return nil, fmt.Errorf("crtp: queue size must be ≥1, got %d", queueSize)
+	}
+	return &Link{radioChannel: radioChannel, radioOn: true, queueSize: queueSize}, nil
+}
+
+// RadioChannel returns the nRF24 channel number.
+func (l *Link) RadioChannel() int { return l.radioChannel }
+
+// RadioOn reports whether the carrier is up.
+func (l *Link) RadioOn() bool { return l.radioOn }
+
+// SetRadio powers the radio on or off. Turning it on drains the firmware TX
+// queue to the base station; turning it off silences the carrier (and stops
+// it interfering with the REM receiver).
+func (l *Link) SetRadio(on bool) {
+	l.radioOn = on
+	if on {
+		l.drain()
+	}
+}
+
+// Send transmits a packet from the firmware toward the base station. While
+// the radio is off the packet is queued; if the queue is full the packet is
+// dropped and ErrQueueFull returned.
+func (l *Link) Send(p Packet) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	if l.radioOn {
+		l.delivered = append(l.delivered, p)
+		l.sentTx++
+		return nil
+	}
+	if len(l.txQueue) >= l.queueSize {
+		l.droppedTx++
+		return ErrQueueFull
+	}
+	// Copy the payload: callers may reuse their buffers.
+	q := p
+	q.Payload = append([]byte(nil), p.Payload...)
+	l.txQueue = append(l.txQueue, q)
+	return nil
+}
+
+func (l *Link) drain() {
+	l.delivered = append(l.delivered, l.txQueue...)
+	l.sentTx += len(l.txQueue)
+	l.txQueue = l.txQueue[:0]
+}
+
+// Receive returns and clears the packets delivered to the base station.
+func (l *Link) Receive() []Packet {
+	out := l.delivered
+	l.delivered = nil
+	return out
+}
+
+// QueuedTx returns the number of packets waiting in the firmware TX queue.
+func (l *Link) QueuedTx() int { return len(l.txQueue) }
+
+// DroppedTx returns the number of packets lost to queue overflow.
+func (l *Link) DroppedTx() int { return l.droppedTx }
+
+// SentTx returns the number of packets that reached the base station.
+func (l *Link) SentTx() int { return l.sentTx }
+
+// Interferer returns the link's spectral footprint if the carrier is up, and
+// reports whether it is active. The scanning layer folds this into the
+// beacon-detection model, reproducing Figure 5.
+func (l *Link) Interferer() (spectrum.Interferer, bool) {
+	if !l.radioOn {
+		return spectrum.Interferer{}, false
+	}
+	itf, err := spectrum.CrazyradioInterferer(l.radioChannel)
+	if err != nil {
+		// Unreachable: the channel was validated at construction.
+		return spectrum.Interferer{}, false
+	}
+	return itf, true
+}

@@ -1,0 +1,180 @@
+package crtp
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestPacketValidate(t *testing.T) {
+	good := Packet{Port: PortAppData, Channel: 1, Payload: []byte("hello")}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid packet rejected: %v", err)
+	}
+	bad := Packet{Port: 0x1F}
+	if err := bad.Validate(); err == nil {
+		t.Error("port 0x1F accepted")
+	}
+	bad = Packet{Channel: 4}
+	if err := bad.Validate(); err == nil {
+		t.Error("channel 4 accepted")
+	}
+	bad = Packet{Payload: make([]byte, MaxPayload+1)}
+	if err := bad.Validate(); err == nil {
+		t.Error("oversized payload accepted")
+	}
+}
+
+func TestNewLinkValidation(t *testing.T) {
+	if _, err := NewLink(200, 16); err == nil {
+		t.Error("invalid radio channel accepted")
+	}
+	if _, err := NewLink(80, 0); err == nil {
+		t.Error("zero queue size accepted")
+	}
+	l, err := NewLink(80, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !l.RadioOn() {
+		t.Error("link should start with radio on")
+	}
+	if l.RadioChannel() != 80 {
+		t.Errorf("RadioChannel = %d", l.RadioChannel())
+	}
+}
+
+func TestSendWhileRadioOnDeliversImmediately(t *testing.T) {
+	l, _ := NewLink(80, 4)
+	p := Packet{Port: PortAppData, Payload: []byte("scan")}
+	if err := l.Send(p); err != nil {
+		t.Fatal(err)
+	}
+	got := l.Receive()
+	if len(got) != 1 || !bytes.Equal(got[0].Payload, []byte("scan")) {
+		t.Fatalf("Receive = %+v", got)
+	}
+	if l.Receive() != nil {
+		t.Error("Receive did not clear delivered packets")
+	}
+	if l.SentTx() != 1 {
+		t.Errorf("SentTx = %d", l.SentTx())
+	}
+}
+
+func TestRadioOffQueuesAndDrainsOnRestart(t *testing.T) {
+	l, _ := NewLink(80, 8)
+	l.SetRadio(false)
+	for i := 0; i < 5; i++ {
+		if err := l.Send(Packet{Port: PortAppData, Payload: []byte{byte(i)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := l.Receive(); len(got) != 0 {
+		t.Fatalf("packets delivered while radio off: %d", len(got))
+	}
+	if l.QueuedTx() != 5 {
+		t.Errorf("QueuedTx = %d", l.QueuedTx())
+	}
+	l.SetRadio(true)
+	got := l.Receive()
+	if len(got) != 5 {
+		t.Fatalf("drained %d packets, want 5", len(got))
+	}
+	for i, p := range got {
+		if p.Payload[0] != byte(i) {
+			t.Errorf("packet order broken at %d", i)
+		}
+	}
+	if l.QueuedTx() != 0 {
+		t.Errorf("QueuedTx after drain = %d", l.QueuedTx())
+	}
+}
+
+func TestQueueOverflowDropsPackets(t *testing.T) {
+	l, _ := NewLink(80, 2)
+	l.SetRadio(false)
+	_ = l.Send(Packet{Payload: []byte{1}})
+	_ = l.Send(Packet{Payload: []byte{2}})
+	err := l.Send(Packet{Payload: []byte{3}})
+	if !errors.Is(err, ErrQueueFull) {
+		t.Errorf("overflow error = %v, want ErrQueueFull", err)
+	}
+	if l.DroppedTx() != 1 {
+		t.Errorf("DroppedTx = %d", l.DroppedTx())
+	}
+	l.SetRadio(true)
+	if got := l.Receive(); len(got) != 2 {
+		t.Errorf("delivered %d, want 2", len(got))
+	}
+}
+
+func TestPaperQueueHoldsFullScan(t *testing.T) {
+	// A full scan of ~73 APs at one AT+CWLAP line per packet must survive a
+	// radio-off window with the paper's enlarged queue, and must NOT with
+	// the stock queue — the reason the paper patched CRTP_TX_QUEUE_SIZE.
+	const scanPackets = 73
+
+	stock, _ := NewLink(80, DefaultTxQueueSize)
+	stock.SetRadio(false)
+	var stockErr error
+	for i := 0; i < scanPackets; i++ {
+		if err := stock.Send(Packet{Payload: []byte{byte(i)}}); err != nil {
+			stockErr = err
+		}
+	}
+	if stockErr == nil {
+		t.Error("stock queue absorbed a full scan; expected drops")
+	}
+
+	patched, _ := NewLink(80, PaperTxQueueSize)
+	patched.SetRadio(false)
+	for i := 0; i < scanPackets; i++ {
+		if err := patched.Send(Packet{Payload: []byte{byte(i)}}); err != nil {
+			t.Fatalf("patched queue dropped packet %d: %v", i, err)
+		}
+	}
+	patched.SetRadio(true)
+	if got := patched.Receive(); len(got) != scanPackets {
+		t.Errorf("patched queue delivered %d/%d", len(got), scanPackets)
+	}
+}
+
+func TestSendRejectsInvalidPacket(t *testing.T) {
+	l, _ := NewLink(80, 4)
+	if err := l.Send(Packet{Payload: make([]byte, 64)}); err == nil {
+		t.Error("oversized packet accepted")
+	}
+}
+
+func TestQueuedPayloadIsCopied(t *testing.T) {
+	l, _ := NewLink(80, 4)
+	l.SetRadio(false)
+	buf := []byte{42}
+	_ = l.Send(Packet{Payload: buf})
+	buf[0] = 99
+	l.SetRadio(true)
+	got := l.Receive()
+	if got[0].Payload[0] != 42 {
+		t.Error("queued payload aliases the caller's buffer")
+	}
+}
+
+func TestInterfererFollowsRadioState(t *testing.T) {
+	l, _ := NewLink(37, 16) // 2437 MHz, on Wi-Fi channel 6
+	itf, active := l.Interferer()
+	if !active {
+		t.Fatal("radio on but no interferer")
+	}
+	if itf.FreqMHz != 2437 {
+		t.Errorf("interferer at %v MHz, want 2437", itf.FreqMHz)
+	}
+	l.SetRadio(false)
+	if _, active := l.Interferer(); active {
+		t.Error("radio off but interferer active")
+	}
+	l.SetRadio(true)
+	if _, active := l.Interferer(); !active {
+		t.Error("radio back on but interferer inactive")
+	}
+}

@@ -1,0 +1,293 @@
+// Package dataset holds the location-annotated signal-quality samples the
+// UAV fleet streams back to the base station, plus the aggregate statistics
+// (§III-A) and the ML preprocessing steps (§III-B) of the paper: grouping by
+// MAC, dropping rarely seen MACs, one-hot encoding, and train/test
+// splitting.
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"time"
+
+	"repro/internal/simrand"
+)
+
+// Sample is one location-annotated measurement.
+type Sample struct {
+	// UAV labels which vehicle collected the sample ("A", "B", ...).
+	UAV string
+	// Waypoint is the index of the scan location in the UAV's plan.
+	Waypoint int
+	// Time is the virtual collection time since mission start.
+	Time time.Duration
+	// X, Y, Z is the annotated position (the UAV's on-board estimate).
+	X, Y, Z float64
+	// TrueX, TrueY, TrueZ is the simulation ground truth, kept for
+	// localization-error analysis; the ML stage never sees it.
+	TrueX, TrueY, TrueZ float64
+	// MAC is the beacon source identity (the REM key).
+	MAC string
+	// SSID is the advertised network name.
+	SSID string
+	// RSSI is the measured signal strength in dBm.
+	RSSI int
+	// Channel is the Wi-Fi channel.
+	Channel int
+}
+
+// Dataset is an append-only collection of samples.
+type Dataset struct {
+	Samples []Sample
+}
+
+// Add appends one sample.
+func (d *Dataset) Add(s Sample) { d.Samples = append(d.Samples, s) }
+
+// Len returns the number of samples.
+func (d *Dataset) Len() int { return len(d.Samples) }
+
+// Stats are the aggregate dataset statistics the paper reports in §III-A.
+type Stats struct {
+	// Total is the overall sample count (paper: 2696).
+	Total int
+	// PerUAV maps UAV label to its sample count (paper: A=1495, B=1201).
+	PerUAV map[string]int
+	// DistinctMACs is the number of unique MAC addresses (paper: 73).
+	DistinctMACs int
+	// DistinctSSIDs is the number of unique SSIDs (paper: 49).
+	DistinctSSIDs int
+	// MeanRSSI is the mean measured RSS in dBm (paper: ≈ −73).
+	MeanRSSI float64
+}
+
+// Stats computes the aggregate statistics.
+func (d *Dataset) Stats() Stats {
+	s := Stats{PerUAV: map[string]int{}}
+	macs := map[string]bool{}
+	ssids := map[string]bool{}
+	var rssiSum float64
+	for _, smp := range d.Samples {
+		s.Total++
+		s.PerUAV[smp.UAV]++
+		macs[smp.MAC] = true
+		ssids[smp.SSID] = true
+		rssiSum += float64(smp.RSSI)
+	}
+	s.DistinctMACs = len(macs)
+	s.DistinctSSIDs = len(ssids)
+	if s.Total > 0 {
+		s.MeanRSSI = rssiSum / float64(s.Total)
+	}
+	return s
+}
+
+// CountPerWaypoint returns, per UAV, the number of samples collected at each
+// waypoint index — the data behind the paper's Figure 6.
+func (d *Dataset) CountPerWaypoint() map[string]map[int]int {
+	out := map[string]map[int]int{}
+	for _, s := range d.Samples {
+		m, ok := out[s.UAV]
+		if !ok {
+			m = map[int]int{}
+			out[s.UAV] = m
+		}
+		m[s.Waypoint]++
+	}
+	return out
+}
+
+// Axis selects a coordinate for histogramming.
+type Axis int
+
+// Histogram axes.
+const (
+	AxisX Axis = iota
+	AxisY
+	AxisZ
+)
+
+// String implements fmt.Stringer.
+func (a Axis) String() string {
+	switch a {
+	case AxisX:
+		return "x"
+	case AxisY:
+		return "y"
+	default:
+		return "z"
+	}
+}
+
+// Bin is one histogram bucket.
+type Bin struct {
+	// Lo and Hi bound the bucket: [Lo, Hi).
+	Lo, Hi float64
+	// Count is the number of samples whose coordinate falls in the bucket.
+	Count int
+}
+
+// Histogram buckets sample positions along an axis in bins of the given
+// width anchored at zero — the paper's Figure 7 uses 0.5 m bins along x and
+// y. Empty leading/trailing bins are trimmed.
+func (d *Dataset) Histogram(axis Axis, binWidth float64) ([]Bin, error) {
+	if binWidth <= 0 {
+		return nil, fmt.Errorf("dataset: bin width must be positive, got %g", binWidth)
+	}
+	if len(d.Samples) == 0 {
+		return nil, nil
+	}
+	counts := map[int]int{}
+	minIdx, maxIdx := math.MaxInt32, math.MinInt32
+	for _, s := range d.Samples {
+		var v float64
+		switch axis {
+		case AxisX:
+			v = s.X
+		case AxisY:
+			v = s.Y
+		default:
+			v = s.Z
+		}
+		idx := int(math.Floor(v / binWidth))
+		counts[idx]++
+		if idx < minIdx {
+			minIdx = idx
+		}
+		if idx > maxIdx {
+			maxIdx = idx
+		}
+	}
+	bins := make([]Bin, 0, maxIdx-minIdx+1)
+	for i := minIdx; i <= maxIdx; i++ {
+		bins = append(bins, Bin{
+			Lo:    float64(i) * binWidth,
+			Hi:    float64(i+1) * binWidth,
+			Count: counts[i],
+		})
+	}
+	return bins, nil
+}
+
+// csvHeader is the canonical column order.
+var csvHeader = []string{
+	"uav", "waypoint", "time_us",
+	"x", "y", "z",
+	"true_x", "true_y", "true_z",
+	"mac", "ssid", "rssi", "channel",
+}
+
+// WriteCSV streams the dataset as CSV with a header row.
+func (d *Dataset) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return fmt.Errorf("dataset: writing header: %w", err)
+	}
+	rec := make([]string, len(csvHeader))
+	for _, s := range d.Samples {
+		rec[0] = s.UAV
+		rec[1] = strconv.Itoa(s.Waypoint)
+		rec[2] = strconv.FormatInt(s.Time.Microseconds(), 10)
+		rec[3] = strconv.FormatFloat(s.X, 'g', -1, 64)
+		rec[4] = strconv.FormatFloat(s.Y, 'g', -1, 64)
+		rec[5] = strconv.FormatFloat(s.Z, 'g', -1, 64)
+		rec[6] = strconv.FormatFloat(s.TrueX, 'g', -1, 64)
+		rec[7] = strconv.FormatFloat(s.TrueY, 'g', -1, 64)
+		rec[8] = strconv.FormatFloat(s.TrueZ, 'g', -1, 64)
+		rec[9] = s.MAC
+		rec[10] = s.SSID
+		rec[11] = strconv.Itoa(s.RSSI)
+		rec[12] = strconv.Itoa(s.Channel)
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("dataset: writing record: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a dataset written by WriteCSV.
+func ReadCSV(r io.Reader) (*Dataset, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: reading header: %w", err)
+	}
+	if len(header) != len(csvHeader) {
+		return nil, fmt.Errorf("dataset: header has %d columns, want %d", len(header), len(csvHeader))
+	}
+	for i, h := range header {
+		if h != csvHeader[i] {
+			return nil, fmt.Errorf("dataset: column %d is %q, want %q", i, h, csvHeader[i])
+		}
+	}
+	d := &Dataset{}
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			return d, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: line %d: %w", line, err)
+		}
+		s, err := parseRecord(rec)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: line %d: %w", line, err)
+		}
+		d.Add(s)
+	}
+}
+
+func parseRecord(rec []string) (Sample, error) {
+	var s Sample
+	var err error
+	s.UAV = rec[0]
+	if s.Waypoint, err = strconv.Atoi(rec[1]); err != nil {
+		return s, fmt.Errorf("waypoint: %w", err)
+	}
+	us, err := strconv.ParseInt(rec[2], 10, 64)
+	if err != nil {
+		return s, fmt.Errorf("time: %w", err)
+	}
+	s.Time = time.Duration(us) * time.Microsecond
+	floats := []*float64{&s.X, &s.Y, &s.Z, &s.TrueX, &s.TrueY, &s.TrueZ}
+	for i, dst := range floats {
+		if *dst, err = strconv.ParseFloat(rec[3+i], 64); err != nil {
+			return s, fmt.Errorf("column %d: %w", 3+i, err)
+		}
+	}
+	s.MAC = rec[9]
+	s.SSID = rec[10]
+	if s.RSSI, err = strconv.Atoi(rec[11]); err != nil {
+		return s, fmt.Errorf("rssi: %w", err)
+	}
+	if s.Channel, err = strconv.Atoi(rec[12]); err != nil {
+		return s, fmt.Errorf("channel: %w", err)
+	}
+	return s, nil
+}
+
+// Shuffle randomly permutes the samples in place.
+func (d *Dataset) Shuffle(rng *simrand.Source) {
+	rng.Shuffle(len(d.Samples), func(i, j int) {
+		d.Samples[i], d.Samples[j] = d.Samples[j], d.Samples[i]
+	})
+}
+
+// MACs returns the distinct MAC addresses in deterministic (sorted) order.
+func (d *Dataset) MACs() []string {
+	set := map[string]bool{}
+	for _, s := range d.Samples {
+		set[s.MAC] = true
+	}
+	out := make([]string, 0, len(set))
+	for m := range set {
+		out = append(out, m)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,27 @@
+package esp_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/esp"
+	"repro/internal/receiver"
+	"repro/internal/receiver/receivertest"
+	"repro/internal/wifi"
+)
+
+// TestDriverConformance validates the ESP8266 driver against the §II-A
+// receiver contract via the shared conformance suite.
+func TestDriverConformance(t *testing.T) {
+	receivertest.Conformance(t, func() (receiver.Driver, error) {
+		mod, err := esp.NewModule(func() []wifi.Observation {
+			return []wifi.Observation{
+				{SSID: "net", RSSI: -70, MAC: wifi.MAC{2, 0, 0, 0, 0, 1}, Channel: 6},
+			}
+		})
+		if err != nil {
+			return nil, err
+		}
+		return esp.NewDriver(mod, 2*time.Second)
+	})
+}

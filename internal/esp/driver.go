@@ -1,0 +1,113 @@
+package esp
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/receiver"
+)
+
+// Driver adapts the ESP-01 module's AT interface to the toolchain's
+// four-instruction receiver contract (§II-A). It mirrors the paper's custom
+// C driver for the Crazyflie 2021.06 firmware: initialise the module into
+// station mode, narrow CWLAP output to the ⟨ssid, rssi, mac, channel⟩ tuple,
+// trigger scans, and parse the raw response lines.
+type Driver struct {
+	mod         *Module
+	scanTime    time.Duration
+	initialized bool
+	raw         []string
+	scanned     bool
+}
+
+var (
+	_ receiver.Driver     = (*Driver)(nil)
+	_ receiver.Timed      = (*Driver)(nil)
+	_ receiver.Technology = (*Driver)(nil)
+)
+
+// NewDriver wraps a module. scanTime is the air time of one AT+CWLAP sweep,
+// used by the mission layer to budget hover time (the paper's scans take
+// ≈2 s).
+func NewDriver(mod *Module, scanTime time.Duration) (*Driver, error) {
+	if mod == nil {
+		return nil, errors.New("esp: driver requires a module")
+	}
+	if scanTime <= 0 {
+		return nil, errors.New("esp: scan time must be positive")
+	}
+	return &Driver{mod: mod, scanTime: scanTime}, nil
+}
+
+// Init implements instruction i: AT start-up test, station mode, output
+// format.
+func (d *Driver) Init() error {
+	if _, err := d.mod.Exec("AT"); err != nil {
+		return fmt.Errorf("esp: start-up test failed: %w", err)
+	}
+	if _, err := d.mod.Exec(fmt.Sprintf("AT+CWMODE_CUR=%d", ModeStation)); err != nil {
+		return fmt.Errorf("esp: setting station mode failed: %w", err)
+	}
+	if _, err := d.mod.Exec(fmt.Sprintf("AT+CWLAPOPT=1,%d", PaperPrintMask)); err != nil {
+		return fmt.Errorf("esp: configuring CWLAP output failed: %w", err)
+	}
+	d.initialized = true
+	return nil
+}
+
+// Status implements instruction ii: checking the state of the receiver.
+func (d *Driver) Status() error {
+	if !d.initialized {
+		return errors.New("esp: driver not initialised")
+	}
+	if _, err := d.mod.Exec("AT"); err != nil {
+		return fmt.Errorf("esp: module not responding: %w", err)
+	}
+	return nil
+}
+
+// TriggerScan implements instruction iii: instructing the receiver to
+// collect a measurement.
+func (d *Driver) TriggerScan() error {
+	if err := d.Status(); err != nil {
+		return err
+	}
+	lines, err := d.mod.Exec("AT+CWLAP")
+	if err != nil {
+		return fmt.Errorf("esp: scan failed: %w", err)
+	}
+	d.raw = lines
+	d.scanned = true
+	return nil
+}
+
+// Results implements instruction iv: parsing the output of the previous
+// instruction.
+func (d *Driver) Results() ([]receiver.Measurement, error) {
+	if !d.scanned {
+		return nil, errors.New("esp: no scan results pending; call TriggerScan first")
+	}
+	out := make([]receiver.Measurement, 0, len(d.raw))
+	for _, line := range d.raw {
+		ssid, rssi, mac, channel, err := ParseCWLAP(line)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, receiver.Measurement{
+			Key:     mac,
+			Name:    ssid,
+			RSSI:    rssi,
+			Channel: channel,
+		})
+	}
+	d.scanned = false
+	d.raw = nil
+	return out, nil
+}
+
+// ScanDuration implements receiver.Timed.
+func (d *Driver) ScanDuration() time.Duration { return d.scanTime }
+
+// TechnologyName implements receiver.Technology.
+func (d *Driver) TechnologyName() string { return "wifi-2.4" }

@@ -1,0 +1,212 @@
+// Package esp simulates the AI Thinker ESP-01 (ESP8266) Wi-Fi module the
+// paper mounts on a Crazyflie prototyping deck, at the level the custom
+// firmware driver interacts with it: an AT command interface over UART. The
+// module supports exactly the instruction subset the paper's driver uses
+// (§III-A): AT, AT+CWMODE_CUR, AT+CWLAP and AT+CWLAPOPT, and formats scan
+// results as ⟨ssid, rssi, mac, channel⟩ tuples.
+package esp
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/wifi"
+)
+
+// ScanFunc binds the module to the physical world: it performs a beacon scan
+// at the module's current (UAV-determined) position and interference
+// conditions. The UAV layer injects it, keeping the module purely
+// protocol-level.
+type ScanFunc func() []wifi.Observation
+
+// Wi-Fi operating modes of the CWMODE command.
+const (
+	ModeUnset   = 0
+	ModeStation = 1
+	ModeAP      = 2
+	ModeBoth    = 3
+)
+
+// Module is the simulated ESP-01.
+type Module struct {
+	scan ScanFunc
+	mode int
+	// sortByRSSI and printMask are the AT+CWLAPOPT settings.
+	sortByRSSI bool
+	printMask  int
+}
+
+// defaultPrintMask prints ecn, ssid, rssi, mac and channel; the paper's
+// driver narrows it to ssid, rssi, mac, channel.
+const defaultPrintMask = 0x7FF
+
+// NewModule creates a powered-on, un-initialised module.
+func NewModule(scan ScanFunc) (*Module, error) {
+	if scan == nil {
+		return nil, errors.New("esp: module requires a scan binding")
+	}
+	return &Module{scan: scan, printMask: defaultPrintMask}, nil
+}
+
+// Mode returns the current Wi-Fi mode.
+func (m *Module) Mode() int { return m.mode }
+
+// ErrAT is the generic AT "ERROR" response.
+var ErrAT = errors.New("esp: ERROR")
+
+// Exec executes one AT command line and returns the response lines,
+// excluding the final status token. A nil error corresponds to an "OK"
+// response; ErrAT corresponds to "ERROR".
+func (m *Module) Exec(cmd string) ([]string, error) {
+	cmd = strings.TrimSpace(cmd)
+	switch {
+	case cmd == "AT":
+		return nil, nil
+
+	case strings.HasPrefix(cmd, "AT+CWMODE_CUR="):
+		arg := strings.TrimPrefix(cmd, "AT+CWMODE_CUR=")
+		mode, err := strconv.Atoi(arg)
+		if err != nil || mode < ModeStation || mode > ModeBoth {
+			return nil, fmt.Errorf("%w: invalid CWMODE_CUR argument %q", ErrAT, arg)
+		}
+		m.mode = mode
+		return nil, nil
+
+	case cmd == "AT+CWMODE_CUR?":
+		return []string{fmt.Sprintf("+CWMODE_CUR:%d", m.mode)}, nil
+
+	case strings.HasPrefix(cmd, "AT+CWLAPOPT="):
+		arg := strings.TrimPrefix(cmd, "AT+CWLAPOPT=")
+		parts := strings.Split(arg, ",")
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("%w: CWLAPOPT wants <sort>,<mask>, got %q", ErrAT, arg)
+		}
+		sortFlag, err1 := strconv.Atoi(parts[0])
+		mask, err2 := strconv.Atoi(parts[1])
+		if err1 != nil || err2 != nil || sortFlag < 0 || sortFlag > 1 || mask < 0 {
+			return nil, fmt.Errorf("%w: malformed CWLAPOPT %q", ErrAT, arg)
+		}
+		m.sortByRSSI = sortFlag == 1
+		m.printMask = mask
+		return nil, nil
+
+	case cmd == "AT+CWLAP":
+		if m.mode != ModeStation && m.mode != ModeBoth {
+			// The real module requires station mode before scanning.
+			return nil, fmt.Errorf("%w: CWLAP requires station mode (current %d)", ErrAT, m.mode)
+		}
+		obs := m.scan()
+		lines := make([]string, 0, len(obs))
+		for _, o := range obs {
+			lines = append(lines, m.formatCWLAP(o))
+		}
+		return lines, nil
+
+	default:
+		return nil, fmt.Errorf("%w: unknown command %q", ErrAT, cmd)
+	}
+}
+
+// CWLAPOPT print-mask bits (subset used here, mirroring the ESP AT manual).
+const (
+	maskECN     = 1 << 0
+	maskSSID    = 1 << 1
+	maskRSSI    = 1 << 2
+	maskMAC     = 1 << 3
+	maskChannel = 1 << 4
+)
+
+// PaperPrintMask selects the ⟨ssid, rssi, mac, channel⟩ tuple the paper's
+// driver configures via AT+CWLAPOPT.
+const PaperPrintMask = maskSSID | maskRSSI | maskMAC | maskChannel
+
+// formatCWLAP renders one observation per the active print mask, e.g.
+// +CWLAP:("telenet-1F2A",-67,"AA:BB:CC:DD:EE:FF",6).
+func (m *Module) formatCWLAP(o wifi.Observation) string {
+	fields := make([]string, 0, 5)
+	if m.printMask&maskECN != 0 {
+		fields = append(fields, "3") // WPA2_PSK; encryption is irrelevant to the REM
+	}
+	if m.printMask&maskSSID != 0 {
+		fields = append(fields, strconv.Quote(o.SSID))
+	}
+	if m.printMask&maskRSSI != 0 {
+		fields = append(fields, strconv.Itoa(o.RSSI))
+	}
+	if m.printMask&maskMAC != 0 {
+		fields = append(fields, strconv.Quote(o.MAC.String()))
+	}
+	if m.printMask&maskChannel != 0 {
+		fields = append(fields, strconv.Itoa(o.Channel))
+	}
+	return "+CWLAP:(" + strings.Join(fields, ",") + ")"
+}
+
+// ParseCWLAP parses a +CWLAP line produced with PaperPrintMask back into its
+// fields. It is the "parse the output" half of the driver contract.
+func ParseCWLAP(line string) (ssid string, rssi int, mac string, channel int, err error) {
+	const prefix = "+CWLAP:("
+	if !strings.HasPrefix(line, prefix) || !strings.HasSuffix(line, ")") {
+		return "", 0, "", 0, fmt.Errorf("esp: malformed CWLAP line %q", line)
+	}
+	body := strings.TrimSuffix(strings.TrimPrefix(line, prefix), ")")
+	fields, err := splitQuoted(body)
+	if err != nil {
+		return "", 0, "", 0, fmt.Errorf("esp: %w in line %q", err, line)
+	}
+	if len(fields) != 4 {
+		return "", 0, "", 0, fmt.Errorf("esp: CWLAP line %q has %d fields, want 4", line, len(fields))
+	}
+	ssid, err = strconv.Unquote(fields[0])
+	if err != nil {
+		return "", 0, "", 0, fmt.Errorf("esp: bad ssid field %q: %w", fields[0], err)
+	}
+	rssi, err = strconv.Atoi(fields[1])
+	if err != nil {
+		return "", 0, "", 0, fmt.Errorf("esp: bad rssi field %q: %w", fields[1], err)
+	}
+	mac, err = strconv.Unquote(fields[2])
+	if err != nil {
+		return "", 0, "", 0, fmt.Errorf("esp: bad mac field %q: %w", fields[2], err)
+	}
+	if _, err := wifi.ParseMAC(mac); err != nil {
+		return "", 0, "", 0, err
+	}
+	channel, err = strconv.Atoi(fields[3])
+	if err != nil {
+		return "", 0, "", 0, fmt.Errorf("esp: bad channel field %q: %w", fields[3], err)
+	}
+	return ssid, rssi, mac, channel, nil
+}
+
+// splitQuoted splits a comma-separated field list, respecting quoted strings
+// (SSIDs may contain commas).
+func splitQuoted(s string) ([]string, error) {
+	var fields []string
+	var cur strings.Builder
+	inQuote := false
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '"':
+			inQuote = !inQuote
+			cur.WriteByte(c)
+		case c == '\\' && inQuote && i+1 < len(s):
+			cur.WriteByte(c)
+			i++
+			cur.WriteByte(s[i])
+		case c == ',' && !inQuote:
+			fields = append(fields, cur.String())
+			cur.Reset()
+		default:
+			cur.WriteByte(c)
+		}
+	}
+	if inQuote {
+		return nil, errors.New("unterminated quote")
+	}
+	fields = append(fields, cur.String())
+	return fields, nil
+}

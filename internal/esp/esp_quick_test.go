@@ -1,0 +1,67 @@
+package esp
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/wifi"
+)
+
+// TestCWLAPQuickRoundTrip formats arbitrary observations through the
+// module's CWLAP output (paper mask) and parses them back; the tuple must
+// survive exactly, including SSIDs with commas, quotes and escapes.
+func TestCWLAPQuickRoundTrip(t *testing.T) {
+	m, err := NewModule(func() []wifi.Observation { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Exec("AT+CWMODE_CUR=1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Exec("AT+CWLAPOPT=1,30"); err != nil {
+		t.Fatal(err)
+	}
+
+	f := func(ssidRaw []byte, rssi int8, macBytes [6]byte, channel uint8) bool {
+		// SSIDs are arbitrary printable-ish bytes up to 32 long.
+		if len(ssidRaw) > 32 {
+			ssidRaw = ssidRaw[:32]
+		}
+		ssid := string(ssidRaw)
+		ch := int(channel)%13 + 1
+		obs := wifi.Observation{
+			SSID:    ssid,
+			RSSI:    int(rssi),
+			MAC:     wifi.MAC(macBytes),
+			Channel: ch,
+		}
+		line := m.formatCWLAP(obs)
+		gotSSID, gotRSSI, gotMAC, gotCh, err := ParseCWLAP(line)
+		if err != nil {
+			t.Logf("parse error for %q: %v", line, err)
+			return false
+		}
+		return gotSSID == ssid && gotRSSI == int(rssi) &&
+			gotMAC == obs.MAC.String() && gotCh == ch
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestParseCWLAPQuickNeverPanics feeds arbitrary strings to the parser.
+func TestParseCWLAPQuickNeverPanics(t *testing.T) {
+	f := func(line string) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("parser panicked on %q: %v", line, r)
+			}
+		}()
+		_, _, _, _, _ = ParseCWLAP(line)
+		_, _, _, _, _ = ParseCWLAP("+CWLAP:(" + line + ")")
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,246 @@
+package esp
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/wifi"
+)
+
+func fixedScan(obs []wifi.Observation) ScanFunc {
+	return func() []wifi.Observation { return obs }
+}
+
+var sampleObs = []wifi.Observation{
+	{SSID: "telenet-1F2A", RSSI: -67, MAC: wifi.MAC{0xAA, 0xBB, 0xCC, 0xDD, 0xEE, 0xFF}, Channel: 6},
+	{SSID: "home, sweet", RSSI: -80, MAC: wifi.MAC{0x02, 0x00, 0x00, 0x00, 0x00, 0x01}, Channel: 11},
+}
+
+func TestNewModuleRequiresScan(t *testing.T) {
+	if _, err := NewModule(nil); err == nil {
+		t.Error("nil scan accepted")
+	}
+}
+
+func TestATBasic(t *testing.T) {
+	m, err := NewModule(fixedScan(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Exec("AT"); err != nil {
+		t.Errorf("AT returned %v", err)
+	}
+	if _, err := m.Exec("AT+BOGUS"); !errors.Is(err, ErrAT) {
+		t.Errorf("unknown command error = %v, want ErrAT", err)
+	}
+}
+
+func TestCWModeCur(t *testing.T) {
+	m, _ := NewModule(fixedScan(nil))
+	if m.Mode() != ModeUnset {
+		t.Errorf("initial mode = %d", m.Mode())
+	}
+	if _, err := m.Exec("AT+CWMODE_CUR=1"); err != nil {
+		t.Fatal(err)
+	}
+	if m.Mode() != ModeStation {
+		t.Errorf("mode = %d, want station", m.Mode())
+	}
+	lines, err := m.Exec("AT+CWMODE_CUR?")
+	if err != nil || len(lines) != 1 || lines[0] != "+CWMODE_CUR:1" {
+		t.Errorf("query = %v, %v", lines, err)
+	}
+	for _, bad := range []string{"AT+CWMODE_CUR=0", "AT+CWMODE_CUR=4", "AT+CWMODE_CUR=x"} {
+		if _, err := m.Exec(bad); err == nil {
+			t.Errorf("%q accepted", bad)
+		}
+	}
+}
+
+func TestCWLAPRequiresStationMode(t *testing.T) {
+	m, _ := NewModule(fixedScan(sampleObs))
+	if _, err := m.Exec("AT+CWLAP"); !errors.Is(err, ErrAT) {
+		t.Errorf("CWLAP before station mode error = %v, want ErrAT", err)
+	}
+	if _, err := m.Exec("AT+CWMODE_CUR=1"); err != nil {
+		t.Fatal(err)
+	}
+	lines, err := m.Exec("AT+CWLAP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) != 2 {
+		t.Fatalf("CWLAP lines = %v", lines)
+	}
+}
+
+func TestCWLAPOPTAndFormatting(t *testing.T) {
+	m, _ := NewModule(fixedScan(sampleObs[:1]))
+	mustExec(t, m, "AT+CWMODE_CUR=1")
+	mustExec(t, m, "AT+CWLAPOPT=1,30") // paper mask: ssid|rssi|mac|channel
+
+	lines, err := m.Exec("AT+CWLAP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `+CWLAP:("telenet-1F2A",-67,"AA:BB:CC:DD:EE:FF",6)`
+	if lines[0] != want {
+		t.Errorf("CWLAP line = %q, want %q", lines[0], want)
+	}
+}
+
+func TestCWLAPOPTValidation(t *testing.T) {
+	m, _ := NewModule(fixedScan(nil))
+	for _, bad := range []string{"AT+CWLAPOPT=1", "AT+CWLAPOPT=2,30", "AT+CWLAPOPT=1,-1", "AT+CWLAPOPT=a,b"} {
+		if _, err := m.Exec(bad); err == nil {
+			t.Errorf("%q accepted", bad)
+		}
+	}
+}
+
+func TestFullMaskIncludesECN(t *testing.T) {
+	m, _ := NewModule(fixedScan(sampleObs[:1]))
+	mustExec(t, m, "AT+CWMODE_CUR=1")
+	lines, err := m.Exec("AT+CWLAP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(lines[0], "+CWLAP:(3,") {
+		t.Errorf("default mask should include ecn: %q", lines[0])
+	}
+}
+
+func TestParseCWLAPRoundTrip(t *testing.T) {
+	m, _ := NewModule(fixedScan(sampleObs))
+	mustExec(t, m, "AT+CWMODE_CUR=1")
+	mustExec(t, m, "AT+CWLAPOPT=1,30")
+	lines, err := m.Exec("AT+CWLAP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, line := range lines {
+		ssid, rssi, mac, ch, err := ParseCWLAP(line)
+		if err != nil {
+			t.Fatalf("parse %q: %v", line, err)
+		}
+		want := sampleObs[i]
+		if ssid != want.SSID || rssi != want.RSSI || mac != want.MAC.String() || ch != want.Channel {
+			t.Errorf("round trip mismatch: got (%q,%d,%q,%d), want %+v", ssid, rssi, mac, ch, want)
+		}
+	}
+}
+
+func TestParseCWLAPSSIDWithComma(t *testing.T) {
+	line := `+CWLAP:("home, sweet",-80,"02:00:00:00:00:01",11)`
+	ssid, rssi, mac, ch, err := ParseCWLAP(line)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ssid != "home, sweet" || rssi != -80 || mac != "02:00:00:00:00:01" || ch != 11 {
+		t.Errorf("parsed (%q,%d,%q,%d)", ssid, rssi, mac, ch)
+	}
+}
+
+func TestParseCWLAPErrors(t *testing.T) {
+	for _, bad := range []string{
+		"",
+		"+CWLAP:(",
+		`CWLAP:("x",-1,"02:00:00:00:00:01",1)`,
+		`+CWLAP:("x",-1,"02:00:00:00:00:01")`, // 3 fields
+		`+CWLAP:("x",notanumber,"02:00:00:00:00:01",1)`,       // bad rssi
+		`+CWLAP:("x",-1,"zz:00:00:00:00:01",1)`,               // bad mac
+		`+CWLAP:("x",-1,"02:00:00:00:00:01",c)`,               // bad channel
+		`+CWLAP:("unterminated,-1,"02:00:00:00:00:01",1)`,     // quote chaos
+		`+CWLAP:(x,-1,"02:00:00:00:00:01",1)`,                 // unquoted ssid
+		`+CWLAP:("x",-1,"02:00:00:00:00:01",1,"extra-field")`, // 5 fields
+	} {
+		if _, _, _, _, err := ParseCWLAP(bad); err == nil {
+			t.Errorf("ParseCWLAP(%q) accepted", bad)
+		}
+	}
+}
+
+func TestDriverLifecycle(t *testing.T) {
+	m, _ := NewModule(fixedScan(sampleObs))
+	d, err := NewDriver(m, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Status before Init must fail (instruction ordering).
+	if err := d.Status(); err == nil {
+		t.Error("Status before Init accepted")
+	}
+	if err := d.TriggerScan(); err == nil {
+		t.Error("TriggerScan before Init accepted")
+	}
+	if _, err := d.Results(); err == nil {
+		t.Error("Results before scan accepted")
+	}
+
+	if err := d.Init(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Status(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.TriggerScan(); err != nil {
+		t.Fatal(err)
+	}
+	ms, err := d.Results()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 2 {
+		t.Fatalf("measurements = %d", len(ms))
+	}
+	if ms[0].Key != "AA:BB:CC:DD:EE:FF" || ms[0].RSSI != -67 || ms[0].Name != "telenet-1F2A" || ms[0].Channel != 6 {
+		t.Errorf("measurement = %+v", ms[0])
+	}
+
+	// Results are one-shot: a second call without a new scan must fail.
+	if _, err := d.Results(); err == nil {
+		t.Error("second Results without scan accepted")
+	}
+}
+
+func TestDriverInitSetsStationMode(t *testing.T) {
+	m, _ := NewModule(fixedScan(nil))
+	d, _ := NewDriver(m, time.Second)
+	if err := d.Init(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Mode() != ModeStation {
+		t.Errorf("mode after Init = %d", m.Mode())
+	}
+}
+
+func TestDriverMetadata(t *testing.T) {
+	m, _ := NewModule(fixedScan(nil))
+	d, _ := NewDriver(m, 1700*time.Millisecond)
+	if d.ScanDuration() != 1700*time.Millisecond {
+		t.Errorf("ScanDuration = %v", d.ScanDuration())
+	}
+	if d.TechnologyName() != "wifi-2.4" {
+		t.Errorf("TechnologyName = %q", d.TechnologyName())
+	}
+}
+
+func TestNewDriverValidation(t *testing.T) {
+	if _, err := NewDriver(nil, time.Second); err == nil {
+		t.Error("nil module accepted")
+	}
+	m, _ := NewModule(fixedScan(nil))
+	if _, err := NewDriver(m, 0); err == nil {
+		t.Error("zero scan time accepted")
+	}
+}
+
+func mustExec(t *testing.T, m *Module, cmd string) {
+	t.Helper()
+	if _, err := m.Exec(cmd); err != nil {
+		t.Fatalf("%s: %v", cmd, err)
+	}
+}

@@ -1,0 +1,141 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/floorplan"
+	"repro/internal/geom"
+	"repro/internal/mission"
+	"repro/internal/simrand"
+	"repro/internal/wifi"
+)
+
+// DensityRow is one waypoint-density configuration in experiment E9.
+type DensityRow struct {
+	// Waypoints is the total lattice size flown.
+	Waypoints int
+	// Samples is the dataset size collected.
+	Samples int
+	// BestRMSE is the winning estimator's test RMSE.
+	BestRMSE float64
+	// BestName labels the winner.
+	BestName string
+}
+
+// DensityResult is experiment E9: prediction error versus the number of
+// visited waypoints — a first cut at the paper's stated future work of
+// "deriving the fundamental limitations on the density of 3D REMs".
+type DensityResult struct {
+	Rows []DensityRow
+}
+
+// densityLattices are the swept lattice shapes (8 → 72 waypoints).
+var densityLattices = [][3]int{
+	{2, 2, 2},
+	{3, 3, 2},
+	{4, 3, 3},
+	{4, 6, 3},
+}
+
+// DensitySweep runs E9: the same environment is surveyed with increasingly
+// dense waypoint lattices, and the Figure 8 pipeline is re-run on each
+// dataset.
+func DensitySweep(seed uint64) (*DensityResult, error) {
+	env := floorplan.PaperApartment()
+	rng := simrand.New(seed)
+	aps, err := wifi.GeneratePopulation(env, wifi.DefaultPopulation(), rng.Derive("population"))
+	if err != nil {
+		return nil, err
+	}
+	net, err := wifi.NewNetwork(aps, wifi.DefaultChannelParams(env, seed^0xA11CE))
+	if err != nil {
+		return nil, err
+	}
+
+	res := &DensityResult{}
+	for _, shape := range densityLattices {
+		plan, err := densityPlan(shape)
+		if err != nil {
+			return nil, err
+		}
+		ctrl, err := mission.NewController(plan, env, net, wifi.DefaultScanner(), mission.DefaultOptions(seed))
+		if err != nil {
+			return nil, err
+		}
+		data, report, err := ctrl.Run()
+		if err != nil {
+			return nil, err
+		}
+		// Sparse missions yield few samples per MAC; lower the retention
+		// threshold proportionally so the comparison stays defined.
+		cfg := core.DefaultConfig(seed)
+		cfg.REMResolution = [3]int{}
+		cfg.MinSamplesPerMAC = minThresholdFor(plan.TotalWaypoints())
+		cfg.Estimators = core.PaperEstimators(seed)
+		out, err := core.RunWithDataset(cfg, data, report)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, DensityRow{
+			Waypoints: plan.TotalWaypoints(),
+			Samples:   data.Len(),
+			BestRMSE:  out.BestScore().RMSE,
+			BestName:  out.BestScore().Name,
+		})
+	}
+	return res, nil
+}
+
+// minThresholdFor scales the paper's 16-samples-per-MAC threshold to the
+// mission size (16 at 72 waypoints).
+func minThresholdFor(waypoints int) int {
+	t := dataset.MinSamplesPerMAC * waypoints / 72
+	if t < 3 {
+		t = 3
+	}
+	return t
+}
+
+// densityPlan builds a two-UAV plan over the given lattice shape.
+func densityPlan(shape [3]int) (*mission.Plan, error) {
+	vol := geom.PaperScanVolume()
+	points, err := vol.Lattice(shape[0], shape[1], shape[2], 0.30)
+	if err != nil {
+		return nil, err
+	}
+	halves, err := geom.SplitRoundRobin(points, 2)
+	if err != nil {
+		return nil, err
+	}
+	plan := &mission.Plan{
+		Volume:          vol,
+		LegTime:         4 * time.Second,
+		ScanStop:        3 * time.Second,
+		ResultLatency:   1200 * time.Millisecond,
+		TakeoffAltitude: 0.5,
+		UAVs: []mission.UAVPlan{
+			{Name: "A", RadioChannel: 80, Start: geom.V(0.6, 0.5, 0), Waypoints: halves[0]},
+			{Name: "B", RadioChannel: 90, Start: geom.V(0.6, 2.7, 0), Waypoints: halves[1]},
+		},
+	}
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	return plan, nil
+}
+
+// WriteText renders E9.
+func (r *DensityResult) WriteText(w io.Writer) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Waypoint-density sweep: prediction error vs surveyed density (E9)")
+	fmt.Fprintln(tw, "waypoints\tsamples\tbest RMSE (dB)\tbest estimator")
+	for _, row := range r.Rows {
+		fmt.Fprintf(tw, "%d\t%d\t%.4f\t%s\n", row.Waypoints, row.Samples, row.BestRMSE, row.BestName)
+	}
+	return tw.Flush()
+}

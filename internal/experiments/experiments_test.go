@@ -1,0 +1,304 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/ml/knn"
+	"repro/internal/uwb"
+)
+
+func TestFigure5ShapeMatchesPaper(t *testing.T) {
+	res, err := Figure5(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Channels) == 0 {
+		t.Fatal("no occupied channels")
+	}
+	off := res.TotalOff()
+	if off < 10 {
+		t.Fatalf("radio-off detections = %v, too few for a populated building", off)
+	}
+	// The paper's core observation: the radio-off scan detects strictly
+	// more APs than any radio-on setting, irrespective of frequency.
+	for _, f := range res.RadioFreqsMHz {
+		on := res.TotalOn(f)
+		if on >= off {
+			t.Errorf("radio at %v MHz detects %v ≥ radio-off %v", f, on, off)
+		}
+		if on > 0.8*off {
+			t.Errorf("radio at %v MHz suppression too mild: %v vs off %v", f, on, off)
+		}
+	}
+}
+
+func TestFigure5Render(t *testing.T) {
+	res, err := Figure5(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Figure 5") || !strings.Contains(out, "2400 MHz") {
+		t.Errorf("render missing expected content:\n%s", out)
+	}
+}
+
+func TestEnduranceMatchesPaperScale(t *testing.T) {
+	res, err := Endurance(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: 36 scans over 6 min 12 s before erratic behaviour.
+	if res.Scans < 30 || res.Scans > 44 {
+		t.Errorf("scans = %d, want ≈36", res.Scans)
+	}
+	if res.FlightTime < 5*time.Minute || res.FlightTime > 8*time.Minute {
+		t.Errorf("flight time = %v, want ≈6 min 12 s", res.FlightTime)
+	}
+	if !strings.Contains(res.FailureReason, "battery") {
+		t.Errorf("failure reason = %q, want battery depletion", res.FailureReason)
+	}
+	var buf bytes.Buffer
+	if err := res.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "scans completed") {
+		t.Error("render missing scans line")
+	}
+}
+
+func TestMissionResultRenders(t *testing.T) {
+	res, err := RunMission(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.WriteStats(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "2696") {
+		t.Error("stats render missing paper reference")
+	}
+	buf.Reset()
+	if err := res.WriteFigure6(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "UAV A") || !strings.Contains(buf.String(), "UAV B") {
+		t.Error("figure 6 render missing UAVs")
+	}
+	buf.Reset()
+	if err := res.WriteFigure7(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "x ∈ [") || !strings.Contains(buf.String(), "y ∈ [") {
+		t.Error("figure 7 render missing axes")
+	}
+}
+
+func TestFigure8EndToEnd(t *testing.T) {
+	res, err := Figure8(1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Scores) != 5 {
+		t.Fatalf("scores = %d", len(res.Scores))
+	}
+	if res.Retained < 2000 {
+		t.Errorf("retained = %d", res.Retained)
+	}
+	var buf bytes.Buffer
+	if err := res.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "4.8107") || !strings.Contains(out, "← best") {
+		t.Errorf("figure 8 render incomplete:\n%s", out)
+	}
+}
+
+func TestAnchorAblationShape(t *testing.T) {
+	res, err := AnchorAblation(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 6 {
+		t.Fatalf("rows = %d, want 6 (3 anchor counts × 2 modes)", len(res.Rows))
+	}
+	err6 := map[uwb.Mode]float64{}
+	err4 := map[uwb.Mode]float64{}
+	err8 := map[uwb.Mode]float64{}
+	for _, row := range res.Rows {
+		if row.MeanErrM <= 0 || row.MeanErrM > 0.5 {
+			t.Errorf("%v/%d anchors error = %v m implausible", row.Mode, row.Anchors, row.MeanErrM)
+		}
+		switch row.Anchors {
+		case 4:
+			err4[row.Mode] = row.MeanErrM
+		case 6:
+			err6[row.Mode] = row.MeanErrM
+		case 8:
+			err8[row.Mode] = row.MeanErrM
+		}
+	}
+	for _, mode := range []uwb.Mode{uwb.TWR, uwb.TDoA} {
+		if err8[mode] >= err4[mode] {
+			t.Errorf("%v: 8-anchor error %v not below 4-anchor %v", mode, err8[mode], err4[mode])
+		}
+		// Paper: ≈9 cm at 6 anchors — demand decimetre scale.
+		if err6[mode] > 0.2 {
+			t.Errorf("%v 6-anchor error = %v m, want decimetre-level", mode, err6[mode])
+		}
+	}
+	var buf bytes.Buffer
+	if err := res.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "anchors") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestMitigationAblation(t *testing.T) {
+	res, err := MitigationAblation(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SamplesWithout >= res.SamplesWith {
+		t.Errorf("radio-on samples %d not below radio-off %d", res.SamplesWithout, res.SamplesWith)
+	}
+	if res.LossFraction() < 0.2 {
+		t.Errorf("loss fraction = %.2f, interference too mild for Figure 5's lesson", res.LossFraction())
+	}
+	var buf bytes.Buffer
+	if err := res.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "lost to self-interference") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestDensitySweepTrend(t *testing.T) {
+	res, err := DensitySweep(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != len(densityLattices) {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	// Sample counts must grow with density.
+	for i := 1; i < len(res.Rows); i++ {
+		if res.Rows[i].Samples <= res.Rows[i-1].Samples {
+			t.Errorf("samples not increasing: %d → %d", res.Rows[i-1].Samples, res.Rows[i].Samples)
+		}
+	}
+	// The densest survey must predict better than the sparsest.
+	first, last := res.Rows[0], res.Rows[len(res.Rows)-1]
+	if last.BestRMSE >= first.BestRMSE {
+		t.Errorf("72-waypoint RMSE %.3f not below 8-waypoint RMSE %.3f", last.BestRMSE, first.BestRMSE)
+	}
+	var buf bytes.Buffer
+	if err := res.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "waypoints") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestGridSearchSpaceContainsPaperWinners(t *testing.T) {
+	has := func(vals []float64, want float64) bool {
+		for _, v := range vals {
+			if v == want {
+				return true
+			}
+		}
+		return false
+	}
+	if !has(knnSpace["k"], 3) || !has(knnSpace["k"], 16) {
+		t.Error("grid must contain the paper's k=3 and k=16")
+	}
+	if !has(knnSpace["weights"], float64(knn.Distance)) {
+		t.Error("grid must contain distance weighting (the paper's winner)")
+	}
+	if !has(knnSpace["p"], 2) {
+		t.Error("grid must contain p=2 (Euclidean, the paper's winner)")
+	}
+}
+
+func TestGridSearchReproduction(t *testing.T) {
+	res, err := GridSearchReproduction(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Evaluated != 7*2*2 {
+		t.Errorf("evaluated %d grid points, want 28", res.Evaluated)
+	}
+	if len(res.PlainTop) != 5 || len(res.ScaledTop) != 5 {
+		t.Fatalf("top lists = %d/%d", len(res.PlainTop), len(res.ScaledTop))
+	}
+	// Validation RMSEs sorted ascending.
+	for i := 1; i < len(res.PlainTop); i++ {
+		if res.PlainTop[i].RMSE < res.PlainTop[i-1].RMSE {
+			t.Error("plain results not sorted")
+		}
+	}
+	// The paper's search selected Euclidean distance weighting; ours must
+	// agree on the weighting (the most robust of the tuned choices).
+	best := res.BestPlain()
+	if best["weights"] != float64(knn.Distance) {
+		t.Errorf("plain winner weights = %v, want distance (the paper's choice)", best["weights"])
+	}
+	if best["k"] < 2 || best["k"] > 32 {
+		t.Errorf("plain winner k = %v outside the searched range", best["k"])
+	}
+	var buf bytes.Buffer
+	if err := res.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "grid search") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestLighthouseComparison(t *testing.T) {
+	res, err := LighthouseComparison(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	uwbRow, lhRow := res.Rows[0], res.Rows[1]
+	if uwbRow.Anchors != 8 || lhRow.Anchors != 2 {
+		t.Errorf("anchor counts = %d/%d, want 8/2", uwbRow.Anchors, lhRow.Anchors)
+	}
+	// §IV: Lighthouse precision is comparable (or better) with fewer
+	// anchors. "Comparable" here: within 2× of the UWB error, and both
+	// decimetre-level.
+	if lhRow.MeanErrM > 2*uwbRow.MeanErrM {
+		t.Errorf("Lighthouse error %.3f not comparable to UWB %.3f", lhRow.MeanErrM, uwbRow.MeanErrM)
+	}
+	for _, row := range res.Rows {
+		if row.MeanErrM <= 0 || row.MeanErrM > 0.2 {
+			t.Errorf("%s error = %.3f m implausible", row.System, row.MeanErrM)
+		}
+	}
+	if !lhRow.RFQuiet || uwbRow.RFQuiet {
+		t.Error("RF-quiet flags wrong")
+	}
+	var buf bytes.Buffer
+	if err := res.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Lighthouse") {
+		t.Error("render incomplete")
+	}
+}

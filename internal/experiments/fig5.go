@@ -1,0 +1,145 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (plus this repository's ablations) as structured results with
+// text renderers. The cmd/experiments binary and the repository-level
+// benchmarks are both thin wrappers around these functions; the experiment
+// IDs (E1–E9) are indexed in DESIGN.md.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"text/tabwriter"
+
+	"repro/internal/floorplan"
+	"repro/internal/simrand"
+	"repro/internal/spectrum"
+	"repro/internal/wifi"
+)
+
+// Fig5Result is experiment E1: the number of APs detected per 802.11
+// channel with the Crazyradio at each survey frequency or off (Figure 5).
+type Fig5Result struct {
+	// Channels lists the Wi-Fi channels that had any detections.
+	Channels []int
+	// RadioFreqsMHz are the surveyed Crazyradio frequencies.
+	RadioFreqsMHz []float64
+	// DetectedOff[ch] is the mean AP count with the radio off.
+	DetectedOff map[int]float64
+	// DetectedOn[freq][ch] is the mean AP count with the radio at freq.
+	DetectedOn map[float64]map[int]float64
+	// ScansPerSetting is the averaging count (paper: 3).
+	ScansPerSetting int
+}
+
+// Figure5 reproduces the interference survey of §III-A: a fixed scan
+// position, three AP scans per Crazyradio setting, the radio stepped over
+// {off, 2400, 2425, 2450, 2475, 2500, 2525} MHz.
+func Figure5(seed uint64) (*Fig5Result, error) {
+	env := floorplan.PaperApartment()
+	rng := simrand.New(seed)
+	aps, err := wifi.GeneratePopulation(env, wifi.DefaultPopulation(), rng.Derive("population"))
+	if err != nil {
+		return nil, err
+	}
+	net, err := wifi.NewNetwork(aps, wifi.DefaultChannelParams(env, seed^0xA11CE))
+	if err != nil {
+		return nil, err
+	}
+	sc, err := wifi.NewScanner(net, wifi.DefaultScanner())
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Fig5Result{
+		RadioFreqsMHz:   []float64{2400, 2425, 2450, 2475, 2500, 2525},
+		DetectedOff:     map[int]float64{},
+		DetectedOn:      map[float64]map[int]float64{},
+		ScansPerSetting: 3,
+	}
+	pos := env.Room.Center()
+	scanRng := rng.Derive("scan")
+
+	scanAvg := func(itfs []spectrum.Interferer) map[int]float64 {
+		counts := map[int]float64{}
+		for i := 0; i < res.ScansPerSetting; i++ {
+			for _, obs := range sc.Scan(pos, itfs, scanRng) {
+				counts[obs.Channel]++
+			}
+		}
+		for ch := range counts {
+			counts[ch] /= float64(res.ScansPerSetting)
+		}
+		return counts
+	}
+
+	res.DetectedOff = scanAvg(nil)
+	for _, f := range res.RadioFreqsMHz {
+		itf, err := spectrum.CrazyradioInterferer(int(f - 2400))
+		if err != nil {
+			return nil, err
+		}
+		res.DetectedOn[f] = scanAvg([]spectrum.Interferer{itf})
+	}
+
+	// Channels with any detections, sorted (the paper omits empty ones).
+	chSet := map[int]bool{}
+	for ch := range res.DetectedOff {
+		chSet[ch] = true
+	}
+	for _, m := range res.DetectedOn {
+		for ch := range m {
+			chSet[ch] = true
+		}
+	}
+	for ch := range chSet {
+		res.Channels = append(res.Channels, ch)
+	}
+	sort.Ints(res.Channels)
+	return res, nil
+}
+
+// TotalOff returns the mean AP count summed over channels with the radio
+// off.
+func (r *Fig5Result) TotalOff() float64 {
+	var t float64
+	for _, v := range r.DetectedOff {
+		t += v
+	}
+	return t
+}
+
+// TotalOn returns the mean AP count summed over channels at the given radio
+// frequency.
+func (r *Fig5Result) TotalOn(freq float64) float64 {
+	var t float64
+	for _, v := range r.DetectedOn[freq] {
+		t += v
+	}
+	return t
+}
+
+// WriteText renders the figure as an aligned table, one row per Wi-Fi
+// channel, one column per radio setting.
+func (r *Fig5Result) WriteText(w io.Writer) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "Figure 5: mean APs detected per 802.11 channel (avg of %d scans)\n", r.ScansPerSetting)
+	fmt.Fprint(tw, "channel\toff")
+	for _, f := range r.RadioFreqsMHz {
+		fmt.Fprintf(tw, "\t%.0f MHz", f)
+	}
+	fmt.Fprintln(tw)
+	for _, ch := range r.Channels {
+		fmt.Fprintf(tw, "%d\t%.2f", ch, r.DetectedOff[ch])
+		for _, f := range r.RadioFreqsMHz {
+			fmt.Fprintf(tw, "\t%.2f", r.DetectedOn[f][ch])
+		}
+		fmt.Fprintln(tw)
+	}
+	fmt.Fprintf(tw, "total\t%.2f", r.TotalOff())
+	for _, f := range r.RadioFreqsMHz {
+		fmt.Fprintf(tw, "\t%.2f", r.TotalOn(f))
+	}
+	fmt.Fprintln(tw)
+	return tw.Flush()
+}

@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"repro/internal/core"
+)
+
+// Fig8Result is experiment E6: the estimator RMSE comparison of Figure 8.
+type Fig8Result struct {
+	// Scores are the estimator results in suite order.
+	Scores []core.Score
+	// Best indexes the winner.
+	Best int
+	// Retained and Dropped mirror the paper's preprocessing outcome
+	// (2565 retained / 131 dropped).
+	Retained, Dropped int
+}
+
+// paperRMSE maps the suite labels to the paper's reported values for
+// side-by-side rendering.
+var paperRMSE = map[string]string{
+	"baseline mean-per-MAC":     "4.8107",
+	"kNN k=3 distance-weighted": "≈4.5",
+	"kNN one-hot×3 k=16":        "4.4186",
+	"per-MAC kNN":               "≈4.5",
+	"NN 16-node sigmoid Adam":   "4.4870",
+}
+
+// Figure8 runs the full pipeline and returns the estimator comparison. With
+// extended=true the IDW/kriging interpolators are appended to the suite.
+func Figure8(seed uint64, extended bool) (*Fig8Result, error) {
+	cfg := core.DefaultConfig(seed)
+	cfg.REMResolution = [3]int{} // the comparison does not need the map
+	if extended {
+		cfg.Estimators = core.ExtendedEstimators(seed)
+	}
+	res, err := core.Run(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Fig8Result{
+		Scores:   res.Scores,
+		Best:     res.Best,
+		Retained: len(res.Pre.Rows),
+		Dropped:  res.Pre.Dropped,
+	}, nil
+}
+
+// WriteText renders the comparison next to the paper's numbers.
+func (r *Fig8Result) WriteText(w io.Writer) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "Figure 8: prediction RMSE per estimator (%d rows retained, %d dropped; paper: 2565/131)\n",
+		r.Retained, r.Dropped)
+	fmt.Fprintln(tw, "estimator\tRMSE (dB)\tMAE (dB)\tpaper RMSE")
+	for i, s := range r.Scores {
+		marker := ""
+		if i == r.Best {
+			marker = "  ← best"
+		}
+		paper := paperRMSE[s.Name]
+		if paper == "" {
+			paper = "—"
+		}
+		fmt.Fprintf(tw, "%s\t%.4f\t%.4f\t%s%s\n", s.Name, s.RMSE, s.MAE, paper, marker)
+	}
+	return tw.Flush()
+}

@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"repro/internal/ekf"
+	"repro/internal/geom"
+	"repro/internal/lighthouse"
+	"repro/internal/simrand"
+	"repro/internal/uwb"
+)
+
+// LighthouseRow is one localization configuration in experiment E11.
+type LighthouseRow struct {
+	// System names the configuration.
+	System string
+	// Anchors is the infrastructure count (UWB anchors or IR stations).
+	Anchors int
+	// MeanErrM is the hover error averaged over trials.
+	MeanErrM float64
+	// RFQuiet reports whether the system emits in the 2.4 GHz band (UWB
+	// is out of band but RF; Lighthouse is optical — fully quiet).
+	RFQuiet bool
+}
+
+// LighthouseResult is experiment E11: the paper's §IV future-work claim
+// that the infrared Lighthouse system achieves precision comparable to the
+// UWB LPS with fewer, cheaper anchors and no RF self-interference concerns.
+type LighthouseResult struct {
+	Rows   []LighthouseRow
+	Trials int
+}
+
+// LighthouseComparison runs E11: hover accuracy of the paper's 8-anchor
+// UWB deployment versus a two-station Lighthouse setup.
+func LighthouseComparison(seed uint64) (*LighthouseResult, error) {
+	vol := geom.PaperScanVolume()
+	truth := geom.V(1.87, 1.60, 1.0)
+	res := &LighthouseResult{Trials: 5}
+
+	// UWB TDoA with the paper's 8 corner anchors.
+	var uwbTotal float64
+	for trial := 0; trial < res.Trials; trial++ {
+		cfg := uwb.DefaultConfig(uwb.TDoA)
+		cfg.Seed = seed + uint64(trial)
+		c, err := uwb.CornerConstellation(vol, cfg)
+		if err != nil {
+			return nil, err
+		}
+		c.SelfCalibrate()
+		hr, err := ekf.RunHover(c, ekf.DefaultHoverTrial(truth), simrand.New(cfg.Seed^0xBEEF))
+		if err != nil {
+			return nil, err
+		}
+		uwbTotal += hr.MeanErrorM
+	}
+	res.Rows = append(res.Rows, LighthouseRow{
+		System: "UWB LPS (TDoA)", Anchors: 8,
+		MeanErrM: uwbTotal / float64(res.Trials),
+	})
+
+	// Lighthouse with two diagonal ceiling stations.
+	var lhTotal float64
+	for trial := 0; trial < res.Trials; trial++ {
+		cfg := lighthouse.DefaultConfig()
+		cfg.Seed = seed + uint64(trial)
+		sys, err := lighthouse.CeilingPair(vol, cfg)
+		if err != nil {
+			return nil, err
+		}
+		err2 := func() error {
+			rng := simrand.New(cfg.Seed ^ 0xCAFE)
+			f, err := ekf.New(truth.Add(geom.V(rng.Gauss(0, 0.4), rng.Gauss(0, 0.4), rng.Gauss(0, 0.2))), ekf.DefaultConfig())
+			if err != nil {
+				return err
+			}
+			imu := rng.Derive("imu")
+			meas := rng.Derive("sweep")
+			var sum float64
+			n := 0
+			for k := 0; k < 300; k++ {
+				accel := geom.V(imu.Gauss(0, 0.05), imu.Gauss(0, 0.05), imu.Gauss(0, 0.08))
+				if err := f.Predict(accel, 0.1); err != nil {
+					return err
+				}
+				for _, m := range sys.Measure(truth, meas) {
+					if err := f.UpdateBearing(m.Station, m.AzimuthRad, m.ElevationRad, 0.002); err != nil {
+						return err
+					}
+				}
+				if k >= 100 {
+					sum += f.Position().Dist(truth)
+					n++
+				}
+			}
+			lhTotal += sum / float64(n)
+			return nil
+		}()
+		if err2 != nil {
+			return nil, err2
+		}
+	}
+	res.Rows = append(res.Rows, LighthouseRow{
+		System: "Lighthouse (IR sweeps)", Anchors: 2,
+		MeanErrM: lhTotal / float64(res.Trials), RFQuiet: true,
+	})
+	return res, nil
+}
+
+// WriteText renders E11.
+func (r *LighthouseResult) WriteText(w io.Writer) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "Lighthouse vs UWB hover localization (avg of %d trials; §IV future work)\n", r.Trials)
+	fmt.Fprintln(tw, "system\tanchors\tmean error (m)\t2.4 GHz quiet")
+	for _, row := range r.Rows {
+		fmt.Fprintf(tw, "%s\t%d\t%.3f\t%v\n", row.System, row.Anchors, row.MeanErrM, row.RFQuiet)
+	}
+	return tw.Flush()
+}

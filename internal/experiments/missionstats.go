@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/mission"
+)
+
+// MissionResult bundles experiments E3 (dataset statistics), E4 (Figure 6)
+// and E5 (Figure 7): they all derive from one two-UAV validation mission.
+type MissionResult struct {
+	// Data is the collected dataset.
+	Data *dataset.Dataset
+	// Report is the flight report.
+	Report *mission.Report
+	// Stats are the aggregate dataset statistics (E3).
+	Stats dataset.Stats
+	// LocErrMean and LocErrMax summarise annotation accuracy.
+	LocErrMean, LocErrMax float64
+}
+
+// RunMission executes the paper's validation mission once.
+func RunMission(seed uint64) (*MissionResult, error) {
+	ctrl, err := mission.NewPaperController(mission.DefaultOptions(seed))
+	if err != nil {
+		return nil, err
+	}
+	data, report, err := ctrl.Run()
+	if err != nil {
+		return nil, err
+	}
+	res := &MissionResult{Data: data, Report: report, Stats: data.Stats()}
+	res.LocErrMean, res.LocErrMax = mission.LocalizationErrorStats(data)
+	return res, nil
+}
+
+// WriteStats renders E3 next to the paper's numbers.
+func (r *MissionResult) WriteStats(w io.Writer) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Dataset statistics (§III-A)\tmeasured\tpaper")
+	fmt.Fprintf(tw, "total samples\t%d\t2696\n", r.Stats.Total)
+	fmt.Fprintf(tw, "samples UAV A\t%d\t1495\n", r.Stats.PerUAV["A"])
+	fmt.Fprintf(tw, "samples UAV B\t%d\t1201\n", r.Stats.PerUAV["B"])
+	fmt.Fprintf(tw, "distinct MACs\t%d\t73\n", r.Stats.DistinctMACs)
+	fmt.Fprintf(tw, "distinct SSIDs\t%d\t49\n", r.Stats.DistinctSSIDs)
+	fmt.Fprintf(tw, "mean RSS (dBm)\t%.1f\t≈-73\n", r.Stats.MeanRSSI)
+	for _, s := range r.Report.Sorties {
+		fmt.Fprintf(tw, "UAV %s active time\t%v\t%s\n", s.UAV, s.ActiveTime.Round(time.Second),
+			map[string]string{"A": "5 min 3 s", "B": "5 min"}[s.UAV])
+	}
+	fmt.Fprintf(tw, "mean localization error (m)\t%.3f\t≈0.09\n", r.LocErrMean)
+	return tw.Flush()
+}
+
+// WriteFigure6 renders E4: samples per UAV and scanned location.
+func (r *MissionResult) WriteFigure6(w io.Writer) error {
+	counts := r.Data.CountPerWaypoint()
+	uavs := make([]string, 0, len(counts))
+	for u := range counts {
+		uavs = append(uavs, u)
+	}
+	sort.Strings(uavs)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Figure 6: samples per UAV and scanned location")
+	for _, u := range uavs {
+		per := counts[u]
+		wps := make([]int, 0, len(per))
+		for wp := range per {
+			wps = append(wps, wp)
+		}
+		sort.Ints(wps)
+		var row strings.Builder
+		total := 0
+		for _, wp := range wps {
+			fmt.Fprintf(&row, "%d ", per[wp])
+			total += per[wp]
+		}
+		fmt.Fprintf(tw, "UAV %s (%d total)\t%s\n", u, total, strings.TrimSpace(row.String()))
+	}
+	return tw.Flush()
+}
+
+// WriteFigure7 renders E5: 0.5 m-bin histograms along x and y.
+func (r *MissionResult) WriteFigure7(w io.Writer) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Figure 7: samples per 0.5 m bin")
+	for _, axis := range []dataset.Axis{dataset.AxisX, dataset.AxisY} {
+		bins, err := r.Data.Histogram(axis, 0.5)
+		if err != nil {
+			return err
+		}
+		for _, b := range bins {
+			bar := strings.Repeat("#", b.Count/12)
+			fmt.Fprintf(tw, "%s ∈ [%.1f, %.1f)\t%d\t%s\n", axis, b.Lo, b.Hi, b.Count, bar)
+		}
+	}
+	return tw.Flush()
+}

@@ -1,0 +1,143 @@
+package floorplan
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestPlanesCrossed(t *testing.T) {
+	cases := []struct {
+		a, b, pitch float64
+		want        int
+	}{
+		{0.5, 3.5, 1.0, 3},   // planes at 1, 2, 3
+		{0.5, 0.9, 1.0, 0},   // same cell
+		{3.5, 0.5, 1.0, 3},   // direction-independent
+		{-0.5, 0.5, 1.0, 1},  // plane at 0
+		{0.1, 8.3, 4.0, 2},   // planes at 4, 8
+		{1.0, 1.0, 1.0, 0},   // degenerate segment
+		{0.5, 2.5, 0, 0},     // disabled pitch
+		{-3.5, -0.5, 1.0, 3}, // negative side: planes at -3, -2, -1
+	}
+	for _, tc := range cases {
+		if got := planesCrossed(tc.a, tc.b, tc.pitch); got != tc.want {
+			t.Errorf("planesCrossed(%v, %v, %v) = %d, want %d", tc.a, tc.b, tc.pitch, got, tc.want)
+		}
+	}
+}
+
+func TestGridWallsCrossings(t *testing.T) {
+	g := GridWalls{PitchX: 4, PitchY: 4, FloorHeight: 3}
+	walls, floors := g.Crossings(geom.V(1, 1, 1), geom.V(9, 1, 1))
+	if walls != 2 || floors != 0 {
+		t.Errorf("x traverse: walls=%d floors=%d, want 2, 0", walls, floors)
+	}
+	walls, floors = g.Crossings(geom.V(1, 1, 1), geom.V(1, 1, 7))
+	if walls != 0 || floors != 2 {
+		t.Errorf("z traverse: walls=%d floors=%d, want 0, 2", walls, floors)
+	}
+	walls, floors = g.Crossings(geom.V(1, 1, 1), geom.V(5, 5, 4))
+	if walls != 2 || floors != 1 {
+		t.Errorf("diagonal: walls=%d floors=%d, want 2, 1", walls, floors)
+	}
+}
+
+func TestGridWallsOriginShift(t *testing.T) {
+	g := GridWalls{PitchX: 4, PitchY: 4, FloorHeight: 3, Origin: geom.V(-2, 0, 0)}
+	// Planes now at x = -2, 2, 6, ... A segment x∈[0,3] crosses x=2 only.
+	walls, _ := g.Crossings(geom.V(0, 1, 1), geom.V(3, 1, 1))
+	if walls != 1 {
+		t.Errorf("shifted grid walls = %d, want 1", walls)
+	}
+}
+
+func TestEnvironmentObstructionLoss(t *testing.T) {
+	env := &Environment{
+		Room:        geom.MustCuboid(geom.V(0, 0, 0), 4, 4, 3),
+		Grid:        GridWalls{PitchX: 4, PitchY: 4, FloorHeight: 3, Origin: geom.V(-0.1, -0.1, -0.1)},
+		WallLossDB:  6,
+		FloorLossDB: 13,
+	}
+	// Within one grid cell: no loss.
+	if got := env.ObstructionLossDB(geom.V(0.5, 0.5, 0.5), geom.V(3, 3, 2)); got != 0 {
+		t.Errorf("in-cell loss = %v, want 0", got)
+	}
+	// One wall crossing.
+	if got := env.ObstructionLossDB(geom.V(0.5, 0.5, 0.5), geom.V(5, 0.5, 0.5)); got != 6 {
+		t.Errorf("one-wall loss = %v, want 6", got)
+	}
+	// One wall + one floor.
+	if got := env.ObstructionLossDB(geom.V(0.5, 0.5, 0.5), geom.V(5, 0.5, 3.5)); got != 19 {
+		t.Errorf("wall+floor loss = %v, want 19", got)
+	}
+}
+
+func TestEnvironmentExtraWalls(t *testing.T) {
+	env := &Environment{
+		Room: geom.MustCuboid(geom.V(0, 0, 0), 4, 4, 3),
+		Extra: []Wall{{
+			Name:   "panel",
+			Panel:  geom.Rect{Min: geom.V(2, 0, 0), Max: geom.V(2, 4, 3)},
+			LossDB: 5,
+		}},
+	}
+	if got := env.ObstructionLossDB(geom.V(1, 1, 1), geom.V(3, 1, 1)); got != 5 {
+		t.Errorf("extra wall loss = %v, want 5", got)
+	}
+	if got := env.ObstructionLossDB(geom.V(1, 1, 1), geom.V(1.5, 1, 1)); got != 0 {
+		t.Errorf("non-crossing loss = %v, want 0", got)
+	}
+}
+
+func TestPaperApartment(t *testing.T) {
+	env := PaperApartment()
+	if err := env.Validate(); err != nil {
+		t.Fatalf("paper apartment invalid: %v", err)
+	}
+	s := env.Room.Size()
+	if s != geom.V(3.74, 3.20, 2.10) {
+		t.Errorf("room size = %v", s)
+	}
+	// The room interior must be free of grid planes: two points inside the
+	// room must see zero obstruction loss.
+	if got := env.ObstructionLossDB(geom.V(0.1, 0.1, 0.1), geom.V(3.6, 3.1, 2.0)); got != 0 {
+		t.Errorf("in-room obstruction = %v dB, want 0", got)
+	}
+	// A link from a neighbouring apartment must be attenuated.
+	if got := env.ObstructionLossDB(geom.V(-4, 1, 1), geom.V(1, 1, 1)); got <= 0 {
+		t.Errorf("neighbour link obstruction = %v dB, want > 0", got)
+	}
+	// The core direction must point toward +x / −y per §III-A.
+	if env.CoreDirection.X <= 0 || env.CoreDirection.Y >= 0 {
+		t.Errorf("core direction = %v, want +x/−y", env.CoreDirection)
+	}
+	// The thick wall segment must attenuate links crossing the high-y wall.
+	with := env.ObstructionLossDB(geom.V(1, 5, 1), geom.V(1, 3.0, 1))
+	without := env.ObstructionLossDB(geom.V(1, 2.5, 1), geom.V(1, 3.0, 1))
+	if with <= without {
+		t.Errorf("thick segment not attenuating: crossing=%v non-crossing=%v", with, without)
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	good := PaperApartment()
+
+	bad := *good
+	bad.WallLossDB = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("negative wall loss accepted")
+	}
+
+	bad = *good
+	bad.Extra = []Wall{{Name: "broken", Panel: geom.Rect{Min: geom.V(0, 0, 0), Max: geom.V(1, 1, 1)}, LossDB: 3}}
+	if err := bad.Validate(); err == nil {
+		t.Error("invalid panel accepted")
+	}
+
+	bad = *good
+	bad.Extra = []Wall{{Name: "negative", Panel: geom.Rect{Min: geom.V(0, 1, 0), Max: geom.V(1, 1, 1)}, LossDB: -3}}
+	if err := bad.Validate(); err == nil {
+		t.Error("negative panel loss accepted")
+	}
+}

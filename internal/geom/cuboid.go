@@ -1,0 +1,170 @@
+package geom
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Cuboid is an axis-aligned rectangular volume, the shape of the scan volume
+// used in the paper's validation (3.74 m × 3.20 m × 2.10 m living room).
+type Cuboid struct {
+	Min, Max Vec3
+}
+
+// NewCuboid builds a cuboid from an origin corner and positive extents along
+// each axis.
+func NewCuboid(origin Vec3, dx, dy, dz float64) (Cuboid, error) {
+	if dx <= 0 || dy <= 0 || dz <= 0 {
+		return Cuboid{}, fmt.Errorf("geom: cuboid extents must be positive, got (%g, %g, %g)", dx, dy, dz)
+	}
+	return Cuboid{Min: origin, Max: origin.Add(V(dx, dy, dz))}, nil
+}
+
+// MustCuboid is NewCuboid that panics on invalid extents. It is intended for
+// package-level construction of well-known volumes in tests and examples.
+func MustCuboid(origin Vec3, dx, dy, dz float64) Cuboid {
+	c, err := NewCuboid(origin, dx, dy, dz)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// PaperScanVolume returns the exact scan volume of the paper's validation: a
+// rectangular cuboid 3.74 m long (x), 3.20 m wide (y) and 2.10 m high (z)
+// anchored at the origin.
+func PaperScanVolume() Cuboid {
+	return MustCuboid(V(0, 0, 0), 3.74, 3.20, 2.10)
+}
+
+// Size returns the extents of the cuboid along each axis.
+func (c Cuboid) Size() Vec3 { return c.Max.Sub(c.Min) }
+
+// Center returns the geometric centre of the cuboid.
+func (c Cuboid) Center() Vec3 { return c.Min.Add(c.Max).Scale(0.5) }
+
+// Volume returns the volume in cubic metres.
+func (c Cuboid) Volume() float64 {
+	s := c.Size()
+	return s.X * s.Y * s.Z
+}
+
+// Contains reports whether p lies inside the cuboid (inclusive bounds).
+func (c Cuboid) Contains(p Vec3) bool {
+	return p.X >= c.Min.X && p.X <= c.Max.X &&
+		p.Y >= c.Min.Y && p.Y <= c.Max.Y &&
+		p.Z >= c.Min.Z && p.Z <= c.Max.Z
+}
+
+// Clamp returns p clamped into the cuboid.
+func (c Cuboid) Clamp(p Vec3) Vec3 { return p.Clamp(c.Min, c.Max) }
+
+// Corners returns the 8 corner points of the cuboid. The paper places one
+// UWB localization anchor at each corner of the scan volume.
+func (c Cuboid) Corners() []Vec3 {
+	return []Vec3{
+		{c.Min.X, c.Min.Y, c.Min.Z},
+		{c.Max.X, c.Min.Y, c.Min.Z},
+		{c.Min.X, c.Max.Y, c.Min.Z},
+		{c.Max.X, c.Max.Y, c.Min.Z},
+		{c.Min.X, c.Min.Y, c.Max.Z},
+		{c.Max.X, c.Min.Y, c.Max.Z},
+		{c.Min.X, c.Max.Y, c.Max.Z},
+		{c.Max.X, c.Max.Y, c.Max.Z},
+	}
+}
+
+// ErrLatticeTooSmall is returned when a waypoint lattice is requested with
+// fewer than one point per axis.
+var ErrLatticeTooSmall = errors.New("geom: lattice requires at least one point per axis")
+
+// Lattice generates nx × ny × nz waypoints evenly spread over the cuboid,
+// inset from the faces by margin on every axis (the UAVs cannot fly flush
+// against walls or the floor). Points are ordered in boustrophedon (lawnmower)
+// order within each z-layer, layers bottom-up, so that consecutive waypoints
+// are spatially adjacent — minimising flight time exactly as a survey plan
+// would.
+func (c Cuboid) Lattice(nx, ny, nz int, margin float64) ([]Vec3, error) {
+	if nx < 1 || ny < 1 || nz < 1 {
+		return nil, ErrLatticeTooSmall
+	}
+	s := c.Size()
+	if 2*margin >= s.X || 2*margin >= s.Y || 2*margin >= s.Z {
+		return nil, fmt.Errorf("geom: margin %g too large for cuboid of size %v", margin, s)
+	}
+	coords := func(min, max float64, n int) []float64 {
+		out := make([]float64, n)
+		if n == 1 {
+			out[0] = (min + max) / 2
+			return out
+		}
+		step := (max - min) / float64(n-1)
+		for i := range out {
+			out[i] = min + float64(i)*step
+		}
+		return out
+	}
+	xs := coords(c.Min.X+margin, c.Max.X-margin, nx)
+	ys := coords(c.Min.Y+margin, c.Max.Y-margin, ny)
+	zs := coords(c.Min.Z+margin, c.Max.Z-margin, nz)
+
+	pts := make([]Vec3, 0, nx*ny*nz)
+	for k, z := range zs {
+		yOrder := ys
+		if k%2 == 1 {
+			yOrder = reversed(ys)
+		}
+		for j, y := range yOrder {
+			xOrder := xs
+			if (j+k)%2 == 1 {
+				xOrder = reversed(xs)
+			}
+			for _, x := range xOrder {
+				pts = append(pts, V(x, y, z))
+			}
+		}
+	}
+	return pts, nil
+}
+
+// SplitRoundRobin partitions points into n contiguous chunks of near-equal
+// size, preserving order. The paper splits 72 waypoints into two sets of 36,
+// one per UAV.
+func SplitRoundRobin(points []Vec3, n int) ([][]Vec3, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("geom: cannot split into %d parts", n)
+	}
+	out := make([][]Vec3, n)
+	base := len(points) / n
+	rem := len(points) % n
+	idx := 0
+	for i := 0; i < n; i++ {
+		size := base
+		if i < rem {
+			size++
+		}
+		chunk := make([]Vec3, size)
+		copy(chunk, points[idx:idx+size])
+		out[i] = chunk
+		idx += size
+	}
+	return out, nil
+}
+
+// PathLength returns the total Euclidean length of the polyline through the
+// given points.
+func PathLength(points []Vec3) float64 {
+	total := 0.0
+	for i := 1; i < len(points); i++ {
+		total += points[i].Dist(points[i-1])
+	}
+	return total
+}
+
+func reversed(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[len(xs)-1-i] = x
+	}
+	return out
+}

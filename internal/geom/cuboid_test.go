@@ -1,0 +1,207 @@
+package geom
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNewCuboidValidation(t *testing.T) {
+	if _, err := NewCuboid(V(0, 0, 0), -1, 1, 1); err == nil {
+		t.Error("negative extent accepted")
+	}
+	if _, err := NewCuboid(V(0, 0, 0), 1, 0, 1); err == nil {
+		t.Error("zero extent accepted")
+	}
+	c, err := NewCuboid(V(1, 2, 3), 2, 3, 4)
+	if err != nil {
+		t.Fatalf("valid cuboid rejected: %v", err)
+	}
+	if c.Max != V(3, 5, 7) {
+		t.Errorf("Max = %v", c.Max)
+	}
+}
+
+func TestPaperScanVolume(t *testing.T) {
+	c := PaperScanVolume()
+	s := c.Size()
+	if !almostEq(s.X, 3.74, 1e-12) || !almostEq(s.Y, 3.20, 1e-12) || !almostEq(s.Z, 2.10, 1e-12) {
+		t.Errorf("paper volume size = %v, want (3.74, 3.20, 2.10)", s)
+	}
+	wantVol := 3.74 * 3.20 * 2.10
+	if !almostEq(c.Volume(), wantVol, 1e-9) {
+		t.Errorf("Volume = %v, want %v", c.Volume(), wantVol)
+	}
+}
+
+func TestCuboidContainsAndClamp(t *testing.T) {
+	c := MustCuboid(V(0, 0, 0), 1, 1, 1)
+	if !c.Contains(V(0.5, 0.5, 0.5)) {
+		t.Error("centre not contained")
+	}
+	if !c.Contains(V(0, 0, 0)) || !c.Contains(V(1, 1, 1)) {
+		t.Error("bounds must be inclusive")
+	}
+	if c.Contains(V(1.01, 0.5, 0.5)) {
+		t.Error("outside point contained")
+	}
+	if got := c.Clamp(V(2, -1, 0.5)); got != V(1, 0, 0.5) {
+		t.Errorf("Clamp = %v", got)
+	}
+}
+
+func TestCuboidCorners(t *testing.T) {
+	c := MustCuboid(V(0, 0, 0), 1, 2, 3)
+	corners := c.Corners()
+	if len(corners) != 8 {
+		t.Fatalf("corner count = %d", len(corners))
+	}
+	seen := map[Vec3]bool{}
+	for _, p := range corners {
+		if seen[p] {
+			t.Errorf("duplicate corner %v", p)
+		}
+		seen[p] = true
+		if !c.Contains(p) {
+			t.Errorf("corner %v not contained", p)
+		}
+	}
+}
+
+func TestLatticeCountsAndBounds(t *testing.T) {
+	c := PaperScanVolume()
+	pts, err := c.Lattice(4, 3, 6, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 72 {
+		t.Fatalf("lattice size = %d, want 72 (the paper's waypoint count)", len(pts))
+	}
+	const tol = 1e-9
+	lo := c.Min.Add(V(0.3, 0.3, 0.3))
+	hi := c.Max.Sub(V(0.3, 0.3, 0.3))
+	for _, p := range pts {
+		if p.X < lo.X-tol || p.X > hi.X+tol ||
+			p.Y < lo.Y-tol || p.Y > hi.Y+tol ||
+			p.Z < lo.Z-tol || p.Z > hi.Z+tol {
+			t.Errorf("waypoint %v violates margin", p)
+		}
+	}
+	seen := map[Vec3]bool{}
+	for _, p := range pts {
+		if seen[p] {
+			t.Errorf("duplicate waypoint %v", p)
+		}
+		seen[p] = true
+	}
+}
+
+func TestLatticeSinglePointIsCentered(t *testing.T) {
+	c := MustCuboid(V(0, 0, 0), 2, 2, 2)
+	pts, err := c.Lattice(1, 1, 1, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 1 || !vecAlmostEq(pts[0], V(1, 1, 1), 1e-12) {
+		t.Errorf("single-point lattice = %v", pts)
+	}
+}
+
+func TestLatticeErrors(t *testing.T) {
+	c := MustCuboid(V(0, 0, 0), 1, 1, 1)
+	if _, err := c.Lattice(0, 1, 1, 0); err == nil {
+		t.Error("zero-count lattice accepted")
+	}
+	if _, err := c.Lattice(2, 2, 2, 0.6); err == nil {
+		t.Error("oversized margin accepted")
+	}
+}
+
+func TestLatticeBoustrophedonIsShorterThanRowOrder(t *testing.T) {
+	c := PaperScanVolume()
+	pts, err := c.Lattice(4, 3, 6, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A naive row-major ordering would retrace the full x extent on every
+	// row change; the lawnmower ordering must beat it.
+	naive := make([]Vec3, len(pts))
+	copy(naive, pts)
+	// Reconstruct naive ordering by sorting z, then y, then x.
+	for i := 0; i < len(naive); i++ {
+		for j := i + 1; j < len(naive); j++ {
+			a, b := naive[i], naive[j]
+			if b.Z < a.Z || (b.Z == a.Z && (b.Y < a.Y || (b.Y == a.Y && b.X < a.X))) {
+				naive[i], naive[j] = naive[j], naive[i]
+			}
+		}
+	}
+	if PathLength(pts) >= PathLength(naive) {
+		t.Errorf("lawnmower path %.2f m not shorter than naive %.2f m", PathLength(pts), PathLength(naive))
+	}
+}
+
+func TestSplitRoundRobin(t *testing.T) {
+	c := PaperScanVolume()
+	pts, _ := c.Lattice(4, 3, 6, 0.3)
+	parts, err := SplitRoundRobin(pts, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parts) != 2 || len(parts[0]) != 36 || len(parts[1]) != 36 {
+		t.Fatalf("split sizes = %d/%d, want 36/36 per the paper", len(parts[0]), len(parts[1]))
+	}
+	// Order must be preserved and the union must be the original set.
+	i := 0
+	for _, part := range parts {
+		for _, p := range part {
+			if p != pts[i] {
+				t.Fatalf("order not preserved at %d", i)
+			}
+			i++
+		}
+	}
+}
+
+func TestSplitRoundRobinUneven(t *testing.T) {
+	pts := []Vec3{V(1, 0, 0), V(2, 0, 0), V(3, 0, 0), V(4, 0, 0), V(5, 0, 0)}
+	parts, err := SplitRoundRobin(pts, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parts[0]) != 2 || len(parts[1]) != 2 || len(parts[2]) != 1 {
+		t.Errorf("uneven split sizes = %d/%d/%d", len(parts[0]), len(parts[1]), len(parts[2]))
+	}
+	if _, err := SplitRoundRobin(pts, 0); err == nil {
+		t.Error("zero-way split accepted")
+	}
+}
+
+func TestPathLength(t *testing.T) {
+	if got := PathLength(nil); got != 0 {
+		t.Errorf("empty path length = %v", got)
+	}
+	if got := PathLength([]Vec3{V(0, 0, 0)}); got != 0 {
+		t.Errorf("single-point path length = %v", got)
+	}
+	pts := []Vec3{V(0, 0, 0), V(3, 4, 0), V(3, 4, 2)}
+	if !almostEq(PathLength(pts), 7, 1e-12) {
+		t.Errorf("path length = %v, want 7", PathLength(pts))
+	}
+}
+
+func TestLatticeCoordinateCoverage(t *testing.T) {
+	// Every lattice must include points at both margin extremes on each axis.
+	c := MustCuboid(V(0, 0, 0), 4, 4, 4)
+	pts, err := c.Lattice(3, 3, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	for _, p := range pts {
+		minX = math.Min(minX, p.X)
+		maxX = math.Max(maxX, p.X)
+	}
+	if !almostEq(minX, 1, 1e-12) || !almostEq(maxX, 3, 1e-12) {
+		t.Errorf("x coverage [%v, %v], want [1, 3]", minX, maxX)
+	}
+}

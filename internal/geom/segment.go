@@ -1,0 +1,80 @@
+package geom
+
+import "math"
+
+// Segment is a directed line segment between two points. The propagation
+// model traces segments between transmitter and receiver to count wall
+// crossings.
+type Segment struct {
+	A, B Vec3
+}
+
+// Length returns the Euclidean length of the segment.
+func (s Segment) Length() float64 { return s.A.Dist(s.B) }
+
+// At returns the point A + t*(B-A).
+func (s Segment) At(t float64) Vec3 { return s.A.Lerp(s.B, t) }
+
+// Rect is a finite axis-aligned rectangle embedded in 3-D space used to model
+// wall panels. Exactly one of the axes must be degenerate (the wall's normal
+// direction), i.e. Min and Max must agree in exactly one coordinate.
+type Rect struct {
+	Min, Max Vec3
+}
+
+// Normal returns the axis index (0=x, 1=y, 2=z) along which the rectangle is
+// degenerate, or -1 if the rectangle is malformed.
+func (r Rect) Normal() int {
+	switch {
+	case r.Min.X == r.Max.X && r.Min.Y != r.Max.Y && r.Min.Z != r.Max.Z:
+		return 0
+	case r.Min.Y == r.Max.Y && r.Min.X != r.Max.X && r.Min.Z != r.Max.Z:
+		return 1
+	case r.Min.Z == r.Max.Z && r.Min.X != r.Max.X && r.Min.Y != r.Max.Y:
+		return 2
+	default:
+		return -1
+	}
+}
+
+// Valid reports whether the rectangle is a proper axis-aligned planar panel.
+func (r Rect) Valid() bool { return r.Normal() >= 0 }
+
+// Intersects reports whether the segment crosses the rectangle, and if so the
+// parametric position t ∈ [0,1] along the segment at which it does. Segments
+// lying within the rectangle's plane are treated as non-crossing (a grazing
+// ray does not penetrate a wall).
+func (r Rect) Intersects(s Segment) (t float64, ok bool) {
+	axis := r.Normal()
+	if axis < 0 {
+		return 0, false
+	}
+	var plane, a, b float64
+	switch axis {
+	case 0:
+		plane, a, b = r.Min.X, s.A.X, s.B.X
+	case 1:
+		plane, a, b = r.Min.Y, s.A.Y, s.B.Y
+	default:
+		plane, a, b = r.Min.Z, s.A.Z, s.B.Z
+	}
+	denom := b - a
+	if denom == 0 {
+		return 0, false // parallel to the wall plane
+	}
+	t = (plane - a) / denom
+	if t < 0 || t > 1 || math.IsNaN(t) {
+		return 0, false
+	}
+	p := s.At(t)
+	const eps = 1e-12
+	switch axis {
+	case 0:
+		ok = p.Y >= r.Min.Y-eps && p.Y <= r.Max.Y+eps && p.Z >= r.Min.Z-eps && p.Z <= r.Max.Z+eps
+	case 1:
+		ok = p.X >= r.Min.X-eps && p.X <= r.Max.X+eps && p.Z >= r.Min.Z-eps && p.Z <= r.Max.Z+eps
+	default:
+		ok = p.X >= r.Min.X-eps && p.X <= r.Max.X+eps && p.Y >= r.Min.Y-eps && p.Y <= r.Max.Y+eps
+	}
+	return t, ok
+}

@@ -1,0 +1,102 @@
+package geom
+
+import "testing"
+
+func TestRectNormal(t *testing.T) {
+	cases := []struct {
+		name string
+		r    Rect
+		want int
+	}{
+		{"x-wall", Rect{V(1, 0, 0), V(1, 2, 3)}, 0},
+		{"y-wall", Rect{V(0, 1, 0), V(2, 1, 3)}, 1},
+		{"z-floor", Rect{V(0, 0, 1), V(2, 3, 1)}, 2},
+		{"degenerate-line", Rect{V(0, 0, 0), V(0, 0, 3)}, -1},
+		{"full-box", Rect{V(0, 0, 0), V(1, 1, 1)}, -1},
+	}
+	for _, tc := range cases {
+		if got := tc.r.Normal(); got != tc.want {
+			t.Errorf("%s: Normal = %d, want %d", tc.name, got, tc.want)
+		}
+		if tc.r.Valid() != (tc.want >= 0) {
+			t.Errorf("%s: Valid inconsistent with Normal", tc.name)
+		}
+	}
+}
+
+func TestRectIntersects(t *testing.T) {
+	wall := Rect{V(1, 0, 0), V(1, 2, 2)} // x=1 plane, y∈[0,2], z∈[0,2]
+
+	// Straight crossing.
+	tHit, ok := wall.Intersects(Segment{V(0, 1, 1), V(2, 1, 1)})
+	if !ok || !almostEq(tHit, 0.5, 1e-12) {
+		t.Errorf("crossing: ok=%v t=%v", ok, tHit)
+	}
+
+	// Segment stops before the wall.
+	if _, ok := wall.Intersects(Segment{V(0, 1, 1), V(0.9, 1, 1)}); ok {
+		t.Error("short segment should not intersect")
+	}
+
+	// Segment passes beside the wall panel (outside its y bounds).
+	if _, ok := wall.Intersects(Segment{V(0, 3, 1), V(2, 3, 1)}); ok {
+		t.Error("segment outside panel bounds should not intersect")
+	}
+
+	// Parallel segment in the wall plane is not a crossing.
+	if _, ok := wall.Intersects(Segment{V(1, 0.5, 0.5), V(1, 1.5, 1.5)}); ok {
+		t.Error("in-plane segment should not count as a crossing")
+	}
+
+	// Diagonal crossing.
+	tHit, ok = wall.Intersects(Segment{V(0, 0, 0), V(2, 2, 2)})
+	if !ok || !almostEq(tHit, 0.5, 1e-12) {
+		t.Errorf("diagonal: ok=%v t=%v", ok, tHit)
+	}
+
+	// Reverse direction must intersect identically.
+	tHit, ok = wall.Intersects(Segment{V(2, 1, 1), V(0, 1, 1)})
+	if !ok || !almostEq(tHit, 0.5, 1e-12) {
+		t.Errorf("reverse: ok=%v t=%v", ok, tHit)
+	}
+}
+
+func TestRectIntersectsEndpointOnWall(t *testing.T) {
+	wall := Rect{V(1, 0, 0), V(1, 2, 2)}
+	// A segment that ends exactly on the wall counts as touching (t=1).
+	tHit, ok := wall.Intersects(Segment{V(0, 1, 1), V(1, 1, 1)})
+	if !ok || !almostEq(tHit, 1, 1e-12) {
+		t.Errorf("endpoint touch: ok=%v t=%v", ok, tHit)
+	}
+}
+
+func TestRectIntersectsInvalidRect(t *testing.T) {
+	bad := Rect{V(0, 0, 0), V(1, 1, 1)}
+	if _, ok := bad.Intersects(Segment{V(-1, 0.5, 0.5), V(2, 0.5, 0.5)}); ok {
+		t.Error("invalid rect must never intersect")
+	}
+}
+
+func TestSegmentAtAndLength(t *testing.T) {
+	s := Segment{V(0, 0, 0), V(2, 0, 0)}
+	if got := s.Length(); got != 2 {
+		t.Errorf("Length = %v", got)
+	}
+	if got := s.At(0.25); got != V(0.5, 0, 0) {
+		t.Errorf("At(0.25) = %v", got)
+	}
+}
+
+func TestRectIntersectsYAndZWalls(t *testing.T) {
+	yWall := Rect{V(0, 1, 0), V(2, 1, 2)}
+	if _, ok := yWall.Intersects(Segment{V(1, 0, 1), V(1, 2, 1)}); !ok {
+		t.Error("y-wall crossing missed")
+	}
+	zFloor := Rect{V(0, 0, 1), V(2, 2, 1)}
+	if _, ok := zFloor.Intersects(Segment{V(1, 1, 0), V(1, 1, 2)}); !ok {
+		t.Error("z-floor crossing missed")
+	}
+	if _, ok := zFloor.Intersects(Segment{V(5, 5, 0), V(5, 5, 2)}); ok {
+		t.Error("z-floor crossing outside bounds accepted")
+	}
+}

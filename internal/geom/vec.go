@@ -1,0 +1,109 @@
+// Package geom provides the small 3-D geometry toolkit used throughout the
+// REM toolchain: vectors, axis-aligned cuboids (the scan volumes of the
+// paper), waypoint lattices, and segment intersection helpers used by the
+// multi-wall propagation model.
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Vec3 is a point or direction in 3-D space. Units are metres throughout the
+// repository unless stated otherwise.
+type Vec3 struct {
+	X, Y, Z float64
+}
+
+// V is shorthand for constructing a Vec3.
+func V(x, y, z float64) Vec3 { return Vec3{X: x, Y: y, Z: z} }
+
+// Add returns v + w.
+func (v Vec3) Add(w Vec3) Vec3 { return Vec3{v.X + w.X, v.Y + w.Y, v.Z + w.Z} }
+
+// Sub returns v - w.
+func (v Vec3) Sub(w Vec3) Vec3 { return Vec3{v.X - w.X, v.Y - w.Y, v.Z - w.Z} }
+
+// Scale returns v scaled by s.
+func (v Vec3) Scale(s float64) Vec3 { return Vec3{v.X * s, v.Y * s, v.Z * s} }
+
+// Dot returns the dot product v·w.
+func (v Vec3) Dot(w Vec3) float64 { return v.X*w.X + v.Y*w.Y + v.Z*w.Z }
+
+// Cross returns the cross product v×w.
+func (v Vec3) Cross(w Vec3) Vec3 {
+	return Vec3{
+		X: v.Y*w.Z - v.Z*w.Y,
+		Y: v.Z*w.X - v.X*w.Z,
+		Z: v.X*w.Y - v.Y*w.X,
+	}
+}
+
+// Norm returns the Euclidean length of v.
+func (v Vec3) Norm() float64 { return math.Sqrt(v.Dot(v)) }
+
+// NormSq returns the squared Euclidean length of v.
+func (v Vec3) NormSq() float64 { return v.Dot(v) }
+
+// Dist returns the Euclidean distance between v and w.
+func (v Vec3) Dist(w Vec3) float64 { return v.Sub(w).Norm() }
+
+// DistSq returns the squared Euclidean distance between v and w.
+func (v Vec3) DistSq(w Vec3) float64 { return v.Sub(w).NormSq() }
+
+// Dist2D returns the horizontal (x/y plane) distance between v and w.
+func (v Vec3) Dist2D(w Vec3) float64 {
+	dx, dy := v.X-w.X, v.Y-w.Y
+	return math.Sqrt(dx*dx + dy*dy)
+}
+
+// Unit returns v normalised to length 1. The zero vector is returned
+// unchanged.
+func (v Vec3) Unit() Vec3 {
+	n := v.Norm()
+	if n == 0 {
+		return v
+	}
+	return v.Scale(1 / n)
+}
+
+// Lerp linearly interpolates between v (t=0) and w (t=1).
+func (v Vec3) Lerp(w Vec3, t float64) Vec3 {
+	return Vec3{
+		X: v.X + (w.X-v.X)*t,
+		Y: v.Y + (w.Y-v.Y)*t,
+		Z: v.Z + (w.Z-v.Z)*t,
+	}
+}
+
+// Clamp returns v with each component clamped to [lo, hi] component-wise.
+func (v Vec3) Clamp(lo, hi Vec3) Vec3 {
+	return Vec3{
+		X: clamp(v.X, lo.X, hi.X),
+		Y: clamp(v.Y, lo.Y, hi.Y),
+		Z: clamp(v.Z, lo.Z, hi.Z),
+	}
+}
+
+// IsFinite reports whether all components are finite numbers.
+func (v Vec3) IsFinite() bool {
+	return !math.IsNaN(v.X) && !math.IsInf(v.X, 0) &&
+		!math.IsNaN(v.Y) && !math.IsInf(v.Y, 0) &&
+		!math.IsNaN(v.Z) && !math.IsInf(v.Z, 0)
+}
+
+// String implements fmt.Stringer with centimetre precision, which is the
+// precision level of the paper's UWB localization (§II-B).
+func (v Vec3) String() string {
+	return fmt.Sprintf("(%.2f, %.2f, %.2f)", v.X, v.Y, v.Z)
+}
+
+func clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}

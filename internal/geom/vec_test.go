@@ -1,0 +1,144 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func vecAlmostEq(a, b Vec3, tol float64) bool {
+	return almostEq(a.X, b.X, tol) && almostEq(a.Y, b.Y, tol) && almostEq(a.Z, b.Z, tol)
+}
+
+func TestVecBasicOps(t *testing.T) {
+	a := V(1, 2, 3)
+	b := V(4, -5, 6)
+
+	if got := a.Add(b); got != V(5, -3, 9) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := a.Sub(b); got != V(-3, 7, -3) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := a.Scale(2); got != V(2, 4, 6) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := a.Dot(b); got != 4-10+18 {
+		t.Errorf("Dot = %v", got)
+	}
+}
+
+func TestVecCross(t *testing.T) {
+	x, y, z := V(1, 0, 0), V(0, 1, 0), V(0, 0, 1)
+	if got := x.Cross(y); got != z {
+		t.Errorf("x×y = %v, want %v", got, z)
+	}
+	if got := y.Cross(z); got != x {
+		t.Errorf("y×z = %v, want %v", got, x)
+	}
+	if got := z.Cross(x); got != y {
+		t.Errorf("z×x = %v, want %v", got, y)
+	}
+}
+
+func TestVecCrossOrthogonal(t *testing.T) {
+	f := func(ax, ay, az, bx, by, bz float64) bool {
+		a, b := V(ax, ay, az), V(bx, by, bz)
+		if !a.IsFinite() || !b.IsFinite() {
+			return true
+		}
+		c := a.Cross(b)
+		scale := a.Norm() * b.Norm()
+		if scale == 0 || math.IsInf(scale, 0) {
+			return true
+		}
+		return math.Abs(c.Dot(a))/scale < 1e-9 && math.Abs(c.Dot(b))/scale < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVecNormAndDist(t *testing.T) {
+	v := V(3, 4, 0)
+	if got := v.Norm(); got != 5 {
+		t.Errorf("Norm = %v, want 5", got)
+	}
+	if got := v.NormSq(); got != 25 {
+		t.Errorf("NormSq = %v, want 25", got)
+	}
+	if got := V(1, 1, 1).Dist(V(1, 1, 4)); got != 3 {
+		t.Errorf("Dist = %v, want 3", got)
+	}
+	if got := V(0, 0, 0).Dist2D(V(3, 4, 100)); got != 5 {
+		t.Errorf("Dist2D = %v, want 5 (z must be ignored)", got)
+	}
+}
+
+func TestVecUnit(t *testing.T) {
+	u := V(0, 3, 4).Unit()
+	if !almostEq(u.Norm(), 1, 1e-12) {
+		t.Errorf("Unit().Norm() = %v, want 1", u.Norm())
+	}
+	if got := V(0, 0, 0).Unit(); got != V(0, 0, 0) {
+		t.Errorf("Unit of zero vector = %v, want zero", got)
+	}
+}
+
+func TestVecLerp(t *testing.T) {
+	a, b := V(0, 0, 0), V(10, -10, 4)
+	if got := a.Lerp(b, 0); got != a {
+		t.Errorf("Lerp(0) = %v", got)
+	}
+	if got := a.Lerp(b, 1); got != b {
+		t.Errorf("Lerp(1) = %v", got)
+	}
+	if got := a.Lerp(b, 0.5); got != V(5, -5, 2) {
+		t.Errorf("Lerp(0.5) = %v", got)
+	}
+}
+
+func TestVecClamp(t *testing.T) {
+	lo, hi := V(0, 0, 0), V(1, 1, 1)
+	got := V(-5, 0.5, 7).Clamp(lo, hi)
+	if got != V(0, 0.5, 1) {
+		t.Errorf("Clamp = %v", got)
+	}
+}
+
+func TestVecIsFinite(t *testing.T) {
+	if !V(1, 2, 3).IsFinite() {
+		t.Error("finite vector reported non-finite")
+	}
+	if V(math.NaN(), 0, 0).IsFinite() {
+		t.Error("NaN vector reported finite")
+	}
+	if V(0, math.Inf(1), 0).IsFinite() {
+		t.Error("Inf vector reported finite")
+	}
+}
+
+func TestVecTriangleInequality(t *testing.T) {
+	f := func(ax, ay, az, bx, by, bz float64) bool {
+		a, b := V(ax, ay, az), V(bx, by, bz)
+		if !a.IsFinite() || !b.IsFinite() {
+			return true
+		}
+		sum := a.Norm() + b.Norm()
+		if math.IsInf(sum, 0) {
+			return true
+		}
+		return a.Add(b).Norm() <= sum*(1+1e-12)+1e-300
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVecString(t *testing.T) {
+	if got := V(1.234, -5.678, 9).String(); got != "(1.23, -5.68, 9.00)" {
+		t.Errorf("String = %q", got)
+	}
+}

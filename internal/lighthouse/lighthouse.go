@@ -1,0 +1,156 @@
+// Package lighthouse simulates BitCraze's Lighthouse positioning system —
+// the SteamVR-style infrared sweep localization the paper's §IV names as
+// future work: "comparable precision, while requiring less anchors and
+// being cheaper" than the UWB Loco Positioning System, and free of 2.4 GHz
+// self-interference (the sweeps are optical).
+//
+// Each base station sweeps laser planes across the volume; the deck on the
+// UAV converts sweep timings into an azimuth and an elevation angle toward
+// each visible base station. Two base stations suffice for 3-D positioning.
+package lighthouse
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/geom"
+	"repro/internal/simrand"
+)
+
+// BaseStation is one sweep emitter, typically mounted high in opposite
+// corners of the room.
+type BaseStation struct {
+	// ID identifies the station (channel 1/2 on real hardware).
+	ID int
+	// Pos is the surveyed emitter position.
+	Pos geom.Vec3
+}
+
+// MinBaseStations is the minimum constellation for 3-D positioning.
+const MinBaseStations = 2
+
+// Config tunes the optical error model.
+type Config struct {
+	// AngleNoiseRad is the white noise of one sweep-angle measurement;
+	// real Lighthouse decks resolve well under a milliradian.
+	AngleNoiseRad float64
+	// StationBiasRad spreads a static per-station pointing bias
+	// (imperfect mounting calibration).
+	StationBiasRad float64
+	// MaxRangeM bounds the usable optical range (~6 m for V2 stations).
+	MaxRangeM float64
+	// OcclusionProbability is the chance a sweep is missed (rotor blades,
+	// body shadowing).
+	OcclusionProbability float64
+	// Seed derives the per-station bias draws.
+	Seed uint64
+}
+
+// DefaultConfig returns an error model matched to Lighthouse V2 hardware.
+func DefaultConfig() Config {
+	return Config{
+		AngleNoiseRad:        0.0008,
+		StationBiasRad:       0.0012,
+		MaxRangeM:            6,
+		OcclusionProbability: 0.04,
+		Seed:                 1,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.AngleNoiseRad < 0 || c.StationBiasRad < 0 {
+		return fmt.Errorf("lighthouse: noise parameters must be non-negative")
+	}
+	if c.MaxRangeM <= 0 {
+		return fmt.Errorf("lighthouse: max range must be positive")
+	}
+	if c.OcclusionProbability < 0 || c.OcclusionProbability > 1 {
+		return fmt.Errorf("lighthouse: occlusion probability %g outside [0, 1]", c.OcclusionProbability)
+	}
+	return nil
+}
+
+// Measurement is one decoded pair of sweep angles toward a base station,
+// expressed in the world frame: azimuth = atan2(Δy, Δx) of the
+// station→tag direction, elevation = atan2(Δz, horizontal distance).
+type Measurement struct {
+	StationID int
+	Station   geom.Vec3
+	// AzimuthRad and ElevationRad are the measured angles.
+	AzimuthRad, ElevationRad float64
+}
+
+// System is a deployed base-station constellation.
+type System struct {
+	stations []BaseStation
+	cfg      Config
+	azBias   []float64
+	elBias   []float64
+}
+
+// New deploys base stations. At least MinBaseStations are required.
+func New(stations []BaseStation, cfg Config) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(stations) < MinBaseStations {
+		return nil, fmt.Errorf("lighthouse: need ≥%d base stations, got %d", MinBaseStations, len(stations))
+	}
+	seen := map[int]bool{}
+	for _, s := range stations {
+		if seen[s.ID] {
+			return nil, fmt.Errorf("lighthouse: duplicate station ID %d", s.ID)
+		}
+		seen[s.ID] = true
+	}
+	sys := &System{
+		stations: append([]BaseStation(nil), stations...),
+		cfg:      cfg,
+		azBias:   make([]float64, len(stations)),
+		elBias:   make([]float64, len(stations)),
+	}
+	rng := simrand.New(cfg.Seed).Derive("lighthouse-bias")
+	for i := range sys.azBias {
+		sys.azBias[i] = rng.Gauss(0, cfg.StationBiasRad)
+		sys.elBias[i] = rng.Gauss(0, cfg.StationBiasRad)
+	}
+	return sys, nil
+}
+
+// CeilingPair deploys the standard two-station setup: opposite upper
+// corners of the volume, the usual Crazyflie Lighthouse arrangement.
+func CeilingPair(volume geom.Cuboid, cfg Config) (*System, error) {
+	c := volume.Corners()
+	// Corners 4 and 7 are (min,min,max) and (max,max,max): the diagonal
+	// ceiling pair.
+	return New([]BaseStation{
+		{ID: 1, Pos: c[4]},
+		{ID: 2, Pos: c[7]},
+	}, cfg)
+}
+
+// Stations returns the deployed base stations.
+func (s *System) Stations() []BaseStation { return s.stations }
+
+// Measure returns the sweep-angle measurements visible from pos.
+func (s *System) Measure(pos geom.Vec3, rng *simrand.Source) []Measurement {
+	out := make([]Measurement, 0, len(s.stations))
+	for i, st := range s.stations {
+		d := pos.Sub(st.Pos)
+		if d.Norm() > s.cfg.MaxRangeM {
+			continue
+		}
+		if rng.Bool(s.cfg.OcclusionProbability) {
+			continue
+		}
+		az := math.Atan2(d.Y, d.X) + s.azBias[i] + rng.Gauss(0, s.cfg.AngleNoiseRad)
+		el := math.Atan2(d.Z, math.Hypot(d.X, d.Y)) + s.elBias[i] + rng.Gauss(0, s.cfg.AngleNoiseRad)
+		out = append(out, Measurement{
+			StationID:  st.ID,
+			Station:    st.Pos,
+			AzimuthRad: az, ElevationRad: el,
+		})
+	}
+	return out
+}

@@ -1,0 +1,164 @@
+package lighthouse
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/ekf"
+	"repro/internal/geom"
+	"repro/internal/simrand"
+)
+
+func TestConfigValidation(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	c := DefaultConfig()
+	c.AngleNoiseRad = -1
+	if err := c.Validate(); err == nil {
+		t.Error("negative noise accepted")
+	}
+	c = DefaultConfig()
+	c.MaxRangeM = 0
+	if err := c.Validate(); err == nil {
+		t.Error("zero range accepted")
+	}
+	c = DefaultConfig()
+	c.OcclusionProbability = 2
+	if err := c.Validate(); err == nil {
+		t.Error("occlusion probability > 1 accepted")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	if _, err := New([]BaseStation{{ID: 1}}, cfg); err == nil {
+		t.Error("single station accepted")
+	}
+	if _, err := New([]BaseStation{{ID: 1}, {ID: 1}}, cfg); err == nil {
+		t.Error("duplicate IDs accepted")
+	}
+}
+
+func TestCeilingPair(t *testing.T) {
+	sys, err := CeilingPair(geom.PaperScanVolume(), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	stations := sys.Stations()
+	if len(stations) != 2 {
+		t.Fatalf("stations = %d", len(stations))
+	}
+	for _, s := range stations {
+		if s.Pos.Z != 2.10 {
+			t.Errorf("station %d not at ceiling height: %v", s.ID, s.Pos)
+		}
+	}
+	if stations[0].Pos.Dist2D(stations[1].Pos) < 3 {
+		t.Error("stations not diagonal")
+	}
+}
+
+func TestMeasureAnglesNearTruth(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.OcclusionProbability = 0
+	sys, err := CeilingPair(geom.PaperScanVolume(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := simrand.New(2)
+	pos := geom.V(1.8, 1.6, 1.0)
+	ms := sys.Measure(pos, rng)
+	if len(ms) != 2 {
+		t.Fatalf("measurements = %d, want 2", len(ms))
+	}
+	for _, m := range ms {
+		d := pos.Sub(m.Station)
+		wantAz := math.Atan2(d.Y, d.X)
+		wantEl := math.Atan2(d.Z, math.Hypot(d.X, d.Y))
+		if math.Abs(m.AzimuthRad-wantAz) > 0.01 {
+			t.Errorf("station %d azimuth error %v rad", m.StationID, m.AzimuthRad-wantAz)
+		}
+		if math.Abs(m.ElevationRad-wantEl) > 0.01 {
+			t.Errorf("station %d elevation error %v rad", m.StationID, m.ElevationRad-wantEl)
+		}
+	}
+}
+
+func TestMeasureRangeLimit(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.OcclusionProbability = 0
+	sys, _ := New([]BaseStation{
+		{ID: 1, Pos: geom.V(0, 0, 2)},
+		{ID: 2, Pos: geom.V(100, 100, 2)},
+	}, cfg)
+	rng := simrand.New(3)
+	ms := sys.Measure(geom.V(1, 1, 1), rng)
+	if len(ms) != 1 || ms[0].StationID != 1 {
+		t.Errorf("measurements = %+v, want only station 1", ms)
+	}
+}
+
+func TestOcclusionDropsSweeps(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.OcclusionProbability = 1
+	sys, _ := CeilingPair(geom.PaperScanVolume(), cfg)
+	rng := simrand.New(4)
+	if ms := sys.Measure(geom.V(1, 1, 1), rng); len(ms) != 0 {
+		t.Errorf("fully occluded system returned %d measurements", len(ms))
+	}
+}
+
+// TestEKFBearingHover demonstrates the paper's §IV claim: two Lighthouse
+// base stations give hovering accuracy comparable to the 8-anchor UWB setup
+// (decimetre or better).
+func TestEKFBearingHover(t *testing.T) {
+	cfg := DefaultConfig()
+	sys, err := CeilingPair(geom.PaperScanVolume(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := simrand.New(5)
+	truth := geom.V(1.87, 1.60, 1.0)
+	f, err := ekf.New(truth.Add(geom.V(0.4, -0.3, 0.2)), ekf.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	imu := rng.Derive("imu")
+	meas := rng.Derive("sweep")
+	var sumErr float64
+	n := 0
+	for k := 0; k < 300; k++ {
+		accel := geom.V(imu.Gauss(0, 0.05), imu.Gauss(0, 0.05), imu.Gauss(0, 0.08))
+		if err := f.Predict(accel, 0.1); err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range sys.Measure(truth, meas) {
+			if err := f.UpdateBearing(m.Station, m.AzimuthRad, m.ElevationRad, 0.002); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if k >= 100 {
+			sumErr += f.Position().Dist(truth)
+			n++
+		}
+	}
+	mean := sumErr / float64(n)
+	if mean > 0.10 {
+		t.Errorf("Lighthouse hover error = %.3f m, want ≤ 0.10 (comparable to UWB per §IV)", mean)
+	}
+	if mean == 0 {
+		t.Error("zero error is unrealistically perfect")
+	}
+}
+
+func TestEKFBearingValidation(t *testing.T) {
+	f, _ := ekf.New(geom.V(1, 1, 1), ekf.DefaultConfig())
+	if err := f.UpdateBearing(geom.V(0, 0, 2), 0, 0, 0); err == nil {
+		t.Error("zero sigma accepted")
+	}
+	// Tag directly below the station: azimuth undefined.
+	if err := f.UpdateBearing(geom.V(1, 1, 2), 0, 0, 0.01); err == nil {
+		t.Error("degenerate geometry accepted")
+	}
+}

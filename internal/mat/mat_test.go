@@ -1,0 +1,360 @@
+package mat
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/simrand"
+)
+
+func matAlmostEq(t *testing.T, got, want *Matrix, tol float64) {
+	t.Helper()
+	if got.Rows() != want.Rows() || got.Cols() != want.Cols() {
+		t.Fatalf("shape %dx%d, want %dx%d", got.Rows(), got.Cols(), want.Rows(), want.Cols())
+	}
+	for i := 0; i < got.Rows(); i++ {
+		for j := 0; j < got.Cols(); j++ {
+			if math.Abs(got.At(i, j)-want.At(i, j)) > tol {
+				t.Fatalf("element (%d,%d) = %v, want %v\ngot:\n%v\nwant:\n%v", i, j, got.At(i, j), want.At(i, j), got, want)
+			}
+		}
+	}
+}
+
+func TestNewAndAccessors(t *testing.T) {
+	m := New(2, 3)
+	if m.Rows() != 2 || m.Cols() != 3 {
+		t.Fatalf("shape %dx%d", m.Rows(), m.Cols())
+	}
+	m.Set(1, 2, 5)
+	if m.At(1, 2) != 5 {
+		t.Errorf("At = %v", m.At(1, 2))
+	}
+	m.Add(1, 2, 2)
+	if m.At(1, 2) != 7 {
+		t.Errorf("after Add At = %v", m.At(1, 2))
+	}
+}
+
+func TestNewPanicsOnBadShape(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New(0, 3) did not panic")
+		}
+	}()
+	New(0, 3)
+}
+
+func TestIndexPanics(t *testing.T) {
+	m := New(2, 2)
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range At did not panic")
+		}
+	}()
+	m.At(2, 0)
+}
+
+func TestFromRows(t *testing.T) {
+	m, err := FromRows([][]float64{{1, 2}, {3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.At(1, 0) != 3 {
+		t.Errorf("At(1,0) = %v", m.At(1, 0))
+	}
+	if _, err := FromRows([][]float64{{1, 2}, {3}}); err == nil {
+		t.Error("ragged input accepted")
+	}
+	if _, err := FromRows(nil); err == nil {
+		t.Error("empty input accepted")
+	}
+}
+
+func TestIdentityAndDiag(t *testing.T) {
+	i3 := Identity(3)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if i3.At(i, j) != want {
+				t.Errorf("I(%d,%d) = %v", i, j, i3.At(i, j))
+			}
+		}
+	}
+	d := Diag(2, 5)
+	if d.At(0, 0) != 2 || d.At(1, 1) != 5 || d.At(0, 1) != 0 {
+		t.Error("Diag wrong")
+	}
+}
+
+func TestMul(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 2}, {3, 4}})
+	b, _ := FromRows([][]float64{{5, 6}, {7, 8}})
+	want, _ := FromRows([][]float64{{19, 22}, {43, 50}})
+	matAlmostEq(t, a.Mul(b), want, 1e-12)
+}
+
+func TestMulShapePanic(t *testing.T) {
+	a := New(2, 3)
+	b := New(2, 3)
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched Mul did not panic")
+		}
+	}()
+	a.Mul(b)
+}
+
+func TestMulIdentity(t *testing.T) {
+	rng := simrand.New(1)
+	a := New(4, 4)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			a.Set(i, j, rng.Gauss(0, 1))
+		}
+	}
+	matAlmostEq(t, a.Mul(Identity(4)), a, 1e-12)
+	matAlmostEq(t, Identity(4).Mul(a), a, 1e-12)
+}
+
+func TestMulVec(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	got := a.MulVec([]float64{1, 1, 1})
+	if got[0] != 6 || got[1] != 15 {
+		t.Errorf("MulVec = %v", got)
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	at := a.T()
+	if at.Rows() != 3 || at.Cols() != 2 {
+		t.Fatalf("T shape %dx%d", at.Rows(), at.Cols())
+	}
+	if at.At(2, 1) != 6 || at.At(0, 1) != 4 {
+		t.Error("T values wrong")
+	}
+	matAlmostEq(t, at.T(), a, 0)
+}
+
+func TestPlusMinusScale(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 2}, {3, 4}})
+	b, _ := FromRows([][]float64{{4, 3}, {2, 1}})
+	sum, _ := FromRows([][]float64{{5, 5}, {5, 5}})
+	matAlmostEq(t, a.Plus(b), sum, 0)
+	matAlmostEq(t, a.Plus(b).Minus(b), a, 0)
+	matAlmostEq(t, a.Scale(2), a.Plus(a), 0)
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	a := New(2, 2)
+	c := a.Clone()
+	c.Set(0, 0, 9)
+	if a.At(0, 0) != 0 {
+		t.Error("Clone shares storage")
+	}
+}
+
+func TestRowIsCopy(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 2}, {3, 4}})
+	r := a.Row(0)
+	r[0] = 100
+	if a.At(0, 0) != 1 {
+		t.Error("Row shares storage")
+	}
+}
+
+func TestSolve(t *testing.T) {
+	a, _ := FromRows([][]float64{
+		{4, 1, 0},
+		{1, 3, -1},
+		{0, -1, 2},
+	})
+	want := []float64{1, -2, 3}
+	b := a.MulVec(want)
+	x, err := Solve(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if math.Abs(x[i]-want[i]) > 1e-10 {
+			t.Errorf("x[%d] = %v, want %v", i, x[i], want[i])
+		}
+	}
+}
+
+func TestSolveNeedsPivoting(t *testing.T) {
+	// Zero in the top-left corner forces a row swap.
+	a, _ := FromRows([][]float64{
+		{0, 1},
+		{1, 0},
+	})
+	x, err := Solve(a, []float64{3, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-7) > 1e-12 || math.Abs(x[1]-3) > 1e-12 {
+		t.Errorf("x = %v", x)
+	}
+}
+
+func TestSolveSingular(t *testing.T) {
+	a, _ := FromRows([][]float64{
+		{1, 2},
+		{2, 4},
+	})
+	if _, err := Solve(a, []float64{1, 2}); !errors.Is(err, ErrSingular) {
+		t.Errorf("singular solve error = %v", err)
+	}
+}
+
+func TestSolveRandomSystems(t *testing.T) {
+	rng := simrand.New(44)
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(6)
+		a := New(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				a.Set(i, j, rng.Gauss(0, 1))
+			}
+			a.Add(i, i, float64(n)) // diagonally dominant ⇒ well conditioned
+		}
+		want := make([]float64, n)
+		for i := range want {
+			want[i] = rng.Gauss(0, 3)
+		}
+		x, err := Solve(a, a.MulVec(want))
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for i := range want {
+			if math.Abs(x[i]-want[i]) > 1e-8 {
+				t.Fatalf("trial %d: x[%d] = %v, want %v", trial, i, x[i], want[i])
+			}
+		}
+	}
+}
+
+func TestInverse(t *testing.T) {
+	a, _ := FromRows([][]float64{
+		{2, 1},
+		{1, 3},
+	})
+	inv, err := Inverse(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	matAlmostEq(t, a.Mul(inv), Identity(2), 1e-12)
+	matAlmostEq(t, inv.Mul(a), Identity(2), 1e-12)
+}
+
+func TestDet(t *testing.T) {
+	a, _ := FromRows([][]float64{
+		{2, 0},
+		{0, 3},
+	})
+	f, err := Factor(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(f.Det()-6) > 1e-12 {
+		t.Errorf("Det = %v, want 6", f.Det())
+	}
+	// Row swap flips the sign.
+	b, _ := FromRows([][]float64{
+		{0, 2},
+		{3, 0},
+	})
+	fb, err := Factor(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fb.Det()+6) > 1e-12 {
+		t.Errorf("Det = %v, want -6", fb.Det())
+	}
+}
+
+func TestCholesky(t *testing.T) {
+	a, _ := FromRows([][]float64{
+		{4, 2, 0},
+		{2, 5, 2},
+		{0, 2, 5},
+	})
+	l, err := Cholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	matAlmostEq(t, l.Mul(l.T()), a, 1e-12)
+	// Strict upper triangle must be zero.
+	for i := 0; i < 3; i++ {
+		for j := i + 1; j < 3; j++ {
+			if l.At(i, j) != 0 {
+				t.Errorf("L(%d,%d) = %v, want 0", i, j, l.At(i, j))
+			}
+		}
+	}
+}
+
+func TestCholeskyNotPD(t *testing.T) {
+	a, _ := FromRows([][]float64{
+		{1, 2},
+		{2, 1},
+	})
+	if _, err := Cholesky(a); !errors.Is(err, ErrSingular) {
+		t.Errorf("non-PD Cholesky error = %v", err)
+	}
+}
+
+func TestSymmetrize(t *testing.T) {
+	a, _ := FromRows([][]float64{
+		{1, 2},
+		{4, 3},
+	})
+	a.Symmetrize()
+	if a.At(0, 1) != 3 || a.At(1, 0) != 3 {
+		t.Errorf("Symmetrize: off-diagonals %v, %v", a.At(0, 1), a.At(1, 0))
+	}
+}
+
+func TestMulAssociativityProperty(t *testing.T) {
+	rng := simrand.New(5)
+	f := func(seed uint8) bool {
+		r := rng.DeriveN("assoc", int(seed))
+		a, b, c := randomMat(r, 3, 4), randomMat(r, 4, 2), randomMat(r, 2, 5)
+		left := a.Mul(b).Mul(c)
+		right := a.Mul(b.Mul(c))
+		for i := 0; i < 3; i++ {
+			for j := 0; j < 5; j++ {
+				if math.Abs(left.At(i, j)-right.At(i, j)) > 1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func randomMat(rng *simrand.Source, r, c int) *Matrix {
+	m := New(r, c)
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			m.Set(i, j, rng.Gauss(0, 2))
+		}
+	}
+	return m
+}
+
+func TestStringRendering(t *testing.T) {
+	m, _ := FromRows([][]float64{{1, 2}})
+	if m.String() == "" {
+		t.Error("String returned empty")
+	}
+}

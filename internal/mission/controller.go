@@ -1,0 +1,327 @@
+package mission
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/esp"
+	"repro/internal/floorplan"
+	"repro/internal/geom"
+	"repro/internal/receiver"
+	"repro/internal/sim"
+	"repro/internal/simrand"
+	"repro/internal/spectrum"
+	"repro/internal/uav"
+	"repro/internal/uwb"
+	"repro/internal/wifi"
+)
+
+// ReceiverFactory builds the REM-receiver deck for one UAV sortie,
+// implementing the paper's modular receiver integration (design requirement
+// iii): any technology plugs in by providing a four-instruction driver. The
+// factory receives accessors to the UAV's physical context — its true
+// position and the currently active in-band interferers — which the
+// receiver simulation samples at scan time.
+type ReceiverFactory func(pos func() geom.Vec3, interferers func() []spectrum.Interferer) (receiver.Driver, error)
+
+// Options tune a mission run beyond the flight plan itself.
+type Options struct {
+	// Seed drives every stochastic component of the run.
+	Seed uint64
+	// LocalizationMode selects TWR or TDoA (the paper flies TDoA).
+	LocalizationMode uwb.Mode
+	// DisableMitigation keeps the Crazyradio on during scans — the E8
+	// ablation that shows why the paper shuts it down.
+	DisableMitigation bool
+	// StockFirmware uses the unpatched watchdog timeout, stock TX queue
+	// size and no feedback task; missions fail early, demonstrating why
+	// the paper's firmware changes are necessary.
+	StockFirmware bool
+	// Receiver overrides the REM receiver deck; nil means the paper's
+	// ESP8266 Wi-Fi scanner.
+	Receiver ReceiverFactory
+	// BatteryScale multiplies the UAVs' pack capacity; values below 1
+	// inject mid-sortie battery failures for robustness testing. Zero
+	// means 1 (full capacity).
+	BatteryScale float64
+}
+
+// DefaultOptions returns the paper-faithful configuration.
+func DefaultOptions(seed uint64) Options {
+	return Options{Seed: seed, LocalizationMode: uwb.TDoA}
+}
+
+// SortieReport summarises one UAV's run.
+type SortieReport struct {
+	// UAV is the vehicle label.
+	UAV string
+	// WaypointsVisited counts waypoints at which a scan completed.
+	WaypointsVisited int
+	// WaypointsPlanned is the plan size.
+	WaypointsPlanned int
+	// Samples is the number of location-annotated measurements stored.
+	Samples int
+	// ActiveTime is the sortie duration from take-off to landing (or
+	// failure).
+	ActiveTime time.Duration
+	// BatteryUsedFrac is the fraction of the pack consumed.
+	BatteryUsedFrac float64
+	// DroppedPackets counts CRTP TX-queue losses.
+	DroppedPackets int
+	// Err records a mid-sortie failure (battery, watchdog), if any.
+	Err error
+}
+
+// Report summarises a full mission.
+type Report struct {
+	// Sorties are the per-UAV reports, in flight order.
+	Sorties []SortieReport
+	// TotalTime is the wall-clock (virtual) duration of the whole mission.
+	TotalTime time.Duration
+}
+
+// Controller is the base station: it owns the environment, the Wi-Fi world,
+// the UWB constellation and the plan, and flies the fleet.
+type Controller struct {
+	plan *Plan
+	opts Options
+	env  *floorplan.Environment
+	net  *wifi.Network
+	lps  *uwb.Constellation
+	scan wifi.ScannerConfig
+}
+
+// NewController assembles a mission against an explicit world. Use
+// NewPaperController for the paper's validation setup.
+func NewController(plan *Plan, env *floorplan.Environment, net *wifi.Network, scan wifi.ScannerConfig, opts Options) (*Controller, error) {
+	if plan == nil || env == nil || net == nil {
+		return nil, errors.New("mission: plan, environment and network are required")
+	}
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	if err := scan.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.LocalizationMode != uwb.TWR && opts.LocalizationMode != uwb.TDoA {
+		return nil, fmt.Errorf("mission: invalid localization mode %d", opts.LocalizationMode)
+	}
+	// Deploy the paper's anchor constellation: one anchor per corner of
+	// the scan volume, then self-calibrate (§III-A).
+	cfg := uwb.DefaultConfig(opts.LocalizationMode)
+	cfg.Seed = opts.Seed
+	lps, err := uwb.CornerConstellation(plan.Volume, cfg)
+	if err != nil {
+		return nil, err
+	}
+	lps.SelfCalibrate()
+	return &Controller{plan: plan, opts: opts, env: env, net: net, lps: lps, scan: scan}, nil
+}
+
+// NewPaperController builds the full §III-A validation world: the Antwerp
+// apartment, its AP population, the two-UAV 72-waypoint plan and the
+// ESP-01-class scanner.
+func NewPaperController(opts Options) (*Controller, error) {
+	plan, err := PaperPlan()
+	if err != nil {
+		return nil, err
+	}
+	env := floorplan.PaperApartment()
+	rng := simrand.New(opts.Seed)
+	aps, err := wifi.GeneratePopulation(env, wifi.DefaultPopulation(), rng.Derive("population"))
+	if err != nil {
+		return nil, err
+	}
+	net, err := wifi.NewNetwork(aps, wifi.DefaultChannelParams(env, opts.Seed^0xA11CE))
+	if err != nil {
+		return nil, err
+	}
+	return NewController(plan, env, net, wifi.DefaultScanner(), opts)
+}
+
+// Plan returns the mission plan.
+func (c *Controller) Plan() *Plan { return c.plan }
+
+// Constellation returns the deployed UWB constellation.
+func (c *Controller) Constellation() *uwb.Constellation { return c.lps }
+
+// Network returns the Wi-Fi world.
+func (c *Controller) Network() *wifi.Network { return c.net }
+
+// Run executes the mission: each UAV in sequence visits its waypoints,
+// scans, and streams results back; the controller parses and stores them.
+// A UAV failing mid-sortie (battery, watchdog) ends that sortie but not the
+// mission — matching the paper's fleet model where UAVs run until their
+// batteries deplete.
+func (c *Controller) Run() (*dataset.Dataset, *Report, error) {
+	engine := sim.NewEngine()
+	data := &dataset.Dataset{}
+	report := &Report{}
+	rootRng := simrand.New(c.opts.Seed)
+
+	for _, up := range c.plan.UAVs {
+		sortie := c.flySortie(engine, up, data, rootRng)
+		report.Sorties = append(report.Sorties, sortie)
+	}
+	report.TotalTime = engine.Now()
+	return data, report, nil
+}
+
+// flySortie runs one UAV through its waypoint list.
+func (c *Controller) flySortie(engine *sim.Engine, up UAVPlan, data *dataset.Dataset, rootRng *simrand.Source) SortieReport {
+	sortie := SortieReport{UAV: up.Name, WaypointsPlanned: len(up.Waypoints)}
+	start := engine.Now()
+
+	cfg := uav.DefaultConfig(up.Name, up.RadioChannel, c.opts.Seed)
+	if c.opts.BatteryScale > 0 {
+		cfg.BatteryCapacityJ *= c.opts.BatteryScale
+	}
+	if c.opts.DisableMitigation {
+		cfg.KeepRadioOnDuringScan = true
+	}
+	if c.opts.StockFirmware {
+		cfg.WatchdogShutdown = uav.DefaultWatchdogShutdown
+		cfg.TxQueueSize = 16
+		cfg.FeedbackTask = false
+	}
+
+	// The receiver deck's scan binding samples the world at the UAV's
+	// true position under the currently active interferers. The closures
+	// refer to the Crazyflie, which is created right after the driver.
+	var cf *uav.Crazyflie
+	factory := c.opts.Receiver
+	if factory == nil {
+		factory = c.espFactory(up.Name, rootRng)
+	}
+	drv, err := factory(
+		func() geom.Vec3 { return cf.TruePos() },
+		func() []spectrum.Interferer {
+			var itfs []spectrum.Interferer
+			if itf, active := cf.Link().Interferer(); active {
+				itfs = append(itfs, itf)
+			}
+			return itfs
+		},
+	)
+	if err != nil {
+		sortie.Err = err
+		return sortie
+	}
+	if err := drv.Init(); err != nil {
+		sortie.Err = err
+		return sortie
+	}
+
+	cf, err = uav.New(cfg, engine, drv, c.lps, up.Start)
+	if err != nil {
+		sortie.Err = err
+		return sortie
+	}
+
+	fail := func(err error) SortieReport {
+		sortie.Err = err
+		sortie.ActiveTime = engine.Now() - start
+		sortie.BatteryUsedFrac = 1 - cf.Battery().Fraction()
+		sortie.DroppedPackets = cf.Link().DroppedTx()
+		return sortie
+	}
+
+	if err := cf.TakeOff(c.plan.TakeoffAltitude); err != nil {
+		return fail(err)
+	}
+
+	for wpIdx, wp := range up.Waypoints {
+		// ii) move to the waypoint.
+		if err := cf.GoTo(wp, c.plan.LegTime); err != nil {
+			return fail(err)
+		}
+		// iii–vi) scan with the radio down, then fetch the results.
+		ms, scanPos, err := cf.Scan()
+		if err != nil {
+			return fail(err)
+		}
+		_ = ms // results travel via CRTP; the controller reads the link
+		// Fill the remainder of the scan stop budget, plus the radio
+		// restart / result transfer turnaround.
+		rest := c.plan.ScanStop - scanDurationOf(cf) + c.plan.ResultLatency
+		if rest > 0 {
+			if err := cf.Hover(rest); err != nil {
+				return fail(err)
+			}
+		}
+		// Parse and store the streamed results.
+		for _, pkt := range cf.Link().Receive() {
+			m, err := uav.DecodeMeasurement(pkt)
+			if err != nil {
+				continue // non-result traffic
+			}
+			truth := cf.TruePos()
+			data.Add(dataset.Sample{
+				UAV:      up.Name,
+				Waypoint: wpIdx,
+				Time:     engine.Now(),
+				X:        scanPos.X, Y: scanPos.Y, Z: scanPos.Z,
+				TrueX: truth.X, TrueY: truth.Y, TrueZ: truth.Z,
+				MAC:     m.Key,
+				SSID:    m.Name,
+				RSSI:    m.RSSI,
+				Channel: m.Channel,
+			})
+			sortie.Samples++
+		}
+		sortie.WaypointsVisited++
+	}
+
+	if err := cf.Land(); err != nil {
+		return fail(err)
+	}
+	sortie.ActiveTime = engine.Now() - start
+	sortie.BatteryUsedFrac = 1 - cf.Battery().Fraction()
+	sortie.DroppedPackets = cf.Link().DroppedTx()
+	return sortie
+}
+
+// espFactory builds the paper's default receiver: the ESP-01 Wi-Fi scanner
+// deck behind its AT-command driver.
+func (c *Controller) espFactory(uavName string, rootRng *simrand.Source) ReceiverFactory {
+	return func(pos func() geom.Vec3, interferers func() []spectrum.Interferer) (receiver.Driver, error) {
+		scanner, err := wifi.NewScanner(c.net, c.scan)
+		if err != nil {
+			return nil, err
+		}
+		scanRng := rootRng.Derive("scan-" + uavName)
+		mod, err := esp.NewModule(func() []wifi.Observation {
+			return scanner.Scan(pos(), interferers(), scanRng)
+		})
+		if err != nil {
+			return nil, err
+		}
+		return esp.NewDriver(mod, c.scan.ScanDuration())
+	}
+}
+
+func scanDurationOf(cf *uav.Crazyflie) time.Duration {
+	if td, ok := cf.Driver().(interface{ ScanDuration() time.Duration }); ok {
+		return td.ScanDuration()
+	}
+	return 2 * time.Second
+}
+
+// LocalizationErrorStats summarises annotation accuracy over a dataset:
+// the distance between annotated (EKF) and true positions.
+func LocalizationErrorStats(d *dataset.Dataset) (mean, max float64) {
+	if d.Len() == 0 {
+		return 0, 0
+	}
+	for _, s := range d.Samples {
+		e := geom.V(s.X-s.TrueX, s.Y-s.TrueY, s.Z-s.TrueZ).Norm()
+		mean += e
+		if e > max {
+			max = e
+		}
+	}
+	mean /= float64(d.Len())
+	return mean, max
+}

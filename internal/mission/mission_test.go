@@ -1,0 +1,463 @@
+package mission
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/floorplan"
+	"repro/internal/geom"
+	"repro/internal/simrand"
+	"repro/internal/uwb"
+	"repro/internal/wifi"
+)
+
+// paperRun executes the calibrated paper mission once and caches the result
+// for the statistics tests.
+var paperData *dataset.Dataset
+var paperReport *Report
+
+func runPaper(t *testing.T) (*dataset.Dataset, *Report) {
+	t.Helper()
+	if paperData != nil {
+		return paperData, paperReport
+	}
+	c, err := NewPaperController(DefaultOptions(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, rep, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	paperData, paperReport = data, rep
+	return data, rep
+}
+
+func TestPaperPlanShape(t *testing.T) {
+	p, err := PaperPlan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.TotalWaypoints() != 72 {
+		t.Errorf("waypoints = %d, want 72", p.TotalWaypoints())
+	}
+	if len(p.UAVs) != 2 || len(p.UAVs[0].Waypoints) != 36 || len(p.UAVs[1].Waypoints) != 36 {
+		t.Error("waypoints not split 36/36 across two UAVs")
+	}
+	if p.LegTime != 4*time.Second || p.ScanStop != 3*time.Second {
+		t.Errorf("leg/scan budgets = %v/%v, want 4 s / 3 s", p.LegTime, p.ScanStop)
+	}
+	// UAV A covers the low-y (core-side) half, B the high-y half.
+	midY := p.Volume.Center().Y
+	for _, wp := range p.UAVs[0].Waypoints {
+		if wp.Y >= midY {
+			t.Errorf("UAV A waypoint %v in B territory", wp)
+		}
+	}
+	for _, wp := range p.UAVs[1].Waypoints {
+		if wp.Y < midY {
+			t.Errorf("UAV B waypoint %v in A territory", wp)
+		}
+	}
+}
+
+func TestPlanValidation(t *testing.T) {
+	good, _ := PaperPlan()
+
+	p := *good
+	p.UAVs = nil
+	if err := p.Validate(); err == nil {
+		t.Error("no UAVs accepted")
+	}
+
+	p = *good
+	p.LegTime = 0
+	if err := p.Validate(); err == nil {
+		t.Error("zero leg time accepted")
+	}
+
+	p = *good
+	p.ResultLatency = -time.Second
+	if err := p.Validate(); err == nil {
+		t.Error("negative latency accepted")
+	}
+
+	p = *good
+	p.UAVs = []UAVPlan{{Name: "A", Waypoints: []geom.Vec3{geom.V(99, 99, 99)}}}
+	if err := p.Validate(); err == nil {
+		t.Error("out-of-volume waypoint accepted")
+	}
+
+	p = *good
+	p.UAVs = []UAVPlan{
+		{Name: "A", Waypoints: good.UAVs[0].Waypoints},
+		{Name: "A", Waypoints: good.UAVs[1].Waypoints},
+	}
+	if err := p.Validate(); err == nil {
+		t.Error("duplicate UAV names accepted")
+	}
+
+	p = *good
+	p.UAVs = []UAVPlan{{Name: "", Waypoints: good.UAVs[0].Waypoints}}
+	if err := p.Validate(); err == nil {
+		t.Error("empty UAV name accepted")
+	}
+}
+
+func TestSortWaypointsGreedy(t *testing.T) {
+	pts := []geom.Vec3{geom.V(5, 0, 0), geom.V(1, 0, 0), geom.V(3, 0, 0)}
+	got := SortWaypointsGreedy(geom.V(0, 0, 0), pts)
+	want := []geom.Vec3{geom.V(1, 0, 0), geom.V(3, 0, 0), geom.V(5, 0, 0)}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("greedy order = %v", got)
+		}
+	}
+}
+
+func TestMissionCompletesAllWaypoints(t *testing.T) {
+	_, rep := runPaper(t)
+	if len(rep.Sorties) != 2 {
+		t.Fatalf("sorties = %d", len(rep.Sorties))
+	}
+	for _, s := range rep.Sorties {
+		if s.Err != nil {
+			t.Errorf("sortie %s failed: %v", s.UAV, s.Err)
+		}
+		if s.WaypointsVisited != 36 {
+			t.Errorf("sortie %s visited %d/36 waypoints", s.UAV, s.WaypointsVisited)
+		}
+		if s.DroppedPackets != 0 {
+			t.Errorf("sortie %s dropped %d packets with the enlarged queue", s.UAV, s.DroppedPackets)
+		}
+	}
+}
+
+func TestMissionSortieTimeMatchesPaper(t *testing.T) {
+	// Paper: UAV A active 5 min 3 s, UAV B 5 min. Require the right scale.
+	_, rep := runPaper(t)
+	for _, s := range rep.Sorties {
+		if s.ActiveTime < 4*time.Minute || s.ActiveTime > 6*time.Minute {
+			t.Errorf("sortie %s active %v, want ≈5 min", s.UAV, s.ActiveTime)
+		}
+	}
+}
+
+func TestMissionDatasetStatisticsMatchPaper(t *testing.T) {
+	data, _ := runPaper(t)
+	st := data.Stats()
+	// Paper §III-A: 2696 samples (A=1495, B=1201), 73 MACs, 49 SSIDs,
+	// mean RSS ≈ −73 dBm. Require the same scale and ordering.
+	if st.Total < 2100 || st.Total > 3300 {
+		t.Errorf("total samples = %d, want ≈2696", st.Total)
+	}
+	if st.PerUAV["A"] <= st.PerUAV["B"] {
+		t.Errorf("UAV A (%d) must out-collect UAV B (%d) per Figure 6", st.PerUAV["A"], st.PerUAV["B"])
+	}
+	if st.DistinctMACs < 55 || st.DistinctMACs > 90 {
+		t.Errorf("distinct MACs = %d, want ≈73", st.DistinctMACs)
+	}
+	if st.DistinctSSIDs < 33 || st.DistinctSSIDs > 60 {
+		t.Errorf("distinct SSIDs = %d, want ≈49", st.DistinctSSIDs)
+	}
+	if st.DistinctSSIDs >= st.DistinctMACs {
+		t.Error("SSIDs must be shared across MACs (49 < 73 in the paper)")
+	}
+	if st.MeanRSSI < -78 || st.MeanRSSI > -68 {
+		t.Errorf("mean RSSI = %.1f dBm, want ≈ −73", st.MeanRSSI)
+	}
+}
+
+func TestMissionLocalizationAccuracy(t *testing.T) {
+	data, _ := runPaper(t)
+	mean, max := LocalizationErrorStats(data)
+	// Decimetre-level annotation accuracy (§II-B).
+	if mean > 0.20 {
+		t.Errorf("mean localization error = %.3f m, want ≲ 0.1 m", mean)
+	}
+	if max > 0.8 {
+		t.Errorf("max localization error = %.3f m", max)
+	}
+	if mean == 0 {
+		t.Error("zero localization error is unrealistically perfect")
+	}
+}
+
+func TestFigure7HistogramShape(t *testing.T) {
+	// Paper Figure 7: sample counts increase with x and decrease with y
+	// (toward the building core). Check the trend over 0.5 m bins via a
+	// first-vs-last-third comparison, which is robust to bin noise.
+	data, _ := runPaper(t)
+	third := func(bins []dataset.Bin) (lo, hi float64) {
+		n := len(bins) / 3
+		if n == 0 {
+			n = 1
+		}
+		for _, b := range bins[:n] {
+			lo += float64(b.Count)
+		}
+		for _, b := range bins[len(bins)-n:] {
+			hi += float64(b.Count)
+		}
+		return lo, hi
+	}
+	xBins, err := data.Histogram(dataset.AxisX, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loX, hiX := third(xBins)
+	if hiX <= loX {
+		t.Errorf("x histogram not increasing toward the core: first third %v, last third %v", loX, hiX)
+	}
+	yBins, err := data.Histogram(dataset.AxisY, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loY, hiY := third(yBins)
+	if loY <= hiY {
+		t.Errorf("y histogram not decreasing away from the core: first third %v, last third %v", loY, hiY)
+	}
+}
+
+func TestFigure6PerWaypointCounts(t *testing.T) {
+	data, _ := runPaper(t)
+	counts := data.CountPerWaypoint()
+	for _, uavName := range []string{"A", "B"} {
+		per := counts[uavName]
+		if len(per) != 36 {
+			t.Errorf("UAV %s has counts for %d waypoints, want 36", uavName, len(per))
+		}
+		for wp, n := range per {
+			if n < 1 {
+				t.Errorf("UAV %s waypoint %d has no samples", uavName, wp)
+			}
+			if n > 90 {
+				t.Errorf("UAV %s waypoint %d has %d samples, implausibly many", uavName, wp, n)
+			}
+		}
+	}
+}
+
+func TestMitigationAblationReducesDetections(t *testing.T) {
+	// E8: with the radio kept on during scans, interference must cut the
+	// per-scan detection count substantially (Figure 5's lesson).
+	opts := DefaultOptions(1)
+	base, err := NewPaperController(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseData, _, err := base.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	opts.DisableMitigation = true
+	noMit, err := NewPaperController(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noMitData, _, err := noMit.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	withMitigation := baseData.Len()
+	withoutMitigation := noMitData.Len()
+	if float64(withoutMitigation) > 0.8*float64(withMitigation) {
+		t.Errorf("mitigation off: %d samples, on: %d — interference too mild", withoutMitigation, withMitigation)
+	}
+}
+
+func TestStockFirmwareFailsEarly(t *testing.T) {
+	// With the stock watchdog and no feedback task, the first radio-off
+	// scan kills the sortie.
+	opts := DefaultOptions(1)
+	opts.StockFirmware = true
+	c, err := NewPaperController(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, rep, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range rep.Sorties {
+		if s.Err == nil {
+			t.Errorf("sortie %s succeeded on stock firmware; the paper's patches exist because it must not", s.UAV)
+		}
+		if s.WaypointsVisited > 2 {
+			t.Errorf("sortie %s visited %d waypoints on stock firmware", s.UAV, s.WaypointsVisited)
+		}
+	}
+	if data.Len() > 200 {
+		t.Errorf("stock firmware still collected %d samples", data.Len())
+	}
+}
+
+func TestControllerValidation(t *testing.T) {
+	plan, _ := PaperPlan()
+	if _, err := NewController(nil, nil, nil, wifi.DefaultScanner(), DefaultOptions(1)); err == nil {
+		t.Error("nil world accepted")
+	}
+	opts := DefaultOptions(1)
+	opts.LocalizationMode = 0
+	c, err := NewPaperController(opts)
+	if err == nil {
+		t.Error("invalid localization mode accepted")
+	}
+	_ = c
+	_ = plan
+}
+
+func TestTWRModeAlsoWorks(t *testing.T) {
+	opts := DefaultOptions(5)
+	opts.LocalizationMode = uwb.TWR
+	c, err := NewPaperController(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, rep, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range rep.Sorties {
+		if s.Err != nil {
+			t.Errorf("TWR sortie %s failed: %v", s.UAV, s.Err)
+		}
+	}
+	mean, _ := LocalizationErrorStats(data)
+	if math.IsNaN(mean) || mean > 0.25 {
+		t.Errorf("TWR localization error = %v", mean)
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	run := func() *dataset.Dataset {
+		c, err := NewPaperController(DefaultOptions(9))
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, _, err := c.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	a, b := run(), run()
+	if a.Len() != b.Len() {
+		t.Fatalf("runs differ in size: %d vs %d", a.Len(), b.Len())
+	}
+	for i := range a.Samples {
+		if a.Samples[i] != b.Samples[i] {
+			t.Fatalf("runs diverge at sample %d", i)
+		}
+	}
+}
+
+func TestBatteryFailureMidSortie(t *testing.T) {
+	// Halving the pack makes each UAV die partway through its 36
+	// waypoints; the mission must continue to the next UAV and report
+	// partial progress rather than aborting.
+	opts := DefaultOptions(1)
+	opts.BatteryScale = 0.5
+	c, err := NewPaperController(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, rep, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Sorties) != 2 {
+		t.Fatalf("sorties = %d; a failed sortie must not abort the mission", len(rep.Sorties))
+	}
+	for _, s := range rep.Sorties {
+		if s.Err == nil {
+			t.Errorf("sortie %s survived on half a battery", s.UAV)
+		}
+		if s.WaypointsVisited == 0 || s.WaypointsVisited >= 36 {
+			t.Errorf("sortie %s visited %d waypoints, want partial progress", s.UAV, s.WaypointsVisited)
+		}
+		if s.BatteryUsedFrac < 0.95 {
+			t.Errorf("sortie %s used only %.0f%% of the pack before failing", s.UAV, 100*s.BatteryUsedFrac)
+		}
+	}
+	// Partial data was still collected and stored.
+	if data.Len() == 0 {
+		t.Error("no samples despite partial sorties")
+	}
+	full, _ := runPaper(t)
+	if data.Len() >= full.Len() {
+		t.Errorf("half-battery dataset %d not smaller than full %d", data.Len(), full.Len())
+	}
+}
+
+func TestMoreUAVsExtendCoverage(t *testing.T) {
+	// The paper: "the system can be scaled by simply adding sets of
+	// waypoints and parameters". A four-UAV plan with 18 waypoints each
+	// must complete and cover all 72 locations.
+	plan, err := PaperPlan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var all []geom.Vec3
+	for _, u := range plan.UAVs {
+		all = append(all, u.Waypoints...)
+	}
+	quarters, err := geom.SplitRoundRobin(all, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan.UAVs = nil
+	for i, q := range quarters {
+		plan.UAVs = append(plan.UAVs, UAVPlan{
+			Name:         string(rune('A' + i)),
+			RadioChannel: 60 + 10*i,
+			Start:        geom.V(0.6, 0.5, 0),
+			Waypoints:    q,
+		})
+	}
+	if err := plan.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	env := floorplan.PaperApartment()
+	rng := simrand.New(3)
+	aps, err := wifi.GeneratePopulation(env, wifi.DefaultPopulation(), rng.Derive("population"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := wifi.NewNetwork(aps, wifi.DefaultChannelParams(env, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl, err := NewController(plan, env, net, wifi.DefaultScanner(), DefaultOptions(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, rep, err := ctrl.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Sorties) != 4 {
+		t.Fatalf("sorties = %d", len(rep.Sorties))
+	}
+	for _, s := range rep.Sorties {
+		if s.Err != nil {
+			t.Errorf("sortie %s failed: %v", s.UAV, s.Err)
+		}
+		if s.WaypointsVisited != 18 {
+			t.Errorf("sortie %s visited %d/18", s.UAV, s.WaypointsVisited)
+		}
+	}
+	if data.Len() == 0 {
+		t.Fatal("no samples")
+	}
+	// Each UAV's battery load is lighter than in the two-UAV mission.
+	for _, s := range rep.Sorties {
+		if s.BatteryUsedFrac > 0.6 {
+			t.Errorf("sortie %s used %.0f%% battery for half the waypoints", s.UAV, 100*s.BatteryUsedFrac)
+		}
+	}
+}

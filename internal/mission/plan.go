@@ -1,0 +1,157 @@
+// Package mission implements the base-station control software of the paper
+// (the custom Python client of §II-C): it holds the waypoint plan, flies the
+// UAV fleet sequentially, orchestrates radio-off scans, and parses and
+// stores the location-annotated results streamed back over CRTP.
+package mission
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/geom"
+)
+
+// UAVPlan is the per-UAV mission slice: the paper's client is "configured to
+// control multiple UAVs with a matching set of waypoints and parameters such
+// as radio address, starting position, and yaw".
+type UAVPlan struct {
+	// Name labels the UAV.
+	Name string
+	// RadioChannel is the CRTP radio address (channel).
+	RadioChannel int
+	// Start is the ground start position.
+	Start geom.Vec3
+	// YawDeg is the constant yaw held during the sortie.
+	YawDeg float64
+	// Waypoints are the scan locations, in visit order.
+	Waypoints []geom.Vec3
+}
+
+// Plan is a complete REM-generation mission.
+type Plan struct {
+	// Volume is the scan volume.
+	Volume geom.Cuboid
+	// LegTime is the per-leg flight budget (paper: 4 s).
+	LegTime time.Duration
+	// ScanStop is the total stop time per waypoint including the scan
+	// (paper: 3 s).
+	ScanStop time.Duration
+	// ResultLatency models the radio restart, result fetch and
+	// next-command turnaround per waypoint; the paper's sorties run ≈50 s
+	// over the bare flight-plan minimum, which this accounts for.
+	ResultLatency time.Duration
+	// TakeoffAltitude is the initial climb.
+	TakeoffAltitude float64
+	// UAVs are the fleet slices, flown sequentially.
+	UAVs []UAVPlan
+}
+
+// Validate checks the plan.
+func (p *Plan) Validate() error {
+	if p.Volume.Volume() <= 0 {
+		return fmt.Errorf("mission: scan volume is empty")
+	}
+	if p.LegTime <= 0 || p.ScanStop <= 0 {
+		return fmt.Errorf("mission: leg time and scan stop must be positive")
+	}
+	if p.ResultLatency < 0 {
+		return fmt.Errorf("mission: result latency must be non-negative")
+	}
+	if p.TakeoffAltitude <= 0 {
+		return fmt.Errorf("mission: take-off altitude must be positive")
+	}
+	if len(p.UAVs) == 0 {
+		return fmt.Errorf("mission: plan has no UAVs")
+	}
+	names := map[string]bool{}
+	for _, u := range p.UAVs {
+		if u.Name == "" {
+			return fmt.Errorf("mission: UAV with empty name")
+		}
+		if names[u.Name] {
+			return fmt.Errorf("mission: duplicate UAV name %q", u.Name)
+		}
+		names[u.Name] = true
+		if len(u.Waypoints) == 0 {
+			return fmt.Errorf("mission: UAV %q has no waypoints", u.Name)
+		}
+		for i, wp := range u.Waypoints {
+			if !p.Volume.Contains(wp) {
+				return fmt.Errorf("mission: UAV %q waypoint %d (%v) outside the scan volume", u.Name, i, wp)
+			}
+		}
+	}
+	return nil
+}
+
+// TotalWaypoints returns the fleet-wide waypoint count.
+func (p *Plan) TotalWaypoints() int {
+	n := 0
+	for _, u := range p.UAVs {
+		n += len(u.Waypoints)
+	}
+	return n
+}
+
+// PaperPlan reproduces the validation mission of §III-A: 72 waypoints evenly
+// spread over the 3.74 × 3.20 × 2.10 m living-room cuboid, split into two
+// sets of 36 — UAV A covering the low-y half (toward the building core) and
+// UAV B the high-y half (behind the thicker wall segment) — with 4 s legs
+// and 3 s scan stops.
+func PaperPlan() (*Plan, error) {
+	vol := geom.PaperScanVolume()
+	// 4 × 6 × 3 lattice = 72 points; splitting the y axis in half gives
+	// 36 per UAV.
+	points, err := vol.Lattice(4, 6, 3, 0.30)
+	if err != nil {
+		return nil, fmt.Errorf("mission: building paper lattice: %w", err)
+	}
+	midY := vol.Center().Y
+	var a, b []geom.Vec3
+	for _, p := range points {
+		if p.Y < midY {
+			a = append(a, p)
+		} else {
+			b = append(b, p)
+		}
+	}
+	// Keep each half in short-path order (the lattice is already a
+	// lawnmower; filtering preserves its order).
+	if len(a) != len(b) {
+		return nil, fmt.Errorf("mission: uneven split %d/%d", len(a), len(b))
+	}
+	plan := &Plan{
+		Volume:          vol,
+		LegTime:         4 * time.Second,
+		ScanStop:        3 * time.Second,
+		ResultLatency:   1200 * time.Millisecond,
+		TakeoffAltitude: 0.5,
+		UAVs: []UAVPlan{
+			{Name: "A", RadioChannel: 80, Start: geom.V(0.6, 0.5, 0), YawDeg: 0, Waypoints: a},
+			{Name: "B", RadioChannel: 90, Start: geom.V(0.6, 2.7, 0), YawDeg: 0, Waypoints: b},
+		},
+	}
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	return plan, nil
+}
+
+// SortWaypointsGreedy reorders waypoints nearest-neighbour-first from the
+// given start, a cheap TSP heuristic for user-supplied unordered waypoint
+// sets.
+func SortWaypointsGreedy(start geom.Vec3, points []geom.Vec3) []geom.Vec3 {
+	out := make([]geom.Vec3, 0, len(points))
+	remaining := append([]geom.Vec3(nil), points...)
+	cur := start
+	for len(remaining) > 0 {
+		sort.SliceStable(remaining, func(i, j int) bool {
+			return remaining[i].DistSq(cur) < remaining[j].DistSq(cur)
+		})
+		cur = remaining[0]
+		out = append(out, cur)
+		remaining = remaining[1:]
+	}
+	return out
+}

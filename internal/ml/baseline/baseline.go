@@ -1,0 +1,133 @@
+// Package baseline implements the paper's reference estimator: predict the
+// mean RSS per MAC address, ignoring position entirely. Every smarter model
+// in Figure 8 is judged against it (RMSE 4.8107 dBm on the paper's data).
+package baseline
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/ml"
+)
+
+// MeanPerKey predicts the training-set mean of the target for each one-hot
+// key group. Features must contain a one-hot block starting at KeyOffset;
+// rows with no hot entry fall back to the global mean.
+type MeanPerKey struct {
+	// KeyOffset is the index where the one-hot block starts (3 when the
+	// features are x, y, z followed by the MAC one-hot).
+	KeyOffset int
+
+	fitted     bool
+	globalMean float64
+	means      map[int]float64
+}
+
+var (
+	_ ml.Estimator = (*MeanPerKey)(nil)
+	_ ml.Named     = (*MeanPerKey)(nil)
+)
+
+// Name implements ml.Named.
+func (m *MeanPerKey) Name() string { return "baseline (mean per MAC)" }
+
+// Fit implements ml.Estimator.
+func (m *MeanPerKey) Fit(x [][]float64, y []float64) error {
+	if err := ml.ValidateTrainingData(x, y); err != nil {
+		return err
+	}
+	if m.KeyOffset < 0 || m.KeyOffset >= len(x[0]) {
+		return fmt.Errorf("baseline: key offset %d outside feature dim %d", m.KeyOffset, len(x[0]))
+	}
+	sums := map[int]float64{}
+	counts := map[int]int{}
+	var total float64
+	for i, row := range x {
+		key, err := hotIndex(row, m.KeyOffset)
+		if err != nil {
+			return fmt.Errorf("baseline: row %d: %w", i, err)
+		}
+		sums[key] += y[i]
+		counts[key]++
+		total += y[i]
+	}
+	m.means = make(map[int]float64, len(sums))
+	for k, s := range sums {
+		m.means[k] = s / float64(counts[k])
+	}
+	m.globalMean = total / float64(len(y))
+	m.fitted = true
+	return nil
+}
+
+// Predict implements ml.Estimator.
+func (m *MeanPerKey) Predict(x []float64) (float64, error) {
+	if !m.fitted {
+		return 0, ml.ErrNotFitted
+	}
+	key, err := hotIndex(x, m.KeyOffset)
+	if err != nil {
+		return m.globalMean, nil
+	}
+	if mean, ok := m.means[key]; ok {
+		return mean, nil
+	}
+	return m.globalMean, nil
+}
+
+// hotIndex finds the index of the non-zero entry in the one-hot block.
+func hotIndex(row []float64, offset int) (int, error) {
+	if offset >= len(row) {
+		return 0, errors.New("one-hot block missing")
+	}
+	hot := -1
+	for i := offset; i < len(row); i++ {
+		if row[i] != 0 {
+			if hot >= 0 {
+				return 0, errors.New("multiple hot entries in one-hot block")
+			}
+			hot = i - offset
+		}
+	}
+	if hot < 0 {
+		return 0, errors.New("no hot entry in one-hot block")
+	}
+	return hot, nil
+}
+
+// GlobalMean predicts the overall training mean regardless of features; the
+// weakest sensible reference, useful in ablations.
+type GlobalMean struct {
+	fitted bool
+	mean   float64
+}
+
+var (
+	_ ml.Estimator = (*GlobalMean)(nil)
+	_ ml.Named     = (*GlobalMean)(nil)
+)
+
+// Name implements ml.Named.
+func (g *GlobalMean) Name() string { return "global mean" }
+
+// Fit implements ml.Estimator.
+func (g *GlobalMean) Fit(x [][]float64, y []float64) error {
+	if err := ml.ValidateTrainingData(x, y); err != nil {
+		return err
+	}
+	var sum float64
+	for _, v := range y {
+		sum += v
+	}
+	g.mean = sum / float64(len(y))
+	g.fitted = true
+	return nil
+}
+
+// Predict implements ml.Estimator.
+func (g *GlobalMean) Predict(_ []float64) (float64, error) {
+	if !g.fitted {
+		return 0, ml.ErrNotFitted
+	}
+	return g.mean, nil
+}

@@ -1,0 +1,112 @@
+package baseline
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/ml"
+)
+
+// rows builds xyz + 2-way one-hot features.
+func rows() ([][]float64, []float64) {
+	x := [][]float64{
+		{0, 0, 0, 1, 0}, {1, 0, 0, 1, 0}, {2, 0, 0, 1, 0}, // key 0: mean −60
+		{0, 1, 0, 0, 1}, {1, 1, 0, 0, 1}, // key 1: mean −80
+	}
+	y := []float64{-58, -60, -62, -78, -82}
+	return x, y
+}
+
+func TestMeanPerKey(t *testing.T) {
+	x, y := rows()
+	m := &MeanPerKey{KeyOffset: 3}
+	if _, err := m.Predict(x[0]); !errors.Is(err, ml.ErrNotFitted) {
+		t.Errorf("unfitted error = %v", err)
+	}
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.Predict([]float64{9, 9, 9, 1, 0})
+	if err != nil || math.Abs(got+60) > 1e-12 {
+		t.Errorf("key 0 prediction = %v, want −60 (position must be ignored)", got)
+	}
+	got, _ = m.Predict([]float64{0, 0, 0, 0, 1})
+	if math.Abs(got+80) > 1e-12 {
+		t.Errorf("key 1 prediction = %v, want −80", got)
+	}
+}
+
+func TestMeanPerKeyFallsBackToGlobalMean(t *testing.T) {
+	x, y := rows()
+	m := &MeanPerKey{KeyOffset: 3}
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	globalMean := (-58.0 - 60 - 62 - 78 - 82) / 5
+	// No hot entry at all → global mean.
+	got, err := m.Predict([]float64{0, 0, 0, 0, 0})
+	if err != nil || math.Abs(got-globalMean) > 1e-12 {
+		t.Errorf("no-key prediction = %v, want global mean %v", got, globalMean)
+	}
+}
+
+func TestMeanPerKeyValidation(t *testing.T) {
+	x, y := rows()
+	m := &MeanPerKey{KeyOffset: 99}
+	if err := m.Fit(x, y); err == nil {
+		t.Error("offset beyond features accepted")
+	}
+	m = &MeanPerKey{KeyOffset: 3}
+	bad := [][]float64{{0, 0, 0, 1, 1}} // two hot entries
+	if err := m.Fit(bad, []float64{1}); err == nil {
+		t.Error("multi-hot row accepted")
+	}
+	if err := m.Fit(nil, nil); err == nil {
+		t.Error("empty data accepted")
+	}
+	noHot := [][]float64{{0, 0, 0, 0, 0}}
+	if err := m.Fit(noHot, []float64{1}); err == nil {
+		t.Error("no-hot row accepted at fit time")
+	}
+}
+
+func TestMeanPerKeyScaledOneHot(t *testing.T) {
+	// The hot entry need not be 1 — scaled encodings (×3) must still work.
+	x := [][]float64{
+		{0, 0, 0, 3, 0}, {1, 0, 0, 3, 0},
+		{0, 0, 0, 0, 3},
+	}
+	y := []float64{-50, -52, -90}
+	m := &MeanPerKey{KeyOffset: 3}
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := m.Predict([]float64{0, 0, 0, 3, 0})
+	if math.Abs(got+51) > 1e-12 {
+		t.Errorf("scaled one-hot prediction = %v, want −51", got)
+	}
+}
+
+func TestGlobalMean(t *testing.T) {
+	g := &GlobalMean{}
+	if _, err := g.Predict(nil); !errors.Is(err, ml.ErrNotFitted) {
+		t.Errorf("unfitted error = %v", err)
+	}
+	if err := g.Fit([][]float64{{1}, {2}, {3}}, []float64{-70, -72, -74}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := g.Predict([]float64{123})
+	if err != nil || math.Abs(got+72) > 1e-12 {
+		t.Errorf("global mean = %v, want −72", got)
+	}
+	if g.Name() == "" {
+		t.Error("empty name")
+	}
+}
+
+func TestNames(t *testing.T) {
+	if (&MeanPerKey{}).Name() == "" {
+		t.Error("empty baseline name")
+	}
+}

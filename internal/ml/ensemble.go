@@ -1,0 +1,90 @@
+package ml
+
+import "fmt"
+
+// PerKeyEnsemble routes samples to one sub-estimator per one-hot key: the
+// generalisation of the paper's "kNN estimator per MAC address" to any base
+// estimator (IDW, kriging, NN, ...). Features are x, y, z followed by a
+// one-hot block at KeyOffset; sub-estimators see only the coordinates.
+type PerKeyEnsemble struct {
+	// Factory builds a fresh sub-estimator per key.
+	Factory func() Estimator
+	// KeyOffset is where the one-hot block starts (3 for xyz + key).
+	KeyOffset int
+
+	fitted bool
+	subs   map[int]Estimator
+	global Estimator
+}
+
+var _ Estimator = (*PerKeyEnsemble)(nil)
+
+// Fit implements Estimator.
+func (p *PerKeyEnsemble) Fit(x [][]float64, y []float64) error {
+	if p.Factory == nil {
+		return fmt.Errorf("ml: ensemble requires a factory")
+	}
+	if err := ValidateTrainingData(x, y); err != nil {
+		return err
+	}
+	if p.KeyOffset < 3 || p.KeyOffset > len(x[0]) {
+		return fmt.Errorf("ml: ensemble key offset %d invalid for dim %d", p.KeyOffset, len(x[0]))
+	}
+	groupsX := map[int][][]float64{}
+	groupsY := map[int][]float64{}
+	var allXYZ [][]float64
+	for i, row := range x {
+		key := oneHotIndex(row, p.KeyOffset)
+		if key < 0 {
+			return fmt.Errorf("ml: ensemble row %d has no unique hot key", i)
+		}
+		xyz := append([]float64(nil), row[:3]...)
+		groupsX[key] = append(groupsX[key], xyz)
+		groupsY[key] = append(groupsY[key], y[i])
+		allXYZ = append(allXYZ, xyz)
+	}
+	p.subs = make(map[int]Estimator, len(groupsX))
+	for key, gx := range groupsX {
+		sub := p.Factory()
+		if err := sub.Fit(gx, groupsY[key]); err != nil {
+			return fmt.Errorf("ml: ensemble key %d: %w", key, err)
+		}
+		p.subs[key] = sub
+	}
+	p.global = p.Factory()
+	if err := p.global.Fit(allXYZ, y); err != nil {
+		return err
+	}
+	p.fitted = true
+	return nil
+}
+
+// Predict implements Estimator.
+func (p *PerKeyEnsemble) Predict(q []float64) (float64, error) {
+	if !p.fitted {
+		return 0, ErrNotFitted
+	}
+	if len(q) < p.KeyOffset {
+		return 0, fmt.Errorf("ml: ensemble query dim %d below offset %d", len(q), p.KeyOffset)
+	}
+	key := oneHotIndex(q, p.KeyOffset)
+	if sub, ok := p.subs[key]; key >= 0 && ok {
+		return sub.Predict(q[:3])
+	}
+	return p.global.Predict(q[:3])
+}
+
+// oneHotIndex returns the index of the single non-zero entry at or after
+// offset, or -1 if absent or ambiguous.
+func oneHotIndex(row []float64, offset int) int {
+	hot := -1
+	for i := offset; i < len(row); i++ {
+		if row[i] != 0 {
+			if hot >= 0 {
+				return -1
+			}
+			hot = i - offset
+		}
+	}
+	return hot
+}

@@ -1,0 +1,209 @@
+// Package knn implements the k-nearest-neighbour regressors of the paper's
+// §III-B: a Minkowski-metric kNN with uniform or distance weighting over
+// x/y/z + one-hot-MAC features (including the scaled-one-hot variant that
+// wins Figure 8), and the per-MAC ensemble alternative that fits one
+// xyz-only regressor per MAC address.
+package knn
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/ml"
+)
+
+// Weighting selects how neighbours are combined.
+type Weighting int
+
+// Weighting schemes, mirroring scikit-learn's `weights` parameter.
+const (
+	// Uniform averages the k neighbours equally.
+	Uniform Weighting = iota + 1
+	// Distance weights each neighbour by 1/distance ("weights=distance",
+	// the paper's tuned choice).
+	Distance
+)
+
+// String implements fmt.Stringer.
+func (w Weighting) String() string {
+	switch w {
+	case Uniform:
+		return "uniform"
+	case Distance:
+		return "distance"
+	default:
+		return fmt.Sprintf("Weighting(%d)", int(w))
+	}
+}
+
+// Config parameterises a Regressor.
+type Config struct {
+	// K is the neighbour count (paper: 3 for the plain variant, 16 for the
+	// scaled-one-hot variant).
+	K int
+	// Weights selects uniform or inverse-distance combination.
+	Weights Weighting
+	// MinkowskiP is the metric order; p=2 with metric=minkowski is the
+	// Euclidean distance the paper's grid search selects.
+	MinkowskiP float64
+}
+
+// PaperPlainConfig is the paper's tuned plain kNN: k=3, distance weights,
+// Euclidean metric.
+func PaperPlainConfig() Config {
+	return Config{K: 3, Weights: Distance, MinkowskiP: 2}
+}
+
+// PaperScaledConfig is the paper's best estimator configuration: the one-hot
+// MAC features are multiplied by 3 (done at feature-encoding time) and k=16.
+func PaperScaledConfig() Config {
+	return Config{K: 16, Weights: Distance, MinkowskiP: 2}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.K < 1 {
+		return fmt.Errorf("knn: k must be ≥1, got %d", c.K)
+	}
+	if c.Weights != Uniform && c.Weights != Distance {
+		return fmt.Errorf("knn: invalid weighting %d", c.Weights)
+	}
+	if c.MinkowskiP <= 0 {
+		return fmt.Errorf("knn: Minkowski p must be positive, got %g", c.MinkowskiP)
+	}
+	return nil
+}
+
+// Regressor is a brute-force kNN regressor. Fit stores the training set;
+// Predict scans it, which at the paper's dataset scale (≈2.5k samples) is
+// faster than building an index.
+type Regressor struct {
+	cfg Config
+	x   [][]float64
+	y   []float64
+}
+
+var (
+	_ ml.Estimator = (*Regressor)(nil)
+	_ ml.Named     = (*Regressor)(nil)
+)
+
+// New builds a regressor with the given configuration.
+func New(cfg Config) (*Regressor, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Regressor{cfg: cfg}, nil
+}
+
+// Name implements ml.Named.
+func (r *Regressor) Name() string {
+	return fmt.Sprintf("kNN (k=%d, %s, p=%g)", r.cfg.K, r.cfg.Weights, r.cfg.MinkowskiP)
+}
+
+// Fit implements ml.Estimator. The training data is copied.
+func (r *Regressor) Fit(x [][]float64, y []float64) error {
+	if err := ml.ValidateTrainingData(x, y); err != nil {
+		return err
+	}
+	r.x = make([][]float64, len(x))
+	for i, row := range x {
+		r.x[i] = append([]float64(nil), row...)
+	}
+	r.y = append([]float64(nil), y...)
+	return nil
+}
+
+// distance computes the Minkowski distance of order p.
+func (r *Regressor) distance(a, b []float64) float64 {
+	p := r.cfg.MinkowskiP
+	if p == 2 {
+		var sum float64
+		for i := range a {
+			d := a[i] - b[i]
+			sum += d * d
+		}
+		return math.Sqrt(sum)
+	}
+	var sum float64
+	for i := range a {
+		sum += math.Pow(math.Abs(a[i]-b[i]), p)
+	}
+	return math.Pow(sum, 1/p)
+}
+
+// neighbour pairs a training index with its distance to the query.
+type neighbour struct {
+	idx  int
+	dist float64
+}
+
+// Predict implements ml.Estimator.
+func (r *Regressor) Predict(q []float64) (float64, error) {
+	if r.x == nil {
+		return 0, ml.ErrNotFitted
+	}
+	if len(q) != len(r.x[0]) {
+		return 0, fmt.Errorf("knn: query dim %d, want %d", len(q), len(r.x[0]))
+	}
+	k := r.cfg.K
+	if k > len(r.x) {
+		k = len(r.x)
+	}
+	// Partial selection of the k smallest distances.
+	nbrs := make([]neighbour, 0, k+1)
+	worst := math.Inf(1)
+	for i, row := range r.x {
+		d := r.distance(q, row)
+		if len(nbrs) < k {
+			nbrs = append(nbrs, neighbour{i, d})
+			if len(nbrs) == k {
+				sort.Slice(nbrs, func(a, b int) bool { return nbrs[a].dist < nbrs[b].dist })
+				worst = nbrs[k-1].dist
+			}
+			continue
+		}
+		if d >= worst {
+			continue
+		}
+		// Insert in order, dropping the current worst.
+		pos := sort.Search(k, func(j int) bool { return nbrs[j].dist > d })
+		copy(nbrs[pos+1:], nbrs[pos:k-1])
+		nbrs[pos] = neighbour{i, d}
+		worst = nbrs[k-1].dist
+	}
+	if len(nbrs) < k {
+		sort.Slice(nbrs, func(a, b int) bool { return nbrs[a].dist < nbrs[b].dist })
+	}
+
+	switch r.cfg.Weights {
+	case Uniform:
+		var sum float64
+		for _, n := range nbrs {
+			sum += r.y[n.idx]
+		}
+		return sum / float64(len(nbrs)), nil
+	default: // Distance
+		// An exact match dominates: return the mean of zero-distance
+		// neighbours (scikit-learn behaviour).
+		var exactSum float64
+		exact := 0
+		for _, n := range nbrs {
+			if n.dist == 0 {
+				exactSum += r.y[n.idx]
+				exact++
+			}
+		}
+		if exact > 0 {
+			return exactSum / float64(exact), nil
+		}
+		var wSum, sum float64
+		for _, n := range nbrs {
+			w := 1 / n.dist
+			wSum += w
+			sum += w * r.y[n.idx]
+		}
+		return sum / wSum, nil
+	}
+}

@@ -1,0 +1,113 @@
+package knn
+
+import (
+	"fmt"
+
+	"repro/internal/ml"
+)
+
+// PerKey is the paper's "kNN estimator per MAC address": one xyz-only
+// Regressor per one-hot key, each trained only on that key's samples. The
+// feature layout is x, y, z followed by a one-hot block at KeyOffset; the
+// one-hot block is used solely for routing, and each sub-regressor sees only
+// the coordinates.
+type PerKey struct {
+	// Sub configures every per-key regressor (the paper keeps the tuned
+	// plain-kNN hyper-parameters).
+	Sub Config
+	// KeyOffset is where the one-hot block starts (3 for xyz + MAC).
+	KeyOffset int
+
+	fitted bool
+	subs   map[int]*Regressor
+	global *Regressor
+}
+
+var (
+	_ ml.Estimator = (*PerKey)(nil)
+	_ ml.Named     = (*PerKey)(nil)
+)
+
+// Name implements ml.Named.
+func (p *PerKey) Name() string {
+	return fmt.Sprintf("per-MAC kNN (k=%d, %s)", p.Sub.K, p.Sub.Weights)
+}
+
+// Fit implements ml.Estimator.
+func (p *PerKey) Fit(x [][]float64, y []float64) error {
+	if err := ml.ValidateTrainingData(x, y); err != nil {
+		return err
+	}
+	if err := p.Sub.Validate(); err != nil {
+		return err
+	}
+	if p.KeyOffset < 3 || p.KeyOffset > len(x[0]) {
+		return fmt.Errorf("knn: per-key offset %d invalid for feature dim %d", p.KeyOffset, len(x[0]))
+	}
+	groupsX := map[int][][]float64{}
+	groupsY := map[int][]float64{}
+	var allXYZ [][]float64
+	for i, row := range x {
+		key := hotIndex(row, p.KeyOffset)
+		if key < 0 {
+			return fmt.Errorf("knn: row %d has no hot key", i)
+		}
+		xyz := append([]float64(nil), row[:3]...)
+		groupsX[key] = append(groupsX[key], xyz)
+		groupsY[key] = append(groupsY[key], y[i])
+		allXYZ = append(allXYZ, xyz)
+	}
+	p.subs = make(map[int]*Regressor, len(groupsX))
+	for key, gx := range groupsX {
+		sub, err := New(p.Sub)
+		if err != nil {
+			return err
+		}
+		if err := sub.Fit(gx, groupsY[key]); err != nil {
+			return fmt.Errorf("knn: fitting key %d: %w", key, err)
+		}
+		p.subs[key] = sub
+	}
+	// Fallback for unseen keys: a regressor over all samples.
+	global, err := New(p.Sub)
+	if err != nil {
+		return err
+	}
+	if err := global.Fit(allXYZ, y); err != nil {
+		return err
+	}
+	p.global = global
+	p.fitted = true
+	return nil
+}
+
+// Predict implements ml.Estimator.
+func (p *PerKey) Predict(q []float64) (float64, error) {
+	if !p.fitted {
+		return 0, ml.ErrNotFitted
+	}
+	if len(q) < p.KeyOffset {
+		return 0, fmt.Errorf("knn: query dim %d below key offset %d", len(q), p.KeyOffset)
+	}
+	xyz := q[:3]
+	key := hotIndex(q, p.KeyOffset)
+	if sub, ok := p.subs[key]; key >= 0 && ok {
+		return sub.Predict(xyz)
+	}
+	return p.global.Predict(xyz)
+}
+
+// hotIndex returns the index of the single non-zero entry at or after
+// offset, or -1 if there is none or several.
+func hotIndex(row []float64, offset int) int {
+	hot := -1
+	for i := offset; i < len(row); i++ {
+		if row[i] != 0 {
+			if hot >= 0 {
+				return -1
+			}
+			hot = i - offset
+		}
+	}
+	return hot
+}

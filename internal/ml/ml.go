@@ -1,0 +1,156 @@
+// Package ml defines the estimator abstraction of the paper's toolchain —
+// any regressor that learns RSS as a function of features — together with
+// the evaluation metrics (RMSE, MAE, R²), k-fold cross-validation and the
+// grid-search harness used to tune hyper-parameters (§III-B).
+package ml
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/simrand"
+)
+
+// Estimator is a trainable regressor. Implementations live in the baseline,
+// knn and nn sub-packages.
+type Estimator interface {
+	// Fit trains on the design matrix x and targets y.
+	Fit(x [][]float64, y []float64) error
+	// Predict returns the estimate for one feature vector.
+	Predict(x []float64) (float64, error)
+}
+
+// Named is implemented by estimators that can label themselves for reports.
+type Named interface {
+	// Name returns a short display label.
+	Name() string
+}
+
+// ErrNotFitted is returned by Predict before Fit.
+var ErrNotFitted = errors.New("ml: estimator not fitted")
+
+// ValidateTrainingData performs the shape checks every estimator needs.
+func ValidateTrainingData(x [][]float64, y []float64) error {
+	if len(x) == 0 {
+		return errors.New("ml: empty training set")
+	}
+	if len(x) != len(y) {
+		return fmt.Errorf("ml: %d feature rows but %d targets", len(x), len(y))
+	}
+	dim := len(x[0])
+	if dim == 0 {
+		return errors.New("ml: zero-dimensional features")
+	}
+	for i, row := range x {
+		if len(row) != dim {
+			return fmt.Errorf("ml: row %d has %d features, want %d", i, len(row), dim)
+		}
+	}
+	return nil
+}
+
+// PredictAll evaluates the estimator on every row.
+func PredictAll(e Estimator, x [][]float64) ([]float64, error) {
+	out := make([]float64, len(x))
+	for i, row := range x {
+		p, err := e.Predict(row)
+		if err != nil {
+			return nil, fmt.Errorf("ml: predicting row %d: %w", i, err)
+		}
+		out[i] = p
+	}
+	return out, nil
+}
+
+// RMSE returns the root-mean-square error between predictions and truth —
+// the accuracy measure of the paper's Figure 8.
+func RMSE(pred, truth []float64) (float64, error) {
+	if len(pred) != len(truth) || len(pred) == 0 {
+		return 0, fmt.Errorf("ml: RMSE needs equal non-empty slices, got %d and %d", len(pred), len(truth))
+	}
+	var sum float64
+	for i := range pred {
+		d := pred[i] - truth[i]
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(len(pred))), nil
+}
+
+// MAE returns the mean absolute error.
+func MAE(pred, truth []float64) (float64, error) {
+	if len(pred) != len(truth) || len(pred) == 0 {
+		return 0, fmt.Errorf("ml: MAE needs equal non-empty slices, got %d and %d", len(pred), len(truth))
+	}
+	var sum float64
+	for i := range pred {
+		sum += math.Abs(pred[i] - truth[i])
+	}
+	return sum / float64(len(pred)), nil
+}
+
+// R2 returns the coefficient of determination.
+func R2(pred, truth []float64) (float64, error) {
+	if len(pred) != len(truth) || len(pred) == 0 {
+		return 0, fmt.Errorf("ml: R2 needs equal non-empty slices, got %d and %d", len(pred), len(truth))
+	}
+	var mean float64
+	for _, t := range truth {
+		mean += t
+	}
+	mean /= float64(len(truth))
+	var ssRes, ssTot float64
+	for i := range truth {
+		ssRes += (truth[i] - pred[i]) * (truth[i] - pred[i])
+		ssTot += (truth[i] - mean) * (truth[i] - mean)
+	}
+	if ssTot == 0 {
+		return 0, errors.New("ml: R2 undefined for constant truth")
+	}
+	return 1 - ssRes/ssTot, nil
+}
+
+// EvaluateRMSE fits the estimator on the training split and scores it on the
+// test split.
+func EvaluateRMSE(e Estimator, trainX [][]float64, trainY []float64, testX [][]float64, testY []float64) (float64, error) {
+	if err := e.Fit(trainX, trainY); err != nil {
+		return 0, err
+	}
+	pred, err := PredictAll(e, testX)
+	if err != nil {
+		return 0, err
+	}
+	return RMSE(pred, testY)
+}
+
+// CrossValidateRMSE runs k-fold cross-validation and returns the mean fold
+// RMSE. The factory builds a fresh estimator per fold.
+func CrossValidateRMSE(factory func() Estimator, x [][]float64, y []float64, k int, rng *simrand.Source) (float64, error) {
+	if err := ValidateTrainingData(x, y); err != nil {
+		return 0, err
+	}
+	if k < 2 || k > len(x) {
+		return 0, fmt.Errorf("ml: fold count %d outside [2, %d]", k, len(x))
+	}
+	perm := rng.Perm(len(x))
+	var total float64
+	for fold := 0; fold < k; fold++ {
+		var trX, teX [][]float64
+		var trY, teY []float64
+		for i, idx := range perm {
+			if i%k == fold {
+				teX = append(teX, x[idx])
+				teY = append(teY, y[idx])
+			} else {
+				trX = append(trX, x[idx])
+				trY = append(trY, y[idx])
+			}
+		}
+		rmse, err := EvaluateRMSE(factory(), trX, trY, teX, teY)
+		if err != nil {
+			return 0, fmt.Errorf("ml: fold %d: %w", fold, err)
+		}
+		total += rmse
+	}
+	return total / float64(k), nil
+}

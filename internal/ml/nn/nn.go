@@ -1,0 +1,438 @@
+// Package nn implements the feed-forward neural network of the paper's
+// §III-B from scratch: fully connected layers, sigmoid/tanh/ReLU/linear
+// activations, mean-squared-error loss, mini-batch training with SGD or
+// Adam, and target normalisation. The paper's tuned topology — inputs for
+// x/y/z plus the one-hot MAC block, one 16-node sigmoid hidden layer, a
+// single linear output, Adam optimiser — is available as PaperConfig.
+package nn
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/ml"
+	"repro/internal/simrand"
+)
+
+// Activation is a layer non-linearity.
+type Activation int
+
+// Supported activations.
+const (
+	// Linear is the identity.
+	Linear Activation = iota + 1
+	// Sigmoid is the logistic function (the paper's hidden activation).
+	Sigmoid
+	// Tanh is the hyperbolic tangent.
+	Tanh
+	// ReLU is max(0, x).
+	ReLU
+)
+
+// String implements fmt.Stringer.
+func (a Activation) String() string {
+	switch a {
+	case Linear:
+		return "linear"
+	case Sigmoid:
+		return "sigmoid"
+	case Tanh:
+		return "tanh"
+	case ReLU:
+		return "relu"
+	default:
+		return fmt.Sprintf("Activation(%d)", int(a))
+	}
+}
+
+func (a Activation) apply(x float64) float64 {
+	switch a {
+	case Sigmoid:
+		return 1 / (1 + math.Exp(-x))
+	case Tanh:
+		return math.Tanh(x)
+	case ReLU:
+		if x < 0 {
+			return 0
+		}
+		return x
+	default:
+		return x
+	}
+}
+
+// derivative computes dσ/dx given the activation output.
+func (a Activation) derivative(out float64) float64 {
+	switch a {
+	case Sigmoid:
+		return out * (1 - out)
+	case Tanh:
+		return 1 - out*out
+	case ReLU:
+		if out > 0 {
+			return 1
+		}
+		return 0
+	default:
+		return 1
+	}
+}
+
+// Optimizer selects the weight-update rule.
+type Optimizer int
+
+// Supported optimizers.
+const (
+	// SGD is plain stochastic gradient descent.
+	SGD Optimizer = iota + 1
+	// Adam is adaptive moment estimation (the paper's choice).
+	Adam
+)
+
+// String implements fmt.Stringer.
+func (o Optimizer) String() string {
+	switch o {
+	case SGD:
+		return "sgd"
+	case Adam:
+		return "adam"
+	default:
+		return fmt.Sprintf("Optimizer(%d)", int(o))
+	}
+}
+
+// LayerSpec declares one dense layer.
+type LayerSpec struct {
+	// Units is the layer width.
+	Units int
+	// Activation is the layer non-linearity.
+	Activation Activation
+}
+
+// Config describes a network and its training regime.
+type Config struct {
+	// Hidden lists the hidden layers in order.
+	Hidden []LayerSpec
+	// OutputActivation is the final layer's non-linearity (Linear for
+	// regression).
+	OutputActivation Activation
+	// Optimizer selects SGD or Adam.
+	Optimizer Optimizer
+	// LearningRate is the optimiser step size.
+	LearningRate float64
+	// Epochs is the number of passes over the training data.
+	Epochs int
+	// BatchSize is the mini-batch size.
+	BatchSize int
+	// NormalizeTargets rescales targets to zero mean / unit variance
+	// during training (the paper normalises RSS values).
+	NormalizeTargets bool
+	// NormalizeInputs standardises each input feature to zero mean / unit
+	// variance, so the coordinate block and the one-hot block train on
+	// comparable scales.
+	NormalizeInputs bool
+	// Seed drives weight initialisation and batch shuffling.
+	Seed uint64
+}
+
+// PaperConfig is the paper's optimised network: a single 16-node sigmoid
+// hidden layer, linear output, Adam, normalised RSS targets.
+func PaperConfig(seed uint64) Config {
+	return Config{
+		Hidden:           []LayerSpec{{Units: 16, Activation: Sigmoid}},
+		OutputActivation: Linear,
+		Optimizer:        Adam,
+		LearningRate:     0.01,
+		Epochs:           220,
+		BatchSize:        32,
+		NormalizeTargets: true,
+		Seed:             seed,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	for i, l := range c.Hidden {
+		if l.Units < 1 {
+			return fmt.Errorf("nn: hidden layer %d has %d units", i, l.Units)
+		}
+		if l.Activation < Linear || l.Activation > ReLU {
+			return fmt.Errorf("nn: hidden layer %d has invalid activation", i)
+		}
+	}
+	if c.OutputActivation < Linear || c.OutputActivation > ReLU {
+		return errors.New("nn: invalid output activation")
+	}
+	if c.Optimizer != SGD && c.Optimizer != Adam {
+		return errors.New("nn: invalid optimizer")
+	}
+	if c.LearningRate <= 0 {
+		return errors.New("nn: learning rate must be positive")
+	}
+	if c.Epochs < 1 {
+		return errors.New("nn: epochs must be ≥1")
+	}
+	if c.BatchSize < 1 {
+		return errors.New("nn: batch size must be ≥1")
+	}
+	return nil
+}
+
+// layer is one dense layer's parameters and Adam state.
+type layer struct {
+	in, out    int
+	act        Activation
+	w          []float64 // out×in, row-major
+	b          []float64
+	mW, vW     []float64 // Adam moments
+	mB, vB     []float64
+	outBuf     []float64 // forward activation cache
+	deltaBuf   []float64 // backward error cache
+	inputCache []float64
+}
+
+// Network is a trainable feed-forward regressor with a single output.
+type Network struct {
+	cfg    Config
+	layers []*layer
+	dim    int
+	fitted bool
+	// target normalisation
+	yMean, yStd float64
+	// input standardisation (nil when disabled)
+	xMean, xStd []float64
+	adamStep    int
+}
+
+var (
+	_ ml.Estimator = (*Network)(nil)
+	_ ml.Named     = (*Network)(nil)
+)
+
+// New builds an untrained network; the input dimension is fixed at Fit time.
+func New(cfg Config) (*Network, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Network{cfg: cfg}, nil
+}
+
+// Name implements ml.Named.
+func (n *Network) Name() string {
+	if len(n.cfg.Hidden) == 1 {
+		return fmt.Sprintf("NN (%d-node %s hidden, %s)", n.cfg.Hidden[0].Units, n.cfg.Hidden[0].Activation, n.cfg.Optimizer)
+	}
+	return fmt.Sprintf("NN (%d hidden layers, %s)", len(n.cfg.Hidden), n.cfg.Optimizer)
+}
+
+// build initialises layers for the given input dimension with Xavier/Glorot
+// uniform weights.
+func (n *Network) build(dim int, rng *simrand.Source) {
+	n.dim = dim
+	sizes := make([]int, 0, len(n.cfg.Hidden)+2)
+	sizes = append(sizes, dim)
+	for _, h := range n.cfg.Hidden {
+		sizes = append(sizes, h.Units)
+	}
+	sizes = append(sizes, 1)
+	n.layers = n.layers[:0]
+	for i := 1; i < len(sizes); i++ {
+		act := n.cfg.OutputActivation
+		if i-1 < len(n.cfg.Hidden) {
+			act = n.cfg.Hidden[i-1].Activation
+		}
+		l := &layer{
+			in:  sizes[i-1],
+			out: sizes[i],
+			act: act,
+		}
+		l.w = make([]float64, l.out*l.in)
+		limit := math.Sqrt(6 / float64(l.in+l.out))
+		for j := range l.w {
+			l.w[j] = rng.Range(-limit, limit)
+		}
+		l.b = make([]float64, l.out)
+		l.mW = make([]float64, len(l.w))
+		l.vW = make([]float64, len(l.w))
+		l.mB = make([]float64, l.out)
+		l.vB = make([]float64, l.out)
+		l.outBuf = make([]float64, l.out)
+		l.deltaBuf = make([]float64, l.out)
+		n.layers = append(n.layers, l)
+	}
+	n.adamStep = 0
+}
+
+// forward runs one input through the network, caching activations.
+func (n *Network) forward(x []float64) float64 {
+	cur := x
+	for _, l := range n.layers {
+		l.inputCache = cur
+		for o := 0; o < l.out; o++ {
+			sum := l.b[o]
+			row := l.w[o*l.in : (o+1)*l.in]
+			for i, v := range cur {
+				sum += row[i] * v
+			}
+			l.outBuf[o] = l.act.apply(sum)
+		}
+		cur = l.outBuf
+	}
+	return cur[0]
+}
+
+// backward propagates the output error and applies one optimiser step.
+func (n *Network) backward(outErr float64, lr float64) {
+	last := n.layers[len(n.layers)-1]
+	last.deltaBuf[0] = outErr * last.act.derivative(last.outBuf[0])
+	for li := len(n.layers) - 2; li >= 0; li-- {
+		l := n.layers[li]
+		next := n.layers[li+1]
+		for o := 0; o < l.out; o++ {
+			var sum float64
+			for no := 0; no < next.out; no++ {
+				sum += next.w[no*next.in+o] * next.deltaBuf[no]
+			}
+			l.deltaBuf[o] = sum * l.act.derivative(l.outBuf[o])
+		}
+	}
+	n.adamStep++
+	for _, l := range n.layers {
+		n.updateLayer(l, lr)
+	}
+}
+
+// Adam hyper-parameters (standard defaults).
+const (
+	adamBeta1 = 0.9
+	adamBeta2 = 0.999
+	adamEps   = 1e-8
+)
+
+func (n *Network) updateLayer(l *layer, lr float64) {
+	switch n.cfg.Optimizer {
+	case Adam:
+		bc1 := 1 - math.Pow(adamBeta1, float64(n.adamStep))
+		bc2 := 1 - math.Pow(adamBeta2, float64(n.adamStep))
+		for o := 0; o < l.out; o++ {
+			d := l.deltaBuf[o]
+			for i := 0; i < l.in; i++ {
+				g := d * l.inputCache[i]
+				idx := o*l.in + i
+				l.mW[idx] = adamBeta1*l.mW[idx] + (1-adamBeta1)*g
+				l.vW[idx] = adamBeta2*l.vW[idx] + (1-adamBeta2)*g*g
+				l.w[idx] -= lr * (l.mW[idx] / bc1) / (math.Sqrt(l.vW[idx]/bc2) + adamEps)
+			}
+			l.mB[o] = adamBeta1*l.mB[o] + (1-adamBeta1)*d
+			l.vB[o] = adamBeta2*l.vB[o] + (1-adamBeta2)*d*d
+			l.b[o] -= lr * (l.mB[o] / bc1) / (math.Sqrt(l.vB[o]/bc2) + adamEps)
+		}
+	default: // SGD
+		for o := 0; o < l.out; o++ {
+			d := l.deltaBuf[o]
+			for i := 0; i < l.in; i++ {
+				l.w[o*l.in+i] -= lr * d * l.inputCache[i]
+			}
+			l.b[o] -= lr * d
+		}
+	}
+}
+
+// Fit implements ml.Estimator.
+func (n *Network) Fit(x [][]float64, y []float64) error {
+	if err := ml.ValidateTrainingData(x, y); err != nil {
+		return err
+	}
+	rng := simrand.New(n.cfg.Seed).Derive("nn")
+	n.build(len(x[0]), rng)
+
+	// Input standardisation.
+	n.xMean, n.xStd = nil, nil
+	if n.cfg.NormalizeInputs {
+		dim := len(x[0])
+		n.xMean = make([]float64, dim)
+		n.xStd = make([]float64, dim)
+		for j := 0; j < dim; j++ {
+			var sum, sumSq float64
+			for _, row := range x {
+				sum += row[j]
+				sumSq += row[j] * row[j]
+			}
+			mean := sum / float64(len(x))
+			variance := sumSq/float64(len(x)) - mean*mean
+			n.xMean[j] = mean
+			if variance > 1e-12 {
+				n.xStd[j] = math.Sqrt(variance)
+			} else {
+				n.xStd[j] = 1
+			}
+		}
+		scaled := make([][]float64, len(x))
+		for i, row := range x {
+			s := make([]float64, dim)
+			for j, v := range row {
+				s[j] = (v - n.xMean[j]) / n.xStd[j]
+			}
+			scaled[i] = s
+		}
+		x = scaled
+	}
+
+	// Target normalisation.
+	n.yMean, n.yStd = 0, 1
+	targets := y
+	if n.cfg.NormalizeTargets {
+		var sum, sumSq float64
+		for _, v := range y {
+			sum += v
+			sumSq += v * v
+		}
+		n.yMean = sum / float64(len(y))
+		variance := sumSq/float64(len(y)) - n.yMean*n.yMean
+		if variance > 1e-12 {
+			n.yStd = math.Sqrt(variance)
+		}
+		targets = make([]float64, len(y))
+		for i, v := range y {
+			targets[i] = (v - n.yMean) / n.yStd
+		}
+	}
+
+	order := make([]int, len(x))
+	for i := range order {
+		order[i] = i
+	}
+	for epoch := 0; epoch < n.cfg.Epochs; epoch++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		// Mini-batches are processed sample-by-sample with per-sample
+		// updates (the batch size modulates only the effective step
+		// schedule here, keeping the implementation single-threaded and
+		// allocation-free).
+		for _, idx := range order {
+			pred := n.forward(x[idx])
+			outErr := pred - targets[idx] // d(MSE/2)/dpred
+			n.backward(outErr, n.cfg.LearningRate)
+		}
+	}
+	n.fitted = true
+	return nil
+}
+
+// Predict implements ml.Estimator.
+func (n *Network) Predict(x []float64) (float64, error) {
+	if !n.fitted {
+		return 0, ml.ErrNotFitted
+	}
+	if len(x) != n.dim {
+		return 0, fmt.Errorf("nn: query dim %d, want %d", len(x), n.dim)
+	}
+	if n.xMean != nil {
+		scaled := make([]float64, len(x))
+		for j, v := range x {
+			scaled[j] = (v - n.xMean[j]) / n.xStd[j]
+		}
+		x = scaled
+	}
+	return n.forward(x)*n.yStd + n.yMean, nil
+}

@@ -1,0 +1,156 @@
+// Package planner sizes and orders REM survey missions. The paper's fleet
+// design is implicit — "the first UAV visits a subset of the provided
+// points, with the main limitation stemming from the constrained battery";
+// this package makes it explicit: given a waypoint set and a sortie energy
+// budget it computes how many UAVs the survey needs (reproducing the
+// paper's choice of two UAVs for 72 waypoints), partitions the waypoints,
+// and locally optimises each tour with 2-opt.
+package planner
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/geom"
+)
+
+// SortieBudget captures what one UAV can do on one battery.
+type SortieBudget struct {
+	// Endurance is the usable flight time per battery (the paper measured
+	// 6 min 12 s of scan-hover with full deck load).
+	Endurance time.Duration
+	// PerWaypoint is the time cost of one waypoint: flight leg + scan
+	// stop + result turnaround (the paper plans 4 s + 3 s + transfer).
+	PerWaypoint time.Duration
+	// Overhead is the fixed take-off + landing cost.
+	Overhead time.Duration
+	// SafetyMargin is the fraction of endurance held in reserve (0..1).
+	SafetyMargin float64
+}
+
+// PaperBudget returns the budget of the paper's validation setup.
+func PaperBudget() SortieBudget {
+	return SortieBudget{
+		Endurance:    372 * time.Second, // 6 min 12 s
+		PerWaypoint:  8200 * time.Millisecond,
+		Overhead:     10 * time.Second,
+		SafetyMargin: 0.15,
+	}
+}
+
+// Validate checks the budget.
+func (b SortieBudget) Validate() error {
+	if b.Endurance <= 0 || b.PerWaypoint <= 0 {
+		return fmt.Errorf("planner: endurance and per-waypoint cost must be positive")
+	}
+	if b.Overhead < 0 {
+		return fmt.Errorf("planner: overhead must be non-negative")
+	}
+	if b.SafetyMargin < 0 || b.SafetyMargin >= 1 {
+		return fmt.Errorf("planner: safety margin %g outside [0, 1)", b.SafetyMargin)
+	}
+	return nil
+}
+
+// MaxWaypoints returns how many waypoints one sortie can visit within the
+// budget.
+func (b SortieBudget) MaxWaypoints() int {
+	usable := time.Duration(float64(b.Endurance)*(1-b.SafetyMargin)) - b.Overhead
+	if usable <= 0 {
+		return 0
+	}
+	return int(usable / b.PerWaypoint)
+}
+
+// FleetSize returns the number of UAV sorties needed to visit n waypoints.
+func FleetSize(n int, b SortieBudget) (int, error) {
+	if err := b.Validate(); err != nil {
+		return 0, err
+	}
+	if n < 1 {
+		return 0, fmt.Errorf("planner: no waypoints to plan")
+	}
+	per := b.MaxWaypoints()
+	if per < 1 {
+		return 0, fmt.Errorf("planner: budget cannot cover a single waypoint")
+	}
+	return (n + per - 1) / per, nil
+}
+
+// Partition splits waypoints into the minimum number of budget-feasible
+// sorties of near-equal size, preserving the input's spatial order (feed it
+// a lawnmower lattice or a 2-opt tour for short legs).
+func Partition(points []geom.Vec3, b SortieBudget) ([][]geom.Vec3, error) {
+	k, err := FleetSize(len(points), b)
+	if err != nil {
+		return nil, err
+	}
+	parts, err := geom.SplitRoundRobin(points, k)
+	if err != nil {
+		return nil, err
+	}
+	per := b.MaxWaypoints()
+	for i, p := range parts {
+		if len(p) > per {
+			return nil, fmt.Errorf("planner: sortie %d has %d waypoints, budget allows %d", i, len(p), per)
+		}
+	}
+	return parts, nil
+}
+
+// TwoOpt locally optimises the visiting order starting from start: it
+// repeatedly reverses tour segments while doing so shortens the path,
+// up to maxPasses full sweeps. The input is not modified.
+func TwoOpt(start geom.Vec3, points []geom.Vec3, maxPasses int) []geom.Vec3 {
+	tour := append([]geom.Vec3(nil), points...)
+	if len(tour) < 3 || maxPasses < 1 {
+		return tour
+	}
+	dist := func(a, b geom.Vec3) float64 { return a.Dist(b) }
+	for pass := 0; pass < maxPasses; pass++ {
+		improved := false
+		for i := 0; i < len(tour)-1; i++ {
+			prev := start
+			if i > 0 {
+				prev = tour[i-1]
+			}
+			for j := i + 1; j < len(tour); j++ {
+				// Reversing tour[i..j] replaces edges (prev, tour[i]) and
+				// (tour[j], next) with (prev, tour[j]) and (tour[i], next).
+				var next *geom.Vec3
+				if j+1 < len(tour) {
+					next = &tour[j+1]
+				}
+				before := dist(prev, tour[i])
+				after := dist(prev, tour[j])
+				if next != nil {
+					before += dist(tour[j], *next)
+					after += dist(tour[i], *next)
+				}
+				if after+1e-12 < before {
+					reverse(tour[i : j+1])
+					improved = true
+				}
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	return tour
+}
+
+func reverse(xs []geom.Vec3) {
+	for i, j := 0, len(xs)-1; i < j; i, j = i+1, j-1 {
+		xs[i], xs[j] = xs[j], xs[i]
+	}
+}
+
+// TourLength returns the path length of visiting points in order from start.
+func TourLength(start geom.Vec3, points []geom.Vec3) float64 {
+	if len(points) == 0 {
+		return 0
+	}
+	total := start.Dist(points[0])
+	return total + geom.PathLength(points)
+}

@@ -1,0 +1,195 @@
+package planner
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/geom"
+	"repro/internal/simrand"
+)
+
+func TestPaperBudgetReproducesTwoUAVFleet(t *testing.T) {
+	b := PaperBudget()
+	if err := b.Validate(); err != nil {
+		t.Fatalf("paper budget invalid: %v", err)
+	}
+	// The paper surveys 72 waypoints with 2 UAVs of 36 each; the budget
+	// must reproduce that fleet decision.
+	per := b.MaxWaypoints()
+	if per < 36 || per > 45 {
+		t.Errorf("max waypoints per sortie = %d, want ≈36–38 (the paper's per-UAV load)", per)
+	}
+	fleet, err := FleetSize(72, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fleet != 2 {
+		t.Errorf("fleet size for 72 waypoints = %d, want 2 (the paper's choice)", fleet)
+	}
+}
+
+func TestBudgetValidation(t *testing.T) {
+	b := PaperBudget()
+	b.Endurance = 0
+	if err := b.Validate(); err == nil {
+		t.Error("zero endurance accepted")
+	}
+	b = PaperBudget()
+	b.SafetyMargin = 1
+	if err := b.Validate(); err == nil {
+		t.Error("margin 1 accepted")
+	}
+	b = PaperBudget()
+	b.Overhead = -time.Second
+	if err := b.Validate(); err == nil {
+		t.Error("negative overhead accepted")
+	}
+}
+
+func TestMaxWaypointsDegenerate(t *testing.T) {
+	b := SortieBudget{Endurance: 5 * time.Second, PerWaypoint: 10 * time.Second, Overhead: time.Second}
+	if got := b.MaxWaypoints(); got != 0 {
+		t.Errorf("tiny budget MaxWaypoints = %d", got)
+	}
+	if _, err := FleetSize(10, b); err == nil {
+		t.Error("infeasible budget accepted")
+	}
+	if _, err := FleetSize(0, PaperBudget()); err == nil {
+		t.Error("zero waypoints accepted")
+	}
+}
+
+func TestPartitionRespectsBudget(t *testing.T) {
+	vol := geom.PaperScanVolume()
+	points, err := vol.Lattice(4, 6, 3, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts, err := Partition(points, PaperBudget())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parts) != 2 {
+		t.Fatalf("partitions = %d, want 2", len(parts))
+	}
+	per := PaperBudget().MaxWaypoints()
+	total := 0
+	for _, p := range parts {
+		if len(p) > per {
+			t.Errorf("sortie of %d exceeds budget %d", len(p), per)
+		}
+		total += len(p)
+	}
+	if total != len(points) {
+		t.Errorf("partition lost waypoints: %d of %d", total, len(points))
+	}
+}
+
+func TestTwoOptNeverWorsensTour(t *testing.T) {
+	rng := simrand.New(1)
+	f := func(seed uint16, n uint8) bool {
+		r := rng.DeriveN("tour", int(seed))
+		count := int(n)%20 + 3
+		points := make([]geom.Vec3, count)
+		for i := range points {
+			points[i] = geom.V(r.Range(0, 4), r.Range(0, 3), r.Range(0, 2))
+		}
+		start := geom.V(0, 0, 0)
+		before := TourLength(start, points)
+		optimised := TwoOpt(start, points, 10)
+		after := TourLength(start, optimised)
+		if after > before+1e-9 {
+			return false
+		}
+		// Same multiset of points.
+		if len(optimised) != len(points) {
+			return false
+		}
+		seen := map[geom.Vec3]int{}
+		for _, p := range points {
+			seen[p]++
+		}
+		for _, p := range optimised {
+			seen[p]--
+		}
+		for _, c := range seen {
+			if c != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTwoOptFixesObviousCrossing(t *testing.T) {
+	// A deliberately bad order: far point first.
+	points := []geom.Vec3{
+		geom.V(3, 0, 0), geom.V(1, 0, 0), geom.V(2, 0, 0),
+	}
+	start := geom.V(0, 0, 0)
+	got := TwoOpt(start, points, 10)
+	want := []geom.Vec3{geom.V(1, 0, 0), geom.V(2, 0, 0), geom.V(3, 0, 0)}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("2-opt order = %v, want %v", got, want)
+		}
+	}
+	if TourLength(start, got) != 3 {
+		t.Errorf("tour length = %v, want 3", TourLength(start, got))
+	}
+}
+
+func TestTwoOptDoesNotMutateInput(t *testing.T) {
+	points := []geom.Vec3{geom.V(3, 0, 0), geom.V(1, 0, 0), geom.V(2, 0, 0)}
+	orig := append([]geom.Vec3(nil), points...)
+	_ = TwoOpt(geom.V(0, 0, 0), points, 10)
+	for i := range orig {
+		if points[i] != orig[i] {
+			t.Fatal("TwoOpt mutated its input")
+		}
+	}
+}
+
+func TestTwoOptSmallInputs(t *testing.T) {
+	start := geom.V(0, 0, 0)
+	if got := TwoOpt(start, nil, 5); len(got) != 0 {
+		t.Error("empty tour changed")
+	}
+	two := []geom.Vec3{geom.V(1, 0, 0), geom.V(2, 0, 0)}
+	if got := TwoOpt(start, two, 5); len(got) != 2 {
+		t.Error("two-point tour changed size")
+	}
+}
+
+func TestTourLength(t *testing.T) {
+	start := geom.V(0, 0, 0)
+	if got := TourLength(start, nil); got != 0 {
+		t.Errorf("empty tour length = %v", got)
+	}
+	pts := []geom.Vec3{geom.V(1, 0, 0), geom.V(1, 1, 0)}
+	if got := TourLength(start, pts); got != 2 {
+		t.Errorf("tour length = %v, want 2", got)
+	}
+}
+
+func TestTwoOptImprovesShuffledLattice(t *testing.T) {
+	// A shuffled survey lattice must come out substantially shorter.
+	vol := geom.PaperScanVolume()
+	points, err := vol.Lattice(4, 6, 3, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := simrand.New(9)
+	shuffled := append([]geom.Vec3(nil), points...)
+	rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+	start := geom.V(0.6, 0.5, 0)
+	before := TourLength(start, shuffled)
+	after := TourLength(start, TwoOpt(start, shuffled, 25))
+	if after > 0.6*before {
+		t.Errorf("2-opt only improved %.1f m → %.1f m on a shuffled lattice", before, after)
+	}
+}

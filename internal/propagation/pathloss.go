@@ -1,0 +1,205 @@
+// Package propagation implements the 2.4 GHz indoor radio channel the REM
+// samples: deterministic path-loss models (free-space, log-distance, ITU
+// indoor, multi-wall), spatially correlated log-normal shadowing, and Rician
+// small-scale fading. The composite Channel produces the RSS a receiver at a
+// 3-D position observes from a transmitter, which is what the UAV-carried
+// scanner measures and the ML stage later predicts.
+package propagation
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/floorplan"
+	"repro/internal/geom"
+	"repro/internal/simrand"
+)
+
+// minDistance floors link distances to avoid the near-field singularity of
+// log-distance models.
+const minDistance = 0.1
+
+// PathLoss converts a transmitter→receiver geometry to a deterministic loss
+// in dB (excluding shadowing and fading).
+type PathLoss interface {
+	// LossDB returns the path loss for a link from tx to rx.
+	LossDB(tx, rx geom.Vec3) float64
+}
+
+// FreeSpace is the Friis free-space path-loss model.
+type FreeSpace struct {
+	// FreqMHz is the carrier frequency in MHz.
+	FreqMHz float64
+}
+
+var _ PathLoss = FreeSpace{}
+
+// LossDB implements PathLoss: 20·log10(d) + 20·log10(f) − 27.55 (d in m,
+// f in MHz).
+func (m FreeSpace) LossDB(tx, rx geom.Vec3) float64 {
+	d := math.Max(tx.Dist(rx), minDistance)
+	return 20*math.Log10(d) + 20*math.Log10(m.FreqMHz) - 27.55
+}
+
+// LogDistance is the classic log-distance model: PL(d) = PL0 + 10·n·log10(d/d0).
+type LogDistance struct {
+	// PL0 is the reference loss in dB at distance D0.
+	PL0 float64
+	// D0 is the reference distance in metres.
+	D0 float64
+	// Exponent is the path-loss exponent n (≈1.6–1.8 line-of-sight indoor,
+	// 2.0 free space, 3–5 obstructed).
+	Exponent float64
+}
+
+var _ PathLoss = LogDistance{}
+
+// LossDB implements PathLoss.
+func (m LogDistance) LossDB(tx, rx geom.Vec3) float64 {
+	d := math.Max(tx.Dist(rx), minDistance)
+	d0 := m.D0
+	if d0 <= 0 {
+		d0 = 1
+	}
+	return m.PL0 + 10*m.Exponent*math.Log10(d/d0)
+}
+
+// ReferenceLossDB returns the free-space loss at 1 m for the given carrier,
+// the usual PL0 choice for log-distance models.
+func ReferenceLossDB(freqMHz float64) float64 {
+	return 20*math.Log10(freqMHz) - 27.55
+}
+
+// ITUIndoor is the ITU-R P.1238 indoor model:
+// PL = 20·log10(f) + N·log10(d) + Pf(n) − 28, with f in MHz, d in m.
+type ITUIndoor struct {
+	// FreqMHz is the carrier frequency in MHz.
+	FreqMHz float64
+	// N is the distance power-loss coefficient (≈28–30 residential 2.4 GHz).
+	N float64
+	// FloorPenetrationDB is the floor-penetration term Pf for the number of
+	// floors between the endpoints; callers using the multi-wall model
+	// usually leave this zero and let the wall model count floors.
+	FloorPenetrationDB float64
+}
+
+var _ PathLoss = ITUIndoor{}
+
+// LossDB implements PathLoss.
+func (m ITUIndoor) LossDB(tx, rx geom.Vec3) float64 {
+	d := math.Max(tx.Dist(rx), minDistance)
+	return 20*math.Log10(m.FreqMHz) + m.N*math.Log10(d) + m.FloorPenetrationDB - 28
+}
+
+// MultiWall is the COST-231 multi-wall model: a base (usually free-space or
+// low-exponent log-distance) loss plus per-crossing wall and floor losses
+// from the environment geometry.
+type MultiWall struct {
+	// Base is the unobstructed in-room loss model.
+	Base PathLoss
+	// Env supplies wall/floor crossing counts and losses.
+	Env *floorplan.Environment
+}
+
+var _ PathLoss = MultiWall{}
+
+// LossDB implements PathLoss.
+func (m MultiWall) LossDB(tx, rx geom.Vec3) float64 {
+	loss := m.Base.LossDB(tx, rx)
+	if m.Env != nil {
+		loss += m.Env.ObstructionLossDB(tx, rx)
+	}
+	return loss
+}
+
+// Config assembles a composite Channel.
+type Config struct {
+	// PathLoss is the deterministic loss model.
+	PathLoss PathLoss
+	// ShadowSigmaDB is the log-normal shadowing standard deviation; 0
+	// disables shadowing.
+	ShadowSigmaDB float64
+	// ShadowDecorrelationM is the shadowing decorrelation distance in
+	// metres (Gudmundson model).
+	ShadowDecorrelationM float64
+	// RicianKdB is the Rician K-factor in dB for small-scale fading; use
+	// NaN or call WithoutFading to disable. K→∞ approaches no fading.
+	RicianKdB float64
+	// FadingEnabled toggles small-scale fading.
+	FadingEnabled bool
+	// Seed derives the shadowing field and fading streams.
+	Seed uint64
+}
+
+// Channel is the composite stochastic radio channel for one transmitter.
+// Shadowing is a fixed, spatially correlated field (re-sampling at the same
+// position yields the same value — shadowing is caused by static geometry),
+// while small-scale fading is redrawn per measurement (it is caused by
+// centimetre-scale multipath and moves with time).
+type Channel struct {
+	pathLoss PathLoss
+	shadow   *simrand.GaussianField
+	ricianK  float64 // linear
+	fading   bool
+}
+
+// NewChannel builds a channel from the configuration. It returns an error if
+// no path-loss model is supplied.
+func NewChannel(cfg Config) (*Channel, error) {
+	if cfg.PathLoss == nil {
+		return nil, fmt.Errorf("propagation: config requires a path-loss model")
+	}
+	c := &Channel{pathLoss: cfg.PathLoss, fading: cfg.FadingEnabled}
+	if cfg.ShadowSigmaDB > 0 {
+		dec := cfg.ShadowDecorrelationM
+		if dec <= 0 {
+			dec = 2.0 // typical indoor decorrelation distance
+		}
+		c.shadow = simrand.NewGaussianField(cfg.Seed, cfg.ShadowSigmaDB, dec)
+	}
+	if cfg.FadingEnabled {
+		c.ricianK = math.Pow(10, cfg.RicianKdB/10)
+	}
+	return c, nil
+}
+
+// MeanRSS returns the local-mean RSS (path loss + shadowing, no fading) in
+// dBm for a transmitter with the given EIRP.
+func (c *Channel) MeanRSS(txPowerDBm float64, tx, rx geom.Vec3) float64 {
+	rss := txPowerDBm - c.pathLoss.LossDB(tx, rx)
+	if c.shadow != nil {
+		// The shadowing field is indexed by receiver position; a per-link
+		// field would need the transmitter too, but for a fixed AP the
+		// receiver position is the only free variable, matching how REMs
+		// are defined (signal quality as a function of map position).
+		rss += c.shadow.At(rx.X, rx.Y, rx.Z)
+	}
+	return rss
+}
+
+// SampleRSS draws one measured RSS in dBm, adding small-scale fading to the
+// local mean when enabled. The rng should be the measuring receiver's noise
+// stream.
+func (c *Channel) SampleRSS(txPowerDBm float64, tx, rx geom.Vec3, rng *simrand.Source) float64 {
+	rss := c.MeanRSS(txPowerDBm, tx, rx)
+	if c.fading && rng != nil {
+		rss += c.fadingGainDB(rng)
+	}
+	return rss
+}
+
+// fadingGainDB draws a Rician power gain in dB with the configured K-factor,
+// normalised to unit mean power.
+func (c *Channel) fadingGainDB(rng *simrand.Source) float64 {
+	k := c.ricianK
+	// Envelope: LoS amplitude ν and scatter σ with ν² = K/(K+1), 2σ² = 1/(K+1)
+	// gives unit mean power E[r²] = ν² + 2σ² = 1.
+	nu := math.Sqrt(k / (k + 1))
+	sigma := math.Sqrt(1 / (2 * (k + 1)))
+	r := rng.Rician(nu, sigma)
+	p := r * r
+	if p < 1e-9 {
+		p = 1e-9
+	}
+	return 10 * math.Log10(p)
+}

@@ -1,0 +1,55 @@
+// Package receiver defines the technology-agnostic contract between the UAV
+// toolchain and any REM-sampling receiver, reproducing the paper's §II-A
+// modular driver design: a receiver integrates with the system by providing
+// a driver that supports exactly four instructions — initialise, check
+// state, trigger a measurement, and parse the output. The ESP8266 Wi-Fi deck
+// (internal/esp) and the example BLE deck (examples/multi_technology) are
+// both plug-ins behind this interface.
+package receiver
+
+import "time"
+
+// Measurement is one location-agnostic signal-quality reading produced by a
+// receiver. The toolchain annotates it with the UAV's position downstream.
+type Measurement struct {
+	// Key identifies the beacon source: a Wi-Fi BSSID, a BLE address, a
+	// LoRa DevEUI — whatever the technology's stable transmitter identity
+	// is. The REM is keyed on it.
+	Key string
+	// Name is the human-readable network/device name (SSID for Wi-Fi).
+	// Names may be shared between sources and are not used as keys.
+	Name string
+	// RSSI is the received signal strength indicator in dBm.
+	RSSI int
+	// Channel is the technology-specific channel number, if any.
+	Channel int
+}
+
+// Driver is the four-instruction receiver contract of §II-A.
+type Driver interface {
+	// Init initialises the receiver (instruction i).
+	Init() error
+	// Status checks that the receiver is alive and ready (instruction ii).
+	Status() error
+	// TriggerScan instructs the receiver to collect a measurement
+	// (instruction iii). It blocks the driver until results are ready;
+	// ScanDuration reports how long the UAV must hold position.
+	TriggerScan() error
+	// Results parses and returns the output of the previous TriggerScan
+	// (instruction iv).
+	Results() ([]Measurement, error)
+}
+
+// Timed is implemented by drivers whose scans take a known amount of air
+// time; the mission layer uses it to budget hover time and battery.
+type Timed interface {
+	// ScanDuration returns the time one TriggerScan occupies.
+	ScanDuration() time.Duration
+}
+
+// Technology is implemented by drivers that can report what they sample,
+// for labelling datasets and REMs.
+type Technology interface {
+	// TechnologyName returns a short label such as "wifi-2.4" or "ble".
+	TechnologyName() string
+}

@@ -1,0 +1,110 @@
+// Package receivertest provides a conformance suite for implementations of
+// the receiver.Driver contract (§II-A's four instructions). Any new
+// REM-sampling receiver — Wi-Fi, BLE, LoRa, mmWave — can validate its
+// driver against the toolchain's expectations by calling Conformance from a
+// test.
+package receivertest
+
+import (
+	"testing"
+
+	"repro/internal/receiver"
+)
+
+// Factory builds a fresh, un-initialised driver for each conformance check.
+type Factory func() (receiver.Driver, error)
+
+// Conformance exercises the driver contract:
+//
+//  1. Status and TriggerScan before Init must fail.
+//  2. Init must succeed, after which Status succeeds.
+//  3. Results without a pending scan must fail.
+//  4. TriggerScan then Results must succeed and return well-formed
+//     measurements (non-empty keys, plausible RSSI).
+//  5. Results is one-shot: a second call without a new scan must fail.
+//  6. The trigger/parse cycle must be repeatable.
+func Conformance(t *testing.T, factory Factory) {
+	t.Helper()
+
+	t.Run("pre-init calls fail", func(t *testing.T) {
+		d, err := factory()
+		if err != nil {
+			t.Fatalf("factory: %v", err)
+		}
+		if err := d.Status(); err == nil {
+			t.Error("Status before Init succeeded")
+		}
+		if err := d.TriggerScan(); err == nil {
+			t.Error("TriggerScan before Init succeeded")
+		}
+	})
+
+	t.Run("lifecycle", func(t *testing.T) {
+		d, err := factory()
+		if err != nil {
+			t.Fatalf("factory: %v", err)
+		}
+		if err := d.Init(); err != nil {
+			t.Fatalf("Init: %v", err)
+		}
+		if err := d.Status(); err != nil {
+			t.Fatalf("Status after Init: %v", err)
+		}
+		if _, err := d.Results(); err == nil {
+			t.Error("Results without a scan succeeded")
+		}
+		if err := d.TriggerScan(); err != nil {
+			t.Fatalf("TriggerScan: %v", err)
+		}
+		ms, err := d.Results()
+		if err != nil {
+			t.Fatalf("Results: %v", err)
+		}
+		for i, m := range ms {
+			if m.Key == "" {
+				t.Errorf("measurement %d has empty key", i)
+			}
+			if m.RSSI > 0 || m.RSSI < -128 {
+				t.Errorf("measurement %d RSSI %d implausible", i, m.RSSI)
+			}
+		}
+		if _, err := d.Results(); err == nil {
+			t.Error("second Results without a new scan succeeded")
+		}
+	})
+
+	t.Run("repeatable scans", func(t *testing.T) {
+		d, err := factory()
+		if err != nil {
+			t.Fatalf("factory: %v", err)
+		}
+		if err := d.Init(); err != nil {
+			t.Fatalf("Init: %v", err)
+		}
+		for round := 0; round < 3; round++ {
+			if err := d.TriggerScan(); err != nil {
+				t.Fatalf("round %d TriggerScan: %v", round, err)
+			}
+			if _, err := d.Results(); err != nil {
+				t.Fatalf("round %d Results: %v", round, err)
+			}
+		}
+	})
+
+	t.Run("optional interfaces are consistent", func(t *testing.T) {
+		d, err := factory()
+		if err != nil {
+			t.Fatalf("factory: %v", err)
+		}
+		if td, ok := d.(receiver.Timed); ok {
+			if td.ScanDuration() <= 0 {
+				t.Error("Timed driver reports non-positive scan duration")
+			}
+		}
+		if tn, ok := d.(receiver.Technology); ok {
+			if tn.TechnologyName() == "" {
+				t.Error("Technology driver reports empty name")
+			}
+		}
+	})
+}

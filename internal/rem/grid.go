@@ -1,0 +1,291 @@
+package rem
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+
+	"repro/internal/geom"
+)
+
+// PredictFunc evaluates a trained model at a position for a given key
+// (MAC). The core pipeline adapts its estimators to this signature.
+type PredictFunc func(pos geom.Vec3, keyIndex int) (float64, error)
+
+// Map is a fine-grained 3-D REM: a regular grid of predicted signal
+// strengths per beacon source over a volume.
+type Map struct {
+	volume     geom.Cuboid
+	nx, ny, nz int
+	keys       []string
+	// values[k][ix + nx*(iy + ny*iz)] is the prediction for key k at cell
+	// centre (ix, iy, iz).
+	values [][]float64
+}
+
+// BuildMap evaluates the model over an nx × ny × nz grid of cell centres.
+func BuildMap(volume geom.Cuboid, nx, ny, nz int, keys []string, predict PredictFunc) (*Map, error) {
+	if nx < 1 || ny < 1 || nz < 1 {
+		return nil, fmt.Errorf("rem: grid resolution %dx%dx%d invalid", nx, ny, nz)
+	}
+	if len(keys) == 0 {
+		return nil, fmt.Errorf("rem: map needs at least one key")
+	}
+	if predict == nil {
+		return nil, fmt.Errorf("rem: map needs a predictor")
+	}
+	m := &Map{
+		volume: volume,
+		nx:     nx, ny: ny, nz: nz,
+		keys:   append([]string(nil), keys...),
+		values: make([][]float64, len(keys)),
+	}
+	for k := range keys {
+		vals := make([]float64, nx*ny*nz)
+		for iz := 0; iz < nz; iz++ {
+			for iy := 0; iy < ny; iy++ {
+				for ix := 0; ix < nx; ix++ {
+					p := m.cellCenter(ix, iy, iz)
+					v, err := predict(p, k)
+					if err != nil {
+						return nil, fmt.Errorf("rem: predicting %s at %v: %w", keys[k], p, err)
+					}
+					vals[ix+nx*(iy+ny*iz)] = v
+				}
+			}
+		}
+		m.values[k] = vals
+	}
+	return m, nil
+}
+
+// Volume returns the mapped volume.
+func (m *Map) Volume() geom.Cuboid { return m.volume }
+
+// Keys returns the mapped beacon sources.
+func (m *Map) Keys() []string { return m.keys }
+
+// Resolution returns the grid dimensions.
+func (m *Map) Resolution() (nx, ny, nz int) { return m.nx, m.ny, m.nz }
+
+// cellCenter returns the centre of cell (ix, iy, iz).
+func (m *Map) cellCenter(ix, iy, iz int) geom.Vec3 {
+	s := m.volume.Size()
+	return geom.V(
+		m.volume.Min.X+(float64(ix)+0.5)*s.X/float64(m.nx),
+		m.volume.Min.Y+(float64(iy)+0.5)*s.Y/float64(m.ny),
+		m.volume.Min.Z+(float64(iz)+0.5)*s.Z/float64(m.nz),
+	)
+}
+
+// KeyIndex returns the index of a key, or -1.
+func (m *Map) KeyIndex(key string) int {
+	for i, k := range m.keys {
+		if k == key {
+			return i
+		}
+	}
+	return -1
+}
+
+// At returns the trilinearly interpolated prediction for the key at p,
+// clamping p into the volume.
+func (m *Map) At(key string, p geom.Vec3) (float64, error) {
+	ki := m.KeyIndex(key)
+	if ki < 0 {
+		return 0, fmt.Errorf("rem: unknown key %q", key)
+	}
+	return m.at(ki, p), nil
+}
+
+func (m *Map) at(ki int, p geom.Vec3) float64 {
+	p = m.volume.Clamp(p)
+	s := m.volume.Size()
+	// Continuous cell coordinates of the query relative to cell centres.
+	fx := (p.X-m.volume.Min.X)/s.X*float64(m.nx) - 0.5
+	fy := (p.Y-m.volume.Min.Y)/s.Y*float64(m.ny) - 0.5
+	fz := (p.Z-m.volume.Min.Z)/s.Z*float64(m.nz) - 0.5
+	ix0, tx := splitIndex(fx, m.nx)
+	iy0, ty := splitIndex(fy, m.ny)
+	iz0, tz := splitIndex(fz, m.nz)
+
+	val := 0.0
+	for dz := 0; dz <= 1; dz++ {
+		for dy := 0; dy <= 1; dy++ {
+			for dx := 0; dx <= 1; dx++ {
+				w := lerpW(tx, dx) * lerpW(ty, dy) * lerpW(tz, dz)
+				ix := clampIdx(ix0+dx, m.nx)
+				iy := clampIdx(iy0+dy, m.ny)
+				iz := clampIdx(iz0+dz, m.nz)
+				val += w * m.values[ki][ix+m.nx*(iy+m.ny*iz)]
+			}
+		}
+	}
+	return val
+}
+
+func splitIndex(f float64, n int) (int, float64) {
+	i := int(math.Floor(f))
+	t := f - float64(i)
+	if i < 0 {
+		return 0, 0
+	}
+	if i >= n-1 {
+		return n - 1, 0
+	}
+	return i, t
+}
+
+func lerpW(t float64, d int) float64 {
+	if d == 0 {
+		return 1 - t
+	}
+	return t
+}
+
+func clampIdx(i, n int) int {
+	if i < 0 {
+		return 0
+	}
+	if i >= n {
+		return n - 1
+	}
+	return i
+}
+
+// Strongest returns the key with the highest predicted RSS at p and that
+// value.
+func (m *Map) Strongest(p geom.Vec3) (string, float64) {
+	best, bestVal := "", math.Inf(-1)
+	for ki, key := range m.keys {
+		if v := m.at(ki, p); v > bestVal {
+			best, bestVal = key, v
+		}
+	}
+	return best, bestVal
+}
+
+// CoverageAt returns the best available RSS at p across all keys.
+func (m *Map) CoverageAt(p geom.Vec3) float64 {
+	_, v := m.Strongest(p)
+	return v
+}
+
+// DarkCell is one grid cell whose best coverage falls below a threshold —
+// the "dark connectivity regions" the paper's intro proposes REMs to find.
+type DarkCell struct {
+	// Center is the cell centre.
+	Center geom.Vec3
+	// BestRSS is the strongest predicted signal there.
+	BestRSS float64
+}
+
+// DarkRegions lists all cells whose best coverage is below thresholdDBm,
+// worst first.
+func (m *Map) DarkRegions(thresholdDBm float64) []DarkCell {
+	var out []DarkCell
+	for iz := 0; iz < m.nz; iz++ {
+		for iy := 0; iy < m.ny; iy++ {
+			for ix := 0; ix < m.nx; ix++ {
+				p := m.cellCenter(ix, iy, iz)
+				best := math.Inf(-1)
+				idx := ix + m.nx*(iy+m.ny*iz)
+				for ki := range m.keys {
+					if v := m.values[ki][idx]; v > best {
+						best = v
+					}
+				}
+				if best < thresholdDBm {
+					out = append(out, DarkCell{Center: p, BestRSS: best})
+				}
+			}
+		}
+	}
+	// Worst first.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].BestRSS < out[j-1].BestRSS; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// CoverageFraction returns the fraction of cells whose best coverage meets
+// thresholdDBm.
+func (m *Map) CoverageFraction(thresholdDBm float64) float64 {
+	total := m.nx * m.ny * m.nz
+	dark := len(m.DarkRegions(thresholdDBm))
+	return float64(total-dark) / float64(total)
+}
+
+// DarkRegionsFor lists the cells where one specific network's predicted RSS
+// falls below thresholdDBm, worst first — the per-network view used when
+// planning the extension of a particular infrastructure rather than
+// any-network coverage.
+func (m *Map) DarkRegionsFor(key string, thresholdDBm float64) ([]DarkCell, error) {
+	ki := m.KeyIndex(key)
+	if ki < 0 {
+		return nil, fmt.Errorf("rem: unknown key %q", key)
+	}
+	var out []DarkCell
+	for iz := 0; iz < m.nz; iz++ {
+		for iy := 0; iy < m.ny; iy++ {
+			for ix := 0; ix < m.nx; ix++ {
+				v := m.values[ki][ix+m.nx*(iy+m.ny*iz)]
+				if v < thresholdDBm {
+					out = append(out, DarkCell{Center: m.cellCenter(ix, iy, iz), BestRSS: v})
+				}
+			}
+		}
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].BestRSS < out[j-1].BestRSS; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out, nil
+}
+
+// CoverageFractionFor returns the fraction of cells where the given
+// network's predicted RSS meets thresholdDBm.
+func (m *Map) CoverageFractionFor(key string, thresholdDBm float64) (float64, error) {
+	dark, err := m.DarkRegionsFor(key, thresholdDBm)
+	if err != nil {
+		return 0, err
+	}
+	total := m.nx * m.ny * m.nz
+	return float64(total-len(dark)) / float64(total), nil
+}
+
+// WriteCSV exports the map as one row per (cell, key):
+// x,y,z,key,rssi.
+func (m *Map) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"x", "y", "z", "key", "rss_dbm"}); err != nil {
+		return fmt.Errorf("rem: writing header: %w", err)
+	}
+	for ki, key := range m.keys {
+		for iz := 0; iz < m.nz; iz++ {
+			for iy := 0; iy < m.ny; iy++ {
+				for ix := 0; ix < m.nx; ix++ {
+					p := m.cellCenter(ix, iy, iz)
+					v := m.values[ki][ix+m.nx*(iy+m.ny*iz)]
+					rec := []string{
+						strconv.FormatFloat(p.X, 'f', 3, 64),
+						strconv.FormatFloat(p.Y, 'f', 3, 64),
+						strconv.FormatFloat(p.Z, 'f', 3, 64),
+						key,
+						strconv.FormatFloat(v, 'f', 2, 64),
+					}
+					if err := cw.Write(rec); err != nil {
+						return fmt.Errorf("rem: writing row: %w", err)
+					}
+				}
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

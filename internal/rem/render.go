@@ -1,0 +1,99 @@
+package rem
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"repro/internal/geom"
+)
+
+// Slice is a horizontal cut through the REM at a fixed height: a 2-D field
+// of predicted RSS for one key, ready for rendering or export.
+type Slice struct {
+	// Key is the beacon source the slice shows.
+	Key string
+	// Z is the cut height in metres.
+	Z float64
+	// Nx, Ny are the raster dimensions.
+	Nx, Ny int
+	// Values is row-major: Values[iy*Nx+ix], with iy=0 at Min.Y.
+	Values []float64
+	// Min, Max are the value extremes over the slice.
+	Min, Max float64
+	volume   geom.Cuboid
+}
+
+// SliceAt samples the map for one key on an nx × ny raster at height z.
+func (m *Map) SliceAt(key string, z float64, nx, ny int) (*Slice, error) {
+	ki := m.KeyIndex(key)
+	if ki < 0 {
+		return nil, fmt.Errorf("rem: unknown key %q", key)
+	}
+	if nx < 1 || ny < 1 {
+		return nil, fmt.Errorf("rem: slice raster %dx%d invalid", nx, ny)
+	}
+	s := &Slice{
+		Key: key, Z: z, Nx: nx, Ny: ny,
+		Values: make([]float64, nx*ny),
+		Min:    math.Inf(1), Max: math.Inf(-1),
+		volume: m.volume,
+	}
+	size := m.volume.Size()
+	for iy := 0; iy < ny; iy++ {
+		for ix := 0; ix < nx; ix++ {
+			p := geom.V(
+				m.volume.Min.X+(float64(ix)+0.5)*size.X/float64(nx),
+				m.volume.Min.Y+(float64(iy)+0.5)*size.Y/float64(ny),
+				z,
+			)
+			v := m.at(ki, p)
+			s.Values[iy*nx+ix] = v
+			if v < s.Min {
+				s.Min = v
+			}
+			if v > s.Max {
+				s.Max = v
+			}
+		}
+	}
+	return s, nil
+}
+
+// heatRamp maps intensity (0 weakest .. 1 strongest) to ASCII shades.
+const heatRamp = " .:-=+*#%@"
+
+// Render writes the slice as an ASCII heatmap with a dBm legend, y
+// increasing upward (map convention).
+func (s *Slice) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "REM slice for %s at z=%.2f m  (%.1f dBm '%c' .. %.1f dBm '%c')\n",
+		s.Key, s.Z, s.Min, heatRamp[0], s.Max, heatRamp[len(heatRamp)-1]); err != nil {
+		return err
+	}
+	span := s.Max - s.Min
+	var b strings.Builder
+	for iy := s.Ny - 1; iy >= 0; iy-- {
+		b.Reset()
+		for ix := 0; ix < s.Nx; ix++ {
+			v := s.Values[iy*s.Nx+ix]
+			t := 0.0
+			if span > 0 {
+				t = (v - s.Min) / span
+			}
+			idx := int(t * float64(len(heatRamp)-1))
+			if idx < 0 {
+				idx = 0
+			}
+			if idx >= len(heatRamp) {
+				idx = len(heatRamp) - 1
+			}
+			b.WriteByte(heatRamp[idx])
+		}
+		if _, err := fmt.Fprintf(w, "y=%4.1f |%s|\n", s.volume.Min.Y+(float64(iy)+0.5)*s.volume.Size().Y/float64(s.Ny), b.String()); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "        x: %.1f → %.1f m\n", s.volume.Min.X, s.volume.Max.X)
+	return err
+}

@@ -1,0 +1,212 @@
+// Package sim provides the discrete-event simulation kernel on which the
+// whole UAV/REM toolchain runs. All timing in the repository — flight legs,
+// scan dwell times, commander watchdogs, battery discharge — is expressed
+// against the virtual clock defined here, so experiments that model minutes
+// of flight execute in milliseconds of wall time and are fully deterministic.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Clock exposes the current virtual time. Components hold a Clock rather
+// than a *Engine when they only need to read time, which keeps them trivial
+// to test.
+type Clock interface {
+	// Now returns the current virtual time as an offset from the
+	// simulation epoch.
+	Now() time.Duration
+}
+
+// Event is a scheduled callback.
+type Event struct {
+	at     time.Duration
+	seq    uint64
+	name   string
+	fn     func()
+	fired  bool
+	cancel bool
+	index  int // heap index
+}
+
+// Name returns the diagnostic label the event was scheduled with.
+func (e *Event) Name() string { return e.name }
+
+// At returns the virtual time the event is scheduled for.
+func (e *Event) At() time.Duration { return e.at }
+
+// Cancel prevents a pending event from firing. Cancelling an event that has
+// already fired is a no-op.
+func (e *Event) Cancel() { e.cancel = true }
+
+// Engine is a deterministic discrete-event scheduler. Events scheduled for
+// the same instant fire in scheduling order (FIFO), which makes simulations
+// reproducible run-to-run.
+//
+// Engine is not safe for concurrent use; the simulation is single-threaded
+// by design — determinism is a core requirement (see DESIGN.md).
+type Engine struct {
+	now   time.Duration
+	queue eventQueue
+	seq   uint64
+	steps uint64
+}
+
+// NewEngine returns an engine at virtual time zero.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+var _ Clock = (*Engine)(nil)
+
+// Now implements Clock.
+func (e *Engine) Now() time.Duration { return e.now }
+
+// Steps returns the number of events processed so far.
+func (e *Engine) Steps() uint64 { return e.steps }
+
+// Pending returns the number of events currently scheduled (including
+// cancelled events that have not yet been discarded).
+func (e *Engine) Pending() int { return e.queue.Len() }
+
+// ErrPastEvent is returned when scheduling an event before the current
+// virtual time.
+var ErrPastEvent = errors.New("sim: cannot schedule event in the past")
+
+// At schedules fn to run at the given absolute virtual time. The returned
+// Event can be cancelled.
+func (e *Engine) At(t time.Duration, name string, fn func()) (*Event, error) {
+	if t < e.now {
+		return nil, fmt.Errorf("%w: now=%v requested=%v (%s)", ErrPastEvent, e.now, t, name)
+	}
+	ev := &Event{at: t, seq: e.seq, name: name, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev, nil
+}
+
+// After schedules fn to run after the given delay from the current virtual
+// time. Negative delays are clamped to zero (fire "immediately", i.e. at the
+// current instant but after currently queued same-instant events).
+func (e *Engine) After(d time.Duration, name string, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	ev, err := e.At(e.now+d, name, fn)
+	if err != nil {
+		// Unreachable: now+non-negative d is never in the past.
+		panic(err)
+	}
+	return ev
+}
+
+// Step fires the next pending event, advancing the clock to its timestamp.
+// It reports whether an event was fired.
+func (e *Engine) Step() bool {
+	for e.queue.Len() > 0 {
+		ev := heap.Pop(&e.queue).(*Event)
+		if ev.cancel {
+			continue
+		}
+		e.now = ev.at
+		ev.fired = true
+		e.steps++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run fires events until the queue is empty or the step budget is exhausted.
+// It returns the number of events fired. A budget of 0 means unlimited.
+func (e *Engine) Run(budget uint64) uint64 {
+	var fired uint64
+	for {
+		if budget > 0 && fired >= budget {
+			return fired
+		}
+		if !e.Step() {
+			return fired
+		}
+		fired++
+	}
+}
+
+// RunUntil fires events with timestamps <= deadline, then advances the clock
+// to the deadline. Events scheduled beyond the deadline remain queued.
+func (e *Engine) RunUntil(deadline time.Duration) {
+	for e.queue.Len() > 0 {
+		next := e.queue[0]
+		if next.cancel {
+			heap.Pop(&e.queue)
+			continue
+		}
+		if next.at > deadline {
+			break
+		}
+		e.Step()
+	}
+	if deadline > e.now {
+		e.now = deadline
+	}
+}
+
+// Sleep advances virtual time by d without firing any queued events that are
+// scheduled within the interval. Use RunUntil for the usual "advance and
+// process" semantics; Sleep exists for tests that need to create artificial
+// gaps.
+func (e *Engine) Sleep(d time.Duration) {
+	if d > 0 {
+		e.now += d
+	}
+}
+
+// eventQueue is a min-heap ordered by (time, sequence).
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return ev
+}
+
+// FixedClock is a Clock with a settable time, for unit tests of components
+// that only read time.
+type FixedClock struct {
+	Time time.Duration
+}
+
+var _ Clock = (*FixedClock)(nil)
+
+// Now implements Clock.
+func (c *FixedClock) Now() time.Duration { return c.Time }
+
+// Advance moves the fixed clock forward by d.
+func (c *FixedClock) Advance(d time.Duration) { c.Time += d }

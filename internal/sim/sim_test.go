@@ -1,0 +1,233 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestEngineStartsAtZero(t *testing.T) {
+	e := NewEngine()
+	if e.Now() != 0 {
+		t.Errorf("Now = %v, want 0", e.Now())
+	}
+	if e.Pending() != 0 {
+		t.Errorf("Pending = %d", e.Pending())
+	}
+}
+
+func TestEventsFireInTimeOrder(t *testing.T) {
+	e := NewEngine()
+	var order []string
+	e.After(3*time.Second, "c", func() { order = append(order, "c") })
+	e.After(1*time.Second, "a", func() { order = append(order, "a") })
+	e.After(2*time.Second, "b", func() { order = append(order, "b") })
+	e.Run(0)
+	want := []string{"a", "b", "c"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	if e.Now() != 3*time.Second {
+		t.Errorf("final time = %v", e.Now())
+	}
+}
+
+func TestSameInstantFIFO(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.After(time.Second, "tick", func() { order = append(order, i) })
+	}
+	e.Run(0)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-instant events out of FIFO order: %v", order)
+		}
+	}
+}
+
+func TestAtRejectsPast(t *testing.T) {
+	e := NewEngine()
+	e.After(time.Second, "advance", func() {})
+	e.Run(0)
+	if _, err := e.At(500*time.Millisecond, "late", func() {}); !errors.Is(err, ErrPastEvent) {
+		t.Errorf("past event error = %v, want ErrPastEvent", err)
+	}
+}
+
+func TestNegativeAfterClampsToNow(t *testing.T) {
+	e := NewEngine()
+	e.Sleep(time.Second)
+	fired := false
+	e.After(-time.Minute, "clamped", func() { fired = true })
+	e.Step()
+	if !fired || e.Now() != time.Second {
+		t.Errorf("fired=%v now=%v", fired, e.Now())
+	}
+}
+
+func TestCancel(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	ev := e.After(time.Second, "doomed", func() { fired = true })
+	ev.Cancel()
+	e.Run(0)
+	if fired {
+		t.Error("cancelled event fired")
+	}
+}
+
+func TestCancelOneOfMany(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	e.After(time.Second, "keep1", func() { count++ })
+	ev := e.After(time.Second, "drop", func() { count += 100 })
+	e.After(time.Second, "keep2", func() { count++ })
+	ev.Cancel()
+	e.Run(0)
+	if count != 2 {
+		t.Errorf("count = %d, want 2", count)
+	}
+}
+
+func TestEventsCanScheduleEvents(t *testing.T) {
+	e := NewEngine()
+	var times []time.Duration
+	var tick func()
+	n := 0
+	tick = func() {
+		times = append(times, e.Now())
+		n++
+		if n < 5 {
+			e.After(100*time.Millisecond, "tick", tick)
+		}
+	}
+	e.After(100*time.Millisecond, "tick", tick)
+	e.Run(0)
+	if len(times) != 5 {
+		t.Fatalf("ticks = %d", len(times))
+	}
+	for i, at := range times {
+		want := time.Duration(i+1) * 100 * time.Millisecond
+		if at != want {
+			t.Errorf("tick %d at %v, want %v", i, at, want)
+		}
+	}
+}
+
+func TestRunBudget(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	for i := 0; i < 10; i++ {
+		e.After(time.Duration(i)*time.Second, "e", func() { count++ })
+	}
+	fired := e.Run(3)
+	if fired != 3 || count != 3 {
+		t.Errorf("fired=%d count=%d, want 3", fired, count)
+	}
+	if e.Pending() != 7 {
+		t.Errorf("Pending = %d, want 7", e.Pending())
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := NewEngine()
+	var fired []string
+	e.After(1*time.Second, "a", func() { fired = append(fired, "a") })
+	e.After(2*time.Second, "b", func() { fired = append(fired, "b") })
+	e.After(5*time.Second, "c", func() { fired = append(fired, "c") })
+	e.RunUntil(3 * time.Second)
+	if len(fired) != 2 {
+		t.Fatalf("fired = %v", fired)
+	}
+	if e.Now() != 3*time.Second {
+		t.Errorf("Now = %v, want 3s (clock must advance to the deadline)", e.Now())
+	}
+	e.RunUntil(10 * time.Second)
+	if len(fired) != 3 || e.Now() != 10*time.Second {
+		t.Errorf("fired=%v now=%v", fired, e.Now())
+	}
+}
+
+func TestRunUntilSkipsCancelled(t *testing.T) {
+	e := NewEngine()
+	ev := e.After(time.Second, "x", func() {})
+	ev.Cancel()
+	e.RunUntil(2 * time.Second)
+	if e.Pending() != 0 {
+		t.Errorf("cancelled event still pending")
+	}
+}
+
+func TestSteps(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 4; i++ {
+		e.After(time.Second, "e", func() {})
+	}
+	e.Run(0)
+	if e.Steps() != 4 {
+		t.Errorf("Steps = %d", e.Steps())
+	}
+}
+
+func TestEventAccessors(t *testing.T) {
+	e := NewEngine()
+	ev := e.After(7*time.Second, "probe", func() {})
+	if ev.Name() != "probe" {
+		t.Errorf("Name = %q", ev.Name())
+	}
+	if ev.At() != 7*time.Second {
+		t.Errorf("At = %v", ev.At())
+	}
+}
+
+func TestFixedClock(t *testing.T) {
+	c := &FixedClock{Time: time.Minute}
+	if c.Now() != time.Minute {
+		t.Errorf("Now = %v", c.Now())
+	}
+	c.Advance(30 * time.Second)
+	if c.Now() != 90*time.Second {
+		t.Errorf("after Advance Now = %v", c.Now())
+	}
+}
+
+func TestSleepDoesNotFireEvents(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	e.After(time.Second, "x", func() { fired = true })
+	e.Sleep(5 * time.Second)
+	if fired {
+		t.Error("Sleep fired an event")
+	}
+	if e.Now() != 5*time.Second {
+		t.Errorf("Now = %v", e.Now())
+	}
+}
+
+func TestEngineStressManyEvents(t *testing.T) {
+	// 50k events in randomised order must fire in exact time order.
+	e := NewEngine()
+	const n = 50000
+	var last time.Duration = -1
+	violations := 0
+	for i := 0; i < n; i++ {
+		// Deterministic pseudo-random times via a small LCG.
+		at := time.Duration((uint64(i)*6364136223846793005+1442695040888963407)%1e9) * time.Microsecond
+		e.At(at, "stress", func() {
+			if e.Now() < last {
+				violations++
+			}
+			last = e.Now()
+		})
+	}
+	if fired := e.Run(0); fired != n {
+		t.Fatalf("fired %d/%d", fired, n)
+	}
+	if violations != 0 {
+		t.Errorf("%d ordering violations", violations)
+	}
+}

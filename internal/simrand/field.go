@@ -1,0 +1,100 @@
+package simrand
+
+import (
+	"hash/fnv"
+	"math"
+)
+
+// GaussianField is a deterministic, spatially correlated Gaussian random
+// field over 3-D space. It models log-normal shadow fading: nearby points see
+// similar shadowing values, with correlation decaying over the decorrelation
+// distance (the Gudmundson model commonly used in indoor propagation
+// studies).
+//
+// The field is realised as independent N(0,1) values on a cubic lattice with
+// spacing equal to the decorrelation distance, interpolated trilinearly and
+// rescaled to preserve the requested standard deviation. Evaluation is pure:
+// the same coordinates always produce the same value regardless of query
+// order, which keeps whole-simulation determinism trivial.
+type GaussianField struct {
+	seed    uint64
+	stddev  float64
+	spacing float64
+}
+
+// NewGaussianField creates a field with the given per-point standard
+// deviation and decorrelation distance (lattice spacing, metres). It panics
+// if spacing <= 0 or stddev < 0, which indicate programming errors in the
+// caller's configuration.
+func NewGaussianField(seed uint64, stddev, spacing float64) *GaussianField {
+	if spacing <= 0 {
+		panic("simrand: field spacing must be positive")
+	}
+	if stddev < 0 {
+		panic("simrand: field stddev must be non-negative")
+	}
+	return &GaussianField{seed: seed, stddev: stddev, spacing: spacing}
+}
+
+// StdDev returns the field's configured standard deviation.
+func (f *GaussianField) StdDev() float64 { return f.stddev }
+
+// DecorrelationDistance returns the field's lattice spacing.
+func (f *GaussianField) DecorrelationDistance() float64 { return f.spacing }
+
+// At evaluates the field at (x, y, z).
+func (f *GaussianField) At(x, y, z float64) float64 {
+	if f.stddev == 0 {
+		return 0
+	}
+	gx, gy, gz := x/f.spacing, y/f.spacing, z/f.spacing
+	ix, iy, iz := math.Floor(gx), math.Floor(gy), math.Floor(gz)
+	fx, fy, fz := gx-ix, gy-iy, gz-iz
+	// Smoothstep weights give a C1-continuous field.
+	wx, wy, wz := smooth(fx), smooth(fy), smooth(fz)
+
+	var acc, wsum float64
+	for dx := 0; dx <= 1; dx++ {
+		for dy := 0; dy <= 1; dy++ {
+			for dz := 0; dz <= 1; dz++ {
+				w := pick(wx, dx) * pick(wy, dy) * pick(wz, dz)
+				g := f.latticeGauss(int64(ix)+int64(dx), int64(iy)+int64(dy), int64(iz)+int64(dz))
+				acc += w * g
+				wsum += w * w
+			}
+		}
+	}
+	if wsum == 0 {
+		return 0
+	}
+	// Dividing by sqrt(Σw²) restores unit variance after interpolation.
+	return f.stddev * acc / math.Sqrt(wsum)
+}
+
+// latticeGauss returns the deterministic N(0,1) value attached to a lattice
+// node.
+func (f *GaussianField) latticeGauss(ix, iy, iz int64) float64 {
+	h := fnv.New64a()
+	var buf [24]byte
+	put64(buf[0:8], uint64(ix))
+	put64(buf[8:16], uint64(iy))
+	put64(buf[16:24], uint64(iz))
+	_, _ = h.Write(buf[:])
+	s := New(mix(f.seed ^ h.Sum64()))
+	return s.NormFloat64()
+}
+
+func put64(b []byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+}
+
+func smooth(t float64) float64 { return t * t * (3 - 2*t) }
+
+func pick(w float64, d int) float64 {
+	if d == 0 {
+		return 1 - w
+	}
+	return w
+}

@@ -1,0 +1,119 @@
+package simrand
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFieldDeterminism(t *testing.T) {
+	f := NewGaussianField(99, 4.0, 2.0)
+	a := f.At(1.23, 4.56, 0.78)
+	b := f.At(1.23, 4.56, 0.78)
+	if a != b {
+		t.Errorf("field not deterministic: %v vs %v", a, b)
+	}
+	g := NewGaussianField(99, 4.0, 2.0)
+	if g.At(1.23, 4.56, 0.78) != a {
+		t.Error("field not reproducible across instances")
+	}
+}
+
+func TestFieldSeedSensitivity(t *testing.T) {
+	f := NewGaussianField(1, 4.0, 2.0)
+	g := NewGaussianField(2, 4.0, 2.0)
+	if f.At(0.5, 0.5, 0.5) == g.At(0.5, 0.5, 0.5) {
+		t.Error("different seeds produced identical field values")
+	}
+}
+
+func TestFieldZeroStdDev(t *testing.T) {
+	f := NewGaussianField(1, 0, 2.0)
+	if got := f.At(3, 1, 4); got != 0 {
+		t.Errorf("zero-stddev field returned %v", got)
+	}
+}
+
+func TestFieldMarginalStats(t *testing.T) {
+	f := NewGaussianField(7, 4.0, 2.0)
+	// Sample at lattice-decorrelated points; marginal should be ~N(0, 4²).
+	var sum, sumSq float64
+	n := 0
+	for i := 0; i < 40; i++ {
+		for j := 0; j < 40; j++ {
+			v := f.At(float64(i)*6.0, float64(j)*6.0, 1.0)
+			sum += v
+			sumSq += v * v
+			n++
+		}
+	}
+	mean := sum / float64(n)
+	sd := math.Sqrt(sumSq/float64(n) - mean*mean)
+	if math.Abs(mean) > 0.4 {
+		t.Errorf("field mean = %v, want ≈0", mean)
+	}
+	if sd < 3.0 || sd > 5.0 {
+		t.Errorf("field stddev = %v, want ≈4", sd)
+	}
+}
+
+func TestFieldSpatialCorrelation(t *testing.T) {
+	f := NewGaussianField(11, 4.0, 2.0)
+	// Nearby points must be much more similar than far-apart points.
+	var nearDiff, farDiff float64
+	const n = 300
+	for i := 0; i < n; i++ {
+		x, y := float64(i)*0.37, float64(i)*0.73
+		base := f.At(x, y, 1)
+		nearDiff += math.Abs(f.At(x+0.1, y, 1) - base)
+		farDiff += math.Abs(f.At(x+20, y+20, 1) - base)
+	}
+	if nearDiff >= farDiff*0.5 {
+		t.Errorf("near diff %v not ≪ far diff %v — field is not spatially correlated", nearDiff/n, farDiff/n)
+	}
+}
+
+func TestFieldContinuity(t *testing.T) {
+	f := NewGaussianField(13, 4.0, 2.0)
+	// Field must be continuous: small displacement ⇒ small change.
+	for i := 0; i < 100; i++ {
+		x := float64(i) * 0.17
+		d := math.Abs(f.At(x+1e-6, 1, 1) - f.At(x, 1, 1))
+		if d > 1e-3 {
+			t.Fatalf("discontinuity at x=%v: Δ=%v", x, d)
+		}
+	}
+}
+
+func TestFieldAccessors(t *testing.T) {
+	f := NewGaussianField(1, 4.5, 2.5)
+	if f.StdDev() != 4.5 {
+		t.Errorf("StdDev = %v", f.StdDev())
+	}
+	if f.DecorrelationDistance() != 2.5 {
+		t.Errorf("DecorrelationDistance = %v", f.DecorrelationDistance())
+	}
+}
+
+func TestFieldInvalidConfigPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"zero-spacing":    func() { NewGaussianField(1, 1, 0) },
+		"negative-stddev": func() { NewGaussianField(1, -1, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestFieldNegativeCoordinates(t *testing.T) {
+	f := NewGaussianField(3, 4.0, 2.0)
+	v := f.At(-10.5, -3.3, -0.7)
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		t.Errorf("field at negative coords = %v", v)
+	}
+}

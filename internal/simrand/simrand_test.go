@@ -1,0 +1,205 @@
+package simrand
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams with equal seeds diverged at draw %d", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("%d/100 identical draws across different seeds", same)
+	}
+}
+
+func TestDeriveIndependence(t *testing.T) {
+	root := New(7)
+	a := root.Derive("uwb")
+	b := root.Derive("wifi")
+	a2 := New(7).Derive("uwb")
+	if a.Uint64() != a2.Uint64() {
+		t.Error("Derive is not reproducible")
+	}
+	if a.Uint64() == b.Uint64() {
+		t.Error("differently named sub-streams should differ")
+	}
+}
+
+func TestDeriveN(t *testing.T) {
+	root := New(7)
+	s0 := root.DeriveN("ap", 0)
+	s1 := root.DeriveN("ap", 1)
+	if s0.Uint64() == s1.Uint64() {
+		t.Error("indexed sub-streams should differ")
+	}
+	again := New(7).DeriveN("ap", 0)
+	s0b := New(7).DeriveN("ap", 0)
+	if again.Uint64() != s0b.Uint64() {
+		t.Error("DeriveN not reproducible")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(3)
+	for i := 0; i < 10000; i++ {
+		f := s.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	s := New(11)
+	sum := 0.0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		sum += s.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("uniform mean = %v, want ≈0.5", mean)
+	}
+}
+
+func TestIntn(t *testing.T) {
+	s := New(5)
+	counts := make([]int, 10)
+	for i := 0; i < 10000; i++ {
+		counts[s.Intn(10)]++
+	}
+	for v, c := range counts {
+		if c < 700 || c > 1300 {
+			t.Errorf("Intn(10) value %d drawn %d/10000 times", v, c)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) did not panic")
+		}
+	}()
+	s.Intn(0)
+}
+
+func TestGaussMoments(t *testing.T) {
+	s := New(13)
+	const n = 200000
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		x := s.Gauss(-73, 4.5)
+		sum += x
+		sumSq += x * x
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean+73) > 0.05 {
+		t.Errorf("Gaussian mean = %v, want ≈ -73", mean)
+	}
+	if math.Abs(math.Sqrt(variance)-4.5) > 0.05 {
+		t.Errorf("Gaussian stddev = %v, want ≈ 4.5", math.Sqrt(variance))
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	s := New(17)
+	const n = 100000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += s.Exp(2.0)
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("Exp(2) mean = %v, want ≈0.5", mean)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Exp(0) did not panic")
+		}
+	}()
+	s.Exp(0)
+}
+
+func TestRicianPositive(t *testing.T) {
+	s := New(19)
+	for i := 0; i < 1000; i++ {
+		if r := s.Rician(1, 0.5); r < 0 {
+			t.Fatalf("Rician draw negative: %v", r)
+		}
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	s := New(23)
+	hits := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if s.Bool(0.3) {
+			hits++
+		}
+	}
+	p := float64(hits) / n
+	if math.Abs(p-0.3) > 0.01 {
+		t.Errorf("Bool(0.3) rate = %v", p)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	s := New(29)
+	p := s.Perm(50)
+	seen := make([]bool, 50)
+	for _, v := range p {
+		if v < 0 || v >= 50 || seen[v] {
+			t.Fatalf("invalid permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestShuffle(t *testing.T) {
+	s := New(31)
+	xs := []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	orig := append([]int(nil), xs...)
+	s.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	sum := 0
+	for _, v := range xs {
+		sum += v
+	}
+	if sum != 45 {
+		t.Error("shuffle lost elements")
+	}
+	different := false
+	for i := range xs {
+		if xs[i] != orig[i] {
+			different = true
+			break
+		}
+	}
+	if !different {
+		t.Error("shuffle of 10 elements left order unchanged (astronomically unlikely)")
+	}
+}
+
+func TestRangeBounds(t *testing.T) {
+	s := New(37)
+	for i := 0; i < 1000; i++ {
+		v := s.Range(-5, 5)
+		if v < -5 || v >= 5 {
+			t.Fatalf("Range out of bounds: %v", v)
+		}
+	}
+}

@@ -1,0 +1,148 @@
+// Package spectrum models the 2.4 GHz ISM band shared by the IEEE 802.11
+// access points the system maps and the nRF24-based Crazyradio link that
+// controls the UAVs. Its job is to quantify self-interference: how much an
+// active Crazyradio carrier degrades the ESP8266 scanner's ability to detect
+// beacons on each Wi-Fi channel — the effect the paper measures in Figure 5
+// and mitigates by shutting the radio down during scans.
+package spectrum
+
+import "fmt"
+
+// Wi-Fi channel plan constants (IEEE 802.11b/g/n, 2.4 GHz).
+const (
+	// MinWiFiChannel and MaxWiFiChannel bound the 2.4 GHz channel numbers.
+	MinWiFiChannel = 1
+	MaxWiFiChannel = 14
+	// WiFiChannelBandwidthMHz is the occupied bandwidth of an 802.11g/n
+	// 20 MHz channel.
+	WiFiChannelBandwidthMHz = 20.0
+)
+
+// Crazyradio channel plan constants (nRF24LU1).
+const (
+	// MinCrazyradioChannel and MaxCrazyradioChannel bound the nRF24 channel
+	// numbers; the 126 channels are uniformly distributed over
+	// 2400–2525 MHz (§II-C).
+	MinCrazyradioChannel = 0
+	MaxCrazyradioChannel = 125
+	// CrazyradioBandwidthMHz is the occupied bandwidth of the nRF24 carrier
+	// at 2 Mbps.
+	CrazyradioBandwidthMHz = 2.0
+)
+
+// WiFiChannelFreqMHz returns the centre frequency of a 2.4 GHz Wi-Fi channel.
+func WiFiChannelFreqMHz(ch int) (float64, error) {
+	if ch < MinWiFiChannel || ch > MaxWiFiChannel {
+		return 0, fmt.Errorf("spectrum: Wi-Fi channel %d out of range [%d, %d]", ch, MinWiFiChannel, MaxWiFiChannel)
+	}
+	if ch == 14 {
+		return 2484, nil
+	}
+	return 2407 + 5*float64(ch), nil
+}
+
+// CrazyradioChannelFreqMHz returns the carrier frequency of an nRF24 channel:
+// 2400 + n MHz.
+func CrazyradioChannelFreqMHz(ch int) (float64, error) {
+	if ch < MinCrazyradioChannel || ch > MaxCrazyradioChannel {
+		return 0, fmt.Errorf("spectrum: Crazyradio channel %d out of range [%d, %d]", ch, MinCrazyradioChannel, MaxCrazyradioChannel)
+	}
+	return 2400 + float64(ch), nil
+}
+
+// OverlapFactor returns the fraction (0..1) of a narrowband interferer's
+// energy that falls inside a Wi-Fi channel, using a triangular spectral-mask
+// approximation: full overlap when the carrier sits at the Wi-Fi centre,
+// tapering to zero once the separation exceeds half the combined bandwidth.
+func OverlapFactor(interfererFreqMHz, interfererBWMHz float64, wifiCh int) float64 {
+	centre, err := WiFiChannelFreqMHz(wifiCh)
+	if err != nil {
+		return 0
+	}
+	halfSpan := (WiFiChannelBandwidthMHz + interfererBWMHz) / 2
+	sep := interfererFreqMHz - centre
+	if sep < 0 {
+		sep = -sep
+	}
+	if sep >= halfSpan {
+		return 0
+	}
+	return 1 - sep/halfSpan
+}
+
+// Interferer is an active in-band transmitter degrading beacon reception.
+type Interferer struct {
+	// FreqMHz is the carrier frequency.
+	FreqMHz float64
+	// BandwidthMHz is the occupied bandwidth.
+	BandwidthMHz float64
+	// DutyCycle is the fraction of time the interferer transmits (0..1).
+	DutyCycle float64
+	// BroadbandDesenseFactor is the fraction of detections lost across the
+	// whole band while the interferer transmits, modelling front-end
+	// blocking/desensitisation of the cheap scanning receiver. The paper's
+	// Figure 5 shows the Crazyradio suppresses detections on all channels
+	// regardless of its frequency, which is this effect.
+	BroadbandDesenseFactor float64
+	// CoChannelSuppressionFactor is the additional fraction of detections
+	// lost on channels spectrally overlapping the carrier.
+	CoChannelSuppressionFactor float64
+}
+
+// Validate checks the interferer's parameters.
+func (i Interferer) Validate() error {
+	if i.FreqMHz <= 0 || i.BandwidthMHz <= 0 {
+		return fmt.Errorf("spectrum: interferer needs positive frequency and bandwidth")
+	}
+	for name, v := range map[string]float64{
+		"duty cycle":             i.DutyCycle,
+		"broadband desense":      i.BroadbandDesenseFactor,
+		"co-channel suppression": i.CoChannelSuppressionFactor,
+	} {
+		if v < 0 || v > 1 {
+			return fmt.Errorf("spectrum: interferer %s %g outside [0, 1]", name, v)
+		}
+	}
+	return nil
+}
+
+// DetectionScale returns the multiplicative factor (0..1) applied to the
+// scanner's per-beacon detection probability on the given Wi-Fi channel in
+// the presence of the listed interferers. With no interferers it returns 1.
+func DetectionScale(interferers []Interferer, wifiCh int) float64 {
+	scale := 1.0
+	for _, itf := range interferers {
+		overlap := OverlapFactor(itf.FreqMHz, itf.BandwidthMHz, wifiCh)
+		// Loss while the interferer is on-air, weighted by duty cycle.
+		loss := itf.DutyCycle * (itf.BroadbandDesenseFactor + itf.CoChannelSuppressionFactor*overlap)
+		if loss > 1 {
+			loss = 1
+		}
+		scale *= 1 - loss
+	}
+	return scale
+}
+
+// CrazyradioInterferer returns the interferer profile of an active Crazyradio
+// PA as calibrated against the paper's Figure 5: heavy broadband
+// desensitisation of the co-located ESP8266 scanner plus additional
+// co-channel suppression.
+func CrazyradioInterferer(radioCh int) (Interferer, error) {
+	f, err := CrazyradioChannelFreqMHz(radioCh)
+	if err != nil {
+		return Interferer{}, err
+	}
+	itf := Interferer{
+		FreqMHz:      f,
+		BandwidthMHz: CrazyradioBandwidthMHz,
+		// The CRTP link polls continuously, so the carrier is on-air most
+		// of the time.
+		DutyCycle: 0.9,
+		// Calibrated so that radio-on scans detect roughly two thirds of
+		// the APs a radio-off scan does, irrespective of carrier frequency
+		// (Fig 5).
+		BroadbandDesenseFactor:     0.55,
+		CoChannelSuppressionFactor: 0.35,
+	}
+	return itf, nil
+}

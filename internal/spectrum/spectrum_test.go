@@ -1,0 +1,192 @@
+package spectrum
+
+import (
+	"math"
+	"testing"
+)
+
+func TestWiFiChannelFreqs(t *testing.T) {
+	cases := map[int]float64{
+		1:  2412,
+		6:  2437,
+		11: 2462,
+		13: 2472,
+		14: 2484,
+	}
+	for ch, want := range cases {
+		got, err := WiFiChannelFreqMHz(ch)
+		if err != nil {
+			t.Fatalf("channel %d: %v", ch, err)
+		}
+		if got != want {
+			t.Errorf("channel %d = %v MHz, want %v", ch, got, want)
+		}
+	}
+	if _, err := WiFiChannelFreqMHz(0); err == nil {
+		t.Error("channel 0 accepted")
+	}
+	if _, err := WiFiChannelFreqMHz(15); err == nil {
+		t.Error("channel 15 accepted")
+	}
+}
+
+func TestCrazyradioChannelFreqs(t *testing.T) {
+	got, err := CrazyradioChannelFreqMHz(0)
+	if err != nil || got != 2400 {
+		t.Errorf("channel 0 = %v, %v", got, err)
+	}
+	got, err = CrazyradioChannelFreqMHz(125)
+	if err != nil || got != 2525 {
+		t.Errorf("channel 125 = %v, %v", got, err)
+	}
+	// The paper's six survey frequencies are all valid nRF24 channels.
+	for _, f := range []float64{2400, 2425, 2450, 2475, 2500, 2525} {
+		ch := int(f - 2400)
+		got, err := CrazyradioChannelFreqMHz(ch)
+		if err != nil || got != f {
+			t.Errorf("survey frequency %v not reachable: got %v, err %v", f, got, err)
+		}
+	}
+	if _, err := CrazyradioChannelFreqMHz(-1); err == nil {
+		t.Error("negative channel accepted")
+	}
+	if _, err := CrazyradioChannelFreqMHz(126); err == nil {
+		t.Error("channel 126 accepted")
+	}
+}
+
+func TestOverlapFactor(t *testing.T) {
+	centre, _ := WiFiChannelFreqMHz(6)
+	if got := OverlapFactor(centre, 2, 6); math.Abs(got-1) > 1e-12 {
+		t.Errorf("on-centre overlap = %v, want 1", got)
+	}
+	// Far away → zero.
+	if got := OverlapFactor(2525, 2, 1); got != 0 {
+		t.Errorf("far-off overlap = %v, want 0", got)
+	}
+	// Halfway to the edge → 0.5.
+	halfSpan := (WiFiChannelBandwidthMHz + 2) / 2
+	if got := OverlapFactor(centre+halfSpan/2, 2, 6); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("half-separation overlap = %v, want 0.5", got)
+	}
+	// Symmetry.
+	if OverlapFactor(centre+3, 2, 6) != OverlapFactor(centre-3, 2, 6) {
+		t.Error("overlap not symmetric")
+	}
+	// Invalid Wi-Fi channel → 0.
+	if got := OverlapFactor(2440, 2, 99); got != 0 {
+		t.Errorf("invalid channel overlap = %v", got)
+	}
+}
+
+func TestOverlapMonotoneInSeparation(t *testing.T) {
+	centre, _ := WiFiChannelFreqMHz(6)
+	prev := 2.0
+	for sep := 0.0; sep <= 15; sep += 0.5 {
+		got := OverlapFactor(centre+sep, 2, 6)
+		if got > prev {
+			t.Fatalf("overlap increased with separation at %v MHz", sep)
+		}
+		prev = got
+	}
+}
+
+func TestInterfererValidate(t *testing.T) {
+	good := Interferer{FreqMHz: 2440, BandwidthMHz: 2, DutyCycle: 0.5, BroadbandDesenseFactor: 0.3, CoChannelSuppressionFactor: 0.3}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid interferer rejected: %v", err)
+	}
+	bad := good
+	bad.DutyCycle = 1.5
+	if err := bad.Validate(); err == nil {
+		t.Error("duty cycle > 1 accepted")
+	}
+	bad = good
+	bad.FreqMHz = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero frequency accepted")
+	}
+	bad = good
+	bad.BroadbandDesenseFactor = -0.1
+	if err := bad.Validate(); err == nil {
+		t.Error("negative desense accepted")
+	}
+}
+
+func TestDetectionScaleNoInterferers(t *testing.T) {
+	if got := DetectionScale(nil, 6); got != 1 {
+		t.Errorf("no-interferer scale = %v, want 1", got)
+	}
+}
+
+func TestDetectionScaleBounds(t *testing.T) {
+	itf, err := CrazyradioInterferer(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ch := MinWiFiChannel; ch <= MaxWiFiChannel; ch++ {
+		s := DetectionScale([]Interferer{itf}, ch)
+		if s < 0 || s > 1 {
+			t.Errorf("channel %d scale = %v out of [0,1]", ch, s)
+		}
+		if s >= 1 {
+			t.Errorf("channel %d scale = %v; an active Crazyradio must degrade every channel (Fig 5)", ch, s)
+		}
+	}
+}
+
+func TestDetectionScaleCoChannelWorse(t *testing.T) {
+	// Crazyradio at 2437 MHz (channel 37) sits exactly on Wi-Fi channel 6.
+	itf, err := CrazyradioInterferer(37)
+	if err != nil {
+		t.Fatal(err)
+	}
+	co := DetectionScale([]Interferer{itf}, 6)
+	far := DetectionScale([]Interferer{itf}, 13)
+	if co >= far {
+		t.Errorf("co-channel scale %v not below far-channel scale %v", co, far)
+	}
+}
+
+func TestDetectionScaleMultipleInterferersCompound(t *testing.T) {
+	itf, _ := CrazyradioInterferer(37)
+	one := DetectionScale([]Interferer{itf}, 6)
+	two := DetectionScale([]Interferer{itf, itf}, 6)
+	if two >= one {
+		t.Errorf("two interferers scale %v not below one %v", two, one)
+	}
+}
+
+func TestCrazyradioInterfererValid(t *testing.T) {
+	itf, err := CrazyradioInterferer(25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := itf.Validate(); err != nil {
+		t.Errorf("calibrated interferer invalid: %v", err)
+	}
+	if itf.FreqMHz != 2425 {
+		t.Errorf("FreqMHz = %v", itf.FreqMHz)
+	}
+	if _, err := CrazyradioInterferer(200); err == nil {
+		t.Error("invalid radio channel accepted")
+	}
+}
+
+func TestFigure5ShapeAcrossFrequencies(t *testing.T) {
+	// For every paper survey frequency, the radio-on detection scale must be
+	// substantially below 1 on every 2.4 GHz Wi-Fi channel — the paper's
+	// "interference is significant irrespective of operating frequency".
+	for _, f := range []float64{2400, 2425, 2450, 2475, 2500, 2525} {
+		itf, err := CrazyradioInterferer(int(f - 2400))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for ch := 1; ch <= 13; ch++ {
+			s := DetectionScale([]Interferer{itf}, ch)
+			if s > 0.75 {
+				t.Errorf("radio at %v MHz, channel %d: scale %v too mild for Fig 5 shape", f, ch, s)
+			}
+		}
+	}
+}

@@ -1,0 +1,54 @@
+// Package uav models the BitCraze Crazyflie 2.1 platform the paper flies:
+// point-mass flight kinematics, the LiPo battery and its deck-load-dependent
+// endurance, the commander with its setpoint watchdog (including the
+// firmware timeouts the paper patches), the expansion-deck registry, and the
+// position-hold feedback task that keeps the UAV stable while the radio is
+// shut down during scans.
+package uav
+
+import "fmt"
+
+// Battery is a simple energy-reservoir model of the Crazyflie's 250 mAh
+// LiPo. Power draws are integrated over virtual time; when the reservoir
+// empties the UAV's behaviour becomes erratic — the endurance limit the
+// paper measures at 6 min 12 s of scan-hover with full deck load.
+type Battery struct {
+	capacityJ float64
+	remainJ   float64
+}
+
+// NewBattery creates a full battery with the given capacity in joules.
+func NewBattery(capacityJ float64) (*Battery, error) {
+	if capacityJ <= 0 {
+		return nil, fmt.Errorf("uav: battery capacity must be positive, got %g", capacityJ)
+	}
+	return &Battery{capacityJ: capacityJ, remainJ: capacityJ}, nil
+}
+
+// CapacityJ returns the full capacity in joules.
+func (b *Battery) CapacityJ() float64 { return b.capacityJ }
+
+// RemainingJ returns the remaining energy in joules.
+func (b *Battery) RemainingJ() float64 { return b.remainJ }
+
+// Fraction returns the state of charge in [0, 1].
+func (b *Battery) Fraction() float64 { return b.remainJ / b.capacityJ }
+
+// Depleted reports whether the reservoir is empty.
+func (b *Battery) Depleted() bool { return b.remainJ <= 0 }
+
+// Drain consumes powerW for seconds of operation and reports whether the
+// battery survived the draw.
+func (b *Battery) Drain(powerW, seconds float64) bool {
+	if powerW < 0 || seconds < 0 {
+		return !b.Depleted()
+	}
+	b.remainJ -= powerW * seconds
+	if b.remainJ < 0 {
+		b.remainJ = 0
+	}
+	return !b.Depleted()
+}
+
+// Recharge refills the battery (swap in a fresh pack between sorties).
+func (b *Battery) Recharge() { b.remainJ = b.capacityJ }

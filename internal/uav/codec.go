@@ -1,0 +1,71 @@
+package uav
+
+import (
+	"fmt"
+
+	"repro/internal/crtp"
+	"repro/internal/receiver"
+)
+
+// Scan-result wire format on the CRTP app-data port. One measurement per
+// packet: [keyLen u8][key bytes][rssi i8][channel u8][nameLen u8][name
+// bytes], truncated to fit the 30-byte CRTP payload. The key (MAC/address)
+// is never truncated — it is the REM's primary key; the human-readable name
+// is best-effort.
+const (
+	maxKeyLen = 17 // "AA:BB:CC:DD:EE:FF"
+	headerLen = 4  // keyLen + rssi + channel + nameLen
+)
+
+// EncodeMeasurement marshals a measurement into a CRTP packet.
+func EncodeMeasurement(m receiver.Measurement) (crtp.Packet, error) {
+	if len(m.Key) == 0 || len(m.Key) > maxKeyLen {
+		return crtp.Packet{}, fmt.Errorf("uav: measurement key %q must be 1..%d bytes", m.Key, maxKeyLen)
+	}
+	if m.RSSI < -128 || m.RSSI > 127 {
+		return crtp.Packet{}, fmt.Errorf("uav: RSSI %d does not fit int8", m.RSSI)
+	}
+	if m.Channel < 0 || m.Channel > 255 {
+		return crtp.Packet{}, fmt.Errorf("uav: channel %d does not fit uint8", m.Channel)
+	}
+	nameBudget := crtp.MaxPayload - headerLen - len(m.Key)
+	name := m.Name
+	if len(name) > nameBudget {
+		name = name[:nameBudget]
+	}
+	payload := make([]byte, 0, headerLen+len(m.Key)+len(name))
+	payload = append(payload, byte(len(m.Key)))
+	payload = append(payload, m.Key...)
+	payload = append(payload, byte(int8(m.RSSI)), byte(m.Channel), byte(len(name)))
+	payload = append(payload, name...)
+	return crtp.Packet{Port: crtp.PortAppData, Payload: payload}, nil
+}
+
+// DecodeMeasurement unmarshals a scan-result packet.
+func DecodeMeasurement(p crtp.Packet) (receiver.Measurement, error) {
+	if p.Port != crtp.PortAppData {
+		return receiver.Measurement{}, fmt.Errorf("uav: packet on port %d is not a scan result", p.Port)
+	}
+	b := p.Payload
+	if len(b) < 1 {
+		return receiver.Measurement{}, fmt.Errorf("uav: empty scan-result payload")
+	}
+	keyLen := int(b[0])
+	if keyLen == 0 || keyLen > maxKeyLen || len(b) < 1+keyLen+3 {
+		return receiver.Measurement{}, fmt.Errorf("uav: malformed scan-result payload (keyLen=%d, len=%d)", keyLen, len(b))
+	}
+	key := string(b[1 : 1+keyLen])
+	rssi := int(int8(b[1+keyLen]))
+	channel := int(b[2+keyLen])
+	nameLen := int(b[3+keyLen])
+	rest := b[4+keyLen:]
+	if nameLen > len(rest) {
+		return receiver.Measurement{}, fmt.Errorf("uav: scan-result name truncated (want %d, have %d)", nameLen, len(rest))
+	}
+	return receiver.Measurement{
+		Key:     key,
+		Name:    string(rest[:nameLen]),
+		RSSI:    rssi,
+		Channel: channel,
+	}, nil
+}

@@ -1,0 +1,72 @@
+package uav
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/receiver"
+)
+
+// TestCodecQuickRoundTrip drives the CRTP scan-result codec with arbitrary
+// inputs: any measurement with a valid key, int8 RSSI and uint8 channel must
+// round-trip exactly apart from documented name truncation.
+func TestCodecQuickRoundTrip(t *testing.T) {
+	f := func(keyBytes [12]byte, name string, rssi int8, channel uint8) bool {
+		// Build a printable, non-empty key from the raw bytes.
+		var kb strings.Builder
+		for _, b := range keyBytes {
+			kb.WriteByte("0123456789ABCDEF"[b%16])
+		}
+		m := receiver.Measurement{
+			Key:     kb.String(),
+			Name:    name,
+			RSSI:    int(rssi),
+			Channel: int(channel),
+		}
+		pkt, err := EncodeMeasurement(m)
+		if err != nil {
+			return false
+		}
+		if pkt.Validate() != nil {
+			return false
+		}
+		back, err := DecodeMeasurement(pkt)
+		if err != nil {
+			return false
+		}
+		if back.Key != m.Key || back.RSSI != m.RSSI || back.Channel != m.Channel {
+			return false
+		}
+		// Name may be truncated but must be a prefix.
+		return strings.HasPrefix(m.Name, back.Name)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDecodeQuickNeverPanics feeds arbitrary payload bytes to the decoder;
+// it may reject them but must never panic.
+func TestDecodeQuickNeverPanics(t *testing.T) {
+	f := func(payload []byte) bool {
+		if len(payload) > 30 {
+			payload = payload[:30]
+		}
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("decoder panicked on %x: %v", payload, r)
+			}
+		}()
+		pkt, err := EncodeMeasurement(receiver.Measurement{Key: "k", RSSI: -1})
+		if err != nil {
+			return false
+		}
+		pkt.Payload = payload
+		_, _ = DecodeMeasurement(pkt)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,112 @@
+package uav
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Firmware timeout constants (§II-C).
+const (
+	// LevelingTimeout is the stock firmware behaviour: with no setpoint
+	// for over 500 ms the Crazyflie zeroes its attitude angles to
+	// stabilise itself.
+	LevelingTimeout = 500 * time.Millisecond
+	// DefaultWatchdogShutdown is the stock COMMANDER_WDT_TIMEOUT_SHUTDOWN:
+	// with no setpoint for this long the Crazyflie shuts down, assuming
+	// something went wrong. Too short to bridge a radio-off scan.
+	DefaultWatchdogShutdown = 2 * time.Second
+	// PaperWatchdogShutdown is the paper's patched value, long enough to
+	// bridge the radio shutdown period during a scan.
+	PaperWatchdogShutdown = 10 * time.Second
+	// FeedbackInterval is the period of the paper's extra FreeRTOS task
+	// that re-feeds the scanning position to the commander while the
+	// radio is down.
+	FeedbackInterval = 100 * time.Millisecond
+)
+
+// CommanderState describes the setpoint watchdog's verdict.
+type CommanderState int
+
+// Watchdog states, from healthy to failed.
+const (
+	// CommanderActive means setpoints are fresh.
+	CommanderActive CommanderState = iota + 1
+	// CommanderLeveling means no setpoint for >500 ms; attitude zeroed.
+	CommanderLeveling
+	// CommanderShutdown means the watchdog expired; motors stopped.
+	CommanderShutdown
+)
+
+// String implements fmt.Stringer.
+func (s CommanderState) String() string {
+	switch s {
+	case CommanderActive:
+		return "active"
+	case CommanderLeveling:
+		return "leveling"
+	case CommanderShutdown:
+		return "shutdown"
+	default:
+		return fmt.Sprintf("CommanderState(%d)", int(s))
+	}
+}
+
+// Commander is the firmware component that consumes setpoints and enforces
+// the safety watchdog (Figure 4 of the paper).
+type Commander struct {
+	clock            sim.Clock
+	watchdogShutdown time.Duration
+	lastSetpoint     time.Duration
+	everFed          bool
+	shutdown         bool
+}
+
+// NewCommander creates a commander against the simulation clock with the
+// given shutdown timeout.
+func NewCommander(clock sim.Clock, watchdogShutdown time.Duration) (*Commander, error) {
+	if clock == nil {
+		return nil, fmt.Errorf("uav: commander requires a clock")
+	}
+	if watchdogShutdown <= LevelingTimeout {
+		return nil, fmt.Errorf("uav: watchdog shutdown %v must exceed the %v levelling timeout",
+			watchdogShutdown, LevelingTimeout)
+	}
+	return &Commander{clock: clock, watchdogShutdown: watchdogShutdown}, nil
+}
+
+// WatchdogTimeout returns the configured shutdown timeout.
+func (c *Commander) WatchdogTimeout() time.Duration { return c.watchdogShutdown }
+
+// Feed registers a fresh setpoint (from the radio link or from the on-board
+// position-feedback task). Feeding after shutdown has no effect: a real
+// Crazyflie stays down until rebooted.
+func (c *Commander) Feed() {
+	if c.shutdown {
+		return
+	}
+	c.lastSetpoint = c.clock.Now()
+	c.everFed = true
+}
+
+// State evaluates the watchdog at the current virtual time. Once shutdown is
+// reached it latches.
+func (c *Commander) State() CommanderState {
+	if c.shutdown {
+		return CommanderShutdown
+	}
+	if !c.everFed {
+		return CommanderActive // pre-flight; watchdog arms on first feed
+	}
+	idle := c.clock.Now() - c.lastSetpoint
+	switch {
+	case idle > c.watchdogShutdown:
+		c.shutdown = true
+		return CommanderShutdown
+	case idle > LevelingTimeout:
+		return CommanderLeveling
+	default:
+		return CommanderActive
+	}
+}

@@ -1,0 +1,387 @@
+package uav
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/crtp"
+	"repro/internal/ekf"
+	"repro/internal/geom"
+	"repro/internal/receiver"
+	"repro/internal/sim"
+	"repro/internal/simrand"
+	"repro/internal/uwb"
+)
+
+// Config describes one Crazyflie 2.1 with its deck load.
+type Config struct {
+	// Name labels the UAV ("A", "B", ...).
+	Name string
+	// RadioChannel is the CRTP nRF24 channel.
+	RadioChannel int
+	// TxQueueSize is the firmware CRTP TX queue capacity.
+	TxQueueSize int
+	// MaxSpeedMPS limits translation speed.
+	MaxSpeedMPS float64
+	// BatteryCapacityJ is the usable pack energy.
+	BatteryCapacityJ float64
+	// HoverPowerW is the hover draw with the LPD and receiver decks
+	// mounted (their weight is why endurance drops below the advertised
+	// 7 min).
+	HoverPowerW float64
+	// MovePowerW is the extra draw while translating.
+	MovePowerW float64
+	// ScanPowerW is the extra draw while the receiver deck scans.
+	ScanPowerW float64
+	// WatchdogShutdown is COMMANDER_WDT_TIMEOUT_SHUTDOWN.
+	WatchdogShutdown time.Duration
+	// FeedbackTask enables the paper's extra FreeRTOS task that re-feeds
+	// the scan position to the commander every 100 ms while the radio is
+	// down. Without it (and with the stock watchdog) scans kill the UAV.
+	FeedbackTask bool
+	// KeepRadioOnDuringScan disables the paper's self-interference
+	// mitigation (the radio stays up while scanning). Only used by the
+	// mitigation ablation (experiment E8); the default is false.
+	KeepRadioOnDuringScan bool
+	// Seed derives the UAV's noise streams.
+	Seed uint64
+}
+
+// DefaultConfig returns a paper-faithful Crazyflie: patched watchdog,
+// enlarged TX queue, feedback task enabled, and an energy budget calibrated
+// to the measured 6 min 12 s scan-hover endurance.
+func DefaultConfig(name string, radioChannel int, seed uint64) Config {
+	return Config{
+		Name:             name,
+		RadioChannel:     radioChannel,
+		TxQueueSize:      crtp.PaperTxQueueSize,
+		MaxSpeedMPS:      0.8,
+		BatteryCapacityJ: 5850, // ≈ full pack at the deck-laden hover draw below
+		HoverPowerW:      15.7,
+		MovePowerW:       1.1,
+		ScanPowerW:       0.5,
+		WatchdogShutdown: PaperWatchdogShutdown,
+		FeedbackTask:     true,
+		Seed:             seed,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Name == "" {
+		return errors.New("uav: config needs a name")
+	}
+	if c.MaxSpeedMPS <= 0 {
+		return errors.New("uav: max speed must be positive")
+	}
+	if c.BatteryCapacityJ <= 0 || c.HoverPowerW <= 0 {
+		return errors.New("uav: battery capacity and hover power must be positive")
+	}
+	if c.MovePowerW < 0 || c.ScanPowerW < 0 {
+		return errors.New("uav: move/scan power must be non-negative")
+	}
+	return nil
+}
+
+// Crazyflie state errors.
+var (
+	// ErrNotFlying is returned for flight commands while on the ground.
+	ErrNotFlying = errors.New("uav: not flying")
+	// ErrBatteryDepleted is returned when the pack empties mid-operation;
+	// the paper describes the UAV becoming "less responsive and its
+	// motions erratic".
+	ErrBatteryDepleted = errors.New("uav: battery depleted, behaviour erratic")
+	// ErrWatchdogShutdown is returned when the commander watchdog expires
+	// (no setpoint within COMMANDER_WDT_TIMEOUT_SHUTDOWN).
+	ErrWatchdogShutdown = errors.New("uav: commander watchdog shutdown")
+)
+
+// Crazyflie is one simulated UAV with its decks.
+type Crazyflie struct {
+	cfg       Config
+	engine    *sim.Engine
+	battery   *Battery
+	commander *Commander
+	link      *crtp.Link
+	driver    receiver.Driver
+	lps       *uwb.Constellation
+	filter    *ekf.Filter
+	rng       *simrand.Source
+
+	truePos geom.Vec3
+	flying  bool
+	scans   int
+}
+
+// New assembles a Crazyflie. The receiver driver and the UWB constellation
+// are its two expansion decks (§II: both expansion slots are used — one for
+// the Loco Positioning Deck, one for the REM-generating receiver).
+func New(cfg Config, engine *sim.Engine, drv receiver.Driver, lps *uwb.Constellation, start geom.Vec3) (*Crazyflie, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if engine == nil || drv == nil || lps == nil {
+		return nil, errors.New("uav: engine, driver and constellation are required")
+	}
+	bat, err := NewBattery(cfg.BatteryCapacityJ)
+	if err != nil {
+		return nil, err
+	}
+	cmd, err := NewCommander(engine, cfg.WatchdogShutdown)
+	if err != nil {
+		return nil, err
+	}
+	link, err := crtp.NewLink(cfg.RadioChannel, cfg.TxQueueSize)
+	if err != nil {
+		return nil, err
+	}
+	filt, err := ekf.New(start, ekf.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	return &Crazyflie{
+		cfg:       cfg,
+		engine:    engine,
+		battery:   bat,
+		commander: cmd,
+		link:      link,
+		driver:    drv,
+		lps:       lps,
+		filter:    filt,
+		rng:       simrand.New(cfg.Seed).Derive("uav-" + cfg.Name),
+		truePos:   start,
+	}, nil
+}
+
+// Name returns the UAV's label.
+func (cf *Crazyflie) Name() string { return cf.cfg.Name }
+
+// TruePos returns the ground-truth position (the simulation knows it; the
+// UAV itself only knows EstimatedPos).
+func (cf *Crazyflie) TruePos() geom.Vec3 { return cf.truePos }
+
+// EstimatedPos returns the on-board EKF position estimate — the location
+// annotation attached to REM samples.
+func (cf *Crazyflie) EstimatedPos() geom.Vec3 { return cf.filter.Position() }
+
+// Link exposes the CRTP link (the base station holds the other end).
+func (cf *Crazyflie) Link() *crtp.Link { return cf.link }
+
+// Battery exposes the battery for telemetry.
+func (cf *Crazyflie) Battery() *Battery { return cf.battery }
+
+// Flying reports whether the UAV is airborne.
+func (cf *Crazyflie) Flying() bool { return cf.flying }
+
+// Scans returns the number of completed scans this sortie.
+func (cf *Crazyflie) Scans() int { return cf.scans }
+
+// Driver exposes the REM receiver driver deck.
+func (cf *Crazyflie) Driver() receiver.Driver { return cf.driver }
+
+// tick advances one control period: drains the battery, runs the EKF cycle,
+// and checks the watchdog. extraPowerW is the draw beyond hover.
+func (cf *Crazyflie) tick(dt time.Duration, extraPowerW float64, accel geom.Vec3, feed bool) error {
+	seconds := dt.Seconds()
+	if !cf.battery.Drain(cf.cfg.HoverPowerW+extraPowerW, seconds) {
+		cf.flying = false
+		return fmt.Errorf("%w (t=%v)", ErrBatteryDepleted, cf.engine.Now())
+	}
+	if feed {
+		cf.commander.Feed()
+	}
+	if cf.commander.State() == CommanderShutdown {
+		cf.flying = false
+		return fmt.Errorf("%w (t=%v)", ErrWatchdogShutdown, cf.engine.Now())
+	}
+	// On-board state estimation: IMU prediction + UWB correction.
+	noisy := accel.Add(geom.V(cf.rng.Gauss(0, 0.05), cf.rng.Gauss(0, 0.05), cf.rng.Gauss(0, 0.08)))
+	if err := cf.filter.Predict(noisy, seconds); err != nil {
+		return err
+	}
+	switch cf.lps.Mode() {
+	case uwb.TWR:
+		ranges, err := cf.lps.TWRRanges(cf.truePos, cf.rng)
+		if err != nil {
+			return err
+		}
+		for _, r := range ranges {
+			if err := cf.filter.UpdateRange(r.Anchor, r.RangeM, 0.15); err != nil {
+				return err
+			}
+		}
+	case uwb.TDoA:
+		diffs, err := cf.lps.TDoAMeasurements(cf.truePos, cf.rng)
+		if err != nil {
+			return err
+		}
+		for _, d := range diffs {
+			if err := cf.filter.UpdateTDoA(d.Anchor, d.RefAnchor, d.DiffM, 0.13); err != nil {
+				return err
+			}
+		}
+	}
+	cf.engine.RunUntil(cf.engine.Now() + dt)
+	return nil
+}
+
+// TakeOff spins up and climbs to the given altitude above the current
+// position.
+func (cf *Crazyflie) TakeOff(altitude float64) error {
+	if cf.flying {
+		return errors.New("uav: already flying")
+	}
+	if altitude <= 0 {
+		return errors.New("uav: take-off altitude must be positive")
+	}
+	if cf.commander.State() == CommanderShutdown {
+		return ErrWatchdogShutdown
+	}
+	cf.flying = true
+	cf.commander.Feed()
+	target := cf.truePos.Add(geom.V(0, 0, altitude))
+	return cf.moveTo(target, 0)
+}
+
+// GoTo flies in a straight line to the target. minLegTime pads short hops to
+// the mission plan's per-leg budget (the paper allots 4 s per leg).
+func (cf *Crazyflie) GoTo(target geom.Vec3, minLegTime time.Duration) error {
+	if !cf.flying {
+		return ErrNotFlying
+	}
+	return cf.moveTo(target, minLegTime)
+}
+
+func (cf *Crazyflie) moveTo(target geom.Vec3, minLegTime time.Duration) error {
+	dist := cf.truePos.Dist(target)
+	dur := time.Duration(dist / cf.cfg.MaxSpeedMPS * float64(time.Second))
+	if dur < minLegTime {
+		dur = minLegTime
+	}
+	if dur == 0 {
+		return nil
+	}
+	start := cf.truePos
+	steps := int(dur / FeedbackInterval)
+	if steps < 1 {
+		steps = 1
+	}
+	stepDt := dur / time.Duration(steps)
+	for i := 1; i <= steps; i++ {
+		cf.truePos = start.Lerp(target, float64(i)/float64(steps))
+		// Setpoints stream from the base station while the radio is up.
+		if err := cf.tick(stepDt, cf.cfg.MovePowerW, geom.V(0, 0, 0), cf.link.RadioOn()); err != nil {
+			return err
+		}
+	}
+	cf.truePos = target
+	return nil
+}
+
+// Hover holds position for the given duration.
+func (cf *Crazyflie) Hover(d time.Duration) error {
+	if !cf.flying {
+		return ErrNotFlying
+	}
+	steps := int(d / FeedbackInterval)
+	if steps < 1 {
+		steps = 1
+	}
+	stepDt := d / time.Duration(steps)
+	for i := 0; i < steps; i++ {
+		if err := cf.tick(stepDt, 0, geom.V(0, 0, 0), cf.link.RadioOn()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Scan runs the paper's §II-C measurement sequence at the current position:
+// shut the Crazyradio down, hold position (fed by the feedback task if
+// enabled), trigger the receiver scan, restart the radio, and return the
+// parsed measurements together with the EKF position estimate at scan time.
+// The radio-off window means no CRTP interference reaches the receiver.
+func (cf *Crazyflie) Scan() ([]receiver.Measurement, geom.Vec3, error) {
+	if !cf.flying {
+		return nil, geom.Vec3{}, ErrNotFlying
+	}
+	if err := cf.driver.Status(); err != nil {
+		return nil, geom.Vec3{}, err
+	}
+	scanTime := 2 * time.Second
+	if td, ok := cf.driver.(receiver.Timed); ok {
+		scanTime = td.ScanDuration()
+	}
+
+	// iv) shut down the Crazyradio right before the scan starts (unless
+	// the mitigation ablation keeps it up).
+	if !cf.cfg.KeepRadioOnDuringScan {
+		cf.link.SetRadio(false)
+	}
+
+	// The position the feedback task re-feeds is the estimate at scan start.
+	scanPos := cf.filter.Position()
+
+	// Trigger the receiver; the module scans while we hold position.
+	if err := cf.driver.TriggerScan(); err != nil {
+		cf.link.SetRadio(true)
+		return nil, geom.Vec3{}, err
+	}
+
+	steps := int(scanTime / FeedbackInterval)
+	if steps < 1 {
+		steps = 1
+	}
+	stepDt := scanTime / time.Duration(steps)
+	for i := 0; i < steps; i++ {
+		// With the radio down, only the feedback task feeds the commander;
+		// with the radio up (ablation), base-station setpoints still flow.
+		if err := cf.tick(stepDt, cf.cfg.ScanPowerW, geom.V(0, 0, 0), cf.cfg.FeedbackTask || cf.link.RadioOn()); err != nil {
+			cf.link.SetRadio(true)
+			return nil, geom.Vec3{}, err
+		}
+	}
+
+	ms, err := cf.driver.Results()
+	if err != nil {
+		cf.link.SetRadio(true)
+		return nil, geom.Vec3{}, err
+	}
+
+	// Queue the results on the CRTP TX queue while the radio is still
+	// down, then restart the radio, which drains the queue to the base
+	// station (the paper's enlarged CRTP_TX_QUEUE_SIZE makes this fit).
+	for _, m := range ms {
+		pkt, err := EncodeMeasurement(m)
+		if err != nil {
+			cf.link.SetRadio(true)
+			return nil, geom.Vec3{}, err
+		}
+		if err := cf.link.Send(pkt); err != nil {
+			// Queue overflow: the measurement is lost, exactly the stock-
+			// firmware failure mode. Keep going; the caller sees fewer
+			// results via the link's drop counter.
+			continue
+		}
+	}
+
+	// v) restart the radio connection after the scan is done.
+	cf.link.SetRadio(true)
+	cf.commander.Feed()
+	cf.scans++
+	return ms, scanPos, nil
+}
+
+// Land descends to z=0 at the current x/y and stops the motors.
+func (cf *Crazyflie) Land() error {
+	if !cf.flying {
+		return ErrNotFlying
+	}
+	target := geom.V(cf.truePos.X, cf.truePos.Y, 0)
+	if err := cf.moveTo(target, 0); err != nil {
+		return err
+	}
+	cf.flying = false
+	return nil
+}

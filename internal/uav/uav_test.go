@@ -1,0 +1,521 @@
+package uav
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/geom"
+	"repro/internal/receiver"
+	"repro/internal/sim"
+	"repro/internal/uwb"
+)
+
+// stubDriver is a minimal REM receiver for UAV-level tests.
+type stubDriver struct {
+	inited   bool
+	scanned  bool
+	scanTime time.Duration
+	results  []receiver.Measurement
+	failScan bool
+}
+
+func (d *stubDriver) Init() error { d.inited = true; return nil }
+func (d *stubDriver) Status() error {
+	if !d.inited {
+		return errors.New("stub: not initialised")
+	}
+	return nil
+}
+func (d *stubDriver) TriggerScan() error {
+	if d.failScan {
+		return errors.New("stub: scan failure")
+	}
+	d.scanned = true
+	return nil
+}
+func (d *stubDriver) Results() ([]receiver.Measurement, error) {
+	if !d.scanned {
+		return nil, errors.New("stub: no scan")
+	}
+	d.scanned = false
+	return d.results, nil
+}
+func (d *stubDriver) ScanDuration() time.Duration { return d.scanTime }
+
+var _ receiver.Driver = (*stubDriver)(nil)
+var _ receiver.Timed = (*stubDriver)(nil)
+
+func testLPS(t *testing.T) *uwb.Constellation {
+	t.Helper()
+	c, err := uwb.CornerConstellation(geom.PaperScanVolume(), uwb.DefaultConfig(uwb.TDoA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SelfCalibrate()
+	return c
+}
+
+func testUAV(t *testing.T, cfg Config) (*Crazyflie, *stubDriver, *sim.Engine) {
+	t.Helper()
+	engine := sim.NewEngine()
+	drv := &stubDriver{scanTime: 2 * time.Second, results: []receiver.Measurement{
+		{Key: "AA:BB:CC:DD:EE:FF", Name: "net", RSSI: -70, Channel: 6},
+	}}
+	if err := drv.Init(); err != nil {
+		t.Fatal(err)
+	}
+	cf, err := New(cfg, engine, drv, testLPS(t), geom.V(0.5, 0.5, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cf, drv, engine
+}
+
+func TestBattery(t *testing.T) {
+	b, err := NewBattery(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Fraction() != 1 || b.Depleted() {
+		t.Error("fresh battery wrong state")
+	}
+	if !b.Drain(10, 5) { // 50 J
+		t.Error("half drain reported depleted")
+	}
+	if b.RemainingJ() != 50 {
+		t.Errorf("RemainingJ = %v", b.RemainingJ())
+	}
+	if b.Drain(10, 10) { // 100 J more → empty
+		t.Error("over-drain reported alive")
+	}
+	if !b.Depleted() || b.RemainingJ() != 0 {
+		t.Error("battery should be pinned at empty")
+	}
+	b.Recharge()
+	if b.Fraction() != 1 {
+		t.Error("recharge failed")
+	}
+	if _, err := NewBattery(0); err == nil {
+		t.Error("zero capacity accepted")
+	}
+}
+
+func TestBatteryNegativeDrainIgnored(t *testing.T) {
+	b, _ := NewBattery(100)
+	b.Drain(-5, 10)
+	b.Drain(5, -10)
+	if b.RemainingJ() != 100 {
+		t.Errorf("negative drain changed charge: %v", b.RemainingJ())
+	}
+}
+
+func TestCommanderStates(t *testing.T) {
+	clock := &sim.FixedClock{}
+	c, err := NewCommander(clock, PaperWatchdogShutdown)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.State() != CommanderActive {
+		t.Errorf("pre-feed state = %v", c.State())
+	}
+	c.Feed()
+	clock.Advance(400 * time.Millisecond)
+	if c.State() != CommanderActive {
+		t.Errorf("state at 400 ms = %v, want active", c.State())
+	}
+	clock.Advance(200 * time.Millisecond) // 600 ms since feed
+	if c.State() != CommanderLeveling {
+		t.Errorf("state at 600 ms = %v, want leveling (paper: 500 ms)", c.State())
+	}
+	clock.Advance(10 * time.Second) // way past shutdown
+	if c.State() != CommanderShutdown {
+		t.Errorf("state past watchdog = %v, want shutdown", c.State())
+	}
+	// Shutdown latches; feeding cannot revive it.
+	c.Feed()
+	if c.State() != CommanderShutdown {
+		t.Error("shutdown did not latch")
+	}
+}
+
+func TestCommanderStockVsPaperTimeout(t *testing.T) {
+	clock := &sim.FixedClock{}
+	stock, _ := NewCommander(clock, DefaultWatchdogShutdown)
+	paper, _ := NewCommander(clock, PaperWatchdogShutdown)
+	stock.Feed()
+	paper.Feed()
+	clock.Advance(3 * time.Second) // a radio-off scan lasts ≈2–3 s
+	if stock.State() != CommanderShutdown {
+		t.Error("stock watchdog survived a scan-length gap; paper says it must not")
+	}
+	if paper.State() == CommanderShutdown {
+		t.Error("paper watchdog died within a scan-length gap")
+	}
+}
+
+func TestNewCommanderValidation(t *testing.T) {
+	if _, err := NewCommander(nil, PaperWatchdogShutdown); err == nil {
+		t.Error("nil clock accepted")
+	}
+	if _, err := NewCommander(&sim.FixedClock{}, 100*time.Millisecond); err == nil {
+		t.Error("watchdog below levelling timeout accepted")
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	m := receiver.Measurement{Key: "AA:BB:CC:DD:EE:FF", Name: "net", RSSI: -73, Channel: 11}
+	pkt, err := EncodeMeasurement(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pkt.Validate(); err != nil {
+		t.Fatalf("encoded packet invalid: %v", err)
+	}
+	back, err := DecodeMeasurement(pkt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back != m {
+		t.Errorf("round trip = %+v, want %+v", back, m)
+	}
+}
+
+func TestCodecTruncatesLongNames(t *testing.T) {
+	m := receiver.Measurement{Key: "AA:BB:CC:DD:EE:FF", Name: strings.Repeat("x", 40), RSSI: -50, Channel: 1}
+	pkt, err := EncodeMeasurement(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeMeasurement(pkt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Key != m.Key || back.RSSI != m.RSSI {
+		t.Error("key/rssi corrupted by truncation")
+	}
+	if len(back.Name) >= 40 || len(back.Name) == 0 {
+		t.Errorf("name length = %d, want truncated but non-empty", len(back.Name))
+	}
+}
+
+func TestCodecValidation(t *testing.T) {
+	if _, err := EncodeMeasurement(receiver.Measurement{Key: ""}); err == nil {
+		t.Error("empty key accepted")
+	}
+	if _, err := EncodeMeasurement(receiver.Measurement{Key: strings.Repeat("k", 30)}); err == nil {
+		t.Error("oversized key accepted")
+	}
+	if _, err := EncodeMeasurement(receiver.Measurement{Key: "k", RSSI: -300}); err == nil {
+		t.Error("out-of-range RSSI accepted")
+	}
+	if _, err := EncodeMeasurement(receiver.Measurement{Key: "k", Channel: 300}); err == nil {
+		t.Error("out-of-range channel accepted")
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	m := receiver.Measurement{Key: "AA:BB:CC:DD:EE:FF", Name: "n", RSSI: -1, Channel: 1}
+	pkt, _ := EncodeMeasurement(m)
+
+	wrongPort := pkt
+	wrongPort.Port = 0x1
+	if _, err := DecodeMeasurement(wrongPort); err == nil {
+		t.Error("wrong port accepted")
+	}
+	short := pkt
+	short.Payload = pkt.Payload[:3]
+	if _, err := DecodeMeasurement(short); err == nil {
+		t.Error("truncated payload accepted")
+	}
+	empty := pkt
+	empty.Payload = nil
+	if _, err := DecodeMeasurement(empty); err == nil {
+		t.Error("empty payload accepted")
+	}
+}
+
+func TestTakeOffAndLand(t *testing.T) {
+	cf, _, engine := testUAV(t, DefaultConfig("A", 80, 1))
+	if cf.Flying() {
+		t.Error("flying before take-off")
+	}
+	if err := cf.TakeOff(1.0); err != nil {
+		t.Fatal(err)
+	}
+	if !cf.Flying() {
+		t.Error("not flying after take-off")
+	}
+	if got := cf.TruePos().Z; got != 1.0 {
+		t.Errorf("altitude = %v", got)
+	}
+	if engine.Now() == 0 {
+		t.Error("take-off consumed no time")
+	}
+	if err := cf.Land(); err != nil {
+		t.Fatal(err)
+	}
+	if cf.Flying() || cf.TruePos().Z != 0 {
+		t.Errorf("landing failed: flying=%v z=%v", cf.Flying(), cf.TruePos().Z)
+	}
+}
+
+func TestTakeOffValidation(t *testing.T) {
+	cf, _, _ := testUAV(t, DefaultConfig("A", 80, 1))
+	if err := cf.TakeOff(0); err == nil {
+		t.Error("zero altitude accepted")
+	}
+	if err := cf.GoTo(geom.V(1, 1, 1), 0); !errors.Is(err, ErrNotFlying) {
+		t.Errorf("GoTo on ground error = %v", err)
+	}
+	if err := cf.Hover(time.Second); !errors.Is(err, ErrNotFlying) {
+		t.Errorf("Hover on ground error = %v", err)
+	}
+	if _, _, err := cf.Scan(); !errors.Is(err, ErrNotFlying) {
+		t.Errorf("Scan on ground error = %v", err)
+	}
+	if err := cf.Land(); !errors.Is(err, ErrNotFlying) {
+		t.Errorf("Land on ground error = %v", err)
+	}
+	if err := cf.TakeOff(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := cf.TakeOff(1); err == nil {
+		t.Error("double take-off accepted")
+	}
+}
+
+func TestGoToRespectsLegTime(t *testing.T) {
+	cf, _, engine := testUAV(t, DefaultConfig("A", 80, 1))
+	if err := cf.TakeOff(1); err != nil {
+		t.Fatal(err)
+	}
+	before := engine.Now()
+	// A 10 cm hop with a 4 s leg budget must still take 4 s (paper plan).
+	if err := cf.GoTo(cf.TruePos().Add(geom.V(0.1, 0, 0)), 4*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if legDur := engine.Now() - before; legDur != 4*time.Second {
+		t.Errorf("leg duration = %v, want 4 s", legDur)
+	}
+}
+
+func TestGoToSpeedLimit(t *testing.T) {
+	cfg := DefaultConfig("A", 80, 1)
+	cfg.MaxSpeedMPS = 0.5
+	cf, _, engine := testUAV(t, cfg)
+	if err := cf.TakeOff(1); err != nil {
+		t.Fatal(err)
+	}
+	before := engine.Now()
+	if err := cf.GoTo(cf.TruePos().Add(geom.V(2, 0, 0)), 0); err != nil {
+		t.Fatal(err)
+	}
+	legDur := engine.Now() - before
+	if legDur < 3900*time.Millisecond { // 2 m at 0.5 m/s ⇒ 4 s
+		t.Errorf("2 m leg at 0.5 m/s took %v, want ≈4 s", legDur)
+	}
+}
+
+func TestScanSequence(t *testing.T) {
+	cf, _, engine := testUAV(t, DefaultConfig("A", 80, 1))
+	if err := cf.TakeOff(1); err != nil {
+		t.Fatal(err)
+	}
+	// Give the EKF time to converge before annotating positions.
+	if err := cf.Hover(3 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	before := engine.Now()
+	ms, pos, err := cf.Scan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 1 || ms[0].Key != "AA:BB:CC:DD:EE:FF" {
+		t.Fatalf("measurements = %+v", ms)
+	}
+	if dur := engine.Now() - before; dur < 2*time.Second {
+		t.Errorf("scan consumed %v, want ≥ scan duration (2 s)", dur)
+	}
+	if !cf.Link().RadioOn() {
+		t.Error("radio not restarted after scan")
+	}
+	if cf.Scans() != 1 {
+		t.Errorf("Scans = %d", cf.Scans())
+	}
+	// The position annotation must be near the true hover position (the
+	// EKF is decimetre-accurate).
+	if e := pos.Dist(cf.TruePos()); e > 0.5 {
+		t.Errorf("annotated position off by %v m", e)
+	}
+	// Scan results arrive at the base station via CRTP after the radio
+	// restart.
+	pkts := cf.Link().Receive()
+	found := false
+	for _, p := range pkts {
+		if m, err := DecodeMeasurement(p); err == nil && m.Key == "AA:BB:CC:DD:EE:FF" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("scan result packet not delivered to base station")
+	}
+}
+
+func TestScanTurnsRadioOffDuringMeasurement(t *testing.T) {
+	cfg := DefaultConfig("A", 80, 1)
+	cf, drv, _ := testUAV(t, cfg)
+	if err := cf.TakeOff(1); err != nil {
+		t.Fatal(err)
+	}
+	// Wrap the stub to observe the radio state at trigger time.
+	radioDuringScan := true
+	orig := drv.results
+	drv.results = orig
+	drvCheck := &radioProbeDriver{inner: drv, cf: cf, radioSeen: &radioDuringScan}
+	cf.driver = drvCheck
+	if _, _, err := cf.Scan(); err != nil {
+		t.Fatal(err)
+	}
+	if radioDuringScan {
+		t.Error("radio was on while the receiver scanned; self-interference mitigation broken")
+	}
+}
+
+type radioProbeDriver struct {
+	inner     *stubDriver
+	cf        *Crazyflie
+	radioSeen *bool
+}
+
+func (d *radioProbeDriver) Init() error   { return d.inner.Init() }
+func (d *radioProbeDriver) Status() error { return d.inner.Status() }
+func (d *radioProbeDriver) TriggerScan() error {
+	*d.radioSeen = d.cf.Link().RadioOn()
+	return d.inner.TriggerScan()
+}
+func (d *radioProbeDriver) Results() ([]receiver.Measurement, error) { return d.inner.Results() }
+func (d *radioProbeDriver) ScanDuration() time.Duration              { return d.inner.ScanDuration() }
+
+func TestScanWithStockWatchdogDies(t *testing.T) {
+	cfg := DefaultConfig("A", 80, 1)
+	cfg.WatchdogShutdown = DefaultWatchdogShutdown
+	cfg.FeedbackTask = false // stock firmware: no feedback task either
+	cf, _, _ := testUAV(t, cfg)
+	if err := cf.TakeOff(1); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err := cf.Scan()
+	if !errors.Is(err, ErrWatchdogShutdown) {
+		t.Errorf("stock-firmware scan error = %v, want ErrWatchdogShutdown", err)
+	}
+	if cf.Flying() {
+		t.Error("UAV still flying after watchdog shutdown")
+	}
+}
+
+func TestScanWithFeedbackTaskSurvivesEvenStockWatchdog(t *testing.T) {
+	// The feedback task alone keeps the commander fed every 100 ms, so even
+	// the stock 2 s watchdog survives a 2 s scan.
+	cfg := DefaultConfig("A", 80, 1)
+	cfg.WatchdogShutdown = DefaultWatchdogShutdown
+	cfg.FeedbackTask = true
+	cf, _, _ := testUAV(t, cfg)
+	if err := cf.TakeOff(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := cf.Scan(); err != nil {
+		t.Errorf("scan with feedback task failed: %v", err)
+	}
+}
+
+func TestBatteryDepletionEndsFlight(t *testing.T) {
+	cfg := DefaultConfig("A", 80, 1)
+	cfg.BatteryCapacityJ = 100 // tiny pack: ~6 s of hover
+	cf, _, _ := testUAV(t, cfg)
+	if err := cf.TakeOff(1); err != nil {
+		t.Fatal(err)
+	}
+	err := cf.Hover(time.Minute)
+	if !errors.Is(err, ErrBatteryDepleted) {
+		t.Errorf("hover-to-empty error = %v, want ErrBatteryDepleted", err)
+	}
+	if cf.Flying() {
+		t.Error("flying after battery depletion")
+	}
+}
+
+func TestEnduranceMatchesPaperScale(t *testing.T) {
+	// Reproduce §III-A's endurance test: hover ≈1 m up, scan every 8 s
+	// (plus ≈2 s scan time per cycle). The paper measured 36 scans over
+	// 6 min 12 s; require the same scale.
+	cfg := DefaultConfig("A", 80, 1)
+	cf, _, engine := testUAV(t, cfg)
+	if err := cf.TakeOff(1); err != nil {
+		t.Fatal(err)
+	}
+	scans := 0
+	for {
+		if err := cf.Hover(8 * time.Second); err != nil {
+			break
+		}
+		if _, _, err := cf.Scan(); err != nil {
+			break
+		}
+		scans++
+	}
+	elapsed := engine.Now()
+	if scans < 30 || scans > 44 {
+		t.Errorf("endurance scans = %d, want ≈36 (paper)", scans)
+	}
+	if elapsed < 5*time.Minute || elapsed > 8*time.Minute {
+		t.Errorf("endurance = %v, want ≈6 min 12 s (paper)", elapsed)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	base := DefaultConfig("A", 80, 1)
+
+	c := base
+	c.Name = ""
+	if err := c.Validate(); err == nil {
+		t.Error("empty name accepted")
+	}
+	c = base
+	c.MaxSpeedMPS = 0
+	if err := c.Validate(); err == nil {
+		t.Error("zero speed accepted")
+	}
+	c = base
+	c.BatteryCapacityJ = 0
+	if err := c.Validate(); err == nil {
+		t.Error("zero battery accepted")
+	}
+	c = base
+	c.MovePowerW = -1
+	if err := c.Validate(); err == nil {
+		t.Error("negative move power accepted")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	engine := sim.NewEngine()
+	drv := &stubDriver{scanTime: time.Second}
+	lps := testLPS(t)
+	cfg := DefaultConfig("A", 80, 1)
+	if _, err := New(cfg, nil, drv, lps, geom.Vec3{}); err == nil {
+		t.Error("nil engine accepted")
+	}
+	if _, err := New(cfg, engine, nil, lps, geom.Vec3{}); err == nil {
+		t.Error("nil driver accepted")
+	}
+	if _, err := New(cfg, engine, drv, nil, geom.Vec3{}); err == nil {
+		t.Error("nil constellation accepted")
+	}
+	bad := cfg
+	bad.RadioChannel = 500
+	if _, err := New(bad, engine, drv, lps, geom.Vec3{}); err == nil {
+		t.Error("invalid radio channel accepted")
+	}
+}

@@ -1,0 +1,252 @@
+// Package uwb simulates the Crazyflie Loco Positioning System (LPS): a
+// DWM1000-based ultra-wideband constellation of anchors that lets the UAV
+// estimate its own position via Two-Way Ranging (TWR) or Time Difference of
+// Arrival (TDoA) measurements (§II-B). The noise model includes white
+// ranging noise, static per-anchor biases (miscalibrated anchor positions,
+// antenna delays) and occasional non-line-of-sight excess delay — the error
+// sources that give the real system its ≈9 cm hovering accuracy with six or
+// more anchors.
+package uwb
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+	"repro/internal/simrand"
+)
+
+// Mode selects the localization procedure.
+type Mode int
+
+const (
+	// TWR is two-way ranging: one distance measurement per anchor per
+	// cycle, requiring pairwise transactions (one tag at a time).
+	TWR Mode = iota + 1
+	// TDoA is time-difference-of-arrival: passive reception of anchor
+	// broadcasts, supporting simultaneous localization of multiple UAVs
+	// with slightly better accuracy (§II-B).
+	TDoA
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case TWR:
+		return "TWR"
+	case TDoA:
+		return "TDoA"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Anchor is one fixed localization anchor.
+type Anchor struct {
+	// ID is the anchor's index in the constellation.
+	ID int
+	// Pos is the surveyed anchor position.
+	Pos geom.Vec3
+}
+
+// MinAnchors3D is the minimum constellation size for 3-D localization; the
+// vendor advises at least six for robustness (§II-B).
+const (
+	MinAnchors3D       = 4
+	RecommendedAnchors = 6
+)
+
+// Config tunes the constellation's error model.
+type Config struct {
+	// Mode selects TWR or TDoA.
+	Mode Mode
+	// RangeNoiseSigmaM is the white noise of a single TWR range.
+	RangeNoiseSigmaM float64
+	// TDoANoiseSigmaM is the white noise of a single TDoA difference.
+	TDoANoiseSigmaM float64
+	// AnchorBiasSigmaM spreads the static per-anchor range bias; these
+	// biases do not average out over time and set the accuracy floor.
+	AnchorBiasSigmaM float64
+	// NLoSProbability is the chance a given measurement is non-line-of-
+	// sight, adding a positive excess delay.
+	NLoSProbability float64
+	// NLoSExcessMeanM is the mean excess range of an NLoS measurement.
+	NLoSExcessMeanM float64
+	// MaxRangeM drops measurements beyond the radio's reach (≈10 m, §II-B).
+	MaxRangeM float64
+	// Seed derives the per-anchor bias draws.
+	Seed uint64
+}
+
+// DefaultConfig returns an error model calibrated to the LPS accuracy the
+// paper cites: ≈9 cm hovering accuracy with 6 anchors.
+func DefaultConfig(mode Mode) Config {
+	cfg := Config{
+		Mode:             mode,
+		RangeNoiseSigmaM: 0.12,
+		TDoANoiseSigmaM:  0.10,
+		AnchorBiasSigmaM: 0.055,
+		NLoSProbability:  0.05,
+		NLoSExcessMeanM:  0.30,
+		MaxRangeM:        10,
+		Seed:             1,
+	}
+	return cfg
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Mode != TWR && c.Mode != TDoA {
+		return fmt.Errorf("uwb: invalid mode %d", c.Mode)
+	}
+	if c.RangeNoiseSigmaM < 0 || c.TDoANoiseSigmaM < 0 || c.AnchorBiasSigmaM < 0 {
+		return fmt.Errorf("uwb: noise parameters must be non-negative")
+	}
+	if c.NLoSProbability < 0 || c.NLoSProbability > 1 {
+		return fmt.Errorf("uwb: NLoS probability %g outside [0, 1]", c.NLoSProbability)
+	}
+	if c.MaxRangeM <= 0 {
+		return fmt.Errorf("uwb: max range must be positive")
+	}
+	return nil
+}
+
+// RangeMeasurement is one TWR distance.
+type RangeMeasurement struct {
+	AnchorID int
+	Anchor   geom.Vec3
+	// RangeM is the measured distance in metres.
+	RangeM float64
+}
+
+// TDoAMeasurement is one TDoA range difference relative to a reference
+// anchor.
+type TDoAMeasurement struct {
+	AnchorID, RefID   int
+	Anchor, RefAnchor geom.Vec3
+	// DiffM is the measured |tag−anchor| − |tag−ref| in metres.
+	DiffM float64
+}
+
+// Constellation is a deployed, optionally calibrated anchor set.
+type Constellation struct {
+	anchors    []Anchor
+	cfg        Config
+	biases     []float64
+	calibrated bool
+}
+
+// NewConstellation deploys anchors with the given error model. At least
+// MinAnchors3D anchors are required.
+func NewConstellation(anchors []Anchor, cfg Config) (*Constellation, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(anchors) < MinAnchors3D {
+		return nil, fmt.Errorf("uwb: 3-D localization needs ≥%d anchors, got %d", MinAnchors3D, len(anchors))
+	}
+	seen := map[int]bool{}
+	for _, a := range anchors {
+		if seen[a.ID] {
+			return nil, fmt.Errorf("uwb: duplicate anchor ID %d", a.ID)
+		}
+		seen[a.ID] = true
+	}
+	c := &Constellation{
+		anchors: append([]Anchor(nil), anchors...),
+		cfg:     cfg,
+		biases:  make([]float64, len(anchors)),
+	}
+	biasRng := simrand.New(cfg.Seed).Derive("anchor-bias")
+	for i := range c.biases {
+		c.biases[i] = biasRng.Gauss(0, cfg.AnchorBiasSigmaM)
+	}
+	return c, nil
+}
+
+// CornerConstellation places one anchor at each corner of the volume — the
+// paper's deployment (8 anchors at the corners of the scan cuboid).
+func CornerConstellation(volume geom.Cuboid, cfg Config) (*Constellation, error) {
+	corners := volume.Corners()
+	anchors := make([]Anchor, len(corners))
+	for i, p := range corners {
+		anchors[i] = Anchor{ID: i, Pos: p}
+	}
+	return NewConstellation(anchors, cfg)
+}
+
+// Anchors returns the deployed anchors.
+func (c *Constellation) Anchors() []Anchor { return c.anchors }
+
+// Mode returns the configured localization procedure.
+func (c *Constellation) Mode() Mode { return c.cfg.Mode }
+
+// Calibrated reports whether self-calibration has completed.
+func (c *Constellation) Calibrated() bool { return c.calibrated }
+
+// SelfCalibrate runs the anchors' automated calibration, which synchronises
+// their transmission schedules (§II-B). Measurements before calibration are
+// refused — mirroring the real deployment procedure: place anchors, survey
+// their coordinates, initiate self-calibration, then fly.
+func (c *Constellation) SelfCalibrate() {
+	c.calibrated = true
+}
+
+// ErrNotCalibrated is returned when ranging before self-calibration.
+var ErrNotCalibrated = fmt.Errorf("uwb: constellation not self-calibrated")
+
+// TWRRanges returns one noisy range per in-reach anchor for a tag at pos.
+func (c *Constellation) TWRRanges(pos geom.Vec3, rng *simrand.Source) ([]RangeMeasurement, error) {
+	if !c.calibrated {
+		return nil, ErrNotCalibrated
+	}
+	out := make([]RangeMeasurement, 0, len(c.anchors))
+	for i, a := range c.anchors {
+		d := pos.Dist(a.Pos)
+		if d > c.cfg.MaxRangeM {
+			continue
+		}
+		m := d + c.biases[i] + rng.Gauss(0, c.cfg.RangeNoiseSigmaM)
+		if rng.Bool(c.cfg.NLoSProbability) {
+			m += rng.Exp(1 / c.cfg.NLoSExcessMeanM)
+		}
+		if m < 0 {
+			m = 0
+		}
+		out = append(out, RangeMeasurement{AnchorID: a.ID, Anchor: a.Pos, RangeM: m})
+	}
+	return out, nil
+}
+
+// TDoAMeasurements returns noisy range differences against the first
+// in-reach anchor for a tag at pos.
+func (c *Constellation) TDoAMeasurements(pos geom.Vec3, rng *simrand.Source) ([]TDoAMeasurement, error) {
+	if !c.calibrated {
+		return nil, ErrNotCalibrated
+	}
+	inReach := make([]int, 0, len(c.anchors))
+	for i, a := range c.anchors {
+		if pos.Dist(a.Pos) <= c.cfg.MaxRangeM {
+			inReach = append(inReach, i)
+		}
+	}
+	if len(inReach) < 2 {
+		return nil, nil
+	}
+	refIdx := inReach[0]
+	ref := c.anchors[refIdx]
+	refDist := pos.Dist(ref.Pos) + c.biases[refIdx]
+	out := make([]TDoAMeasurement, 0, len(inReach)-1)
+	for _, i := range inReach[1:] {
+		a := c.anchors[i]
+		diff := (pos.Dist(a.Pos) + c.biases[i]) - refDist + rng.Gauss(0, c.cfg.TDoANoiseSigmaM)
+		if rng.Bool(c.cfg.NLoSProbability) {
+			diff += rng.Exp(1 / c.cfg.NLoSExcessMeanM)
+		}
+		out = append(out, TDoAMeasurement{
+			AnchorID: a.ID, RefID: ref.ID,
+			Anchor: a.Pos, RefAnchor: ref.Pos,
+			DiffM: diff,
+		})
+	}
+	return out, nil
+}

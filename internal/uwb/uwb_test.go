@@ -1,0 +1,233 @@
+package uwb
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/simrand"
+)
+
+func calibrated(t *testing.T, n int, mode Mode) *Constellation {
+	t.Helper()
+	vol := geom.PaperScanVolume()
+	corners := vol.Corners()
+	anchors := make([]Anchor, 0, n)
+	for i := 0; i < n && i < len(corners); i++ {
+		anchors = append(anchors, Anchor{ID: i, Pos: corners[i]})
+	}
+	c, err := NewConstellation(anchors, DefaultConfig(mode))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SelfCalibrate()
+	return c
+}
+
+func TestModeString(t *testing.T) {
+	if TWR.String() != "TWR" || TDoA.String() != "TDoA" {
+		t.Error("mode strings wrong")
+	}
+	if Mode(9).String() == "" {
+		t.Error("unknown mode should still render")
+	}
+}
+
+func TestNewConstellationValidation(t *testing.T) {
+	cfg := DefaultConfig(TWR)
+	few := []Anchor{{ID: 0}, {ID: 1}, {ID: 2}}
+	if _, err := NewConstellation(few, cfg); err == nil {
+		t.Error("3 anchors accepted for 3-D localization")
+	}
+	dup := []Anchor{{ID: 0}, {ID: 1}, {ID: 2}, {ID: 2}}
+	if _, err := NewConstellation(dup, cfg); err == nil {
+		t.Error("duplicate anchor IDs accepted")
+	}
+	bad := cfg
+	bad.Mode = 0
+	ok4 := []Anchor{{ID: 0}, {ID: 1}, {ID: 2}, {ID: 3}}
+	if _, err := NewConstellation(ok4, bad); err == nil {
+		t.Error("invalid mode accepted")
+	}
+	bad = cfg
+	bad.NLoSProbability = 1.5
+	if _, err := NewConstellation(ok4, bad); err == nil {
+		t.Error("NLoS probability > 1 accepted")
+	}
+	bad = cfg
+	bad.MaxRangeM = 0
+	if _, err := NewConstellation(ok4, bad); err == nil {
+		t.Error("zero range accepted")
+	}
+	bad = cfg
+	bad.RangeNoiseSigmaM = -1
+	if _, err := NewConstellation(ok4, bad); err == nil {
+		t.Error("negative noise accepted")
+	}
+}
+
+func TestCornerConstellationMatchesPaper(t *testing.T) {
+	c, err := CornerConstellation(geom.PaperScanVolume(), DefaultConfig(TDoA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Anchors()) != 8 {
+		t.Fatalf("anchors = %d, want 8 (one per cuboid corner)", len(c.Anchors()))
+	}
+	if c.Mode() != TDoA {
+		t.Errorf("mode = %v", c.Mode())
+	}
+}
+
+func TestRangingRequiresCalibration(t *testing.T) {
+	c, err := CornerConstellation(geom.PaperScanVolume(), DefaultConfig(TWR))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := simrand.New(1)
+	if _, err := c.TWRRanges(geom.V(1, 1, 1), rng); !errors.Is(err, ErrNotCalibrated) {
+		t.Errorf("pre-calibration TWR error = %v", err)
+	}
+	if _, err := c.TDoAMeasurements(geom.V(1, 1, 1), rng); !errors.Is(err, ErrNotCalibrated) {
+		t.Errorf("pre-calibration TDoA error = %v", err)
+	}
+	if c.Calibrated() {
+		t.Error("Calibrated before SelfCalibrate")
+	}
+	c.SelfCalibrate()
+	if !c.Calibrated() {
+		t.Error("Calibrated false after SelfCalibrate")
+	}
+	if _, err := c.TWRRanges(geom.V(1, 1, 1), rng); err != nil {
+		t.Errorf("post-calibration TWR error = %v", err)
+	}
+}
+
+func TestTWRRangesNearTruth(t *testing.T) {
+	c := calibrated(t, 8, TWR)
+	rng := simrand.New(2)
+	pos := geom.V(1.8, 1.6, 1.0)
+	const trials = 200
+	var sumAbsErr float64
+	var count int
+	for i := 0; i < trials; i++ {
+		ranges, err := c.TWRRanges(pos, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ranges) != 8 {
+			t.Fatalf("ranges = %d, want 8 (all corners within 10 m)", len(ranges))
+		}
+		for _, r := range ranges {
+			sumAbsErr += math.Abs(r.RangeM - pos.Dist(r.Anchor))
+			count++
+		}
+	}
+	mean := sumAbsErr / float64(count)
+	if mean > 0.35 {
+		t.Errorf("mean |range error| = %v m, too large", mean)
+	}
+	if mean < 0.01 {
+		t.Errorf("mean |range error| = %v m, suspiciously perfect", mean)
+	}
+}
+
+func TestTWRRangeLimit(t *testing.T) {
+	c := calibrated(t, 8, TWR)
+	rng := simrand.New(3)
+	far := geom.V(100, 100, 100)
+	ranges, err := c.TWRRanges(far, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ranges) != 0 {
+		t.Errorf("anchors in reach at 170 m: %d (max range is ~10 m)", len(ranges))
+	}
+}
+
+func TestTWRRangesNonNegative(t *testing.T) {
+	cfg := DefaultConfig(TWR)
+	cfg.RangeNoiseSigmaM = 5 // extreme noise to push ranges negative
+	c, err := CornerConstellation(geom.PaperScanVolume(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SelfCalibrate()
+	rng := simrand.New(4)
+	for i := 0; i < 50; i++ {
+		ranges, _ := c.TWRRanges(geom.V(0.1, 0.1, 0.1), rng)
+		for _, r := range ranges {
+			if r.RangeM < 0 {
+				t.Fatalf("negative range %v", r.RangeM)
+			}
+		}
+	}
+}
+
+func TestTDoAMeasurements(t *testing.T) {
+	c := calibrated(t, 8, TDoA)
+	rng := simrand.New(5)
+	pos := geom.V(1.8, 1.6, 1.0)
+	diffs, err := c.TDoAMeasurements(pos, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diffs) != 7 {
+		t.Fatalf("diffs = %d, want 7 (8 anchors minus reference)", len(diffs))
+	}
+	for _, d := range diffs {
+		truth := pos.Dist(d.Anchor) - pos.Dist(d.RefAnchor)
+		if math.Abs(d.DiffM-truth) > 1.5 {
+			t.Errorf("TDoA diff error %v m too large", math.Abs(d.DiffM-truth))
+		}
+		if d.RefID == d.AnchorID {
+			t.Error("anchor equals reference")
+		}
+	}
+}
+
+func TestTDoANeedsTwoInReach(t *testing.T) {
+	c := calibrated(t, 8, TDoA)
+	rng := simrand.New(6)
+	diffs, err := c.TDoAMeasurements(geom.V(1000, 0, 0), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diffs) != 0 {
+		t.Errorf("TDoA with no anchors in reach = %d diffs", len(diffs))
+	}
+}
+
+func TestBiasesAreStaticPerAnchor(t *testing.T) {
+	// The same constellation must apply the same bias on every call — the
+	// bias models static calibration error, not noise.
+	cfg := DefaultConfig(TWR)
+	cfg.RangeNoiseSigmaM = 0
+	cfg.NLoSProbability = 0
+	c, err := CornerConstellation(geom.PaperScanVolume(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SelfCalibrate()
+	rng := simrand.New(7)
+	pos := geom.V(1, 1, 1)
+	first, _ := c.TWRRanges(pos, rng)
+	second, _ := c.TWRRanges(pos, rng)
+	for i := range first {
+		if first[i].RangeM != second[i].RangeM {
+			t.Fatal("noiseless ranges differ; bias is not static")
+		}
+		if first[i].RangeM == pos.Dist(first[i].Anchor) {
+			t.Fatal("range exactly equals truth; bias missing")
+		}
+	}
+}
+
+func TestDefaultConfigValid(t *testing.T) {
+	for _, m := range []Mode{TWR, TDoA} {
+		if err := DefaultConfig(m).Validate(); err != nil {
+			t.Errorf("default config (%v) invalid: %v", m, err)
+		}
+	}
+}

@@ -1,0 +1,206 @@
+// Package wifi models the IEEE 802.11b/g/n access points the system maps and
+// the beacon-scanning receiver the UAV carries. It covers MAC/SSID identity,
+// the AP population of an apartment building (with the density gradient
+// toward the building core the paper observes), and a beacon-detection model
+// whose output feeds the ESP8266 driver simulation.
+package wifi
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/floorplan"
+	"repro/internal/geom"
+	"repro/internal/propagation"
+	"repro/internal/simrand"
+)
+
+// MAC is an IEEE 802 MAC address.
+type MAC [6]byte
+
+// String renders the address in canonical colon-separated uppercase hex.
+func (m MAC) String() string {
+	const hexDigits = "0123456789ABCDEF"
+	var b strings.Builder
+	b.Grow(17)
+	for i, octet := range m {
+		if i > 0 {
+			b.WriteByte(':')
+		}
+		b.WriteByte(hexDigits[octet>>4])
+		b.WriteByte(hexDigits[octet&0xF])
+	}
+	return b.String()
+}
+
+// ParseMAC parses a colon-separated MAC address.
+func ParseMAC(s string) (MAC, error) {
+	var m MAC
+	parts := strings.Split(s, ":")
+	if len(parts) != 6 {
+		return m, fmt.Errorf("wifi: malformed MAC %q", s)
+	}
+	for i, p := range parts {
+		if len(p) != 2 {
+			return m, fmt.Errorf("wifi: malformed MAC octet %q in %q", p, s)
+		}
+		hi, ok1 := hexVal(p[0])
+		lo, ok2 := hexVal(p[1])
+		if !ok1 || !ok2 {
+			return m, fmt.Errorf("wifi: malformed MAC octet %q in %q", p, s)
+		}
+		m[i] = hi<<4 | lo
+	}
+	return m, nil
+}
+
+func hexVal(c byte) (byte, bool) {
+	switch {
+	case c >= '0' && c <= '9':
+		return c - '0', true
+	case c >= 'a' && c <= 'f':
+		return c - 'a' + 10, true
+	case c >= 'A' && c <= 'F':
+		return c - 'A' + 10, true
+	default:
+		return 0, false
+	}
+}
+
+// RandomMAC draws a locally administered unicast MAC from the stream.
+func RandomMAC(rng *simrand.Source) MAC {
+	var m MAC
+	for i := range m {
+		m[i] = byte(rng.Intn(256))
+	}
+	m[0] = (m[0] | 0x02) &^ 0x01 // locally administered, unicast
+	return m
+}
+
+// DefaultBeaconInterval is the near-universal 802.11 beacon interval of 100
+// time units (102.4 ms).
+const DefaultBeaconInterval = 102400 * time.Microsecond
+
+// AccessPoint is one Wi-Fi AP in the environment.
+type AccessPoint struct {
+	// MAC is the BSSID the scanner reports; it is the primary key of the
+	// REM (the paper groups samples by MAC, not SSID).
+	MAC MAC
+	// SSID is the advertised network name; SSIDs may be shared by several
+	// MACs (mesh systems, multi-AP households).
+	SSID string
+	// Channel is the 2.4 GHz channel (1–13 in Europe).
+	Channel int
+	// EIRPdBm is the effective isotropic radiated power.
+	EIRPdBm float64
+	// Pos is the AP's location in the room frame.
+	Pos geom.Vec3
+	// BeaconInterval is the beacon period; zero means DefaultBeaconInterval.
+	BeaconInterval time.Duration
+}
+
+// beaconInterval returns the effective beacon period.
+func (ap AccessPoint) beaconInterval() time.Duration {
+	if ap.BeaconInterval <= 0 {
+		return DefaultBeaconInterval
+	}
+	return ap.BeaconInterval
+}
+
+// Network couples an AP population to per-AP radio channels. Each AP gets
+// its own shadowing field (obstructions differ per transmitter position), so
+// RSS varies smoothly but independently per AP across the room — exactly the
+// structure the kNN/NN estimators later exploit.
+type Network struct {
+	aps      []AccessPoint
+	channels []*propagation.Channel
+}
+
+// ChannelParams configures the per-AP radio channels of a Network.
+type ChannelParams struct {
+	// Env supplies the multi-wall geometry.
+	Env *floorplan.Environment
+	// PathLossExponent is the in-room log-distance exponent (≈1.8 LoS).
+	PathLossExponent float64
+	// ShadowSigmaDB is the log-normal shadowing deviation per AP.
+	ShadowSigmaDB float64
+	// ShadowDecorrelationM is the shadowing decorrelation distance.
+	ShadowDecorrelationM float64
+	// RicianKdB is the small-scale fading K-factor.
+	RicianKdB float64
+	// FadingEnabled toggles per-sample fading.
+	FadingEnabled bool
+	// Seed derives all per-AP stochastic fields.
+	Seed uint64
+}
+
+// DefaultChannelParams returns parameters calibrated for the paper's
+// residential 2.4 GHz setting.
+func DefaultChannelParams(env *floorplan.Environment, seed uint64) ChannelParams {
+	return ChannelParams{
+		Env:                  env,
+		PathLossExponent:     2.4,
+		ShadowSigmaDB:        4.2,
+		ShadowDecorrelationM: 1.4,
+		RicianKdB:            6.5,
+		FadingEnabled:        true,
+		Seed:                 seed,
+	}
+}
+
+// NewNetwork builds a Network for the given APs.
+func NewNetwork(aps []AccessPoint, p ChannelParams) (*Network, error) {
+	if len(aps) == 0 {
+		return nil, fmt.Errorf("wifi: network requires at least one AP")
+	}
+	n := &Network{
+		aps:      append([]AccessPoint(nil), aps...),
+		channels: make([]*propagation.Channel, len(aps)),
+	}
+	for i, ap := range n.aps {
+		if ap.Channel < 1 || ap.Channel > 14 {
+			return nil, fmt.Errorf("wifi: AP %s has invalid channel %d", ap.MAC, ap.Channel)
+		}
+		freq := 2407 + 5*float64(ap.Channel)
+		if ap.Channel == 14 {
+			freq = 2484
+		}
+		ch, err := propagation.NewChannel(propagation.Config{
+			PathLoss: propagation.MultiWall{
+				Base: propagation.LogDistance{
+					PL0:      propagation.ReferenceLossDB(freq),
+					D0:       1,
+					Exponent: p.PathLossExponent,
+				},
+				Env: p.Env,
+			},
+			ShadowSigmaDB:        p.ShadowSigmaDB,
+			ShadowDecorrelationM: p.ShadowDecorrelationM,
+			RicianKdB:            p.RicianKdB,
+			FadingEnabled:        p.FadingEnabled,
+			Seed:                 p.Seed ^ (uint64(i)+1)*0x9E3779B97F4A7C15,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("wifi: AP %s channel: %w", ap.MAC, err)
+		}
+		n.channels[i] = ch
+	}
+	return n, nil
+}
+
+// APs returns the network's access points (shared slice; do not mutate).
+func (n *Network) APs() []AccessPoint { return n.aps }
+
+// MeanRSS returns the local-mean RSS in dBm of AP i at the receiver position.
+func (n *Network) MeanRSS(i int, rx geom.Vec3) float64 {
+	ap := n.aps[i]
+	return n.channels[i].MeanRSS(ap.EIRPdBm, ap.Pos, rx)
+}
+
+// SampleRSS draws a measured RSS in dBm of AP i at the receiver position,
+// including small-scale fading.
+func (n *Network) SampleRSS(i int, rx geom.Vec3, rng *simrand.Source) float64 {
+	ap := n.aps[i]
+	return n.channels[i].SampleRSS(ap.EIRPdBm, ap.Pos, rx, rng)
+}

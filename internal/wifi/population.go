@@ -1,0 +1,165 @@
+package wifi
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/floorplan"
+	"repro/internal/geom"
+	"repro/internal/simrand"
+)
+
+// PopulationConfig controls the synthetic AP population of the apartment
+// building. The defaults are calibrated so that a two-UAV 72-waypoint
+// mission reproduces the paper's dataset statistics: ≈73 distinct MACs, ≈49
+// SSIDs, mean RSS ≈ −73 dBm, and sample counts growing toward the building
+// core (+x/−y).
+type PopulationConfig struct {
+	// NumAPs is the number of AP radios placed in the building.
+	NumAPs int
+	// NearAPs of the NumAPs are placed in the near tier — the scanned
+	// apartment and its direct neighbours — producing the strong-signal
+	// mode of the RSS distribution (the paper's mean RSS of ≈ −73 dBm
+	// needs both a strong near tier and a weak far tier).
+	NearAPs int
+	// NearSpread is the half-extent in metres of the near tier's
+	// placement box.
+	NearSpread float64
+	// NumSSIDs is the size of the SSID pool; several MACs share an SSID
+	// (multi-AP households, mesh nodes), as in the paper's data where 73
+	// MACs advertised only 49 SSIDs.
+	NumSSIDs int
+	// Spread is the half-extent in metres of the AP placement box around
+	// the room centre in x and y.
+	Spread float64
+	// Floors is the number of storeys above and below to populate.
+	Floors int
+	// FloorHeight is the storey height used for z placement.
+	FloorHeight float64
+	// CoreBias is the exponential tilt strength toward the building core;
+	// 0 places APs uniformly.
+	CoreBias float64
+	// EIRPMeanDBm and EIRPSigmaDB describe the AP transmit-power spread.
+	EIRPMeanDBm, EIRPSigmaDB float64
+}
+
+// DefaultPopulation returns the calibrated configuration used for paper
+// reproduction.
+func DefaultPopulation() PopulationConfig {
+	return PopulationConfig{
+		NumAPs:      76,
+		NearAPs:     10,
+		NearSpread:  5,
+		NumSSIDs:    58,
+		Spread:      10,
+		Floors:      1,
+		FloorHeight: 2.8,
+		CoreBias:    0.45,
+		EIRPMeanDBm: 14,
+		EIRPSigmaDB: 3.0,
+	}
+}
+
+// Validate checks the configuration.
+func (c PopulationConfig) Validate() error {
+	if c.NumAPs < 1 {
+		return fmt.Errorf("wifi: population needs at least one AP, got %d", c.NumAPs)
+	}
+	if c.NumSSIDs < 1 || c.NumSSIDs > c.NumAPs {
+		return fmt.Errorf("wifi: NumSSIDs %d must be in [1, NumAPs=%d]", c.NumSSIDs, c.NumAPs)
+	}
+	if c.Spread <= 0 || c.FloorHeight <= 0 {
+		return fmt.Errorf("wifi: Spread and FloorHeight must be positive")
+	}
+	if c.NearAPs < 0 || c.NearAPs > c.NumAPs {
+		return fmt.Errorf("wifi: NearAPs %d must be in [0, NumAPs=%d]", c.NearAPs, c.NumAPs)
+	}
+	if c.NearAPs > 0 && c.NearSpread <= 0 {
+		return fmt.Errorf("wifi: NearSpread must be positive when NearAPs > 0")
+	}
+	if c.Floors < 0 || c.CoreBias < 0 {
+		return fmt.Errorf("wifi: Floors and CoreBias must be non-negative")
+	}
+	return nil
+}
+
+// euChannelWeights reflects the real-world 2.4 GHz occupancy skew toward the
+// non-overlapping channels 1/6/11, with channel 13 present in Europe.
+var euChannelWeights = map[int]float64{
+	1: 0.22, 2: 0.02, 3: 0.03, 4: 0.02, 5: 0.03,
+	6: 0.22, 7: 0.03, 8: 0.02, 9: 0.03, 10: 0.03,
+	11: 0.22, 12: 0.03, 13: 0.10,
+}
+
+func drawChannel(rng *simrand.Source) int {
+	u := rng.Float64()
+	acc := 0.0
+	for ch := 1; ch <= 13; ch++ {
+		acc += euChannelWeights[ch]
+		if u < acc {
+			return ch
+		}
+	}
+	return 13
+}
+
+// ssidPool generates plausible residential network names.
+func ssidPool(n int, rng *simrand.Source) []string {
+	prefixes := []string{"telenet", "Proximus", "WiFi", "Orange", "home", "linksys", "TP-Link", "DIRECT", "Apartment", "VOO"}
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("%s-%04X", prefixes[rng.Intn(len(prefixes))], rng.Intn(0x10000))
+	}
+	return out
+}
+
+// GeneratePopulation places NumAPs access points around the environment's
+// room with placement probability exponentially tilted toward the building
+// core, matching the paper's observation that AP detections increase with +x
+// and −y. The draw is deterministic for a given rng stream.
+func GeneratePopulation(env *floorplan.Environment, cfg PopulationConfig, rng *simrand.Source) ([]AccessPoint, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	centre := env.Room.Center()
+	core := env.CoreDirection
+	ssids := ssidPool(cfg.NumSSIDs, rng.Derive("ssid"))
+	place := rng.Derive("placement")
+	ident := rng.Derive("identity")
+
+	aps := make([]AccessPoint, 0, cfg.NumAPs)
+	for len(aps) < cfg.NumAPs {
+		// Near-tier APs live in the scanned apartment and its direct
+		// neighbours; the remainder spread over the wider building box.
+		spread := cfg.Spread
+		floors := cfg.Floors
+		if len(aps) < cfg.NearAPs {
+			spread = cfg.NearSpread
+			floors = 0
+		}
+		p := geom.V(
+			centre.X+place.Range(-spread, spread),
+			centre.Y+place.Range(-spread, spread),
+			centre.Z+float64(place.Intn(2*floors+1)-floors)*cfg.FloorHeight+place.Range(-0.8, 0.8),
+		)
+		// Exponential tilt toward the core: accept with probability
+		// proportional to exp(bias · projection). Rejection sampling keeps
+		// the spatial distribution explicit and easy to test.
+		proj := p.Sub(centre).Dot(core)
+		accept := math.Exp(cfg.CoreBias*proj) / math.Exp(cfg.CoreBias*spread*math.Sqrt2)
+		if !place.Bool(accept) {
+			continue
+		}
+		// SSIDs are assigned round-robin: most APs get a unique SSID and
+		// the overflow shares, reproducing the paper's multi-AP-household
+		// pattern (73 MACs advertising 49 SSIDs).
+		aps = append(aps, AccessPoint{
+			MAC:     RandomMAC(ident),
+			SSID:    ssids[len(aps)%len(ssids)],
+			Channel: drawChannel(ident),
+			EIRPdBm: ident.Gauss(cfg.EIRPMeanDBm, cfg.EIRPSigmaDB),
+			Pos:     p,
+		})
+	}
+	return aps, nil
+}

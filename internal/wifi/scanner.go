@@ -1,0 +1,154 @@
+package wifi
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/geom"
+	"repro/internal/simrand"
+	"repro/internal/spectrum"
+)
+
+// Observation is one detected beacon, the ⟨ssid, rssi, mac, channel⟩ tuple
+// the ESP8266's AT+CWLAP instruction reports (§III-A).
+type Observation struct {
+	SSID    string
+	RSSI    int // dBm, integer as reported by the hardware
+	MAC     MAC
+	Channel int
+}
+
+// ScannerConfig describes the scanning receiver carried by the UAV.
+type ScannerConfig struct {
+	// SensitivityDBm is the RSS at which per-beacon detection probability
+	// is 50%.
+	SensitivityDBm float64
+	// DetectionSlopeDB is the softness of the detection threshold; small
+	// values approximate a hard cliff.
+	DetectionSlopeDB float64
+	// NoiseSigmaDB is the RSSI measurement noise of the receiver.
+	NoiseSigmaDB float64
+	// DwellPerChannel is how long the scanner listens on each channel.
+	DwellPerChannel time.Duration
+	// Channels lists the channels scanned, in order.
+	Channels []int
+}
+
+// DefaultScanner returns an ESP-01-like configuration: a cheap 2.4 GHz
+// receiver sweeping the 13 EU channels with a ~2 s total scan, matching the
+// paper's "beacon scan duration of around 2 sec".
+func DefaultScanner() ScannerConfig {
+	chs := make([]int, 13)
+	for i := range chs {
+		chs[i] = i + 1
+	}
+	return ScannerConfig{
+		SensitivityDBm:   -88.5,
+		DetectionSlopeDB: 2.5,
+		NoiseSigmaDB:     1.2,
+		DwellPerChannel:  160 * time.Millisecond,
+		Channels:         chs,
+	}
+}
+
+// Validate checks the configuration.
+func (c ScannerConfig) Validate() error {
+	if c.DetectionSlopeDB <= 0 {
+		return fmt.Errorf("wifi: detection slope must be positive")
+	}
+	if c.NoiseSigmaDB < 0 {
+		return fmt.Errorf("wifi: noise sigma must be non-negative")
+	}
+	if c.DwellPerChannel <= 0 {
+		return fmt.Errorf("wifi: dwell must be positive")
+	}
+	if len(c.Channels) == 0 {
+		return fmt.Errorf("wifi: scanner needs at least one channel")
+	}
+	for _, ch := range c.Channels {
+		if ch < 1 || ch > 14 {
+			return fmt.Errorf("wifi: scan channel %d out of range", ch)
+		}
+	}
+	return nil
+}
+
+// ScanDuration returns the total air time of one scan sweep.
+func (c ScannerConfig) ScanDuration() time.Duration {
+	return time.Duration(len(c.Channels)) * c.DwellPerChannel
+}
+
+// Scanner performs beacon scans against a Network.
+type Scanner struct {
+	cfg ScannerConfig
+	net *Network
+}
+
+// NewScanner builds a scanner. It returns an error on invalid configuration.
+func NewScanner(net *Network, cfg ScannerConfig) (*Scanner, error) {
+	if net == nil {
+		return nil, fmt.Errorf("wifi: scanner requires a network")
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Scanner{cfg: cfg, net: net}, nil
+}
+
+// Config returns the scanner's configuration.
+func (s *Scanner) Config() ScannerConfig { return s.cfg }
+
+// Scan performs one full sweep from the given receiver position under the
+// given interference conditions and returns the detected beacons, strongest
+// first (the ESP8266 output ordering). The rng must be the scan's noise
+// stream; each call consumes randomness, so repeated scans at the same
+// position differ, exactly like the thousands of samples the paper's UAVs
+// collect over repeated visits.
+func (s *Scanner) Scan(pos geom.Vec3, interferers []spectrum.Interferer, rng *simrand.Source) []Observation {
+	var out []Observation
+	for _, ch := range s.cfg.Channels {
+		scale := spectrum.DetectionScale(interferers, ch)
+		beacons := float64(s.cfg.DwellPerChannel) / float64(DefaultBeaconInterval)
+		for i, ap := range s.net.aps {
+			if ap.Channel != ch {
+				continue
+			}
+			rss := s.net.SampleRSS(i, pos, rng)
+			// Logistic detection around the sensitivity threshold.
+			p1 := 1 / (1 + math.Exp(-(rss-s.cfg.SensitivityDBm)/s.cfg.DetectionSlopeDB))
+			p1 *= scale
+			// Beacon opportunities within the dwell window.
+			n := float64(s.cfg.DwellPerChannel) / float64(ap.beaconInterval())
+			if n <= 0 {
+				n = beacons
+			}
+			pDetect := 1 - math.Pow(1-p1, n)
+			if !rng.Bool(pDetect) {
+				continue
+			}
+			// The ESP8266 reports integer dBm clamped to its ADC range.
+			measured := int(math.Round(rng.Gauss(rss, s.cfg.NoiseSigmaDB)))
+			if measured < -100 {
+				measured = -100
+			}
+			if measured > -10 {
+				measured = -10
+			}
+			out = append(out, Observation{
+				SSID:    ap.SSID,
+				RSSI:    measured,
+				MAC:     ap.MAC,
+				Channel: ap.Channel,
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].RSSI != out[j].RSSI {
+			return out[i].RSSI > out[j].RSSI
+		}
+		return out[i].MAC.String() < out[j].MAC.String()
+	})
+	return out
+}
