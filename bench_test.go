@@ -1,5 +1,5 @@
 // Package repro's top-level benchmarks regenerate every table and figure of
-// the paper, one benchmark per experiment (the E1–E9 index of DESIGN.md).
+// the paper, one benchmark per experiment (the E1–E11 index of DESIGN.md).
 // Each iteration performs the complete experiment, so b.N timings measure
 // the full regeneration cost; the measured values themselves are reported
 // as custom benchmark metrics so `go test -bench` output doubles as a
@@ -9,10 +9,17 @@
 package repro
 
 import (
+	"fmt"
+	"math"
 	"testing"
 
 	"repro/internal/dataset"
 	"repro/internal/experiments"
+	"repro/internal/geom"
+	"repro/internal/ml"
+	"repro/internal/ml/knn"
+	"repro/internal/rem"
+	"repro/internal/simrand"
 	"repro/internal/uwb"
 )
 
@@ -21,7 +28,7 @@ import (
 func BenchmarkFigure5Interference(b *testing.B) {
 	var off, on2450 float64
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Figure5(1)
+		res, err := experiments.Figure5(1, 0)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -110,7 +117,7 @@ func BenchmarkFigure7Histograms(b *testing.B) {
 func BenchmarkFigure8ModelRMSE(b *testing.B) {
 	var baseline, best, nn float64
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Figure8(1, false)
+		res, err := experiments.Figure8(1, false, 0)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -134,7 +141,7 @@ func BenchmarkFigure8ModelRMSE(b *testing.B) {
 func BenchmarkAnchorAblation(b *testing.B) {
 	var sixAnchorTWR float64
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.AnchorAblation(1)
+		res, err := experiments.AnchorAblation(1, 0)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -152,7 +159,7 @@ func BenchmarkAnchorAblation(b *testing.B) {
 func BenchmarkMitigationAblation(b *testing.B) {
 	var loss float64
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.MitigationAblation(1)
+		res, err := experiments.MitigationAblation(1, 0)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -166,7 +173,7 @@ func BenchmarkMitigationAblation(b *testing.B) {
 func BenchmarkWaypointDensitySweep(b *testing.B) {
 	var sparse, dense float64
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.DensitySweep(1)
+		res, err := experiments.DensitySweep(1, 0)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -182,7 +189,7 @@ func BenchmarkWaypointDensitySweep(b *testing.B) {
 func BenchmarkGridSearch(b *testing.B) {
 	var bestPlainK, bestScaledK float64
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.GridSearchReproduction(1)
+		res, err := experiments.GridSearchReproduction(1, 0)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -209,3 +216,141 @@ func BenchmarkLighthouseComparison(b *testing.B) {
 	b.ReportMetric(uwbErr*100, "UWB-err-cm")
 	b.ReportMetric(lhErr*100, "lighthouse-err-cm")
 }
+
+// ---------------------------------------------------------------------------
+// Concurrency/index micro-benchmarks: the worker-pool BuildMap against its
+// sequential baseline, KD-tree kNN against the brute-force scan, and the
+// parallel grid search against single-worker evaluation. All pairs produce
+// byte-identical outputs; only wall-clock differs.
+
+// benchTrainingSet builds a paper-scale synthetic design matrix: 2500
+// samples over 40 one-hot MACs at scale 3 (the winning Figure 8 encoding).
+func benchTrainingSet(nKeys int) ([][]float64, []float64) {
+	rng := simrand.New(1234)
+	const n = 2500
+	x := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		row := make([]float64, 3+nKeys)
+		row[0] = rng.Range(0, 4)
+		row[1] = rng.Range(0, 3)
+		row[2] = rng.Range(0, 2.6)
+		row[3+rng.Intn(nKeys)] = 3
+		x[i] = row
+		y[i] = -60 - 8*math.Hypot(row[0]-2, row[1]-1.5) + rng.Gauss(0, 2)
+	}
+	return x, y
+}
+
+func fitBenchKNN(b *testing.B, brute bool) *knn.Regressor {
+	b.Helper()
+	cfg := knn.PaperScaledConfig()
+	cfg.BruteForce = brute
+	r, err := knn.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	x, y := benchTrainingSet(40)
+	if err := r.Fit(x, y); err != nil {
+		b.Fatal(err)
+	}
+	return r
+}
+
+func benchmarkKNNPredict(b *testing.B, brute bool) {
+	r := fitBenchKNN(b, brute)
+	rng := simrand.New(77)
+	queries := make([][]float64, 256)
+	for i := range queries {
+		q := make([]float64, 3+40)
+		q[0], q[1], q[2] = rng.Range(0, 4), rng.Range(0, 3), rng.Range(0, 2.6)
+		q[3+rng.Intn(40)] = 3
+		queries[i] = q
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Predict(queries[i%len(queries)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkKNNPredictBruteForce is the seed's O(n)-scan baseline.
+func BenchmarkKNNPredictBruteForce(b *testing.B) { benchmarkKNNPredict(b, true) }
+
+// BenchmarkKNNPredictKDTree is the per-key-subtree KD-tree index; its
+// speedup over the brute-force benchmark is the index's win.
+func BenchmarkKNNPredictKDTree(b *testing.B) { benchmarkKNNPredict(b, false) }
+
+// benchmarkBuildMap rasterises a 20×16×10 map over 8 keys from a fitted
+// kNN with the given worker count.
+func benchmarkBuildMap(b *testing.B, workers int) {
+	const nKeys = 8
+	cfg := knn.PaperScaledConfig()
+	r, err := knn.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	x, y := benchTrainingSet(nKeys)
+	if err := r.Fit(x, y); err != nil {
+		b.Fatal(err)
+	}
+	keys := make([]string, nKeys)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key%02d", i)
+	}
+	vol := geom.PaperScanVolume()
+	predict := func(centers []geom.Vec3, keyIdx int) ([]float64, error) {
+		qs := make([][]float64, len(centers))
+		for i, p := range centers {
+			q := make([]float64, 3+nKeys)
+			q[0], q[1], q[2] = p.X, p.Y, p.Z
+			q[3+keyIdx] = 3
+			qs[i] = q
+		}
+		return r.PredictBatch(qs)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rem.BuildMapBatch(vol, 20, 16, 10, keys, predict, rem.BuildOptions{Workers: workers}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBuildMapSequential is the single-worker baseline.
+func BenchmarkBuildMapSequential(b *testing.B) { benchmarkBuildMap(b, 1) }
+
+// BenchmarkBuildMapParallel uses one worker per CPU; the speedup over the
+// sequential benchmark is the pool's win (byte-identical output).
+func BenchmarkBuildMapParallel(b *testing.B) { benchmarkBuildMap(b, 0) }
+
+// benchmarkGridSearch evaluates the §III-B kNN hyper-parameter grid on a
+// synthetic training set with the given worker count.
+func benchmarkGridSearch(b *testing.B, workers int) {
+	x, y := benchTrainingSet(12)
+	factory := func(p ml.Params) (ml.Estimator, error) {
+		return knn.New(knn.Config{
+			K:          int(p["k"]),
+			Weights:    knn.Weighting(p["weights"]),
+			MinkowskiP: p["p"],
+		})
+	}
+	candidates := ml.Grid(map[string][]float64{
+		"k":       {1, 2, 3, 5, 8, 16, 32},
+		"weights": {float64(knn.Uniform), float64(knn.Distance)},
+		"p":       {1, 2},
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ml.GridSearchWorkers(factory, candidates, x, y, 0.25, simrand.New(9), workers); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGridSearchSequential is the single-worker baseline.
+func BenchmarkGridSearchSequential(b *testing.B) { benchmarkGridSearch(b, 1) }
+
+// BenchmarkGridSearchParallel evaluates candidates on one worker per CPU.
+func BenchmarkGridSearchParallel(b *testing.B) { benchmarkGridSearch(b, 0) }

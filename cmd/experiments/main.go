@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"repro/internal/experiments"
 )
@@ -28,6 +29,7 @@ func main() {
 func run() error {
 	var (
 		seed       = flag.Uint64("seed", 1, "master seed for the simulated world")
+		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "worker-pool size for parallel experiments (results are identical for any value)")
 		all        = flag.Bool("all", false, "run every experiment")
 		fig5       = flag.Bool("fig5", false, "E1: Crazyradio interference per Wi-Fi channel (Figure 5)")
 		endurance  = flag.Bool("endurance", false, "E2: battery endurance under periodic scanning")
@@ -54,7 +56,7 @@ func run() error {
 
 	if *all || *fig5 {
 		section("E1 / Figure 5")
-		r, err := experiments.Figure5(*seed)
+		r, err := experiments.Figure5(*seed, *workers)
 		if err != nil {
 			return err
 		}
@@ -98,7 +100,7 @@ func run() error {
 	}
 	if *all || *fig8 {
 		section("E6 / Figure 8")
-		r, err := experiments.Figure8(*seed, *extended)
+		r, err := experiments.Figure8(*seed, *extended, *workers)
 		if err != nil {
 			return err
 		}
@@ -108,7 +110,7 @@ func run() error {
 	}
 	if *all || *anchors {
 		section("E7 / anchor ablation")
-		r, err := experiments.AnchorAblation(*seed)
+		r, err := experiments.AnchorAblation(*seed, *workers)
 		if err != nil {
 			return err
 		}
@@ -118,7 +120,7 @@ func run() error {
 	}
 	if *all || *mitigation {
 		section("E8 / mitigation ablation")
-		r, err := experiments.MitigationAblation(*seed)
+		r, err := experiments.MitigationAblation(*seed, *workers)
 		if err != nil {
 			return err
 		}
@@ -128,7 +130,7 @@ func run() error {
 	}
 	if *all || *density {
 		section("E9 / density sweep")
-		r, err := experiments.DensitySweep(*seed)
+		r, err := experiments.DensitySweep(*seed, *workers)
 		if err != nil {
 			return err
 		}
@@ -138,7 +140,7 @@ func run() error {
 	}
 	if *all || *gridsearch {
 		section("E10 / hyper-parameter grid search")
-		r, err := experiments.GridSearchReproduction(*seed)
+		r, err := experiments.GridSearchReproduction(*seed, *workers)
 		if err != nil {
 			return err
 		}

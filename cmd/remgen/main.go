@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
@@ -30,6 +31,7 @@ func main() {
 func run() error {
 	var (
 		seed     = flag.Uint64("seed", 1, "master seed for the simulated world")
+		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "worker-pool size for training, evaluation and REM rasterisation (results are identical for any value)")
 		out      = flag.String("o", "-", "REM CSV output path ('-' for stdout)")
 		res      = flag.String("res", "12x10x6", "REM grid resolution as NXxNYxNZ")
 		extended = flag.Bool("extended", false, "include IDW/kriging estimators")
@@ -40,6 +42,7 @@ func run() error {
 	flag.Parse()
 
 	cfg := core.DefaultConfig(*seed)
+	cfg.Workers = *workers
 	var nx, ny, nz int
 	if _, err := fmt.Sscanf(*res, "%dx%dx%d", &nx, &ny, &nz); err != nil {
 		return fmt.Errorf("bad -res %q: %w", *res, err)

@@ -3,5 +3,6 @@
 // (Mendes, Lemic, Famaey — ICDCS 2022). The library lives under internal/,
 // the executables under cmd/, runnable examples under examples/, and the
 // top-level benchmarks in bench_test.go regenerate every table and figure of
-// the paper. See README.md, DESIGN.md and EXPERIMENTS.md.
+// the paper. README.md covers usage; DESIGN.md covers the architecture, the
+// experiment index (E1–E11) and the concurrency/determinism contract.
 package repro

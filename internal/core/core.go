@@ -16,6 +16,7 @@ import (
 	"repro/internal/ml/baseline"
 	"repro/internal/ml/knn"
 	"repro/internal/ml/nn"
+	"repro/internal/parallel"
 	"repro/internal/rem"
 	"repro/internal/simrand"
 )
@@ -112,6 +113,10 @@ type Config struct {
 	// REMResolution is the map grid (cells per axis); zero disables REM
 	// construction.
 	REMResolution [3]int
+	// Workers bounds the pipeline's concurrency — estimator training,
+	// evaluation and REM rasterisation all share the setting. ≤ 0 means
+	// GOMAXPROCS. Every worker count produces byte-identical results.
+	Workers int
 }
 
 // DefaultConfig reproduces the paper's §III-B evaluation.
@@ -195,35 +200,60 @@ func RunWithDataset(cfg Config, data *dataset.Dataset, report *mission.Report) (
 		specs = PaperEstimators(cfg.Seed)
 	}
 	res := &Result{Data: data, Report: report, Pre: pre}
-	bestRMSE := 0.0
-	var bestSpec EstimatorSpec
-	for i, spec := range specs {
+
+	// Design matrices are shared read-only across workers; materialise
+	// each distinct encoding once instead of per estimator.
+	type split struct {
+		trX, teX [][]float64
+		trY, teY []float64
+	}
+	splits := map[dataset.FeatureOptions]*split{}
+	for _, spec := range specs {
+		if _, ok := splits[spec.Features]; ok {
+			continue
+		}
+		s := &split{}
+		s.trX, s.trY = train.DesignMatrix(spec.Features)
+		s.teX, s.teY = test.DesignMatrix(spec.Features)
+		splits[spec.Features] = s
+	}
+
+	// Each estimator trains and scores independently on the pool; scores
+	// land in suite order, so the winner selection below is identical to
+	// the sequential loop.
+	scores, err := parallel.Map(len(specs), cfg.Workers, func(i int) (Score, error) {
+		spec := specs[i]
 		est, err := spec.Build()
 		if err != nil {
-			return nil, fmt.Errorf("core: building %s: %w", spec.Name, err)
+			return Score{}, fmt.Errorf("core: building %s: %w", spec.Name, err)
 		}
-		trX, trY := train.DesignMatrix(spec.Features)
-		teX, teY := test.DesignMatrix(spec.Features)
-		if err := est.Fit(trX, trY); err != nil {
-			return nil, fmt.Errorf("core: fitting %s: %w", spec.Name, err)
+		s := splits[spec.Features]
+		if err := est.Fit(s.trX, s.trY); err != nil {
+			return Score{}, fmt.Errorf("core: fitting %s: %w", spec.Name, err)
 		}
-		pred, err := ml.PredictAll(est, teX)
+		pred, err := ml.PredictAll(est, s.teX)
 		if err != nil {
-			return nil, fmt.Errorf("core: evaluating %s: %w", spec.Name, err)
+			return Score{}, fmt.Errorf("core: evaluating %s: %w", spec.Name, err)
 		}
-		rmse, err := ml.RMSE(pred, teY)
+		rmse, err := ml.RMSE(pred, s.teY)
 		if err != nil {
-			return nil, err
+			return Score{}, err
 		}
-		mae, err := ml.MAE(pred, teY)
+		mae, err := ml.MAE(pred, s.teY)
 		if err != nil {
-			return nil, err
+			return Score{}, err
 		}
-		res.Scores = append(res.Scores, Score{Name: spec.Name, RMSE: rmse, MAE: mae})
-		if i == 0 || rmse < bestRMSE {
-			bestRMSE = rmse
+		return Score{Name: spec.Name, RMSE: rmse, MAE: mae}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Scores = scores
+	var bestSpec EstimatorSpec
+	for i, s := range scores {
+		if i == 0 || s.RMSE < scores[res.Best].RMSE {
 			res.Best = i
-			bestSpec = spec
+			bestSpec = specs[i]
 		}
 	}
 
@@ -238,7 +268,8 @@ func RunWithDataset(cfg Config, data *dataset.Dataset, report *mission.Report) (
 }
 
 // buildREM refits the winning estimator on the full dataset and rasterises
-// it over the scan volume.
+// it over the scan volume on the worker pool, feeding each worker's run of
+// cells through the estimator's batch path.
 func buildREM(cfg Config, pre *dataset.Preprocessed, spec EstimatorSpec) (*rem.Map, error) {
 	est, err := spec.Build()
 	if err != nil {
@@ -250,14 +281,19 @@ func buildREM(cfg Config, pre *dataset.Preprocessed, spec EstimatorSpec) (*rem.M
 	}
 	dim := pre.FeatureDim(spec.Features)
 	scale := spec.Features.OneHotMACScale
-	predict := func(pos geom.Vec3, keyIdx int) (float64, error) {
-		q := make([]float64, dim)
-		q[0], q[1], q[2] = pos.X, pos.Y, pos.Z
-		if scale != 0 {
-			q[3+keyIdx] = scale
+	predict := func(centers []geom.Vec3, keyIdx int) ([]float64, error) {
+		qs := make([][]float64, len(centers))
+		for i, pos := range centers {
+			q := make([]float64, dim)
+			q[0], q[1], q[2] = pos.X, pos.Y, pos.Z
+			if scale != 0 {
+				q[3+keyIdx] = scale
+			}
+			qs[i] = q
 		}
-		return est.Predict(q)
+		return ml.PredictAll(est, qs)
 	}
 	vol := geom.PaperScanVolume()
-	return rem.BuildMap(vol, cfg.REMResolution[0], cfg.REMResolution[1], cfg.REMResolution[2], pre.MACs, predict)
+	return rem.BuildMapBatch(vol, cfg.REMResolution[0], cfg.REMResolution[1], cfg.REMResolution[2],
+		pre.MACs, predict, rem.BuildOptions{Workers: cfg.Workers})
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bytes"
 	"testing"
 
 	"repro/internal/dataset"
@@ -226,5 +227,42 @@ func TestMissionAblationThroughPipeline(t *testing.T) {
 	full := runPipeline(t)
 	if data.Len() >= full.Data.Len()/4 {
 		t.Errorf("stock firmware dataset %d not ≪ full %d", data.Len(), full.Data.Len())
+	}
+}
+
+func TestPipelineWorkerCountInvariance(t *testing.T) {
+	// The concurrency contract end to end: the ML half of the pipeline —
+	// estimator comparison and REM rasterisation — must be byte-identical
+	// for workers=1 and workers=4.
+	full := runPipeline(t)
+	run := func(workers int) *Result {
+		cfg := DefaultConfig(1)
+		cfg.Workers = workers
+		cfg.Estimators = PaperEstimators(1)[:3] // baseline + both kNNs: fast
+		cfg.REMResolution = [3]int{6, 5, 4}
+		res, err := RunWithDataset(cfg, full.Data, full.Report)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	seq, par := run(1), run(4)
+	for i := range seq.Scores {
+		if seq.Scores[i] != par.Scores[i] {
+			t.Errorf("score %d: workers=4 %+v ≠ workers=1 %+v", i, par.Scores[i], seq.Scores[i])
+		}
+	}
+	if seq.Best != par.Best {
+		t.Errorf("winner differs: workers=4 %d ≠ workers=1 %d", par.Best, seq.Best)
+	}
+	var seqCSV, parCSV bytes.Buffer
+	if err := seq.REM.WriteCSV(&seqCSV); err != nil {
+		t.Fatal(err)
+	}
+	if err := par.REM.WriteCSV(&parCSV); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(seqCSV.Bytes(), parCSV.Bytes()) {
+		t.Error("REM maps differ between workers=1 and workers=4")
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"repro/internal/ekf"
 	"repro/internal/geom"
 	"repro/internal/mission"
+	"repro/internal/parallel"
 	"repro/internal/simrand"
 	"repro/internal/uwb"
 )
@@ -30,8 +31,10 @@ type AnchorResult struct {
 	Trials int
 }
 
-// AnchorAblation runs E7.
-func AnchorAblation(seed uint64) (*AnchorResult, error) {
+// AnchorAblation runs E7. Each (mode, anchor-count) configuration seeds
+// its trials independently, so configurations run concurrently on the
+// worker pool (≤ 0 means GOMAXPROCS) with rows in configuration order.
+func AnchorAblation(seed uint64, workers int) (*AnchorResult, error) {
 	vol := geom.PaperScanVolume()
 	corners := vol.Corners()
 	// Corner subsets with vertical diversity: four coplanar floor anchors
@@ -42,36 +45,49 @@ func AnchorAblation(seed uint64) (*AnchorResult, error) {
 		6: {0, 1, 3, 4, 6, 7},
 		8: {0, 1, 2, 3, 4, 5, 6, 7},
 	}
-	res := &AnchorResult{Trials: 5}
-	truePos := geom.V(1.87, 1.60, 1.0)
+	type combo struct {
+		mode uwb.Mode
+		n    int
+	}
+	var combos []combo
 	for _, mode := range []uwb.Mode{uwb.TWR, uwb.TDoA} {
 		for _, n := range []int{4, 6, 8} {
-			var total float64
-			for trial := 0; trial < res.Trials; trial++ {
-				cfg := uwb.DefaultConfig(mode)
-				cfg.Seed = seed + uint64(trial)*1000 + uint64(n)
-				anchors := make([]uwb.Anchor, n)
-				for i, ci := range subsets[n] {
-					anchors[i] = uwb.Anchor{ID: i, Pos: corners[ci]}
-				}
-				c, err := uwb.NewConstellation(anchors, cfg)
-				if err != nil {
-					return nil, err
-				}
-				c.SelfCalibrate()
-				hr, err := ekf.RunHover(c, ekf.DefaultHoverTrial(truePos), simrand.New(cfg.Seed^0xFEED))
-				if err != nil {
-					return nil, err
-				}
-				total += hr.MeanErrorM
-			}
-			res.Rows = append(res.Rows, AnchorRow{
-				Anchors:  n,
-				Mode:     mode,
-				MeanErrM: total / float64(res.Trials),
-			})
+			combos = append(combos, combo{mode, n})
 		}
 	}
+	res := &AnchorResult{Trials: 5}
+	truePos := geom.V(1.87, 1.60, 1.0)
+	rows, err := parallel.Map(len(combos), workers, func(ci int) (AnchorRow, error) {
+		mode, n := combos[ci].mode, combos[ci].n
+		var total float64
+		for trial := 0; trial < res.Trials; trial++ {
+			cfg := uwb.DefaultConfig(mode)
+			cfg.Seed = seed + uint64(trial)*1000 + uint64(n)
+			anchors := make([]uwb.Anchor, n)
+			for i, idx := range subsets[n] {
+				anchors[i] = uwb.Anchor{ID: i, Pos: corners[idx]}
+			}
+			c, err := uwb.NewConstellation(anchors, cfg)
+			if err != nil {
+				return AnchorRow{}, err
+			}
+			c.SelfCalibrate()
+			hr, err := ekf.RunHover(c, ekf.DefaultHoverTrial(truePos), simrand.New(cfg.Seed^0xFEED))
+			if err != nil {
+				return AnchorRow{}, err
+			}
+			total += hr.MeanErrorM
+		}
+		return AnchorRow{
+			Anchors:  n,
+			Mode:     mode,
+			MeanErrM: total / float64(res.Trials),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Rows = rows
 	return res, nil
 }
 
@@ -97,31 +113,34 @@ type MitigationResult struct {
 	MACsWith, MACsWithout int
 }
 
-// MitigationAblation runs E8 by flying the validation mission twice.
-func MitigationAblation(seed uint64) (*MitigationResult, error) {
-	run := func(disable bool) (int, int, error) {
+// MitigationAblation runs E8 by flying the validation mission twice — the
+// two configurations are independent worlds, so they fly concurrently on
+// the worker pool (≤ 0 means GOMAXPROCS).
+func MitigationAblation(seed uint64, workers int) (*MitigationResult, error) {
+	type outcome struct{ samples, macs int }
+	runs, err := parallel.Map(2, workers, func(i int) (outcome, error) {
 		opts := mission.DefaultOptions(seed)
-		opts.DisableMitigation = disable
+		opts.DisableMitigation = i == 1
 		ctrl, err := mission.NewPaperController(opts)
 		if err != nil {
-			return 0, 0, err
+			return outcome{}, err
 		}
 		data, _, err := ctrl.Run()
 		if err != nil {
-			return 0, 0, err
+			return outcome{}, err
 		}
 		st := data.Stats()
-		return st.Total, st.DistinctMACs, nil
-	}
-	res := &MitigationResult{}
-	var err error
-	if res.SamplesWith, res.MACsWith, err = run(false); err != nil {
+		return outcome{st.Total, st.DistinctMACs}, nil
+	})
+	if err != nil {
 		return nil, err
 	}
-	if res.SamplesWithout, res.MACsWithout, err = run(true); err != nil {
-		return nil, err
-	}
-	return res, nil
+	return &MitigationResult{
+		SamplesWith:    runs[0].samples,
+		MACsWith:       runs[0].macs,
+		SamplesWithout: runs[1].samples,
+		MACsWithout:    runs[1].macs,
+	}, nil
 }
 
 // LossFraction returns the fraction of samples lost to self-interference.

@@ -11,6 +11,7 @@ import (
 	"repro/internal/floorplan"
 	"repro/internal/geom"
 	"repro/internal/mission"
+	"repro/internal/parallel"
 	"repro/internal/simrand"
 	"repro/internal/wifi"
 )
@@ -44,8 +45,10 @@ var densityLattices = [][3]int{
 
 // DensitySweep runs E9: the same environment is surveyed with increasingly
 // dense waypoint lattices, and the Figure 8 pipeline is re-run on each
-// dataset.
-func DensitySweep(seed uint64) (*DensityResult, error) {
+// dataset. Lattice configurations are independent missions, so they run
+// concurrently on the worker pool (≤ 0 means GOMAXPROCS); rows come back
+// in lattice order regardless of scheduling.
+func DensitySweep(seed uint64, workers int) (*DensityResult, error) {
 	env := floorplan.PaperApartment()
 	rng := simrand.New(seed)
 	aps, err := wifi.GeneratePopulation(env, wifi.DefaultPopulation(), rng.Derive("population"))
@@ -57,19 +60,18 @@ func DensitySweep(seed uint64) (*DensityResult, error) {
 		return nil, err
 	}
 
-	res := &DensityResult{}
-	for _, shape := range densityLattices {
-		plan, err := densityPlan(shape)
+	rows, err := parallel.Map(len(densityLattices), workers, func(i int) (DensityRow, error) {
+		plan, err := densityPlan(densityLattices[i])
 		if err != nil {
-			return nil, err
+			return DensityRow{}, err
 		}
 		ctrl, err := mission.NewController(plan, env, net, wifi.DefaultScanner(), mission.DefaultOptions(seed))
 		if err != nil {
-			return nil, err
+			return DensityRow{}, err
 		}
 		data, report, err := ctrl.Run()
 		if err != nil {
-			return nil, err
+			return DensityRow{}, err
 		}
 		// Sparse missions yield few samples per MAC; lower the retention
 		// threshold proportionally so the comparison stays defined.
@@ -77,18 +79,22 @@ func DensitySweep(seed uint64) (*DensityResult, error) {
 		cfg.REMResolution = [3]int{}
 		cfg.MinSamplesPerMAC = minThresholdFor(plan.TotalWaypoints())
 		cfg.Estimators = core.PaperEstimators(seed)
+		cfg.Workers = 1 // the sweep itself saturates the pool
 		out, err := core.RunWithDataset(cfg, data, report)
 		if err != nil {
-			return nil, err
+			return DensityRow{}, err
 		}
-		res.Rows = append(res.Rows, DensityRow{
+		return DensityRow{
 			Waypoints: plan.TotalWaypoints(),
 			Samples:   data.Len(),
 			BestRMSE:  out.BestScore().RMSE,
 			BestName:  out.BestScore().Name,
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &DensityResult{Rows: rows}, nil
 }
 
 // minThresholdFor scales the paper's 16-samples-per-MAC threshold to the

@@ -11,7 +11,7 @@ import (
 )
 
 func TestFigure5ShapeMatchesPaper(t *testing.T) {
-	res, err := Figure5(1)
+	res, err := Figure5(1, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -36,7 +36,7 @@ func TestFigure5ShapeMatchesPaper(t *testing.T) {
 }
 
 func TestFigure5Render(t *testing.T) {
-	res, err := Figure5(1)
+	res, err := Figure5(1, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,7 +103,7 @@ func TestMissionResultRenders(t *testing.T) {
 }
 
 func TestFigure8EndToEnd(t *testing.T) {
-	res, err := Figure8(1, false)
+	res, err := Figure8(1, false, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,7 +124,7 @@ func TestFigure8EndToEnd(t *testing.T) {
 }
 
 func TestAnchorAblationShape(t *testing.T) {
-	res, err := AnchorAblation(1)
+	res, err := AnchorAblation(1, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -166,7 +166,7 @@ func TestAnchorAblationShape(t *testing.T) {
 }
 
 func TestMitigationAblation(t *testing.T) {
-	res, err := MitigationAblation(1)
+	res, err := MitigationAblation(1, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -186,7 +186,7 @@ func TestMitigationAblation(t *testing.T) {
 }
 
 func TestDensitySweepTrend(t *testing.T) {
-	res, err := DensitySweep(1)
+	res, err := DensitySweep(1, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -234,7 +234,7 @@ func TestGridSearchSpaceContainsPaperWinners(t *testing.T) {
 }
 
 func TestGridSearchReproduction(t *testing.T) {
-	res, err := GridSearchReproduction(1)
+	res, err := GridSearchReproduction(1, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

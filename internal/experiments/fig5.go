@@ -2,7 +2,7 @@
 // evaluation (plus this repository's ablations) as structured results with
 // text renderers. The cmd/experiments binary and the repository-level
 // benchmarks are both thin wrappers around these functions; the experiment
-// IDs (E1–E9) are indexed in DESIGN.md.
+// IDs (E1–E11) are indexed in DESIGN.md.
 package experiments
 
 import (
@@ -12,6 +12,7 @@ import (
 	"text/tabwriter"
 
 	"repro/internal/floorplan"
+	"repro/internal/parallel"
 	"repro/internal/simrand"
 	"repro/internal/spectrum"
 	"repro/internal/wifi"
@@ -34,8 +35,10 @@ type Fig5Result struct {
 
 // Figure5 reproduces the interference survey of §III-A: a fixed scan
 // position, three AP scans per Crazyradio setting, the radio stepped over
-// {off, 2400, 2425, 2450, 2475, 2500, 2525} MHz.
-func Figure5(seed uint64) (*Fig5Result, error) {
+// {off, 2400, 2425, 2450, 2475, 2500, 2525} MHz. Each radio setting scans
+// on the worker pool with its own derived noise stream, so the figure is
+// identical for every worker count (≤ 0 means GOMAXPROCS).
+func Figure5(seed uint64, workers int) (*Fig5Result, error) {
 	env := floorplan.PaperApartment()
 	rng := simrand.New(seed)
 	aps, err := wifi.GeneratePopulation(env, wifi.DefaultPopulation(), rng.Derive("population"))
@@ -58,28 +61,35 @@ func Figure5(seed uint64) (*Fig5Result, error) {
 		ScansPerSetting: 3,
 	}
 	pos := env.Room.Center()
-	scanRng := rng.Derive("scan")
 
-	scanAvg := func(itfs []spectrum.Interferer) map[int]float64 {
-		counts := map[int]float64{}
-		for i := 0; i < res.ScansPerSetting; i++ {
+	// Setting 0 is radio-off; setting i ≥ 1 is RadioFreqsMHz[i-1].
+	counts, err := parallel.Map(len(res.RadioFreqsMHz)+1, workers, func(i int) (map[int]float64, error) {
+		scanRng := rng.DeriveN("scan", i)
+		var itfs []spectrum.Interferer
+		if i > 0 {
+			itf, err := spectrum.CrazyradioInterferer(int(res.RadioFreqsMHz[i-1] - 2400))
+			if err != nil {
+				return nil, err
+			}
+			itfs = []spectrum.Interferer{itf}
+		}
+		c := map[int]float64{}
+		for s := 0; s < res.ScansPerSetting; s++ {
 			for _, obs := range sc.Scan(pos, itfs, scanRng) {
-				counts[obs.Channel]++
+				c[obs.Channel]++
 			}
 		}
-		for ch := range counts {
-			counts[ch] /= float64(res.ScansPerSetting)
+		for ch := range c {
+			c[ch] /= float64(res.ScansPerSetting)
 		}
-		return counts
+		return c, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-
-	res.DetectedOff = scanAvg(nil)
-	for _, f := range res.RadioFreqsMHz {
-		itf, err := spectrum.CrazyradioInterferer(int(f - 2400))
-		if err != nil {
-			return nil, err
-		}
-		res.DetectedOn[f] = scanAvg([]spectrum.Interferer{itf})
+	res.DetectedOff = counts[0]
+	for i, f := range res.RadioFreqsMHz {
+		res.DetectedOn[f] = counts[i+1]
 	}
 
 	// Channels with any detections, sorted (the paper omits empty ones).

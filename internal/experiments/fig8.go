@@ -31,9 +31,12 @@ var paperRMSE = map[string]string{
 
 // Figure8 runs the full pipeline and returns the estimator comparison. With
 // extended=true the IDW/kriging interpolators are appended to the suite.
-func Figure8(seed uint64, extended bool) (*Fig8Result, error) {
+// workers bounds the pipeline's concurrency (≤ 0 means GOMAXPROCS); every
+// worker count reproduces the same figure.
+func Figure8(seed uint64, extended bool, workers int) (*Fig8Result, error) {
 	cfg := core.DefaultConfig(seed)
 	cfg.REMResolution = [3]int{} // the comparison does not need the map
+	cfg.Workers = workers
 	if extended {
 		cfg.Estimators = core.ExtendedEstimators(seed)
 	}

@@ -34,8 +34,11 @@ var knnSpace = map[string][]float64{
 	"p":       {1, 2},
 }
 
-// GridSearchReproduction runs E10.
-func GridSearchReproduction(seed uint64) (*GridSearchResult, error) {
+// GridSearchReproduction runs E10. The 28 grid points per encoding are
+// evaluated concurrently on the worker pool (≤ 0 means GOMAXPROCS); the
+// two encodings draw from independent derived streams, so every worker
+// count reproduces the same ranking.
+func GridSearchReproduction(seed uint64, workers int) (*GridSearchResult, error) {
 	ctrl, err := mission.NewPaperController(mission.DefaultOptions(seed))
 	if err != nil {
 		return nil, err
@@ -66,7 +69,7 @@ func GridSearchReproduction(seed uint64) (*GridSearchResult, error) {
 	search := func(opt dataset.FeatureOptions, name string) ([]ml.SearchResult, error) {
 		trX, trY := train.DesignMatrix(opt)
 		// "The validation set was taken out of the training set" (§III-B).
-		results, err := ml.GridSearch(factory, candidates, trX, trY, 0.25, rng.Derive(name))
+		results, err := ml.GridSearchWorkers(factory, candidates, trX, trY, 0.25, rng.Derive(name), workers)
 		if err != nil {
 			return nil, err
 		}

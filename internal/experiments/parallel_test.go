@@ -1,0 +1,48 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestFigure5WorkerCountInvariance: each radio setting owns a derived
+// noise stream, so the rendered figure must be identical for any pool
+// size.
+func TestFigure5WorkerCountInvariance(t *testing.T) {
+	render := func(workers int) string {
+		res, err := Figure5(1, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := res.WriteText(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	seq, par := render(1), render(4)
+	if seq != par {
+		t.Errorf("Figure 5 differs between workers=1 and workers=4:\n%s\nvs\n%s", seq, par)
+	}
+}
+
+// TestAnchorAblationWorkerCountInvariance: configurations seed their own
+// trials, so the table must be identical for any pool size.
+func TestAnchorAblationWorkerCountInvariance(t *testing.T) {
+	seq, err := AnchorAblation(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := AnchorAblation(1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq.Rows) != len(par.Rows) {
+		t.Fatalf("row counts differ: %d vs %d", len(seq.Rows), len(par.Rows))
+	}
+	for i := range seq.Rows {
+		if seq.Rows[i] != par.Rows[i] {
+			t.Errorf("row %d: workers=4 %+v ≠ workers=1 %+v", i, par.Rows[i], seq.Rows[i])
+		}
+	}
+}

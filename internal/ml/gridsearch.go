@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/parallel"
 	"repro/internal/simrand"
 )
 
@@ -55,12 +56,32 @@ type SearchResult struct {
 // via the factory, training on a sub-split of the training data and scoring
 // on a held-out validation split ("the validation set was taken out of the
 // training set", §III-B). It returns all results sorted by RMSE, best first.
+// Candidates are evaluated on the shared worker pool; see
+// GridSearchWorkers for the determinism contract.
 func GridSearch(
 	factory func(Params) (Estimator, error),
 	candidates []Params,
 	trainX [][]float64, trainY []float64,
 	valFrac float64,
 	rng *simrand.Source,
+) ([]SearchResult, error) {
+	return GridSearchWorkers(factory, candidates, trainX, trainY, valFrac, rng, 0)
+}
+
+// GridSearchWorkers is GridSearch with an explicit bound on concurrent
+// candidate evaluations (≤ 0 means GOMAXPROCS). The validation split is
+// drawn from rng before any candidate runs, results land in candidate
+// order, and the final sort is stable — so the output is byte-identical to
+// the sequential run for every worker count. Factories needing randomness
+// must derive it from the Params themselves (e.g. a seed entry) rather
+// than consume a shared stream inside the pool.
+func GridSearchWorkers(
+	factory func(Params) (Estimator, error),
+	candidates []Params,
+	trainX [][]float64, trainY []float64,
+	valFrac float64,
+	rng *simrand.Source,
+	workers int,
 ) ([]SearchResult, error) {
 	if len(candidates) == 0 {
 		return nil, fmt.Errorf("ml: grid search needs candidates")
@@ -88,17 +109,20 @@ func GridSearch(
 		}
 	}
 
-	results := make([]SearchResult, 0, len(candidates))
-	for _, p := range candidates {
+	results, err := parallel.Map(len(candidates), workers, func(i int) (SearchResult, error) {
+		p := candidates[i]
 		est, err := factory(p)
 		if err != nil {
-			return nil, fmt.Errorf("ml: building estimator for %v: %w", p, err)
+			return SearchResult{}, fmt.Errorf("ml: building estimator for %v: %w", p, err)
 		}
 		rmse, err := EvaluateRMSE(est, subX, subY, valX, valY)
 		if err != nil {
-			return nil, fmt.Errorf("ml: evaluating %v: %w", p, err)
+			return SearchResult{}, fmt.Errorf("ml: evaluating %v: %w", p, err)
 		}
-		results = append(results, SearchResult{Params: p, RMSE: rmse})
+		return SearchResult{Params: p, RMSE: rmse}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	sort.SliceStable(results, func(i, j int) bool { return results[i].RMSE < results[j].RMSE })
 	return results, nil

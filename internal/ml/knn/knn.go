@@ -3,12 +3,18 @@
 // x/y/z + one-hot-MAC features (including the scaled-one-hot variant that
 // wins Figure 8), and the per-MAC ensemble alternative that fits one
 // xyz-only regressor per MAC address.
+//
+// Euclidean (p=2) queries are served by a KD-tree spatial index with
+// per-key subtrees for the one-hot-MAC layout (see kdtree.go); other
+// metrics use the original brute-force scan. Both backends rank neighbours
+// by the same canonical (distance, training-index) order, so predictions
+// are byte-identical whichever one answers. Predict and PredictBatch are
+// safe for concurrent use once Fit has returned.
 package knn
 
 import (
 	"fmt"
 	"math"
-	"sort"
 
 	"repro/internal/ml"
 )
@@ -47,6 +53,10 @@ type Config struct {
 	// MinkowskiP is the metric order; p=2 with metric=minkowski is the
 	// Euclidean distance the paper's grid search selects.
 	MinkowskiP float64
+	// BruteForce disables the KD-tree index and forces the O(n) scan even
+	// for p=2. Predictions are identical either way; the flag exists to
+	// benchmark the index against its baseline.
+	BruteForce bool
 }
 
 // PaperPlainConfig is the paper's tuned plain kNN: k=3, distance weights,
@@ -75,18 +85,19 @@ func (c Config) Validate() error {
 	return nil
 }
 
-// Regressor is a brute-force kNN regressor. Fit stores the training set;
-// Predict scans it, which at the paper's dataset scale (≈2.5k samples) is
-// faster than building an index.
+// Regressor is a kNN regressor. Fit stores the training set and, for the
+// Euclidean metric, builds the KD-tree index; Predict queries it.
 type Regressor struct {
-	cfg Config
-	x   [][]float64
-	y   []float64
+	cfg   Config
+	x     [][]float64
+	y     []float64
+	index *kdIndex
 }
 
 var (
-	_ ml.Estimator = (*Regressor)(nil)
-	_ ml.Named     = (*Regressor)(nil)
+	_ ml.Estimator      = (*Regressor)(nil)
+	_ ml.Named          = (*Regressor)(nil)
+	_ ml.BatchPredictor = (*Regressor)(nil)
 )
 
 // New builds a regressor with the given configuration.
@@ -112,78 +123,50 @@ func (r *Regressor) Fit(x [][]float64, y []float64) error {
 		r.x[i] = append([]float64(nil), row...)
 	}
 	r.y = append([]float64(nil), y...)
+	r.index = nil
+	if r.cfg.MinkowskiP == 2 && !r.cfg.BruteForce {
+		r.index = buildIndex(r.x)
+	}
 	return nil
 }
 
-// distance computes the Minkowski distance of order p.
-func (r *Regressor) distance(a, b []float64) float64 {
+// distance computes the Minkowski distance of order p and, for p=2, the
+// pre-sqrt squared distance used as the KD-tree pruning bound.
+func (r *Regressor) distance(a, b []float64) (float64, float64) {
 	p := r.cfg.MinkowskiP
 	if p == 2 {
-		var sum float64
-		for i := range a {
-			d := a[i] - b[i]
-			sum += d * d
-		}
-		return math.Sqrt(sum)
+		return euclid(a, b)
 	}
 	var sum float64
 	for i := range a {
 		sum += math.Pow(math.Abs(a[i]-b[i]), p)
 	}
-	return math.Pow(sum, 1/p)
+	d := math.Pow(sum, 1/p)
+	return d, d * d
 }
 
-// neighbour pairs a training index with its distance to the query.
-type neighbour struct {
-	idx  int
-	dist float64
-}
-
-// Predict implements ml.Estimator.
-func (r *Regressor) Predict(q []float64) (float64, error) {
-	if r.x == nil {
-		return 0, ml.ErrNotFitted
+// gather fills nb with the k nearest training points in canonical
+// (dist, idx) order, via the index when one applies.
+func (r *Regressor) gather(q []float64, nb *nearest) {
+	if r.index != nil && r.index.search(q, nb) {
+		return
 	}
-	if len(q) != len(r.x[0]) {
-		return 0, fmt.Errorf("knn: query dim %d, want %d", len(q), len(r.x[0]))
-	}
-	k := r.cfg.K
-	if k > len(r.x) {
-		k = len(r.x)
-	}
-	// Partial selection of the k smallest distances.
-	nbrs := make([]neighbour, 0, k+1)
-	worst := math.Inf(1)
 	for i, row := range r.x {
-		d := r.distance(q, row)
-		if len(nbrs) < k {
-			nbrs = append(nbrs, neighbour{i, d})
-			if len(nbrs) == k {
-				sort.Slice(nbrs, func(a, b int) bool { return nbrs[a].dist < nbrs[b].dist })
-				worst = nbrs[k-1].dist
-			}
-			continue
-		}
-		if d >= worst {
-			continue
-		}
-		// Insert in order, dropping the current worst.
-		pos := sort.Search(k, func(j int) bool { return nbrs[j].dist > d })
-		copy(nbrs[pos+1:], nbrs[pos:k-1])
-		nbrs[pos] = neighbour{i, d}
-		worst = nbrs[k-1].dist
+		d, sq := r.distance(q, row)
+		nb.consider(i, d, sq)
 	}
-	if len(nbrs) < k {
-		sort.Slice(nbrs, func(a, b int) bool { return nbrs[a].dist < nbrs[b].dist })
-	}
+}
 
+// aggregate combines the gathered neighbours under the configured
+// weighting.
+func (r *Regressor) aggregate(nbrs []neighbour) float64 {
 	switch r.cfg.Weights {
 	case Uniform:
 		var sum float64
 		for _, n := range nbrs {
 			sum += r.y[n.idx]
 		}
-		return sum / float64(len(nbrs)), nil
+		return sum / float64(len(nbrs))
 	default: // Distance
 		// An exact match dominates: return the mean of zero-distance
 		// neighbours (scikit-learn behaviour).
@@ -196,7 +179,7 @@ func (r *Regressor) Predict(q []float64) (float64, error) {
 			}
 		}
 		if exact > 0 {
-			return exactSum / float64(exact), nil
+			return exactSum / float64(exact)
 		}
 		var wSum, sum float64
 		for _, n := range nbrs {
@@ -204,6 +187,55 @@ func (r *Regressor) Predict(q []float64) (float64, error) {
 			wSum += w
 			sum += w * r.y[n.idx]
 		}
-		return sum / wSum, nil
+		return sum / wSum
 	}
+}
+
+// predictInto answers one query reusing the caller's candidate buffer.
+func (r *Regressor) predictInto(q []float64, nb *nearest) (float64, error) {
+	if r.x == nil {
+		return 0, ml.ErrNotFitted
+	}
+	if len(q) != len(r.x[0]) {
+		return 0, fmt.Errorf("knn: query dim %d, want %d", len(q), len(r.x[0]))
+	}
+	nb.reset()
+	r.gather(q, nb)
+	return r.aggregate(nb.nbrs), nil
+}
+
+// effectiveK clamps K to the training-set size.
+func (r *Regressor) effectiveK() int {
+	k := r.cfg.K
+	if k > len(r.x) {
+		k = len(r.x)
+	}
+	return k
+}
+
+// Predict implements ml.Estimator.
+func (r *Regressor) Predict(q []float64) (float64, error) {
+	if r.x == nil {
+		return 0, ml.ErrNotFitted
+	}
+	return r.predictInto(q, newNearest(r.effectiveK()))
+}
+
+// PredictBatch implements ml.BatchPredictor: one candidate buffer is
+// reused across the whole batch, amortising per-query allocation on the
+// REM rasterisation path.
+func (r *Regressor) PredictBatch(x [][]float64) ([]float64, error) {
+	if r.x == nil {
+		return nil, ml.ErrNotFitted
+	}
+	out := make([]float64, len(x))
+	nb := newNearest(r.effectiveK())
+	for i, q := range x {
+		v, err := r.predictInto(q, nb)
+		if err != nil {
+			return nil, fmt.Errorf("knn: predicting row %d: %w", i, err)
+		}
+		out[i] = v
+	}
+	return out, nil
 }

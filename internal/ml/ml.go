@@ -9,16 +9,28 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/parallel"
 	"repro/internal/simrand"
 )
 
 // Estimator is a trainable regressor. Implementations live in the baseline,
-// knn and nn sub-packages.
+// knn and nn sub-packages. Predict must be safe for concurrent use once
+// Fit has returned — the REM rasteriser fans queries out across a worker
+// pool against a single fitted estimator.
 type Estimator interface {
 	// Fit trains on the design matrix x and targets y.
 	Fit(x [][]float64, y []float64) error
 	// Predict returns the estimate for one feature vector.
 	Predict(x []float64) (float64, error)
+}
+
+// BatchPredictor is implemented by estimators with an amortised batch
+// inference path. PredictBatch must return exactly the values Predict
+// would return row by row (the determinism contract lets callers switch
+// freely between the two), and must be safe for concurrent use.
+type BatchPredictor interface {
+	// PredictBatch returns the estimate for every feature row.
+	PredictBatch(x [][]float64) ([]float64, error)
 }
 
 // Named is implemented by estimators that can label themselves for reports.
@@ -50,8 +62,12 @@ func ValidateTrainingData(x [][]float64, y []float64) error {
 	return nil
 }
 
-// PredictAll evaluates the estimator on every row.
+// PredictAll evaluates the estimator on every row, taking the amortised
+// batch path when the estimator provides one.
 func PredictAll(e Estimator, x [][]float64) ([]float64, error) {
+	if bp, ok := e.(BatchPredictor); ok {
+		return bp.PredictBatch(x)
+	}
 	out := make([]float64, len(x))
 	for i, row := range x {
 		p, err := e.Predict(row)
@@ -124,8 +140,17 @@ func EvaluateRMSE(e Estimator, trainX [][]float64, trainY []float64, testX [][]f
 }
 
 // CrossValidateRMSE runs k-fold cross-validation and returns the mean fold
-// RMSE. The factory builds a fresh estimator per fold.
+// RMSE. The factory builds a fresh estimator per fold. Folds are evaluated
+// on the shared worker pool; see CrossValidateRMSEWorkers.
 func CrossValidateRMSE(factory func() Estimator, x [][]float64, y []float64, k int, rng *simrand.Source) (float64, error) {
+	return CrossValidateRMSEWorkers(factory, x, y, k, rng, 0)
+}
+
+// CrossValidateRMSEWorkers is CrossValidateRMSE with an explicit bound on
+// concurrent fold evaluations (≤ 0 means GOMAXPROCS). The permutation is
+// drawn before any fold runs and fold scores are summed in fold order, so
+// the result is byte-identical for every worker count.
+func CrossValidateRMSEWorkers(factory func() Estimator, x [][]float64, y []float64, k int, rng *simrand.Source, workers int) (float64, error) {
 	if err := ValidateTrainingData(x, y); err != nil {
 		return 0, err
 	}
@@ -133,8 +158,7 @@ func CrossValidateRMSE(factory func() Estimator, x [][]float64, y []float64, k i
 		return 0, fmt.Errorf("ml: fold count %d outside [2, %d]", k, len(x))
 	}
 	perm := rng.Perm(len(x))
-	var total float64
-	for fold := 0; fold < k; fold++ {
+	total, err := parallel.MapReduce(k, workers, func(fold int) (float64, error) {
 		var trX, teX [][]float64
 		var trY, teY []float64
 		for i, idx := range perm {
@@ -150,7 +174,10 @@ func CrossValidateRMSE(factory func() Estimator, x [][]float64, y []float64, k i
 		if err != nil {
 			return 0, fmt.Errorf("ml: fold %d: %w", fold, err)
 		}
-		total += rmse
+		return rmse, nil
+	}, 0.0, func(acc, v float64) float64 { return acc + v })
+	if err != nil {
+		return 0, err
 	}
 	return total / float64(k), nil
 }

@@ -419,7 +419,29 @@ func (n *Network) Fit(x [][]float64, y []float64) error {
 	return nil
 }
 
-// Predict implements ml.Estimator.
+// infer runs one input through the network without touching the training
+// caches, so concurrent Predict calls never share state. The arithmetic
+// mirrors forward exactly (same per-neuron accumulation order), keeping
+// inference byte-identical to the training-time pass.
+func (n *Network) infer(x []float64) float64 {
+	cur := x
+	for _, l := range n.layers {
+		next := make([]float64, l.out)
+		for o := 0; o < l.out; o++ {
+			sum := l.b[o]
+			row := l.w[o*l.in : (o+1)*l.in]
+			for i, v := range cur {
+				sum += row[i] * v
+			}
+			next[o] = l.act.apply(sum)
+		}
+		cur = next
+	}
+	return cur[0]
+}
+
+// Predict implements ml.Estimator. It is safe for concurrent use once Fit
+// has returned.
 func (n *Network) Predict(x []float64) (float64, error) {
 	if !n.fitted {
 		return 0, ml.ErrNotFitted
@@ -434,5 +456,5 @@ func (n *Network) Predict(x []float64) (float64, error) {
 		}
 		x = scaled
 	}
-	return n.forward(x)*n.yStd + n.yMean, nil
+	return n.infer(x)*n.yStd + n.yMean, nil
 }

@@ -1,0 +1,176 @@
+// Package parallel is the concurrency substrate of the pipeline: a bounded
+// worker pool over index ranges with deterministic result ordering and
+// first-error cancellation. Every hot loop in the toolchain — REM
+// rasterisation, grid search, estimator comparison, experiment sweeps —
+// distributes its embarrassingly parallel units of work through this
+// package, so "workers=1 and workers=N produce byte-identical results" is a
+// single contract enforced here rather than re-proved per call site.
+//
+// The determinism contract: Map and MapReduce place the result of item i at
+// position i regardless of execution order, and MapReduce folds in index
+// order, so any reduction that is deterministic sequentially stays
+// deterministic under concurrency. Work items must not communicate through
+// shared mutable state; randomness must come from per-item derived
+// simrand streams, never from a shared stream consumed inside workers.
+package parallel
+
+import (
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a worker-count request: values ≤ 0 select
+// runtime.GOMAXPROCS(0), anything else is returned unchanged.
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// ForEach runs fn(i) for every i in [0, n) on at most workers goroutines
+// (≤ 0 means GOMAXPROCS). If any call returns an error, no new items are
+// started and the error with the smallest index among those observed is
+// returned. A panic in fn is re-raised on the calling goroutine.
+func ForEach(n, workers int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var (
+		next     atomic.Int64
+		stop     atomic.Bool
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+		errIdx   = math.MaxInt
+		panicVal any
+		panicked bool
+	)
+	fail := func(i int, err error) {
+		mu.Lock()
+		if firstErr == nil || i < errIdx {
+			firstErr, errIdx = err, i
+		}
+		mu.Unlock()
+		stop.Store(true)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				err := func() (err error) {
+					defer func() {
+						if r := recover(); r != nil {
+							mu.Lock()
+							if !panicked {
+								panicked, panicVal = true, r
+							}
+							mu.Unlock()
+							stop.Store(true)
+						}
+					}()
+					return fn(i)
+				}()
+				if err != nil {
+					fail(i, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if panicked {
+		panic(panicVal)
+	}
+	return firstErr
+}
+
+// ForEachChunk partitions [0, n) into contiguous chunks and runs
+// fn(lo, hi) for each on the bounded pool. Chunks are sized for load
+// balance (a few per worker); callers that amortise per-call overhead over
+// a chunk — batched prediction, buffer reuse — get that amortisation
+// without giving up the pool's cancellation and ordering guarantees.
+func ForEachChunk(n, workers int, fn func(lo, hi int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers = Workers(workers)
+	size := chunkSize(n, workers)
+	chunks := (n + size - 1) / size
+	return ForEach(chunks, workers, func(c int) error {
+		lo := c * size
+		hi := lo + size
+		if hi > n {
+			hi = n
+		}
+		return fn(lo, hi)
+	})
+}
+
+// chunkSize targets four chunks per worker so stragglers rebalance, with a
+// floor of one item.
+func chunkSize(n, workers int) int {
+	size := n / (workers * 4)
+	if size < 1 {
+		size = 1
+	}
+	return size
+}
+
+// Map evaluates fn(i) for every i in [0, n) concurrently and returns the
+// results in index order: out[i] is fn(i)'s value no matter which worker
+// computed it or when. On error the first (lowest-index observed) error is
+// returned with a nil slice.
+func Map[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := ForEach(n, workers, func(i int) error {
+		v, err := fn(i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// MapReduce maps every index concurrently, then folds the results in index
+// order: reduce(...reduce(reduce(init, out[0]), out[1])..., out[n-1]).
+// Because the fold is sequential over an index-ordered slice, the reduction
+// is byte-identical to a fully sequential run even for non-associative
+// operations such as floating-point accumulation.
+func MapReduce[T, R any](n, workers int, fn func(i int) (T, error), init R, reduce func(R, T) R) (R, error) {
+	out, err := Map(n, workers, fn)
+	if err != nil {
+		var zero R
+		return zero, err
+	}
+	acc := init
+	for _, v := range out {
+		acc = reduce(acc, v)
+	}
+	return acc, nil
+}

@@ -1,0 +1,184 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkersResolution(t *testing.T) {
+	if Workers(0) < 1 || Workers(-5) < 1 {
+		t.Error("non-positive requests must resolve to at least one worker")
+	}
+	if Workers(3) != 3 {
+		t.Error("positive requests must pass through")
+	}
+}
+
+func TestForEachCoversEveryIndex(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		const n = 1000
+		var hits [n]atomic.Int32
+		err := ForEach(n, workers, func(i int) error {
+			hits[i].Add(1)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range hits {
+			if hits[i].Load() != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, hits[i].Load())
+			}
+		}
+	}
+}
+
+func TestForEachEmptyAndNegative(t *testing.T) {
+	called := false
+	if err := ForEach(0, 4, func(int) error { called = true; return nil }); err != nil || called {
+		t.Error("n=0 must be a no-op")
+	}
+	if err := ForEach(-3, 4, func(int) error { called = true; return nil }); err != nil || called {
+		t.Error("n<0 must be a no-op")
+	}
+}
+
+func TestForEachFirstErrorCancels(t *testing.T) {
+	boom := errors.New("boom")
+	for _, workers := range []int{1, 8} {
+		var ran atomic.Int32
+		err := ForEach(10_000, workers, func(i int) error {
+			ran.Add(1)
+			if i == 5 {
+				return boom
+			}
+			return nil
+		})
+		if !errors.Is(err, boom) {
+			t.Fatalf("workers=%d: error = %v, want boom", workers, err)
+		}
+		if n := ran.Load(); n == 10_000 {
+			t.Errorf("workers=%d: error did not cancel remaining work", workers)
+		}
+	}
+}
+
+func TestForEachReturnsLowestObservedError(t *testing.T) {
+	// Every item fails; the reported error must be the lowest-indexed one
+	// among those that actually ran, and with workers=1 that is index 0.
+	err := ForEach(100, 1, func(i int) error { return fmt.Errorf("item %d", i) })
+	if err == nil || err.Error() != "item 0" {
+		t.Errorf("sequential first error = %v, want item 0", err)
+	}
+	// Concurrently, the winner must still be a real item error.
+	err = ForEach(100, 8, func(i int) error { return fmt.Errorf("item %d", i) })
+	if err == nil {
+		t.Error("concurrent run swallowed all errors")
+	}
+}
+
+func TestForEachPanicPropagates(t *testing.T) {
+	defer func() {
+		if r := recover(); r == nil {
+			t.Error("worker panic not re-raised on caller")
+		}
+	}()
+	_ = ForEach(100, 4, func(i int) error {
+		if i == 7 {
+			panic("kaboom")
+		}
+		return nil
+	})
+}
+
+func TestForEachChunkCoversRangeOnce(t *testing.T) {
+	for _, n := range []int{1, 7, 100, 1023} {
+		for _, workers := range []int{1, 3, 8} {
+			var hits = make([]atomic.Int32, n)
+			err := ForEachChunk(n, workers, func(lo, hi int) error {
+				if lo >= hi || lo < 0 || hi > n {
+					return fmt.Errorf("bad chunk [%d, %d)", lo, hi)
+				}
+				for i := lo; i < hi; i++ {
+					hits[i].Add(1)
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range hits {
+				if hits[i].Load() != 1 {
+					t.Fatalf("n=%d workers=%d: index %d covered %d times", n, workers, i, hits[i].Load())
+				}
+			}
+		}
+	}
+}
+
+func TestMapDeterministicOrdering(t *testing.T) {
+	const n = 500
+	want := make([]int, n)
+	for i := range want {
+		want[i] = i * i
+	}
+	for _, workers := range []int{1, 2, 8} {
+		got, err := Map(n, workers, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestMapErrorYieldsNil(t *testing.T) {
+	out, err := Map(10, 4, func(i int) (int, error) {
+		if i == 3 {
+			return 0, errors.New("nope")
+		}
+		return i, nil
+	})
+	if err == nil || out != nil {
+		t.Errorf("Map on error = (%v, %v), want (nil, error)", out, err)
+	}
+}
+
+func TestMapReduceFoldsInIndexOrder(t *testing.T) {
+	// Floating-point accumulation is order-sensitive; the concurrent fold
+	// must be bit-identical to the sequential one.
+	const n = 2000
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = 1.0 / float64(i+1)
+	}
+	seq := 0.0
+	for _, v := range vals {
+		seq += v
+	}
+	for _, workers := range []int{1, 8} {
+		got, err := MapReduce(n, workers,
+			func(i int) (float64, error) { return vals[i], nil },
+			0.0, func(acc, v float64) float64 { return acc + v })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != seq {
+			t.Errorf("workers=%d: fold = %v, want bit-identical %v", workers, got, seq)
+		}
+	}
+}
+
+func TestMapReduceError(t *testing.T) {
+	_, err := MapReduce(5, 2,
+		func(i int) (int, error) { return 0, errors.New("bad") },
+		0, func(a, b int) int { return a + b })
+	if err == nil {
+		t.Error("MapReduce swallowed error")
+	}
+}

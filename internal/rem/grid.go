@@ -8,55 +8,133 @@ import (
 	"strconv"
 
 	"repro/internal/geom"
+	"repro/internal/parallel"
 )
 
 // PredictFunc evaluates a trained model at a position for a given key
-// (MAC). The core pipeline adapts its estimators to this signature.
+// (MAC). The core pipeline adapts its estimators to this signature. It
+// must be safe for concurrent use: BuildMap fans cells out across a
+// worker pool.
 type PredictFunc func(pos geom.Vec3, keyIndex int) (float64, error)
 
+// BatchPredictFunc evaluates a trained model at a run of positions for a
+// given key, letting estimators amortise per-call overhead (buffer reuse,
+// feature-vector assembly) over the whole batch. Element i of the result
+// corresponds to centers[i]. Like PredictFunc it must be safe for
+// concurrent use.
+type BatchPredictFunc func(centers []geom.Vec3, keyIndex int) ([]float64, error)
+
+// BuildOptions tunes map construction.
+type BuildOptions struct {
+	// Workers bounds concurrent cell evaluation; ≤ 0 means GOMAXPROCS.
+	// Any worker count yields byte-identical maps: every cell's value
+	// depends only on its own centre and key.
+	Workers int
+}
+
 // Map is a fine-grained 3-D REM: a regular grid of predicted signal
-// strengths per beacon source over a volume.
+// strengths per beacon source over a volume. A built Map is immutable and
+// safe for concurrent queries.
 type Map struct {
 	volume     geom.Cuboid
 	nx, ny, nz int
 	keys       []string
-	// values[k][ix + nx*(iy + ny*iz)] is the prediction for key k at cell
-	// centre (ix, iy, iz).
-	values [][]float64
+	// values is a flat per-key-contiguous layout:
+	// values[k*nx*ny*nz + ix + nx*(iy + ny*iz)] is the prediction for key
+	// k at cell centre (ix, iy, iz).
+	values []float64
 }
 
-// BuildMap evaluates the model over an nx × ny × nz grid of cell centres.
+// cells returns the per-key cell count.
+func (m *Map) cells() int { return m.nx * m.ny * m.nz }
+
+// val returns the stored prediction for key ki at flat cell index idx.
+func (m *Map) val(ki, idx int) float64 { return m.values[ki*m.cells()+idx] }
+
+// BuildMap evaluates the model over an nx × ny × nz grid of cell centres
+// with default options (one worker per CPU).
 func BuildMap(volume geom.Cuboid, nx, ny, nz int, keys []string, predict PredictFunc) (*Map, error) {
+	return BuildMapOpts(volume, nx, ny, nz, keys, predict, BuildOptions{})
+}
+
+// BuildMapOpts evaluates the model over the grid on a bounded worker
+// pool. The first predictor error cancels outstanding work.
+func BuildMapOpts(volume geom.Cuboid, nx, ny, nz int, keys []string, predict PredictFunc, opts BuildOptions) (*Map, error) {
+	if predict == nil {
+		return nil, fmt.Errorf("rem: map needs a predictor")
+	}
+	return buildMap(volume, nx, ny, nz, keys, opts, func(m *Map, ki, lo, hi int) error {
+		base := ki * m.cells()
+		for idx := lo; idx < hi; idx++ {
+			p := m.cellCenter(idx%nx, (idx/nx)%ny, idx/(nx*ny))
+			v, err := predict(p, ki)
+			if err != nil {
+				return fmt.Errorf("rem: predicting %s at %v: %w", m.keys[ki], p, err)
+			}
+			m.values[base+idx] = v
+		}
+		return nil
+	})
+}
+
+// BuildMapBatch is BuildMapOpts over the batched predictor contract: each
+// worker hands its whole contiguous run of cell centres to the model in
+// one call.
+func BuildMapBatch(volume geom.Cuboid, nx, ny, nz int, keys []string, predict BatchPredictFunc, opts BuildOptions) (*Map, error) {
+	if predict == nil {
+		return nil, fmt.Errorf("rem: map needs a predictor")
+	}
+	return buildMap(volume, nx, ny, nz, keys, opts, func(m *Map, ki, lo, hi int) error {
+		centers := make([]geom.Vec3, hi-lo)
+		for idx := lo; idx < hi; idx++ {
+			centers[idx-lo] = m.cellCenter(idx%nx, (idx/nx)%ny, idx/(nx*ny))
+		}
+		vals, err := predict(centers, ki)
+		if err != nil {
+			return fmt.Errorf("rem: predicting %s over %d cells: %w", m.keys[ki], len(centers), err)
+		}
+		if len(vals) != len(centers) {
+			return fmt.Errorf("rem: batch predictor returned %d values for %d cells", len(vals), len(centers))
+		}
+		copy(m.values[ki*m.cells()+lo:], vals)
+		return nil
+	})
+}
+
+// buildMap validates the grid, then fans per-key contiguous cell chunks
+// out across the pool; fill writes values for cells [lo, hi) of key ki.
+func buildMap(volume geom.Cuboid, nx, ny, nz int, keys []string, opts BuildOptions, fill func(m *Map, ki, lo, hi int) error) (*Map, error) {
 	if nx < 1 || ny < 1 || nz < 1 {
 		return nil, fmt.Errorf("rem: grid resolution %dx%dx%d invalid", nx, ny, nz)
 	}
 	if len(keys) == 0 {
 		return nil, fmt.Errorf("rem: map needs at least one key")
 	}
-	if predict == nil {
-		return nil, fmt.Errorf("rem: map needs a predictor")
-	}
 	m := &Map{
 		volume: volume,
 		nx:     nx, ny: ny, nz: nz,
 		keys:   append([]string(nil), keys...),
-		values: make([][]float64, len(keys)),
+		values: make([]float64, len(keys)*nx*ny*nz),
 	}
-	for k := range keys {
-		vals := make([]float64, nx*ny*nz)
-		for iz := 0; iz < nz; iz++ {
-			for iy := 0; iy < ny; iy++ {
-				for ix := 0; ix < nx; ix++ {
-					p := m.cellCenter(ix, iy, iz)
-					v, err := predict(p, k)
-					if err != nil {
-						return nil, fmt.Errorf("rem: predicting %s at %v: %w", keys[k], p, err)
-					}
-					vals[ix+nx*(iy+ny*iz)] = v
-				}
+	// Chunks never span keys, so batch predictors see a single key per
+	// call; the flat (key, cell) space is chunked for load balance.
+	cells := m.cells()
+	err := parallel.ForEachChunk(len(keys)*cells, opts.Workers, func(lo, hi int) error {
+		for lo < hi {
+			ki := lo / cells
+			end := (ki + 1) * cells
+			if end > hi {
+				end = hi
 			}
+			if err := fill(m, ki, lo-ki*cells, end-ki*cells); err != nil {
+				return err
+			}
+			lo = end
 		}
-		m.values[k] = vals
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return m, nil
 }
@@ -119,7 +197,7 @@ func (m *Map) at(ki int, p geom.Vec3) float64 {
 				ix := clampIdx(ix0+dx, m.nx)
 				iy := clampIdx(iy0+dy, m.ny)
 				iz := clampIdx(iz0+dz, m.nz)
-				val += w * m.values[ki][ix+m.nx*(iy+m.ny*iz)]
+				val += w * m.val(ki, ix+m.nx*(iy+m.ny*iz))
 			}
 		}
 	}
@@ -193,7 +271,7 @@ func (m *Map) DarkRegions(thresholdDBm float64) []DarkCell {
 				best := math.Inf(-1)
 				idx := ix + m.nx*(iy+m.ny*iz)
 				for ki := range m.keys {
-					if v := m.values[ki][idx]; v > best {
+					if v := m.val(ki, idx); v > best {
 						best = v
 					}
 				}
@@ -233,7 +311,7 @@ func (m *Map) DarkRegionsFor(key string, thresholdDBm float64) ([]DarkCell, erro
 	for iz := 0; iz < m.nz; iz++ {
 		for iy := 0; iy < m.ny; iy++ {
 			for ix := 0; ix < m.nx; ix++ {
-				v := m.values[ki][ix+m.nx*(iy+m.ny*iz)]
+				v := m.val(ki, ix+m.nx*(iy+m.ny*iz))
 				if v < thresholdDBm {
 					out = append(out, DarkCell{Center: m.cellCenter(ix, iy, iz), BestRSS: v})
 				}
@@ -271,7 +349,7 @@ func (m *Map) WriteCSV(w io.Writer) error {
 			for iy := 0; iy < m.ny; iy++ {
 				for ix := 0; ix < m.nx; ix++ {
 					p := m.cellCenter(ix, iy, iz)
-					v := m.values[ki][ix+m.nx*(iy+m.ny*iz)]
+					v := m.val(ki, ix+m.nx*(iy+m.ny*iz))
 					rec := []string{
 						strconv.FormatFloat(p.X, 'f', 3, 64),
 						strconv.FormatFloat(p.Y, 'f', 3, 64),

@@ -1,0 +1,151 @@
+package rem
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// waveField is a smooth, key-dependent synthetic predictor.
+func waveField(p geom.Vec3, k int) (float64, error) {
+	return -50 - 6*math.Sin(p.X+float64(k)) - 4*math.Cos(p.Y*2) - 3*p.Z, nil
+}
+
+// TestBuildMapWorkerCountInvariance is the determinism contract: maps
+// built with workers=1 and workers=8 (and the batch path) are
+// byte-identical.
+func TestBuildMapWorkerCountInvariance(t *testing.T) {
+	vol := geom.MustCuboid(geom.V(0, 0, 0), 4, 3, 2.6)
+	keys := []string{"AA", "BB", "CC"}
+	seq, err := BuildMapOpts(vol, 9, 7, 5, keys, waveField, BuildOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := BuildMapOpts(vol, 9, 7, 5, keys, waveField, BuildOptions{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := func(centers []geom.Vec3, k int) ([]float64, error) {
+		out := make([]float64, len(centers))
+		for i, p := range centers {
+			out[i], _ = waveField(p, k)
+		}
+		return out, nil
+	}
+	bat, err := BuildMapBatch(vol, 9, 7, 5, keys, batch, BuildOptions{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq.values) != len(par.values) || len(seq.values) != len(bat.values) {
+		t.Fatalf("value counts differ: %d/%d/%d", len(seq.values), len(par.values), len(bat.values))
+	}
+	for i := range seq.values {
+		if seq.values[i] != par.values[i] {
+			t.Fatalf("cell %d: workers=8 value %v ≠ workers=1 value %v", i, par.values[i], seq.values[i])
+		}
+		if seq.values[i] != bat.values[i] {
+			t.Fatalf("cell %d: batch value %v ≠ workers=1 value %v", i, bat.values[i], seq.values[i])
+		}
+	}
+}
+
+// TestBuildMapParallelErrorPropagates: a failing predictor must surface
+// its error and cancel the build under every worker count.
+func TestBuildMapParallelErrorPropagates(t *testing.T) {
+	vol := geom.MustCuboid(geom.V(0, 0, 0), 1, 1, 1)
+	boom := errors.New("boom")
+	bad := func(p geom.Vec3, k int) (float64, error) {
+		if p.X > 0.5 {
+			return 0, boom
+		}
+		return -60, nil
+	}
+	for _, workers := range []int{1, 8} {
+		m, err := BuildMapOpts(vol, 16, 16, 4, []string{"a"}, bad, BuildOptions{Workers: workers})
+		if !errors.Is(err, boom) {
+			t.Errorf("workers=%d: error = %v, want boom", workers, err)
+		}
+		if m != nil {
+			t.Errorf("workers=%d: partial map returned alongside error", workers)
+		}
+	}
+	badBatch := func(centers []geom.Vec3, k int) ([]float64, error) { return nil, boom }
+	if _, err := BuildMapBatch(vol, 4, 4, 4, []string{"a"}, badBatch, BuildOptions{Workers: 4}); !errors.Is(err, boom) {
+		t.Errorf("batch error = %v, want boom", err)
+	}
+	short := func(centers []geom.Vec3, k int) ([]float64, error) { return make([]float64, 1), nil }
+	if _, err := BuildMapBatch(vol, 8, 8, 8, []string{"a"}, short, BuildOptions{Workers: 2}); err == nil {
+		t.Error("length-mismatched batch result accepted")
+	}
+}
+
+// TestBuildMapBatchSingleKeyPerCall: the batch contract promises each call
+// covers exactly one key.
+func TestBuildMapBatchSingleKeyPerCall(t *testing.T) {
+	vol := geom.MustCuboid(geom.V(0, 0, 0), 2, 2, 2)
+	var mu sync.Mutex
+	calls := map[int]int{}
+	batch := func(centers []geom.Vec3, k int) ([]float64, error) {
+		if len(centers) == 0 {
+			return nil, fmt.Errorf("empty batch for key %d", k)
+		}
+		mu.Lock()
+		calls[k] += len(centers)
+		mu.Unlock()
+		return make([]float64, len(centers)), nil
+	}
+	m, err := BuildMapBatch(vol, 5, 5, 5, []string{"a", "b"}, batch, BuildOptions{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls[0] != 125 || calls[1] != 125 {
+		t.Errorf("per-key batched cells = %v, want 125 each", calls)
+	}
+	if nx, ny, nz := m.Resolution(); nx*ny*nz != 125 {
+		t.Errorf("resolution = %d×%d×%d", nx, ny, nz)
+	}
+}
+
+// TestMapConcurrentQueries drives a built map from many goroutines; under
+// -race this proves queries share no mutable state.
+func TestMapConcurrentQueries(t *testing.T) {
+	vol := geom.MustCuboid(geom.V(0, 0, 0), 4, 3, 2.6)
+	m, err := BuildMap(vol, 10, 8, 6, []string{"AA", "BB"}, waveField)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantAt, err := m.At("AA", geom.V(1.2, 2.2, 0.7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantKey, wantBest := m.Strongest(geom.V(3, 1, 2))
+	wantCov := m.CoverageFraction(-60)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				v, err := m.At("AA", geom.V(1.2, 2.2, 0.7))
+				if err != nil || v != wantAt {
+					t.Errorf("concurrent At = %v, %v; want %v", v, err, wantAt)
+					return
+				}
+				key, best := m.Strongest(geom.V(3, 1, 2))
+				if key != wantKey || best != wantBest {
+					t.Errorf("concurrent Strongest = %q/%v; want %q/%v", key, best, wantKey, wantBest)
+					return
+				}
+				if cov := m.CoverageFraction(-60); cov != wantCov {
+					t.Errorf("concurrent CoverageFraction = %v, want %v", cov, wantCov)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
