@@ -18,6 +18,7 @@ import (
 	"repro/internal/geom"
 	"repro/internal/ml"
 	"repro/internal/ml/knn"
+	"repro/internal/ml/nn"
 	"repro/internal/rem"
 	"repro/internal/simrand"
 	"repro/internal/uwb"
@@ -354,3 +355,106 @@ func BenchmarkGridSearchSequential(b *testing.B) { benchmarkGridSearch(b, 1) }
 
 // BenchmarkGridSearchParallel evaluates candidates on one worker per CPU.
 func BenchmarkGridSearchParallel(b *testing.B) { benchmarkGridSearch(b, 0) }
+
+// ---------------------------------------------------------------------------
+// NN kernel benchmarks: minibatch GEMM training against the per-sample
+// compatibility path (the seed's numerics), and batched zero-allocation
+// inference against the per-sample Predict loop. Training modes are
+// different (documented) numerics; the two inference paths are
+// byte-identical.
+
+// benchNNSet is a paper-shaped design matrix — coordinates plus the
+// winning 40-MAC one-hot block (the Figure 8 scaled encoding) — sized so
+// one full PaperConfig training run stays benchmarkable.
+func benchNNSet() ([][]float64, []float64) {
+	rng := simrand.New(1234)
+	const n, nKeys = 1200, 40
+	x := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		row := make([]float64, 3+nKeys)
+		row[0] = rng.Range(0, 4)
+		row[1] = rng.Range(0, 3)
+		row[2] = rng.Range(0, 2.6)
+		row[3+rng.Intn(nKeys)] = 3
+		x[i] = row
+		y[i] = -60 - 8*math.Hypot(row[0]-2, row[1]-1.5) + rng.Gauss(0, 2)
+	}
+	return x, y
+}
+
+func benchmarkNNTrain(b *testing.B, perSample bool) {
+	x, y := benchNNSet()
+	cfg := nn.PaperConfig(4242)
+	cfg.PerSampleUpdates = perSample
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net, err := nn.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := net.Fit(x, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkNNTrain is the default minibatch GEMM training path.
+func BenchmarkNNTrain(b *testing.B) { benchmarkNNTrain(b, false) }
+
+// BenchmarkNNTrainPerSample is the compatibility path — the seed
+// implementation's exact numerics — and the baseline for BENCH_nn.json.
+func BenchmarkNNTrainPerSample(b *testing.B) { benchmarkNNTrain(b, true) }
+
+func fitBenchNN(b *testing.B) (*nn.Network, [][]float64) {
+	b.Helper()
+	x, y := benchNNSet()
+	net, err := nn.New(nn.PaperConfig(4242))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := net.Fit(x, y); err != nil {
+		b.Fatal(err)
+	}
+	return net, x[:512]
+}
+
+// BenchmarkNNPredict is the per-sample inference loop (the seed's only
+// path); one op is 512 queries.
+func BenchmarkNNPredict(b *testing.B) {
+	net, queries := fitBenchNN(b)
+	out := make([]float64, len(queries))
+	if _, err := net.Predict(queries[0]); err != nil { // warm the workspace pool
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j, q := range queries {
+			v, err := net.Predict(q)
+			if err != nil {
+				b.Fatal(err)
+			}
+			out[j] = v
+		}
+	}
+}
+
+// BenchmarkNNPredictBatch is batched inference into a reused buffer: one
+// GEMM per layer for all 512 queries, byte-identical to BenchmarkNNPredict's
+// values, and zero heap allocations per op after warm-up.
+func BenchmarkNNPredictBatch(b *testing.B) {
+	net, queries := fitBenchNN(b)
+	out := make([]float64, len(queries))
+	if err := net.PredictBatchInto(out, queries); err != nil { // warm the workspace pool
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := net.PredictBatchInto(out, queries); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -282,9 +282,13 @@ func buildREM(cfg Config, pre *dataset.Preprocessed, spec EstimatorSpec) (*rem.M
 	dim := pre.FeatureDim(spec.Features)
 	scale := spec.Features.OneHotMACScale
 	predict := func(centers []geom.Vec3, keyIdx int) ([]float64, error) {
+		// One flat backing array per batch instead of one allocation per
+		// cell; estimators with a batch path (kNN, NN) then answer the
+		// whole run in a single PredictBatch call.
+		flat := make([]float64, len(centers)*dim)
 		qs := make([][]float64, len(centers))
 		for i, pos := range centers {
-			q := make([]float64, dim)
+			q := flat[i*dim : (i+1)*dim]
 			q[0], q[1], q[2] = pos.X, pos.Y, pos.Z
 			if scale != 0 {
 				q[3+keyIdx] = scale

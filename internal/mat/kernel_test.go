@@ -1,0 +1,287 @@
+package mat
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/simrand"
+)
+
+func randFlat(rng *simrand.Source, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = rng.Range(-2, 2)
+	}
+	return out
+}
+
+// naiveMul is the obvious triple loop used as the reference for every GEMM
+// variant.
+func naiveMul(a, b []float64, m, k, n int) []float64 {
+	out := make([]float64, m*n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			var sum float64
+			for kk := 0; kk < k; kk++ {
+				sum += a[i*k+kk] * b[kk*n+j]
+			}
+			out[i*n+j] = sum
+		}
+	}
+	return out
+}
+
+func maxAbsDiff(a, b []float64) float64 {
+	var worst float64
+	for i := range a {
+		if d := math.Abs(a[i] - b[i]); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// TestMatMulMatchesNaive exercises the blocked kernel across shapes that
+// straddle the tile edge, including sparse (zero-skipping) inputs.
+func TestMatMulMatchesNaive(t *testing.T) {
+	rng := simrand.New(11)
+	shapes := [][3]int{{1, 1, 1}, {3, 5, 4}, {16, 16, 16}, {63, 64, 65}, {70, 129, 40}, {2, 200, 3}}
+	for _, s := range shapes {
+		m, k, n := s[0], s[1], s[2]
+		a, b := randFlat(rng, m*k), randFlat(rng, k*n)
+		// Make a sparse to cover the zero-skip branch.
+		for i := range a {
+			if rng.Bool(0.3) {
+				a[i] = 0
+			}
+		}
+		got := make([]float64, m*n)
+		MatMul(got, a, b, m, k, n)
+		if d := maxAbsDiff(got, naiveMul(a, b, m, k, n)); d > 1e-12 {
+			t.Errorf("MatMul %dx%dx%d deviates from naive by %g", m, k, n, d)
+		}
+	}
+}
+
+func TestMatMulTransposeVariants(t *testing.T) {
+	rng := simrand.New(13)
+	const m, k, n = 17, 70, 9
+	a := randFlat(rng, m*k)
+	bt := randFlat(rng, n*k) // b stored transposed: n×k
+	b := make([]float64, k*n)
+	for j := 0; j < n; j++ {
+		for kk := 0; kk < k; kk++ {
+			b[kk*n+j] = bt[j*k+kk]
+		}
+	}
+	want := naiveMul(a, b, m, k, n)
+
+	got := make([]float64, m*n)
+	MatMulBT(got, a, bt, m, k, n)
+	if d := maxAbsDiff(got, want); d > 1e-12 {
+		t.Errorf("MatMulBT deviates by %g", d)
+	}
+
+	bias := randFlat(rng, n)
+	MatMulBTBias(got, a, bt, bias, m, k, n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			if d := math.Abs(got[i*n+j] - (want[i*n+j] + bias[j])); d > 1e-12 {
+				t.Fatalf("MatMulBTBias (%d,%d) off by %g", i, j, d)
+			}
+		}
+	}
+
+	// Aᵀ·B: reuse naive on the explicitly transposed a.
+	at := make([]float64, k*m)
+	for i := 0; i < m; i++ {
+		for kk := 0; kk < k; kk++ {
+			at[kk*m+i] = a[i*k+kk]
+		}
+	}
+	b2 := randFlat(rng, m*n)
+	wantAT := naiveMul(at, b2, k, m, n)
+	gotAT := make([]float64, k*n)
+	MatMulAT(gotAT, a, b2, m, k, n)
+	if d := maxAbsDiff(gotAT, wantAT); d > 1e-12 {
+		t.Errorf("MatMulAT deviates by %g", d)
+	}
+}
+
+// TestMatMulBTBiasMatchesScalarOrder pins the bit-exactness contract: the
+// kernel's accumulation must equal the scalar per-neuron loop `sum := bias;
+// sum += a[k]*b[k]` exactly, not just approximately — including on
+// one-hot-style sparse rows and around the 2×4 micro-kernel's block edges.
+func TestMatMulBTBiasMatchesScalarOrder(t *testing.T) {
+	rng := simrand.New(17)
+	for _, shape := range [][2]int{{7, 5}, {8, 4}, {1, 1}, {2, 9}, {64, 16}} {
+		m, n := shape[0], shape[1]
+		const k = 23
+		a, bt, bias := randFlat(rng, m*k), randFlat(rng, n*k), randFlat(rng, n)
+		// Sparse rows mirror the one-hot design matrices the NN sees.
+		for i := range a {
+			if rng.Bool(0.7) {
+				a[i] = 0
+			}
+		}
+		got := make([]float64, m*n)
+		MatMulBTBias(got, a, bt, bias, m, k, n)
+		for i := 0; i < m; i++ {
+			for j := 0; j < n; j++ {
+				sum := bias[j]
+				for kk := 0; kk < k; kk++ {
+					sum += a[i*k+kk] * bt[j*k+kk]
+				}
+				if got[i*n+j] != sum {
+					t.Fatalf("%dx%d (%d,%d): kernel %x ≠ scalar order %x", m, n, i, j, got[i*n+j], sum)
+				}
+			}
+		}
+	}
+}
+
+func TestGemvAndVectorOps(t *testing.T) {
+	rng := simrand.New(19)
+	const m, n = 9, 31
+	a, x := randFlat(rng, m*n), randFlat(rng, n)
+	dst := make([]float64, m)
+	Gemv(dst, a, x, m, n)
+	for i := 0; i < m; i++ {
+		var sum float64
+		for j := 0; j < n; j++ {
+			sum += a[i*n+j] * x[j]
+		}
+		if dst[i] != sum {
+			t.Errorf("Gemv row %d = %v, want %v", i, dst[i], sum)
+		}
+	}
+
+	y := randFlat(rng, n)
+	yc := append([]float64(nil), y...)
+	Axpy(0.5, x, y)
+	for i := range y {
+		if y[i] != yc[i]+0.5*x[i] {
+			t.Fatalf("Axpy element %d wrong", i)
+		}
+	}
+
+	v := append([]float64(nil), yc...)
+	VecAdd(v, x)
+	VecSub(v, x)
+	if d := maxAbsDiff(v, yc); d != 0 {
+		t.Errorf("VecAdd/VecSub round trip off by %g", d)
+	}
+	VecMul(v, x)
+	for i := range v {
+		if v[i] != yc[i]*x[i] {
+			t.Fatalf("VecMul element %d wrong", i)
+		}
+	}
+	VecScale(2, v)
+	for i := range v {
+		if v[i] != yc[i]*x[i]*2 {
+			t.Fatalf("VecScale element %d wrong", i)
+		}
+	}
+}
+
+func TestWorkspace(t *testing.T) {
+	ws := NewWorkspace(4)
+	a := ws.Take(3)
+	if len(a) != 3 {
+		t.Fatalf("Take(3) length %d", len(a))
+	}
+	for i := range a {
+		a[i] = 7
+	}
+	b := ws.Take(8) // forces growth; a must stay usable
+	if len(b) != 8 {
+		t.Fatalf("Take(8) length %d", len(b))
+	}
+	for _, v := range b {
+		if v != 0 {
+			t.Fatal("Take returned non-zeroed memory")
+		}
+	}
+	for _, v := range a {
+		if v != 7 {
+			t.Fatal("growth corrupted an earlier slice")
+		}
+	}
+	ws.Reset()
+	c := ws.Take(8)
+	for _, v := range c {
+		if v != 0 {
+			t.Fatal("Take after Reset returned dirty memory")
+		}
+	}
+	// Steady state: same demand, no allocation.
+	if allocs := testing.AllocsPerRun(20, func() {
+		ws.Reset()
+		_ = ws.Take(5)
+		_ = ws.Take(3)
+	}); allocs > 0 {
+		t.Errorf("warm Workspace allocates %v per cycle", allocs)
+	}
+}
+
+// spdMatrix builds a random symmetric positive-definite system AᵀA + n·I.
+func spdMatrix(rng *simrand.Source, n int) *Matrix {
+	a := New(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			a.Set(i, j, rng.Range(-1, 1))
+		}
+	}
+	spd := a.T().Mul(a)
+	for i := 0; i < n; i++ {
+		spd.Add(i, i, float64(n))
+	}
+	return spd
+}
+
+// TestCholeskySolveMatchesLU: the Cholesky solver must agree with the LU
+// path on SPD systems and reject indefinite ones.
+func TestCholeskySolveMatchesLU(t *testing.T) {
+	rng := simrand.New(23)
+	for _, n := range []int{1, 4, 25, 80} {
+		spd := spdMatrix(rng, n)
+		b := randFlat(rng, n)
+		want, err := Solve(spd, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := CholeskySolve(spd, b)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if d := maxAbsDiff(got, want); d > 1e-8 {
+			t.Errorf("n=%d: Cholesky vs LU solution differs by %g", n, d)
+		}
+		// Reusable factor + in-place solve.
+		f, err := CholeskyFactor(spd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inplace := append([]float64(nil), b...)
+		if err := f.SolveInto(inplace, inplace); err != nil {
+			t.Fatal(err)
+		}
+		if d := maxAbsDiff(inplace, got); d != 0 {
+			t.Errorf("n=%d: SolveInto aliased differs by %g", n, d)
+		}
+		if f.Size() != n {
+			t.Errorf("Size = %d, want %d", f.Size(), n)
+		}
+	}
+	if _, err := CholeskySolve(Diag(1, -1), []float64{1, 1}); err == nil {
+		t.Error("indefinite matrix accepted")
+	}
+	f, _ := CholeskyFactor(Diag(2, 2))
+	if _, err := f.Solve([]float64{1}); err == nil {
+		t.Error("short rhs accepted")
+	}
+	if err := f.SolveInto(make([]float64, 1), []float64{1, 2}); err == nil {
+		t.Error("short dst accepted")
+	}
+}

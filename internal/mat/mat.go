@@ -1,9 +1,10 @@
-// Package mat implements the small dense linear-algebra kernel used by the
-// EKF state estimator, the kriging interpolator and the neural network. It
-// is deliberately minimal — row-major float64 matrices with the handful of
-// operations those consumers need — and written for clarity over raw speed;
-// all matrices in this system are tiny (state dimension ≤ 9, kriging systems
-// ≤ a few hundred).
+// Package mat implements the dense linear-algebra kernel used by the EKF
+// state estimator, the kriging interpolator and the neural network. The
+// Matrix type keeps the convenient row-major API; underneath it sits an
+// allocation-free compute core (kernel.go) of flat blocked/tiled GEMM
+// variants, Gemv, Axpy, in-place element-wise ops, a Workspace scratch
+// arena and Cholesky solves, which the hot paths — batched NN training and
+// inference, kriging — call directly.
 package mat
 
 import (
@@ -159,17 +160,7 @@ func (m *Matrix) Mul(b *Matrix) *Matrix {
 		panic(fmt.Sprintf("mat: cannot multiply %dx%d by %dx%d", m.rows, m.cols, b.rows, b.cols))
 	}
 	c := New(m.rows, b.cols)
-	for i := 0; i < m.rows; i++ {
-		for k := 0; k < m.cols; k++ {
-			a := m.data[i*m.cols+k]
-			if a == 0 {
-				continue
-			}
-			for j := 0; j < b.cols; j++ {
-				c.data[i*c.cols+j] += a * b.data[k*b.cols+j]
-			}
-		}
-	}
+	MatMul(c.data, m.data, b.data, m.rows, m.cols, b.cols)
 	return c
 }
 
@@ -179,14 +170,7 @@ func (m *Matrix) MulVec(x []float64) []float64 {
 		panic(fmt.Sprintf("mat: cannot multiply %dx%d by vector of length %d", m.rows, m.cols, len(x)))
 	}
 	out := make([]float64, m.rows)
-	for i := 0; i < m.rows; i++ {
-		sum := 0.0
-		row := m.data[i*m.cols : (i+1)*m.cols]
-		for j, v := range row {
-			sum += v * x[j]
-		}
-		out[i] = sum
-	}
+	Gemv(out, m.data, x, m.rows, m.cols)
 	return out
 }
 

@@ -1,0 +1,268 @@
+package nn
+
+import (
+	"math"
+	"strconv"
+	"testing"
+
+	"repro/internal/simrand"
+)
+
+// goldenFixture is the dataset behind the golden predictions below,
+// captured from the seed implementation (per-sample updates) before the
+// minibatch rewrite. The compat path must reproduce it bit-for-bit.
+func goldenFixture() ([][]float64, []float64) {
+	rng := simrand.New(4242)
+	const n, dim = 120, 5
+	x := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		row := make([]float64, dim)
+		for j := range row {
+			row[j] = rng.Range(-2, 2)
+		}
+		x[i] = row
+		y[i] = -70 + 3*row[0] - 2*row[1] + math.Sin(row[2]) + rng.Gauss(0, 0.5)
+	}
+	return x, y
+}
+
+func hexFloat(v float64) string { return strconv.FormatFloat(v, 'x', -1, 64) }
+
+// TestCompatModeReproducesSeedWeights pins Config.PerSampleUpdates to the
+// seed implementation's exact numerics: predictions (a pure function of the
+// trained weights) must match hex-formatted values captured from the seed
+// commit, bit for bit, across Adam, input standardisation and SGD regimes.
+func TestCompatModeReproducesSeedWeights(t *testing.T) {
+	x, y := goldenFixture()
+
+	check := func(t *testing.T, net *Network, stride int, want []string) {
+		t.Helper()
+		if err := net.Fit(x, y); err != nil {
+			t.Fatal(err)
+		}
+		for i, w := range want {
+			p, err := net.Predict(x[i*stride])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := hexFloat(p); got != w {
+				t.Errorf("prediction %d = %s, want seed value %s", i, got, w)
+			}
+		}
+	}
+
+	t.Run("adam", func(t *testing.T) {
+		cfg := PaperConfig(99)
+		cfg.Epochs = 40
+		cfg.PerSampleUpdates = true
+		net, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		check(t, net, 17, []string{
+			"-0x1.04d84dfae9ceap+06",
+			"-0x1.2c03af220068p+06",
+			"-0x1.2110af514ccb1p+06",
+			"-0x1.30feabbbd7f87p+06",
+			"-0x1.221d5f69a6165p+06",
+			"-0x1.21961cbd1350dp+06",
+		})
+	})
+	t.Run("adam-normalized-inputs", func(t *testing.T) {
+		cfg := PaperConfig(7)
+		cfg.Epochs = 25
+		cfg.NormalizeInputs = true
+		cfg.PerSampleUpdates = true
+		net, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		check(t, net, 23, []string{
+			"-0x1.021ca8211dca8p+06",
+			"-0x1.0e86746d7a657p+06",
+			"-0x1.21d1da6f9c69ep+06",
+			"-0x1.177c129a88fd5p+06",
+		})
+	})
+	t.Run("sgd", func(t *testing.T) {
+		cfg := Config{
+			Hidden:           []LayerSpec{{Units: 8, Activation: Tanh}},
+			OutputActivation: Linear,
+			Optimizer:        SGD,
+			LearningRate:     0.02,
+			Epochs:           30,
+			BatchSize:        16,
+			NormalizeTargets: true,
+			PerSampleUpdates: true,
+			Seed:             55,
+		}
+		net, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		check(t, net, 29, []string{
+			"-0x1.03bf88f63cba3p+06",
+			"-0x1.233ce8c4fd6f6p+06",
+			"-0x1.f3154bfc52549p+05",
+			"-0x1.0aff8a2c1b50cp+06",
+		})
+	})
+}
+
+// randomNetwork draws a random topology/regime and a matching training set.
+func randomNetwork(t *testing.T, rng *simrand.Source) (*Network, [][]float64, []float64, int) {
+	t.Helper()
+	acts := []Activation{Linear, Sigmoid, Tanh, ReLU}
+	dim := 1 + rng.Intn(8)
+	nLayers := 1 + rng.Intn(3)
+	hidden := make([]LayerSpec, nLayers)
+	for i := range hidden {
+		hidden[i] = LayerSpec{Units: 1 + rng.Intn(10), Activation: acts[rng.Intn(len(acts))]}
+	}
+	opt := SGD
+	if rng.Bool(0.5) {
+		opt = Adam
+	}
+	cfg := Config{
+		Hidden:           hidden,
+		OutputActivation: acts[rng.Intn(len(acts))],
+		Optimizer:        opt,
+		LearningRate:     0.01,
+		Epochs:           1 + rng.Intn(3),
+		BatchSize:        1 + rng.Intn(40),
+		NormalizeTargets: rng.Bool(0.5),
+		NormalizeInputs:  rng.Bool(0.5),
+		PerSampleUpdates: rng.Bool(0.5),
+		Seed:             rng.Uint64(),
+	}
+	net, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := 5 + rng.Intn(80)
+	x := make([][]float64, rows)
+	y := make([]float64, rows)
+	for i := range x {
+		row := make([]float64, dim)
+		for j := range row {
+			// A mix of dense and exactly-zero features covers the
+			// kernels' one-hot zero-skip path.
+			if rng.Bool(0.7) {
+				row[j] = rng.Range(-3, 3)
+			}
+		}
+		x[i] = row
+		y[i] = rng.Range(-90, -40)
+	}
+	return net, x, y, dim
+}
+
+// TestBatchInferenceBitIdentical is the determinism-contract quick-check:
+// across random topologies, activations, optimisers, batch sizes and input
+// dims, PredictBatch must return bit-for-bit what Predict returns row by
+// row — including ragged final batches and batch=1.
+func TestBatchInferenceBitIdentical(t *testing.T) {
+	rng := simrand.New(20260726)
+	for trial := 0; trial < 60; trial++ {
+		net, x, y, dim := randomNetwork(t, rng)
+		if err := net.Fit(x, y); err != nil {
+			t.Fatal(err)
+		}
+		batch := 1 + rng.Intn(65)
+		queries := make([][]float64, batch)
+		for i := range queries {
+			q := make([]float64, dim)
+			for j := range q {
+				if rng.Bool(0.6) {
+					q[j] = rng.Range(-4, 4)
+				}
+			}
+			queries[i] = q
+		}
+		got, err := net.PredictBatch(queries)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != batch {
+			t.Fatalf("trial %d: %d results for %d queries", trial, len(got), batch)
+		}
+		for i, q := range queries {
+			want, err := net.Predict(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Compare raw bits: NaN from a diverged net must equal NaN,
+			// and the contract is bit-for-bit, not approximate.
+			if math.Float64bits(got[i]) != math.Float64bits(want) {
+				t.Fatalf("trial %d query %d: PredictBatch=%s Predict=%s (cfg %+v)",
+					trial, i, hexFloat(got[i]), hexFloat(want), net.cfg)
+			}
+		}
+	}
+}
+
+// TestPredictBatchIntoValidation covers the batch path's error surface.
+func TestPredictBatchIntoValidation(t *testing.T) {
+	net, err := New(PaperConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.PredictBatchInto(make([]float64, 1), [][]float64{{1, 2}}); err == nil {
+		t.Error("unfitted batch predict accepted")
+	}
+	if err := net.Fit([][]float64{{1, 2}, {2, 3}, {3, 4}}, []float64{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.PredictBatchInto(make([]float64, 1), [][]float64{{1, 2}, {2, 3}}); err == nil {
+		t.Error("short dst accepted")
+	}
+	if err := net.PredictBatchInto(make([]float64, 2), [][]float64{{1, 2}, {2}}); err == nil {
+		t.Error("ragged query accepted")
+	}
+	if err := net.PredictBatchInto(nil, nil); err != nil {
+		t.Errorf("empty batch = %v", err)
+	}
+}
+
+// TestInferenceZeroAllocs: after warm-up, Predict and PredictBatchInto must
+// not touch the heap — the workspace pool absorbs all scratch.
+func TestInferenceZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates; counts are meaningless under -race")
+	}
+	cfg := PaperConfig(3)
+	cfg.Epochs = 5
+	cfg.NormalizeInputs = true
+	net, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, y := goldenFixture()
+	if err := net.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	q := x[0]
+	dst := make([]float64, len(x))
+	// Warm the pool.
+	if _, err := net.Predict(q); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.PredictBatchInto(dst, x); err != nil {
+		t.Fatal(err)
+	}
+	if allocs := testing.AllocsPerRun(50, func() {
+		if _, err := net.Predict(q); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs > 0 {
+		t.Errorf("Predict allocates %v objects per call after warm-up", allocs)
+	}
+	if allocs := testing.AllocsPerRun(50, func() {
+		if err := net.PredictBatchInto(dst, x); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs > 0 {
+		t.Errorf("PredictBatchInto allocates %v objects per call after warm-up", allocs)
+	}
+}

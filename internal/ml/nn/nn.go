@@ -4,13 +4,23 @@
 // Adam, and target normalisation. The paper's tuned topology — inputs for
 // x/y/z plus the one-hot MAC block, one 16-node sigmoid hidden layer, a
 // single linear output, Adam optimiser — is available as PaperConfig.
+//
+// The network is laid out on flat row-major matrices and trains with true
+// minibatch GEMM passes by default (one matrix multiply per layer per batch,
+// one fused optimiser step per minibatch). The original per-sample-update
+// numerics remain available behind Config.PerSampleUpdates and are pinned
+// bit-for-bit by golden tests. Inference offers a batch path
+// (PredictBatch / PredictBatchInto) that is byte-identical to
+// sample-at-a-time Predict and allocation-free after warm-up.
 package nn
 
 import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
+	"repro/internal/mat"
 	"repro/internal/ml"
 	"repro/internal/simrand"
 )
@@ -132,6 +142,15 @@ type Config struct {
 	// variance, so the coordinate block and the one-hot block train on
 	// comparable scales.
 	NormalizeInputs bool
+	// PerSampleUpdates selects the original per-sample training path: one
+	// scalar forward/backward and one optimiser step per sample, exactly
+	// the numerics of the seed implementation (pinned by golden tests).
+	// The default (false) is the minibatch path: whole-batch GEMM
+	// forward/backward with the mean gradient and one fused optimiser
+	// step per minibatch. The two modes converge to comparable models but
+	// are deliberately different numerics; inference is byte-identical to
+	// Predict under both.
+	PerSampleUpdates bool
 	// Seed drives weight initialisation and batch shuffling.
 	Seed uint64
 }
@@ -179,7 +198,9 @@ func (c Config) Validate() error {
 	return nil
 }
 
-// layer is one dense layer's parameters and Adam state.
+// layer is one dense layer's parameters, optimiser state and training
+// scratch. Weights are flat row-major (out×in), so a whole minibatch
+// forward is one GEMM against the weight rows.
 type layer struct {
 	in, out    int
 	act        Activation
@@ -187,9 +208,14 @@ type layer struct {
 	b          []float64
 	mW, vW     []float64 // Adam moments
 	mB, vB     []float64
-	outBuf     []float64 // forward activation cache
-	deltaBuf   []float64 // backward error cache
+	outBuf     []float64 // per-sample forward activation cache
+	deltaBuf   []float64 // per-sample backward error cache
 	inputCache []float64
+	// Minibatch scratch, sized batch×out at Fit time.
+	actBuf   []float64 // batch activations, batch×out
+	deltaBat []float64 // batch deltas, batch×out
+	gW       []float64 // batch weight gradient, out×in
+	gB       []float64 // batch bias gradient
 }
 
 // Network is a trainable feed-forward regressor with a single output.
@@ -203,11 +229,15 @@ type Network struct {
 	// input standardisation (nil when disabled)
 	xMean, xStd []float64
 	adamStep    int
+	// wsPool holds *mat.Workspace scratch arenas so concurrent Predict /
+	// PredictBatch calls are allocation-free after warm-up.
+	wsPool sync.Pool
 }
 
 var (
-	_ ml.Estimator = (*Network)(nil)
-	_ ml.Named     = (*Network)(nil)
+	_ ml.Estimator      = (*Network)(nil)
+	_ ml.Named          = (*Network)(nil)
+	_ ml.BatchPredictor = (*Network)(nil)
 )
 
 // New builds an untrained network; the input dimension is fixed at Fit time.
@@ -339,18 +369,24 @@ func (n *Network) updateLayer(l *layer, lr float64) {
 	}
 }
 
-// Fit implements ml.Estimator.
+// Fit implements ml.Estimator. Unlike the seed, which deep-copied the
+// whole [][]float64 design matrix to standardise it, training never
+// materialises a second copy: rows are standardised on the fly into a
+// reused row (per-sample path) or batch (minibatch path) buffer —
+// (v−mean)/std is deterministic, so recomputing it per epoch reproduces
+// the exact same bits the one-shot copy held.
 func (n *Network) Fit(x [][]float64, y []float64) error {
 	if err := ml.ValidateTrainingData(x, y); err != nil {
 		return err
 	}
 	rng := simrand.New(n.cfg.Seed).Derive("nn")
-	n.build(len(x[0]), rng)
+	dim := len(x[0])
+	rows := len(x)
+	n.build(dim, rng)
 
-	// Input standardisation.
+	// Input standardisation statistics over the raw input.
 	n.xMean, n.xStd = nil, nil
 	if n.cfg.NormalizeInputs {
-		dim := len(x[0])
 		n.xMean = make([]float64, dim)
 		n.xStd = make([]float64, dim)
 		for j := 0; j < dim; j++ {
@@ -359,8 +395,8 @@ func (n *Network) Fit(x [][]float64, y []float64) error {
 				sum += row[j]
 				sumSq += row[j] * row[j]
 			}
-			mean := sum / float64(len(x))
-			variance := sumSq/float64(len(x)) - mean*mean
+			mean := sum / float64(rows)
+			variance := sumSq/float64(rows) - mean*mean
 			n.xMean[j] = mean
 			if variance > 1e-12 {
 				n.xStd[j] = math.Sqrt(variance)
@@ -368,15 +404,6 @@ func (n *Network) Fit(x [][]float64, y []float64) error {
 				n.xStd[j] = 1
 			}
 		}
-		scaled := make([][]float64, len(x))
-		for i, row := range x {
-			s := make([]float64, dim)
-			for j, v := range row {
-				s[j] = (v - n.xMean[j]) / n.xStd[j]
-			}
-			scaled[i] = s
-		}
-		x = scaled
 	}
 
 	// Target normalisation.
@@ -399,49 +426,189 @@ func (n *Network) Fit(x [][]float64, y []float64) error {
 		}
 	}
 
+	if n.cfg.PerSampleUpdates {
+		n.trainPerSample(x, targets, rng)
+	} else {
+		n.trainMinibatch(x, targets, rng)
+	}
+	n.fitted = true
+	return nil
+}
+
+// standardizeInto writes the standardised row into dst; (v−mean)/std is the
+// same arithmetic the seed applied when it copied the design matrix, so
+// every recomputation yields the seed's exact bits.
+func (n *Network) standardizeInto(dst, row []float64) {
+	for j, v := range row {
+		dst[j] = (v - n.xMean[j]) / n.xStd[j]
+	}
+}
+
+// trainPerSample is the compatibility path: one forward/backward and one
+// optimiser step per sample, in shuffle order — the seed implementation's
+// exact numerics (same rng consumption, same accumulation order).
+func (n *Network) trainPerSample(x [][]float64, targets []float64, rng *simrand.Source) {
+	var rowBuf []float64
+	if n.xMean != nil {
+		rowBuf = make([]float64, n.dim)
+	}
 	order := make([]int, len(x))
 	for i := range order {
 		order[i] = i
 	}
 	for epoch := 0; epoch < n.cfg.Epochs; epoch++ {
 		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
-		// Mini-batches are processed sample-by-sample with per-sample
-		// updates (the batch size modulates only the effective step
-		// schedule here, keeping the implementation single-threaded and
-		// allocation-free).
 		for _, idx := range order {
-			pred := n.forward(x[idx])
+			row := x[idx]
+			if rowBuf != nil {
+				n.standardizeInto(rowBuf, row)
+				row = rowBuf
+			}
+			pred := n.forward(row)
 			outErr := pred - targets[idx] // d(MSE/2)/dpred
 			n.backward(outErr, n.cfg.LearningRate)
 		}
 	}
-	n.fitted = true
-	return nil
 }
 
-// infer runs one input through the network without touching the training
-// caches, so concurrent Predict calls never share state. The arithmetic
-// mirrors forward exactly (same per-neuron accumulation order), keeping
-// inference byte-identical to the training-time pass.
-func (n *Network) infer(x []float64) float64 {
-	cur := x
-	for _, l := range n.layers {
-		next := make([]float64, l.out)
-		for o := 0; o < l.out; o++ {
-			sum := l.b[o]
-			row := l.w[o*l.in : (o+1)*l.in]
-			for i, v := range cur {
-				sum += row[i] * v
-			}
-			next[o] = l.act.apply(sum)
-		}
-		cur = next
+// trainMinibatch is the default path: gather each shuffled minibatch into a
+// flat batch matrix (standardising on the fly), run one GEMM forward and
+// one GEMM backward for the whole batch, and apply a single fused optimiser
+// step on the mean gradient.
+func (n *Network) trainMinibatch(x [][]float64, targets []float64, rng *simrand.Source) {
+	dim := n.dim
+	rows := len(x)
+	bs := n.cfg.BatchSize
+	if bs > rows {
+		bs = rows
 	}
-	return cur[0]
+	for _, l := range n.layers {
+		l.actBuf = make([]float64, bs*l.out)
+		l.deltaBat = make([]float64, bs*l.out)
+		l.gW = make([]float64, len(l.w))
+		l.gB = make([]float64, l.out)
+	}
+	xb := make([]float64, bs*dim)
+	yb := make([]float64, bs)
+	order := make([]int, rows)
+	for i := range order {
+		order[i] = i
+	}
+	for epoch := 0; epoch < n.cfg.Epochs; epoch++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for start := 0; start < rows; start += bs {
+			end := min(start+bs, rows)
+			batch := end - start
+			for r := 0; r < batch; r++ {
+				idx := order[start+r]
+				d := xb[r*dim : (r+1)*dim]
+				if n.xMean != nil {
+					n.standardizeInto(d, x[idx])
+				} else {
+					copy(d, x[idx])
+				}
+				yb[r] = targets[idx]
+			}
+			n.forwardBatch(xb, batch)
+			n.backwardBatch(xb, yb, batch)
+		}
+	}
+}
+
+// forwardBatch computes activations for a whole batch: one GEMM per layer
+// (batch×in times the in-major weight rows), bias folded into the
+// accumulator, activation applied in place.
+func (n *Network) forwardBatch(xb []float64, batch int) {
+	cur := xb[:batch*n.dim]
+	for _, l := range n.layers {
+		out := l.actBuf[:batch*l.out]
+		mat.MatMulBTBias(out, cur, l.w, l.b, batch, l.in, l.out)
+		for i, v := range out {
+			out[i] = l.act.apply(v)
+		}
+		cur = out
+	}
+}
+
+// backwardBatch propagates the whole batch's deltas (one GEMM per layer),
+// forms the mean gradient (∇W = Δᵀ·X as a GEMM, ∇b as column sums) and
+// applies one fused optimiser step.
+func (n *Network) backwardBatch(xb, yb []float64, batch int) {
+	last := n.layers[len(n.layers)-1]
+	invB := 1 / float64(batch)
+	for r := 0; r < batch; r++ {
+		for o := 0; o < last.out; o++ {
+			v := last.actBuf[r*last.out+o]
+			last.deltaBat[r*last.out+o] = (v - yb[r]) * invB * last.act.derivative(v)
+		}
+	}
+	for li := len(n.layers) - 2; li >= 0; li-- {
+		l, next := n.layers[li], n.layers[li+1]
+		mat.MatMul(l.deltaBat[:batch*l.out], next.deltaBat[:batch*next.out], next.w, batch, next.out, l.out)
+		for i, v := range l.actBuf[:batch*l.out] {
+			l.deltaBat[i] *= l.act.derivative(v)
+		}
+	}
+	n.adamStep++
+	input := xb[:batch*n.dim]
+	for _, l := range n.layers {
+		mat.MatMulAT(l.gW, l.deltaBat[:batch*l.out], input, batch, l.out, l.in)
+		for o := range l.gB {
+			l.gB[o] = 0
+		}
+		for r := 0; r < batch; r++ {
+			d := l.deltaBat[r*l.out : (r+1)*l.out]
+			mat.VecAdd(l.gB, d)
+		}
+		n.applyGradients(l)
+		input = l.actBuf[:batch*l.out]
+	}
+}
+
+// applyGradients performs one optimiser step from the accumulated batch
+// gradients as fused sweeps over the flat parameter arrays.
+func (n *Network) applyGradients(l *layer) {
+	lr := n.cfg.LearningRate
+	switch n.cfg.Optimizer {
+	case Adam:
+		bc1 := 1 - math.Pow(adamBeta1, float64(n.adamStep))
+		bc2 := 1 - math.Pow(adamBeta2, float64(n.adamStep))
+		adamFused(l.w, l.gW, l.mW, l.vW, lr, bc1, bc2)
+		adamFused(l.b, l.gB, l.mB, l.vB, lr, bc1, bc2)
+	default: // SGD
+		mat.Axpy(-lr, l.gW, l.w)
+		mat.Axpy(-lr, l.gB, l.b)
+	}
+}
+
+// adamFused is one Adam step over a flat parameter array: moment update,
+// bias correction and weight step in a single sweep.
+func adamFused(w, g, m, v []float64, lr, bc1, bc2 float64) {
+	for i, gi := range g {
+		m[i] = adamBeta1*m[i] + (1-adamBeta1)*gi
+		v[i] = adamBeta2*v[i] + (1-adamBeta2)*gi*gi
+		w[i] -= lr * (m[i] / bc1) / (math.Sqrt(v[i]/bc2) + adamEps)
+	}
+}
+
+// workspace borrows a scratch arena from the pool; callers must Reset and
+// return it. The pool keeps concurrent inference allocation-free once each
+// worker's arena has grown to the working-set size.
+func (n *Network) workspace() *mat.Workspace {
+	if ws, ok := n.wsPool.Get().(*mat.Workspace); ok {
+		return ws
+	}
+	return mat.NewWorkspace(0)
+}
+
+func (n *Network) release(ws *mat.Workspace) {
+	ws.Reset()
+	n.wsPool.Put(ws)
 }
 
 // Predict implements ml.Estimator. It is safe for concurrent use once Fit
-// has returned.
+// has returned and performs no heap allocations after warm-up: the scaled
+// input and per-layer activation buffers live in a pooled Workspace.
 func (n *Network) Predict(x []float64) (float64, error) {
 	if !n.fitted {
 		return 0, ml.ErrNotFitted
@@ -449,12 +616,81 @@ func (n *Network) Predict(x []float64) (float64, error) {
 	if len(x) != n.dim {
 		return 0, fmt.Errorf("nn: query dim %d, want %d", len(x), n.dim)
 	}
+	ws := n.workspace()
+	defer n.release(ws)
+	cur := x
 	if n.xMean != nil {
-		scaled := make([]float64, len(x))
-		for j, v := range x {
-			scaled[j] = (v - n.xMean[j]) / n.xStd[j]
-		}
-		x = scaled
+		scaled := ws.TakeUninit(len(x))
+		n.standardizeInto(scaled, x)
+		cur = scaled
 	}
-	return n.infer(x)*n.yStd + n.yMean, nil
+	// One-row GEMM per layer: the same kernel the batch path runs, so the
+	// per-sample/batch bit-identity is structural — there is exactly one
+	// copy of the order-critical accumulation loop.
+	for _, l := range n.layers {
+		next := ws.TakeUninit(l.out)
+		mat.MatMulBTBias(next, cur, l.w, l.b, 1, l.in, l.out)
+		for i, v := range next {
+			next[i] = l.act.apply(v)
+		}
+		cur = next
+	}
+	return cur[0]*n.yStd + n.yMean, nil
+}
+
+// PredictBatch implements ml.BatchPredictor: one GEMM per layer for the
+// whole batch, byte-identical to calling Predict row by row. It is safe for
+// concurrent use once Fit has returned.
+func (n *Network) PredictBatch(x [][]float64) ([]float64, error) {
+	out := make([]float64, len(x))
+	if err := n.PredictBatchInto(out, x); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// PredictBatchInto is PredictBatch writing into a caller-provided slice, so
+// steady-state batch inference performs zero heap allocations: all scratch
+// comes from a pooled Workspace that stops growing once it has seen the
+// largest batch.
+func (n *Network) PredictBatchInto(dst []float64, x [][]float64) error {
+	if !n.fitted {
+		return ml.ErrNotFitted
+	}
+	if len(dst) < len(x) {
+		return fmt.Errorf("nn: dst length %d for %d queries", len(dst), len(x))
+	}
+	batch := len(x)
+	if batch == 0 {
+		return nil
+	}
+	for i, row := range x {
+		if len(row) != n.dim {
+			return fmt.Errorf("nn: query %d dim %d, want %d", i, len(row), n.dim)
+		}
+	}
+	ws := n.workspace()
+	defer n.release(ws)
+	xb := ws.TakeUninit(batch * n.dim)
+	for i, row := range x {
+		d := xb[i*n.dim : (i+1)*n.dim]
+		if n.xMean != nil {
+			n.standardizeInto(d, row)
+		} else {
+			copy(d, row)
+		}
+	}
+	cur := xb
+	for _, l := range n.layers {
+		next := ws.TakeUninit(batch * l.out)
+		mat.MatMulBTBias(next, cur, l.w, l.b, batch, l.in, l.out)
+		for i, v := range next {
+			next[i] = l.act.apply(v)
+		}
+		cur = next
+	}
+	for r := 0; r < batch; r++ {
+		dst[r] = cur[r]*n.yStd + n.yMean
+	}
+	return nil
 }

@@ -95,13 +95,22 @@ type Kriging struct {
 	// to bound the O(n³) solve.
 	MaxPoints int
 
-	x      [][]float64
-	y      []float64
-	lu     *mat.LU
-	mean   float64
-	sill   float64
-	rng    float64
-	nugget float64
+	x [][]float64
+	y []float64
+	// chol is the Cholesky factor of the covariance matrix C (SPD fast
+	// path); lu is the seed's bordered variogram system, kept as a
+	// fallback for variograms whose covariance assembly is not positive
+	// definite.
+	chol *mat.CholFactor
+	lu   *mat.LU
+	// cInvOne is C⁻¹·1 and oneCInvOne is 1ᵀC⁻¹1, precomputed once so each
+	// Predict needs a single triangular solve.
+	cInvOne    []float64
+	oneCInvOne float64
+	mean       float64
+	sill       float64
+	rng        float64
+	nugget     float64
 }
 
 var (
@@ -118,6 +127,17 @@ func (k *Kriging) variogram(h float64) float64 {
 		return 0
 	}
 	return k.nugget + k.sill*(1-math.Exp(-h/k.rng))
+}
+
+// covariance is the model's covariance form C(h) = sill + nugget − γ(h):
+// symmetric positive definite, so the kriging system factors with Cholesky
+// at half the flop count of the seed's LU over the bordered variogram
+// system.
+func (k *Kriging) covariance(h float64) float64 {
+	if h <= 0 {
+		return k.nugget + k.sill
+	}
+	return k.sill * math.Exp(-h/k.rng)
 }
 
 // Fit implements ml.Estimator: it fits the variogram, assembles the ordinary
@@ -155,30 +175,85 @@ func (k *Kriging) Fit(x [][]float64, y []float64) error {
 		return err
 	}
 
-	// Ordinary kriging system: [Γ 1; 1ᵀ 0].
+	if err := k.factorSystem(); err != nil {
+		return err
+	}
+	var mean float64
+	for _, v := range k.y {
+		mean += v
+	}
+	k.mean = mean / float64(len(k.y))
+	return nil
+}
+
+// factorSystem factors the ordinary kriging system. The fast path builds
+// the covariance matrix C (SPD by construction for the exponential model
+// plus nugget) and Cholesky-factors it; the unbiasedness constraint is then
+// handled per query through the Schur complement of the bordered system,
+// using the precomputed C⁻¹·1. If the covariance assembly is numerically
+// indefinite (degenerate variograms), it falls back to the seed's LU over
+// the bordered variogram system [Γ 1; 1ᵀ 0] — same weights either way, via
+// a different factorisation.
+func (k *Kriging) factorSystem() error {
 	n := len(k.x)
+	k.chol, k.lu = nil, nil
+	// Pairwise distances once (symmetric): shared by the covariance
+	// assembly and, if Cholesky rejects it, the variogram fallback.
+	dists := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			d := dist(k.x[i], k.x[j])
+			dists[i*n+j] = d
+			dists[j*n+i] = d
+		}
+	}
+	c := mat.New(n, n)
+	for i := 0; i < n; i++ {
+		// A small diagonal jitter keeps near-duplicate points solvable.
+		c.Set(i, i, k.covariance(0)+1e-9)
+		for j := i + 1; j < n; j++ {
+			v := k.covariance(dists[i*n+j])
+			c.Set(i, j, v)
+			c.Set(j, i, v)
+		}
+	}
+	chol, err := mat.CholeskyFactor(c)
+	if err == nil {
+		ones := make([]float64, n)
+		for i := range ones {
+			ones[i] = 1
+		}
+		cInvOne, err := chol.Solve(ones)
+		if err == nil {
+			var denom float64
+			for _, v := range cInvOne {
+				denom += v
+			}
+			if !math.IsNaN(denom) && !math.IsInf(denom, 0) && math.Abs(denom) > 1e-12 {
+				k.chol = chol
+				k.cInvOne = cInvOne
+				k.oneCInvOne = denom
+				return nil
+			}
+		}
+	}
+	// Fallback: bordered variogram system with LU.
 	a := mat.New(n+1, n+1)
 	for i := 0; i < n; i++ {
-		for j := 0; j < n; j++ {
-			a.Set(i, j, k.variogram(dist(k.x[i], k.x[j])))
+		a.Set(i, i, 1e-9)
+		for j := i + 1; j < n; j++ {
+			v := k.variogram(dists[i*n+j])
+			a.Set(i, j, v)
+			a.Set(j, i, v)
 		}
 		a.Set(i, n, 1)
 		a.Set(n, i, 1)
-	}
-	// A small diagonal jitter keeps near-duplicate points solvable.
-	for i := 0; i < n; i++ {
-		a.Add(i, i, 1e-9)
 	}
 	lu, err := mat.Factor(a)
 	if err != nil {
 		return fmt.Errorf("rem: kriging system: %w", err)
 	}
 	k.lu = lu
-	var mean float64
-	for _, v := range k.y {
-		mean += v
-	}
-	k.mean = mean / float64(len(k.y))
 	return nil
 }
 
@@ -263,27 +338,49 @@ func (k *Kriging) fitVariogram() error {
 }
 
 // Predict implements ml.Estimator by solving the kriging weights for the
-// query point.
+// query point. On the Cholesky path the bordered system reduces, via its
+// Schur complement, to one triangular solve per query:
+//
+//	w = C⁻¹c₀ − μ·C⁻¹1  with  μ = (1ᵀC⁻¹c₀ − 1) / 1ᵀC⁻¹1
 func (k *Kriging) Predict(q []float64) (float64, error) {
-	if k.lu == nil {
+	if k.chol == nil && k.lu == nil {
 		return 0, ml.ErrNotFitted
 	}
 	if len(q) != len(k.x[0]) {
 		return 0, fmt.Errorf("rem: kriging query dim %d, want %d", len(q), len(k.x[0]))
 	}
 	n := len(k.x)
-	rhs := make([]float64, n+1)
-	for i := 0; i < n; i++ {
-		rhs[i] = k.variogram(dist(q, k.x[i]))
-	}
-	rhs[n] = 1
-	w, err := k.lu.Solve(rhs)
-	if err != nil {
-		return 0, err
-	}
 	var out float64
-	for i := 0; i < n; i++ {
-		out += w[i] * k.y[i]
+	if k.chol != nil {
+		rhs := make([]float64, n)
+		for i := 0; i < n; i++ {
+			rhs[i] = k.covariance(dist(q, k.x[i]))
+		}
+		// In-place solve: rhs becomes a = C⁻¹c₀.
+		if err := k.chol.SolveInto(rhs, rhs); err != nil {
+			return 0, err
+		}
+		var sumA float64
+		for _, v := range rhs {
+			sumA += v
+		}
+		mu := (sumA - 1) / k.oneCInvOne
+		for i, a := range rhs {
+			out += (a - mu*k.cInvOne[i]) * k.y[i]
+		}
+	} else {
+		rhs := make([]float64, n+1)
+		for i := 0; i < n; i++ {
+			rhs[i] = k.variogram(dist(q, k.x[i]))
+		}
+		rhs[n] = 1
+		w, err := k.lu.Solve(rhs)
+		if err != nil {
+			return 0, err
+		}
+		for i := 0; i < n; i++ {
+			out += w[i] * k.y[i]
+		}
 	}
 	if math.IsNaN(out) || math.IsInf(out, 0) {
 		return k.mean, nil

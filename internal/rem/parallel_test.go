@@ -8,6 +8,8 @@ import (
 	"testing"
 
 	"repro/internal/geom"
+	"repro/internal/ml/nn"
+	"repro/internal/simrand"
 )
 
 // waveField is a smooth, key-dependent synthetic predictor.
@@ -148,4 +150,64 @@ func TestMapConcurrentQueries(t *testing.T) {
 		}(g)
 	}
 	wg.Wait()
+}
+
+// TestBuildMapNNBatchWorkerInvariance extends the determinism contract to
+// the neural network's batched inference: rasterising a fitted NN through
+// PredictBatch on any worker count must be byte-identical to the
+// per-sample Predict path on one worker. Under -race this also proves the
+// pooled-workspace batch path shares no mutable state across workers.
+func TestBuildMapNNBatchWorkerInvariance(t *testing.T) {
+	rng := simrand.New(61)
+	const nKeys = 3
+	var x [][]float64
+	var y []float64
+	for i := 0; i < 150; i++ {
+		row := make([]float64, 3+nKeys)
+		row[0], row[1], row[2] = rng.Range(0, 4), rng.Range(0, 3), rng.Range(0, 2.6)
+		row[3+rng.Intn(nKeys)] = 1
+		x = append(x, row)
+		y = append(y, -55-6*row[0]+3*row[1]-2*row[2]+rng.Gauss(0, 1))
+	}
+	cfg := nn.PaperConfig(77)
+	cfg.Epochs = 15
+	net, err := nn.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	query := func(p geom.Vec3, ki int) []float64 {
+		q := make([]float64, 3+nKeys)
+		q[0], q[1], q[2] = p.X, p.Y, p.Z
+		q[3+ki] = 1
+		return q
+	}
+	perSample := func(p geom.Vec3, ki int) (float64, error) { return net.Predict(query(p, ki)) }
+	batched := func(centers []geom.Vec3, ki int) ([]float64, error) {
+		qs := make([][]float64, len(centers))
+		for i, p := range centers {
+			qs[i] = query(p, ki)
+		}
+		return net.PredictBatch(qs)
+	}
+	vol := geom.MustCuboid(geom.V(0, 0, 0), 4, 3, 2.6)
+	keys := []string{"AA", "BB", "CC"}
+	ref, err := BuildMapOpts(vol, 8, 6, 4, keys, perSample, BuildOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 8} {
+		got, err := BuildMapBatch(vol, 8, 6, 4, keys, batched, BuildOptions{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range ref.values {
+			if got.values[i] != ref.values[i] {
+				t.Fatalf("workers=%d cell %d: NN batch value %x ≠ per-sample %x",
+					workers, i, got.values[i], ref.values[i])
+			}
+		}
+	}
 }
