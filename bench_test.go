@@ -13,6 +13,7 @@ import (
 	"math"
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/experiments"
 	"repro/internal/geom"
@@ -20,6 +21,7 @@ import (
 	"repro/internal/ml/knn"
 	"repro/internal/ml/nn"
 	"repro/internal/rem"
+	"repro/internal/remstore"
 	"repro/internal/simrand"
 	"repro/internal/uwb"
 )
@@ -325,6 +327,137 @@ func BenchmarkBuildMapSequential(b *testing.B) { benchmarkBuildMap(b, 1) }
 // BenchmarkBuildMapParallel uses one worker per CPU; the speedup over the
 // sequential benchmark is the pool's win (byte-identical output).
 func BenchmarkBuildMapParallel(b *testing.B) { benchmarkBuildMap(b, 0) }
+
+// ---------------------------------------------------------------------------
+// REM snapshot benchmarks (BENCH_rem.json): query throughput on the tiled
+// layout, a paper-scale full build, the incremental two-key rebuild
+// against it, and store-mediated queries. The incremental/full ratio is
+// the tiling win: rebuild cost is proportional to the dirty key set.
+
+// benchStreamEstimator fits the per-MAC kNN (the streaming default) on a
+// paper-scale synthetic set over nKeys MACs.
+func benchStreamEstimator(b *testing.B, nKeys int) *knn.PerKey {
+	b.Helper()
+	p := &knn.PerKey{Sub: knn.PaperPlainConfig(), KeyOffset: 3}
+	x, y := benchTrainingSet(nKeys)
+	if err := p.Fit(x, y); err != nil {
+		b.Fatal(err)
+	}
+	return p
+}
+
+// benchREMSetup fits the streaming estimator and returns its batched
+// cell predictor plus the 44-key vocabulary — without building a map.
+func benchREMSetup(b *testing.B) (rem.BatchPredictFunc, []string) {
+	b.Helper()
+	const nKeys = 44
+	keys := make([]string, nKeys)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key%02d", i)
+	}
+	return core.BatchPredictorFor(benchStreamEstimator(b, nKeys), 3+nKeys, 3), keys
+}
+
+// benchREMMap builds the paper-resolution map (12×10×6 over 44 keys).
+func benchREMMap(b *testing.B) (*rem.Map, rem.BatchPredictFunc, []string) {
+	b.Helper()
+	predict, keys := benchREMSetup(b)
+	m, err := rem.BuildMapBatch(geom.PaperScanVolume(), 12, 10, 6, keys, predict, rem.BuildOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m, predict, keys
+}
+
+// BenchmarkREMQueryAt is trilinear point-query throughput on the tiled,
+// stride-hoisted layout (one op = one At). The pre-refactor monolithic
+// flat layout measured 194.7 ns/op on this machine (BENCH_rem.json).
+func BenchmarkREMQueryAt(b *testing.B) {
+	const nKeys = 44
+	keys := make([]string, nKeys)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key%02d", i)
+	}
+	predict := func(centers []geom.Vec3, keyIdx int) ([]float64, error) {
+		out := make([]float64, len(centers))
+		for i, p := range centers {
+			out[i] = -60 - p.X - 2*p.Y - 3*p.Z - float64(keyIdx)
+		}
+		return out, nil
+	}
+	m, err := rem.BuildMapBatch(geom.PaperScanVolume(), 12, 10, 6, keys, predict, rem.BuildOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := simrand.New(99)
+	pts := make([]geom.Vec3, 512)
+	for i := range pts {
+		pts[i] = geom.V(rng.Range(0, 4), rng.Range(0, 3), rng.Range(0, 2.6))
+	}
+	var sink float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v, err := m.At(keys[i%nKeys], pts[i%len(pts)])
+		if err != nil {
+			b.Fatal(err)
+		}
+		sink += v
+	}
+	_ = sink
+}
+
+// BenchmarkREMStoreQuery is BenchmarkREMQueryAt through the concurrent
+// snapshot store: one atomic pointer load plus two counter increments on
+// top of the map query.
+func BenchmarkREMStoreQuery(b *testing.B) {
+	m, _, keys := benchREMMap(b)
+	st := remstore.New(0)
+	if _, err := st.Publish(m, len(keys)); err != nil {
+		b.Fatal(err)
+	}
+	rng := simrand.New(99)
+	pts := make([]geom.Vec3, 512)
+	for i := range pts {
+		pts[i] = geom.V(rng.Range(0, 4), rng.Range(0, 3), rng.Range(0, 2.6))
+	}
+	var sink float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v, _, err := st.At(keys[i%len(keys)], pts[i%len(pts)])
+		if err != nil {
+			b.Fatal(err)
+		}
+		sink += v
+	}
+	_ = sink
+}
+
+// BenchmarkREMFullRebuild rasterises the whole paper-scale map from
+// scratch — the from-scratch baseline for the incremental rebuild.
+func BenchmarkREMFullRebuild(b *testing.B) {
+	predict, keys := benchREMSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rem.BuildMapBatch(geom.PaperScanVolume(), 12, 10, 6, keys, predict, rem.BuildOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkREMIncrementalRebuild derives a new snapshot with 2 of 44 keys
+// dirty (a targeted delta): only those keys' cells are re-predicted, all
+// other tiles are shared copy-on-write. The speedup over
+// BenchmarkREMFullRebuild is the incremental win and scales with
+// keys/dirty.
+func BenchmarkREMIncrementalRebuild(b *testing.B) {
+	m, predict, _ := benchREMMap(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.RebuildKeys([]int{1, 2}, predict, rem.BuildOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
 
 // benchmarkGridSearch evaluates the §III-B kNN hyper-parameter grid on a
 // synthetic training set with the given worker count.

@@ -3,11 +3,18 @@
 // Figure 8 estimator suite, build the fine-grained 3-D REM from the winner,
 // and export it as CSV.
 //
+// With -stream, remgen runs the live-serving pipeline instead: the
+// mission's samples are consumed in windows, each window incrementally
+// refits the estimator and publishes a copy-on-write REM snapshot into a
+// concurrent store, and the per-window delta (dirty keys, shared tiles)
+// is reported. The final snapshot is exported.
+//
 // Usage:
 //
 //	remgen -o rem.csv
 //	remgen -seed 7 -res 20x16x10 -extended
 //	remgen -dataset stored.csv -o rem.csv   # re-analyse a stored mission
+//	remgen -stream -window 400 -o rem.csv   # windowed incremental serving
 package main
 
 import (
@@ -19,6 +26,8 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/geom"
+	"repro/internal/rem"
+	"repro/internal/remstore"
 )
 
 func main() {
@@ -38,6 +47,9 @@ func run() error {
 		dataCSV  = flag.String("dataset", "", "optional stored dataset CSV to re-analyse instead of flying")
 		dark     = flag.Float64("dark", -85, "dark-region threshold in dBm for the coverage summary")
 		slice    = flag.Float64("slice", -1, "if ≥ 0, render an ASCII heatmap of the strongest AP at this height (m) to stderr")
+		stream   = flag.Bool("stream", false, "run the windowed incremental pipeline: one published REM snapshot per sample window")
+		window   = flag.Int("window", 0, "with -stream, preprocessed rows per window (≤0 splits the mission into 4 windows)")
+		history  = flag.Int("history", 0, "with -stream, retained snapshot history (≤0 uses the store default)")
 	)
 	flag.Parse()
 
@@ -52,8 +64,7 @@ func run() error {
 		cfg.Estimators = core.ExtendedEstimators(*seed)
 	}
 
-	var result *core.Result
-	var err error
+	var stored *dataset.Dataset
 	if *dataCSV != "" {
 		f, err := os.Open(*dataCSV)
 		if err != nil {
@@ -66,7 +77,23 @@ func run() error {
 		if rerr != nil {
 			return rerr
 		}
-		result, err = core.RunWithDataset(cfg, data, nil)
+		stored = data
+	}
+
+	if *stream {
+		if *extended {
+			return fmt.Errorf("-extended has no effect with -stream: streaming serves a single estimator, not the Figure 8 suite")
+		}
+		return runStream(cfg, stored, *window, *history, *out, *dark, *slice)
+	}
+	if *window != 0 || *history != 0 {
+		return fmt.Errorf("-window and -history configure the streaming pipeline; add -stream")
+	}
+
+	var result *core.Result
+	var err error
+	if stored != nil {
+		result, err = core.RunWithDataset(cfg, stored, nil)
 		if err != nil {
 			return err
 		}
@@ -89,15 +116,24 @@ func run() error {
 	}
 
 	m := result.REM
+	if err := reportMap(m, *dark, *slice); err != nil {
+		return err
+	}
+	return writeCSVOut(m, *out)
+}
+
+// reportMap writes the REM summary, coverage figures and the optional
+// slice heatmap to stderr — shared by the batch and streaming paths so
+// their reporting cannot drift apart.
+func reportMap(m *rem.Map, dark, slice float64) error {
 	centre := geom.PaperScanVolume().Center()
 	bestKey, bestRSS := m.Strongest(centre)
 	fmt.Fprintf(os.Stderr, "REM: %d sources over %v; strongest at centre: %s (%.1f dBm)\n",
 		len(m.Keys()), m.Volume().Size(), bestKey, bestRSS)
 	fmt.Fprintf(os.Stderr, "coverage ≥ %.0f dBm over %.1f%% of the volume (%d dark cells)\n",
-		*dark, 100*m.CoverageFraction(*dark), len(m.DarkRegions(*dark)))
-
-	if *slice >= 0 {
-		s, err := m.SliceAt(bestKey, *slice, 60, 24)
+		dark, 100*m.CoverageFraction(dark), len(m.DarkRegions(dark)))
+	if slice >= 0 {
+		s, err := m.SliceAt(bestKey, slice, 60, 24)
 		if err != nil {
 			return err
 		}
@@ -105,10 +141,47 @@ func run() error {
 			return err
 		}
 	}
+	return nil
+}
 
+// runStream drives the windowed incremental pipeline and exports the
+// final snapshot.
+func runStream(base core.Config, stored *dataset.Dataset, window, history int, out string, dark, slice float64) error {
+	cfg := core.StreamConfig{
+		Config:     base,
+		WindowRows: window,
+		MaxHistory: history,
+		OnWindow: func(rep core.WindowReport, snap *remstore.Snapshot) {
+			built, shared := snap.BuildStats()
+			fmt.Fprintf(os.Stderr, "window %d: +%d rows (%d total) → snapshot v%d: %d/%d keys rebuilt, %d tiles shared\n",
+				rep.Window, rep.NewRows, rep.TotalRows, rep.Version, built, len(snap.Map().Keys()), shared)
+		},
+	}
+	var res *core.StreamResult
+	var err error
+	if stored != nil {
+		res, err = core.RunStreamWithDataset(cfg, stored, nil)
+	} else {
+		res, err = core.RunStream(cfg)
+	}
+	if err != nil {
+		return err
+	}
+	stats := res.Store.Stats()
+	fmt.Fprintf(os.Stderr, "stream: %d snapshots published (%d retained); serving v%d\n",
+		stats.Publishes, stats.HistoryLen, stats.CurrentVersion)
+	m := res.Store.Current().Map()
+	if err := reportMap(m, dark, slice); err != nil {
+		return err
+	}
+	return writeCSVOut(m, out)
+}
+
+// writeCSVOut exports the map as CSV to a path or stdout ("-").
+func writeCSVOut(m *rem.Map, out string) error {
 	w := os.Stdout
-	if *out != "-" {
-		f, err := os.Create(*out)
+	if out != "-" {
+		f, err := os.Create(out)
 		if err != nil {
 			return err
 		}

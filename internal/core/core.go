@@ -279,9 +279,20 @@ func buildREM(cfg Config, pre *dataset.Preprocessed, spec EstimatorSpec) (*rem.M
 	if err := est.Fit(allX, allY); err != nil {
 		return nil, fmt.Errorf("core: refitting %s for REM: %w", spec.Name, err)
 	}
-	dim := pre.FeatureDim(spec.Features)
-	scale := spec.Features.OneHotMACScale
-	predict := func(centers []geom.Vec3, keyIdx int) ([]float64, error) {
+	predict := BatchPredictorFor(est, pre.FeatureDim(spec.Features), spec.Features.OneHotMACScale)
+	vol := geom.PaperScanVolume()
+	return rem.BuildMapBatch(vol, cfg.REMResolution[0], cfg.REMResolution[1], cfg.REMResolution[2],
+		pre.MACs, predict, rem.BuildOptions{Workers: cfg.Workers})
+}
+
+// BatchPredictorFor adapts a fitted estimator to the REM's batched cell
+// contract under this pipeline's feature encoding: dim-wide rows with
+// the cell centre at columns 0..2 and the one-hot MAC block (scaled by
+// scale; 0 omits it) at offset 3. It is the single owner of that layout
+// — rasterisation callers (the pipeline, the streaming loop, examples,
+// benchmarks) share it rather than re-encoding by hand.
+func BatchPredictorFor(est ml.Estimator, dim int, scale float64) rem.BatchPredictFunc {
+	return func(centers []geom.Vec3, keyIdx int) ([]float64, error) {
 		// One flat backing array per batch instead of one allocation per
 		// cell; estimators with a batch path (kNN, NN) then answer the
 		// whole run in a single PredictBatch call.
@@ -297,7 +308,4 @@ func buildREM(cfg Config, pre *dataset.Preprocessed, spec EstimatorSpec) (*rem.M
 		}
 		return ml.PredictAll(est, qs)
 	}
-	vol := geom.PaperScanVolume()
-	return rem.BuildMapBatch(vol, cfg.REMResolution[0], cfg.REMResolution[1], cfg.REMResolution[2],
-		pre.MACs, predict, rem.BuildOptions{Workers: cfg.Workers})
 }

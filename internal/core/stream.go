@@ -1,0 +1,252 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/dataset"
+	"repro/internal/geom"
+	"repro/internal/mission"
+	"repro/internal/ml"
+	"repro/internal/ml/knn"
+	"repro/internal/rem"
+	"repro/internal/remstore"
+)
+
+// This file is the streaming half of the pipeline: instead of one
+// fly-fit-rasterise pass, RunStream consumes the mission's samples in
+// windows and publishes one REM snapshot per window into a remstore —
+// the incremental estimators (ml.IncrementalEstimator) report which keys
+// a window can affect, and rem.Map.RebuildKeys re-rasterises only those,
+// sharing every other tile with the previous snapshot. Queries against
+// the store never block on a rebuild.
+//
+// The key vocabulary is fixed upfront by preprocessing the full dataset
+// (the simulated AP population is known to the mission), so every window
+// encodes against the same one-hot layout; a live deployment would
+// periodically re-run the full pipeline to admit new MACs — see the
+// ROADMAP's snapshot-GC / re-vocabulary open item.
+
+// StreamConfig tunes a streaming run. The embedded Config supplies the
+// seed, mission options, MAC threshold, REM resolution and worker bound;
+// TrainFraction and Estimators are unused here (streaming serves a single
+// estimator on all arrived data rather than comparing a suite).
+type StreamConfig struct {
+	Config
+	// Spec is the served estimator; nil means DefaultStreamSpec. Specs
+	// whose estimator implements ml.IncrementalEstimator get
+	// delta-proportional refits and rebuilds; any other estimator is
+	// wrapped in ml.NewRefitAdapter (correct, but refitted from scratch
+	// each window).
+	Spec *EstimatorSpec
+	// WindowRows is the number of preprocessed rows per published
+	// window; ≤ 0 splits the dataset into 4 equal windows.
+	WindowRows int
+	// MaxHistory bounds the store's retained snapshot history
+	// (≤ 0 means remstore.DefaultMaxHistory).
+	MaxHistory int
+	// Store, when set, receives the published snapshots instead of a
+	// freshly created store — so clients can query the store while the
+	// stream is still running (MaxHistory is then ignored).
+	Store *remstore.Store
+	// OnWindow, when set, observes every published window in order —
+	// the live-serving hook (progress logs, query probes).
+	OnWindow func(WindowReport, *remstore.Snapshot)
+}
+
+// DefaultStreamConfig mirrors DefaultConfig for streaming runs.
+func DefaultStreamConfig(seed uint64) StreamConfig {
+	return StreamConfig{Config: DefaultConfig(seed)}
+}
+
+// DefaultStreamSpec is the streaming default: the per-MAC kNN ensemble.
+// Its Observe reports tight dirty sets — a window's samples dirty only
+// the MACs they belong to (plus any still served by the global fallback)
+// — which is what makes incremental rebuild cost proportional to the
+// delta rather than the map.
+func DefaultStreamSpec() EstimatorSpec {
+	plain := dataset.FeatureOptions{OneHotMACScale: 1}
+	return EstimatorSpec{
+		Name:     "per-MAC kNN",
+		Features: plain,
+		Build: func() (ml.Estimator, error) {
+			return &knn.PerKey{Sub: knn.PaperPlainConfig(), KeyOffset: 3}, nil
+		},
+	}
+}
+
+// WindowReport summarises one published window.
+type WindowReport struct {
+	// Window is the window index (0-based).
+	Window int
+	// NewRows is the number of rows this window added.
+	NewRows int
+	// TotalRows is the cumulative row count after the window.
+	TotalRows int
+	// DirtyKeys is how many keys were re-rasterised for this snapshot
+	// (every key in window 0).
+	DirtyKeys int
+	// SharedTiles is how many tiles the snapshot shares with its
+	// predecessor (0 in window 0).
+	SharedTiles int
+	// Version is the published snapshot's store version.
+	Version uint64
+}
+
+// StreamResult is the full streaming output.
+type StreamResult struct {
+	// Store serves the published snapshots; Store.Current() is the final
+	// generation.
+	Store *remstore.Store
+	// Windows are the per-window reports, in publish order.
+	Windows []WindowReport
+	// Data is the raw mission dataset.
+	Data *dataset.Dataset
+	// Report is the mission flight report (nil for stored datasets).
+	Report *mission.Report
+	// Pre is the preprocessed dataset whose vocabulary the snapshots
+	// share.
+	Pre *dataset.Preprocessed
+	// Estimator is the served incremental estimator, left fitted on every
+	// streamed row — callers can keep the stream going (Observe → Refit →
+	// RebuildKeys → Publish) after RunStream returns.
+	Estimator ml.IncrementalEstimator
+}
+
+// RunStream flies the mission and streams its samples through the
+// incremental pipeline; see RunStreamWithDataset.
+func RunStream(cfg StreamConfig) (*StreamResult, error) {
+	ctrl, err := mission.NewPaperController(cfg.Mission)
+	if err != nil {
+		return nil, err
+	}
+	data, report, err := ctrl.Run()
+	if err != nil {
+		return nil, err
+	}
+	return RunStreamWithDataset(cfg, data, report)
+}
+
+// RunStreamWithDataset streams an existing dataset through the
+// incremental pipeline: fit the estimator on the first window, then per
+// window Observe → Refit → RebuildKeys → Publish. After every publish,
+// the served snapshot is byte-identical to a from-scratch build against a
+// fresh estimator fitted on all rows so far (determinism contract rule 7;
+// exact for the kNN family and the baseline, pinned at full-retrain
+// numerics for the NN), for any worker count.
+func RunStreamWithDataset(cfg StreamConfig, data *dataset.Dataset, report *mission.Report) (*StreamResult, error) {
+	if data == nil || data.Len() == 0 {
+		return nil, errors.New("core: empty dataset")
+	}
+	if cfg.MinSamplesPerMAC < 1 {
+		return nil, errors.New("core: MinSamplesPerMAC must be ≥1")
+	}
+	if cfg.REMResolution[0] < 1 || cfg.REMResolution[1] < 1 || cfg.REMResolution[2] < 1 {
+		return nil, fmt.Errorf("core: streaming needs a positive REM resolution, got %v", cfg.REMResolution)
+	}
+	pre, err := dataset.Preprocess(data, cfg.MinSamplesPerMAC)
+	if err != nil {
+		return nil, err
+	}
+	spec := DefaultStreamSpec()
+	if cfg.Spec != nil {
+		spec = *cfg.Spec
+	}
+	est, err := spec.Build()
+	if err != nil {
+		return nil, fmt.Errorf("core: building %s: %w", spec.Name, err)
+	}
+	inc := ml.NewRefitAdapter(est)
+	allX, allY := pre.DesignMatrix(spec.Features)
+	rows := len(allX)
+	win := cfg.WindowRows
+	if win <= 0 {
+		win = (rows + 3) / 4
+	}
+	predict := BatchPredictorFor(inc, pre.FeatureDim(spec.Features), spec.Features.OneHotMACScale)
+	opts := rem.BuildOptions{Workers: cfg.Workers}
+	vol := geom.PaperScanVolume()
+	nKeys := len(pre.MACs)
+	store := cfg.Store
+	if store == nil {
+		store = remstore.New(cfg.MaxHistory)
+	}
+	res := &StreamResult{
+		Store:     store,
+		Data:      data,
+		Report:    report,
+		Pre:       pre,
+		Estimator: inc,
+	}
+	var cur *rem.Map
+	for start, w := 0, 0; start < rows; start, w = start+win, w+1 {
+		end := min(start+win, rows)
+		var dirty []int
+		if cur == nil {
+			if err := inc.Fit(allX[:end], allY[:end]); err != nil {
+				return nil, fmt.Errorf("core: fitting %s on window 0: %w", spec.Name, err)
+			}
+		} else {
+			if dirty, err = inc.Observe(allX[start:end], allY[start:end]); err != nil {
+				return nil, fmt.Errorf("core: observing window %d: %w", w, err)
+			}
+			if err := inc.Refit(); err != nil {
+				return nil, fmt.Errorf("core: refitting after window %d: %w", w, err)
+			}
+		}
+		dirtyKeys := resolveDirty(dirty, nKeys, cur == nil)
+		next, err := rebuild(cur, vol, cfg.REMResolution, pre.MACs, dirtyKeys, predict, opts)
+		if err != nil {
+			return nil, fmt.Errorf("core: rasterising window %d: %w", w, err)
+		}
+		snap, err := res.Store.Publish(next, len(dirtyKeys))
+		if err != nil {
+			return nil, err
+		}
+		_, shared := snap.BuildStats() // computed once by Publish
+		rep := WindowReport{
+			Window:      w,
+			NewRows:     end - start,
+			TotalRows:   end,
+			DirtyKeys:   len(dirtyKeys),
+			SharedTiles: shared,
+			Version:     snap.Version(),
+		}
+		res.Windows = append(res.Windows, rep)
+		if cfg.OnWindow != nil {
+			cfg.OnWindow(rep, snap)
+		}
+		cur = next
+	}
+	return res, nil
+}
+
+// resolveDirty turns an estimator's dirty report into an explicit key
+// list: the full vocabulary on the first window or when the estimator
+// reports ml.DirtyAll, the listed keys otherwise.
+func resolveDirty(dirty []int, nKeys int, first bool) []int {
+	all := first
+	for _, k := range dirty {
+		if k == ml.DirtyAll {
+			all = true
+			break
+		}
+	}
+	if all {
+		out := make([]int, nKeys)
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	return dirty
+}
+
+// rebuild rasterises the next generation: a from-scratch build for the
+// first window, an incremental tile-sharing rebuild afterwards.
+func rebuild(cur *rem.Map, vol geom.Cuboid, res [3]int, keys []string, dirty []int, predict rem.BatchPredictFunc, opts rem.BuildOptions) (*rem.Map, error) {
+	if cur == nil {
+		return rem.BuildMapBatch(vol, res[0], res[1], res[2], keys, predict, opts)
+	}
+	return cur.RebuildKeys(dirty, predict, opts)
+}

@@ -1,0 +1,225 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/geom"
+	"repro/internal/ml"
+	"repro/internal/ml/baseline"
+	"repro/internal/ml/knn"
+	"repro/internal/ml/nn"
+	"repro/internal/rem"
+	"repro/internal/remstore"
+	"repro/internal/simrand"
+)
+
+// streamDataset builds a 4-MAC dataset whose arrival order makes the
+// window structure interesting: the first 40 samples interleave all MACs,
+// then two MAC-blocked tails — so later windows dirty only a subset of
+// keys and tile sharing is observable.
+func streamDataset() *dataset.Dataset {
+	rng := simrand.New(2024)
+	macs := []string{"aa:00", "bb:11", "cc:22", "dd:33"}
+	d := &dataset.Dataset{}
+	add := func(mi int) {
+		x, y, z := rng.Range(0, 4), rng.Range(0, 3), rng.Range(0, 2.6)
+		d.Add(dataset.Sample{
+			UAV: "A", X: x, Y: y, Z: z, MAC: macs[mi], SSID: "net",
+			RSSI: -40 - int(8*x) - int(3*y) - 2*mi - rng.Intn(4), Channel: 1 + mi,
+		})
+	}
+	for i := 0; i < 40; i++ { // window 0: all MACs
+		add(i % 4)
+	}
+	for _, mi := range []int{0, 1} { // window 1: MACs 0 and 1
+		for i := 0; i < 20; i++ {
+			add(mi)
+		}
+	}
+	for _, mi := range []int{2, 3} { // window 2: MACs 2 and 3
+		for i := 0; i < 20; i++ {
+			add(mi)
+		}
+	}
+	return d
+}
+
+func streamCfg(spec *EstimatorSpec, workers int) StreamConfig {
+	cfg := DefaultStreamConfig(5)
+	cfg.REMResolution = [3]int{6, 5, 4}
+	cfg.Workers = workers
+	cfg.WindowRows = 40
+	cfg.Spec = spec
+	return cfg
+}
+
+// fromScratchMap is the rule 7 comparator: a fresh estimator fitted on
+// the first upto cumulative rows, rasterised from scratch.
+func fromScratchMap(t *testing.T, spec EstimatorSpec, pre *dataset.Preprocessed, upto int, res [3]int) *rem.Map {
+	t.Helper()
+	est, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	allX, allY := pre.DesignMatrix(spec.Features)
+	if err := est.Fit(allX[:upto], allY[:upto]); err != nil {
+		t.Fatal(err)
+	}
+	predict := BatchPredictorFor(est, pre.FeatureDim(spec.Features), spec.Features.OneHotMACScale)
+	m, err := rem.BuildMapBatch(geom.PaperScanVolume(), res[0], res[1], res[2], pre.MACs, predict, rem.BuildOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// streamSpecs are the estimators the identity test sweeps: the tight
+// dirty-set default, the running-mean baseline, the shared one-hot kNN
+// (DirtyAll), a small full-retrain NN, and a non-incremental IDW ensemble
+// exercising the RefitAdapter fallback.
+func streamSpecs() []EstimatorSpec {
+	plain := dataset.FeatureOptions{OneHotMACScale: 1}
+	scaled := dataset.FeatureOptions{OneHotMACScale: 3}
+	nnCfg := nn.PaperConfig(5)
+	nnCfg.Epochs = 10
+	nnCfg.RetainTraining = true // incremental use extends the training set
+	return []EstimatorSpec{
+		DefaultStreamSpec(),
+		{
+			Name:     "baseline",
+			Features: plain,
+			Build:    func() (ml.Estimator, error) { return &baseline.MeanPerKey{KeyOffset: 3}, nil },
+		},
+		{
+			Name:     "scaled kNN",
+			Features: scaled,
+			Build:    func() (ml.Estimator, error) { return knn.New(knn.PaperScaledConfig()) },
+		},
+		{
+			Name:     "small NN",
+			Features: plain,
+			Build:    func() (ml.Estimator, error) { return nn.New(nnCfg) },
+		},
+		{
+			Name:     "per-MAC IDW (adapter)",
+			Features: plain,
+			Build: func() (ml.Estimator, error) {
+				return &ml.PerKeyEnsemble{
+					Factory:   func() ml.Estimator { return &rem.IDW{Power: 2, Smoothing: 0.05} },
+					KeyOffset: 3,
+				}, nil
+			},
+		},
+	}
+}
+
+// TestRunStreamSnapshotIdentity is rule 7 end to end: after every
+// published window, the served snapshot is byte-identical to a
+// from-scratch pipeline on the cumulative rows — across every estimator
+// family.
+func TestRunStreamSnapshotIdentity(t *testing.T) {
+	data := streamDataset()
+	for _, spec := range streamSpecs() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			cfg := streamCfg(&spec, 2)
+			cfg.MinSamplesPerMAC = 16
+			type published struct {
+				rep  WindowReport
+				snap *remstore.Snapshot
+			}
+			var pubs []published
+			cfg.OnWindow = func(rep WindowReport, snap *remstore.Snapshot) {
+				pubs = append(pubs, published{rep, snap})
+			}
+			res, err := RunStreamWithDataset(cfg, data, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.Windows) != 3 {
+				t.Fatalf("windows = %d, want 3", len(res.Windows))
+			}
+			for i, p := range pubs {
+				want := fromScratchMap(t, spec, res.Pre, p.rep.TotalRows, cfg.REMResolution)
+				if !p.snap.Map().Equal(want) {
+					t.Fatalf("window %d: snapshot differs from from-scratch build", i)
+				}
+				if p.rep.Version != uint64(i+1) {
+					t.Fatalf("window %d: version = %d", i, p.rep.Version)
+				}
+			}
+			if cur := res.Store.Current(); cur == nil || cur.Version() != 3 {
+				t.Fatal("store does not serve the final window")
+			}
+		})
+	}
+}
+
+// TestRunStreamTileSharing: with the per-MAC default, a MAC-blocked
+// window dirties only its keys and the snapshot shares the other keys'
+// tiles with its parent.
+func TestRunStreamTileSharing(t *testing.T) {
+	cfg := streamCfg(nil, 1)
+	res, err := RunStreamWithDataset(cfg, streamDataset(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := res.Windows
+	if w[0].DirtyKeys != 4 || w[0].SharedTiles != 0 {
+		t.Fatalf("window 0 = %+v, want 4 dirty keys and no sharing", w[0])
+	}
+	// Window 1 adds samples for MACs 0 and 1 only; every key already has
+	// its own sub-regressor after window 0, so exactly 2 keys are dirty
+	// and the other 2 keys' tiles are shared.
+	tpk := res.Store.Current().Map().TilesPerKey()
+	if w[1].DirtyKeys != 2 || w[1].SharedTiles != 2*tpk {
+		t.Fatalf("window 1 = %+v, want 2 dirty keys and %d shared tiles", w[1], 2*tpk)
+	}
+	if w[2].DirtyKeys != 2 || w[2].SharedTiles != 2*tpk {
+		t.Fatalf("window 2 = %+v, want 2 dirty keys and %d shared tiles", w[2], 2*tpk)
+	}
+	if stats := res.Store.Stats(); stats.Publishes != 3 {
+		t.Fatalf("stats = %+v", stats)
+	}
+}
+
+// TestRunStreamWorkerInvariance: the streaming pipeline keeps the
+// determinism contract across worker counts.
+func TestRunStreamWorkerInvariance(t *testing.T) {
+	data := streamDataset()
+	run := func(workers int) *StreamResult {
+		res, err := RunStreamWithDataset(streamCfg(nil, workers), data, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	seq, par := run(1), run(4)
+	if !seq.Store.Current().Map().Equal(par.Store.Current().Map()) {
+		t.Fatal("final snapshots differ between workers=1 and workers=4")
+	}
+	for i := range seq.Windows {
+		if seq.Windows[i] != par.Windows[i] {
+			t.Fatalf("window %d: %+v ≠ %+v", i, par.Windows[i], seq.Windows[i])
+		}
+	}
+}
+
+// TestRunStreamValidation: configurations that cannot stream are
+// rejected.
+func TestRunStreamValidation(t *testing.T) {
+	if _, err := RunStreamWithDataset(streamCfg(nil, 1), nil, nil); err == nil {
+		t.Error("nil dataset accepted")
+	}
+	cfg := streamCfg(nil, 1)
+	cfg.REMResolution = [3]int{}
+	if _, err := RunStreamWithDataset(cfg, streamDataset(), nil); err == nil {
+		t.Error("zero REM resolution accepted")
+	}
+	cfg = streamCfg(nil, 1)
+	cfg.MinSamplesPerMAC = 0
+	if _, err := RunStreamWithDataset(cfg, streamDataset(), nil); err == nil {
+		t.Error("zero MAC threshold accepted")
+	}
+}

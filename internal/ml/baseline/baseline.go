@@ -6,6 +6,7 @@ package baseline
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"repro/internal/ml"
 )
@@ -13,19 +14,32 @@ import (
 // MeanPerKey predicts the training-set mean of the target for each one-hot
 // key group. Features must contain a one-hot block starting at KeyOffset;
 // rows with no hot entry fall back to the global mean.
+//
+// MeanPerKey is incremental: it keeps O(1)-updatable running sums per key,
+// so Observe folds a delta batch in constant time per row and the result
+// is byte-identical to a from-scratch Fit on the cumulative dataset (the
+// per-key addition sequence is exactly the cumulative row order).
 type MeanPerKey struct {
 	// KeyOffset is the index where the one-hot block starts (3 when the
 	// features are x, y, z followed by the MAC one-hot).
 	KeyOffset int
 
 	fitted     bool
+	dim        int // fitted feature dimension
+	width      int // one-hot block width (the key universe size)
 	globalMean float64
 	means      map[int]float64
+	// Running accumulators behind the means.
+	sums   map[int]float64
+	counts map[int]int
+	total  float64
+	n      int
 }
 
 var (
-	_ ml.Estimator = (*MeanPerKey)(nil)
-	_ ml.Named     = (*MeanPerKey)(nil)
+	_ ml.Estimator            = (*MeanPerKey)(nil)
+	_ ml.Named                = (*MeanPerKey)(nil)
+	_ ml.IncrementalEstimator = (*MeanPerKey)(nil)
 )
 
 // Name implements ml.Named.
@@ -39,25 +53,99 @@ func (m *MeanPerKey) Fit(x [][]float64, y []float64) error {
 	if m.KeyOffset < 0 || m.KeyOffset >= len(x[0]) {
 		return fmt.Errorf("baseline: key offset %d outside feature dim %d", m.KeyOffset, len(x[0]))
 	}
-	sums := map[int]float64{}
-	counts := map[int]int{}
-	var total float64
-	for i, row := range x {
-		key, err := hotIndex(row, m.KeyOffset)
-		if err != nil {
-			return fmt.Errorf("baseline: row %d: %w", i, err)
-		}
-		sums[key] += y[i]
-		counts[key]++
-		total += y[i]
+	keys, err := hotKeys(x, m.KeyOffset)
+	if err != nil {
+		return err
 	}
-	m.means = make(map[int]float64, len(sums))
-	for k, s := range sums {
-		m.means[k] = s / float64(counts[k])
-	}
-	m.globalMean = total / float64(len(y))
+	m.dim = len(x[0])
+	m.width = m.dim - m.KeyOffset
+	m.sums = map[int]float64{}
+	m.counts = map[int]int{}
+	m.total, m.n = 0, 0
+	m.fold(keys, y)
+	m.recompute()
 	m.fitted = true
 	return nil
+}
+
+// Observe implements ml.IncrementalEstimator: the batch is folded into the
+// running sums and the dirty set is the batch's keys plus — because every
+// sample moves the global-mean fallback — every key that still has no
+// samples of its own.
+func (m *MeanPerKey) Observe(x [][]float64, y []float64) ([]int, error) {
+	if !m.fitted {
+		return nil, ml.ErrNotFitted
+	}
+	if err := ml.ValidateObserved(x, y, m.dim); err != nil {
+		return nil, err
+	}
+	if len(x) == 0 {
+		return nil, nil
+	}
+	keys, err := hotKeys(x, m.KeyOffset)
+	if err != nil {
+		return nil, err
+	}
+	dirty := map[int]bool{}
+	for _, k := range keys {
+		dirty[k] = true
+	}
+	m.fold(keys, y)
+	for k := 0; k < m.width; k++ {
+		if m.counts[k] == 0 {
+			dirty[k] = true
+		}
+	}
+	m.recompute()
+	out := make([]int, 0, len(dirty))
+	for k := range dirty {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out, nil
+}
+
+// Refit implements ml.IncrementalEstimator. Observe already folds each
+// batch into the running means, so there is nothing deferred.
+func (m *MeanPerKey) Refit() error {
+	if !m.fitted {
+		return ml.ErrNotFitted
+	}
+	return nil
+}
+
+// hotKeys resolves every row's hot key upfront, so a malformed row is
+// rejected before any accumulator mutates.
+func hotKeys(x [][]float64, offset int) ([]int, error) {
+	keys := make([]int, len(x))
+	for i, row := range x {
+		key, err := hotIndex(row, offset)
+		if err != nil {
+			return nil, fmt.Errorf("baseline: row %d: %w", i, err)
+		}
+		keys[i] = key
+	}
+	return keys, nil
+}
+
+// fold adds a batch to the running accumulators in row order — the same
+// addition sequence a from-scratch fit on the cumulative data performs.
+func (m *MeanPerKey) fold(keys []int, y []float64) {
+	for i, k := range keys {
+		m.sums[k] += y[i]
+		m.counts[k]++
+		m.total += y[i]
+		m.n++
+	}
+}
+
+// recompute derives the served means from the accumulators.
+func (m *MeanPerKey) recompute() {
+	m.means = make(map[int]float64, len(m.sums))
+	for k, s := range m.sums {
+		m.means[k] = s / float64(m.counts[k])
+	}
+	m.globalMean = m.total / float64(m.n)
 }
 
 // Predict implements ml.Estimator.

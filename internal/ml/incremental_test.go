@@ -1,0 +1,108 @@
+package ml
+
+import (
+	"math"
+	"testing"
+)
+
+// sumEstimator is a trivial estimator for adapter tests: it predicts the
+// mean of its training targets and counts fits.
+type sumEstimator struct {
+	fits int
+	mean float64
+	rows int
+}
+
+func (s *sumEstimator) Fit(x [][]float64, y []float64) error {
+	if err := ValidateTrainingData(x, y); err != nil {
+		return err
+	}
+	s.fits++
+	s.rows = len(y)
+	var sum float64
+	for _, v := range y {
+		sum += v
+	}
+	s.mean = sum / float64(len(y))
+	return nil
+}
+
+func (s *sumEstimator) Predict(_ []float64) (float64, error) {
+	if s.fits == 0 {
+		return 0, ErrNotFitted
+	}
+	return s.mean, nil
+}
+
+// TestRefitAdapterLifecycle: the adapter accumulates rows, dirties
+// everything, refits from scratch on the cumulative set, and skips refits
+// with nothing pending.
+func TestRefitAdapterLifecycle(t *testing.T) {
+	base := &sumEstimator{}
+	a := NewRefitAdapter(base)
+	if _, err := a.Observe([][]float64{{1}}, []float64{2}); err == nil {
+		t.Error("Observe before Fit accepted")
+	}
+	if err := a.Fit([][]float64{{1}, {2}}, []float64{-10, -20}); err != nil {
+		t.Fatal(err)
+	}
+	dirty, err := a.Observe([][]float64{{3}}, []float64{-60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dirty) != 1 || dirty[0] != DirtyAll {
+		t.Fatalf("dirty = %v, want [DirtyAll]", dirty)
+	}
+	if _, err := a.Observe([][]float64{{1, 2}}, []float64{0}); err == nil {
+		t.Error("dim-mismatched observe accepted")
+	}
+	if err := a.Refit(); err != nil {
+		t.Fatal(err)
+	}
+	if base.fits != 2 || base.rows != 3 {
+		t.Fatalf("after refit: fits = %d rows = %d, want 2 and 3", base.fits, base.rows)
+	}
+	got, err := a.Predict([]float64{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := (-10.0 + -20.0 + -60.0) / 3; math.Float64bits(got) != math.Float64bits(want) {
+		t.Fatalf("prediction = %v, want %v", got, want)
+	}
+	if err := a.Refit(); err != nil { // nothing pending
+		t.Fatal(err)
+	}
+	if base.fits != 2 {
+		t.Fatalf("no-op refit retrained: fits = %d", base.fits)
+	}
+}
+
+// TestNewRefitAdapterPassThrough: an estimator that is already incremental
+// is returned unchanged.
+func TestNewRefitAdapterPassThrough(t *testing.T) {
+	a := NewRefitAdapter(&sumEstimator{})
+	if NewRefitAdapter(a) != a {
+		t.Fatal("incremental estimator re-wrapped")
+	}
+}
+
+// TestRefitAdapterCopiesRows: mutating the caller's slices after
+// Fit/Observe must not change the adapter's cumulative set.
+func TestRefitAdapterCopiesRows(t *testing.T) {
+	base := &sumEstimator{}
+	a := NewRefitAdapter(base).(*RefitAdapter)
+	x := [][]float64{{1}, {2}}
+	y := []float64{-10, -20}
+	if err := a.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	x[0][0] = 99
+	ox := [][]float64{{3}}
+	if _, err := a.Observe(ox, []float64{-30}); err != nil {
+		t.Fatal(err)
+	}
+	ox[0][0] = 99
+	if a.x[0][0] != 1 || a.x[2][0] != 3 {
+		t.Fatalf("adapter rows aliased caller slices: %v", a.x)
+	}
+}

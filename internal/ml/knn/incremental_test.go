@@ -1,0 +1,290 @@
+package knn
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/ml"
+	"repro/internal/simrand"
+)
+
+func knnStream(nKeys, n int, scale float64, rng *simrand.Source) ([][]float64, []float64) {
+	x := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		row := make([]float64, 3+nKeys)
+		row[0], row[1], row[2] = rng.Range(0, 4), rng.Range(0, 3), rng.Range(0, 2.6)
+		row[3+rng.Intn(nKeys)] = scale
+		x[i] = row
+		y[i] = -60 - 8*math.Hypot(row[0]-2, row[1]-1.5) + rng.Gauss(0, 2)
+	}
+	return x, y
+}
+
+// predictAllBits fails the test at the first bitwise prediction mismatch.
+func predictAllBits(t *testing.T, label string, a, b ml.Estimator, queries [][]float64) {
+	t.Helper()
+	for i, q := range queries {
+		va, err := a.Predict(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vb, err := b.Predict(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Float64bits(va) != math.Float64bits(vb) {
+			t.Fatalf("%s: query %d: %x ≠ %x", label, i, va, vb)
+		}
+	}
+}
+
+// TestRegressorIncrementalIdentity is rule 7 for the shared-feature-space
+// kNN: with the insert log still unmerged, after an auto-merge, and after
+// an explicit Refit, predictions are byte-identical to a fresh regressor
+// fitted on the cumulative rows — for both the scaled one-hot and a
+// non-Euclidean (scan-only) configuration.
+func TestRegressorIncrementalIdentity(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		cfg  Config
+	}{
+		{"scaled-kdtree", PaperScaledConfig()},
+		{"plain-kdtree", PaperPlainConfig()},
+		{"minkowski-scan", Config{K: 4, Weights: Uniform, MinkowskiP: 3}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			rng := simrand.New(555)
+			const nKeys = 5
+			x, y := knnStream(nKeys, 260, 3, rng)
+			queries, _ := knnStream(nKeys, 64, 3, rng)
+			cfg := tc.cfg
+			cfg.MergeThreshold = 40
+			inc, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := inc.Fit(x[:120], y[:120]); err != nil {
+				t.Fatal(err)
+			}
+			cuts := []int{120, 150, 210, 260} // 30 (logged), 60 (auto-merged), 50
+			for c := 1; c < len(cuts); c++ {
+				dirty, err := inc.Observe(x[cuts[c-1]:cuts[c]], y[cuts[c-1]:cuts[c]])
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(dirty) != 1 || dirty[0] != ml.DirtyAll {
+					t.Fatalf("dirty = %v, want [DirtyAll]", dirty)
+				}
+				fresh, err := New(tc.cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := fresh.Fit(x[:cuts[c]], y[:cuts[c]]); err != nil {
+					t.Fatal(err)
+				}
+				predictAllBits(t, "pre-refit", inc, fresh, queries)
+				if err := inc.Refit(); err != nil {
+					t.Fatal(err)
+				}
+				predictAllBits(t, "post-refit", inc, fresh, queries)
+			}
+			if inc.indexed != 260 {
+				t.Fatalf("after final refit, indexed = %d, want 260", inc.indexed)
+			}
+		})
+	}
+}
+
+// TestRegressorMergeThreshold: the log merges exactly when it outgrows the
+// threshold, and batch predictions match per-sample ones while the log is
+// live.
+func TestRegressorMergeThreshold(t *testing.T) {
+	rng := simrand.New(9)
+	x, y := knnStream(3, 90, 1, rng)
+	cfg := PaperPlainConfig()
+	cfg.MergeThreshold = 25
+	r, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Fit(x[:50], y[:50]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Observe(x[50:70], y[50:70]); err != nil { // log = 20 ≤ 25
+		t.Fatal(err)
+	}
+	if r.indexed != 50 {
+		t.Fatalf("log of 20 merged early: indexed = %d", r.indexed)
+	}
+	queries, _ := knnStream(3, 32, 1, rng)
+	batch, err := r.PredictBatch(queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, q := range queries {
+		v, err := r.Predict(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Float64bits(v) != math.Float64bits(batch[i]) {
+			t.Fatalf("query %d: batch %x ≠ per-sample %x with live insert log", i, batch[i], v)
+		}
+	}
+	if _, err := r.Observe(x[70:90], y[70:90]); err != nil { // log = 40 > 25
+		t.Fatal(err)
+	}
+	if r.indexed != 90 {
+		t.Fatalf("log of 40 not merged: indexed = %d", r.indexed)
+	}
+}
+
+// TestMergeRebuildsOnlyDirtySubtrees: an insert-log merge rebuilds the
+// per-MAC subtrees that gained rows and leaves every other subtree's
+// structure untouched (pointer-identical) — the cheap per-key merge the
+// log is buffered for.
+func TestMergeRebuildsOnlyDirtySubtrees(t *testing.T) {
+	const nKeys = 4
+	mk := func(key int, xv float64) []float64 {
+		row := make([]float64, 3+nKeys)
+		row[0] = xv
+		row[3+key] = 1
+		return row
+	}
+	var x [][]float64
+	var y []float64
+	for k := 0; k < nKeys; k++ {
+		for i := 0; i < 4; i++ {
+			x = append(x, mk(k, float64(i)))
+			y = append(y, -50-float64(i))
+		}
+	}
+	cfg := PaperPlainConfig()
+	cfg.MergeThreshold = 1
+	r, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	before := map[int]*kdTree{}
+	for h, tr := range r.index.byKey {
+		before[h] = tr
+	}
+	// Two rows for key 2 exceed the threshold and force a merge.
+	if _, err := r.Observe([][]float64{mk(2, 9), mk(2, 10)}, []float64{-60, -61}); err != nil {
+		t.Fatal(err)
+	}
+	if r.indexed != len(r.x) {
+		t.Fatalf("merge did not run: indexed = %d of %d", r.indexed, len(r.x))
+	}
+	for h, tr := range before {
+		got := r.index.byKey[h]
+		if h == 2 {
+			if got == tr {
+				t.Fatal("dirty subtree not rebuilt")
+			}
+			continue
+		}
+		if got != tr {
+			t.Fatalf("clean subtree %d rebuilt by the merge", h)
+		}
+	}
+	// A row that breaks the one-hot layout degrades to a full rebuild —
+	// and predictions still match a from-scratch fit (the index becomes
+	// a full-dimension tree on both paths).
+	odd := mk(1, 3)
+	odd[3+1] = 2 // different scale
+	if _, err := r.Observe([][]float64{odd, mk(0, 4)}, []float64{-70, -55}); err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fresh.Fit(r.x, r.y); err != nil {
+		t.Fatal(err)
+	}
+	queries := [][]float64{mk(0, 2.5), mk(1, 3.5), mk(2, 9.5), mk(3, 1.5)}
+	predictAllBits(t, "degraded-layout", r, fresh, queries)
+}
+
+// TestPerKeyIncrementalIdentity is rule 7 for the per-MAC ensemble, the
+// estimator with tight dirty sets.
+func TestPerKeyIncrementalIdentity(t *testing.T) {
+	rng := simrand.New(777)
+	const nKeys = 4
+	x, y := knnStream(nKeys, 200, 1, rng)
+	queries, _ := knnStream(nKeys, 48, 1, rng)
+	inc := &PerKey{Sub: PaperPlainConfig(), KeyOffset: 3}
+	if err := inc.Fit(x[:100], y[:100]); err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range [][2]int{{100, 140}, {140, 200}} {
+		if _, err := inc.Observe(x[cut[0]:cut[1]], y[cut[0]:cut[1]]); err != nil {
+			t.Fatal(err)
+		}
+		if err := inc.Refit(); err != nil {
+			t.Fatal(err)
+		}
+		fresh := &PerKey{Sub: PaperPlainConfig(), KeyOffset: 3}
+		if err := fresh.Fit(x[:cut[1]], y[:cut[1]]); err != nil {
+			t.Fatal(err)
+		}
+		predictAllBits(t, "per-key", inc, fresh, queries)
+	}
+}
+
+// TestPerKeyDirtySet: a delta touching one key dirties that key alone once
+// every key has its own sub-regressor, and new keys spawn sub-regressors.
+func TestPerKeyDirtySet(t *testing.T) {
+	const nKeys = 4
+	mk := func(key int, xv float64) ([]float64, float64) {
+		row := make([]float64, 3+nKeys)
+		row[0] = xv
+		row[3+key] = 1
+		return row, -50 - xv
+	}
+	var xs [][]float64
+	var ys []float64
+	for k := 0; k < 3; k++ { // keys 0..2 fitted; key 3 unseen
+		for i := 0; i < 3; i++ {
+			x, y := mk(k, float64(i))
+			xs = append(xs, x)
+			ys = append(ys, y)
+		}
+	}
+	p := &PerKey{Sub: PaperPlainConfig(), KeyOffset: 3}
+	if err := p.Fit(xs, ys); err != nil {
+		t.Fatal(err)
+	}
+	x0, y0 := mk(0, 9)
+	dirty, err := p.Observe([][]float64{x0}, []float64{y0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Key 3 still predicts through the global fallback, which moved.
+	if want := []int{0, 3}; len(dirty) != 2 || dirty[0] != want[0] || dirty[1] != want[1] {
+		t.Fatalf("dirty = %v, want %v", dirty, want)
+	}
+	x3, y3 := mk(3, 1)
+	dirty, err = p.Observe([][]float64{x3}, []float64{y3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dirty) != 1 || dirty[0] != 3 {
+		t.Fatalf("dirty = %v, want [3]", dirty)
+	}
+	if p.subs[3] == nil {
+		t.Fatal("no sub-regressor spawned for the new key")
+	}
+	x0b, y0b := mk(0, 5)
+	dirty, err = p.Observe([][]float64{x0b}, []float64{y0b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dirty) != 1 || dirty[0] != 0 {
+		t.Fatalf("dirty with full coverage = %v, want [0]", dirty)
+	}
+}

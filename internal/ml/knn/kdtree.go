@@ -216,7 +216,10 @@ type kdIndex struct {
 	scale float64         // one-hot magnitude; 0 ⇒ full-dimension tree
 	keys  []int           // hot keys in ascending order
 	byKey map[int]*kdTree // per-key xyz subtrees
-	tree  *kdTree         // full-dimension fallback layout
+	// groups holds each key's training indices in insertion order — the
+	// member lists incremental merges rebuild subtrees from.
+	groups map[int][]int
+	tree   *kdTree // full-dimension fallback layout
 }
 
 // buildIndex constructs the index for the stored training set, or nil when
@@ -229,18 +232,14 @@ func buildIndex(x [][]float64) *kdIndex {
 	idx := &kdIndex{dims: dims}
 	if scale, ok := oneHotScale(x); ok {
 		idx.scale = scale
-		groups := map[int][]int{}
+		idx.groups = map[int][]int{}
 		for i, row := range x {
 			h := hotIndex(row, oneHotOffset)
-			groups[h] = append(groups[h], i)
+			idx.groups[h] = append(idx.groups[h], i)
 		}
-		idx.byKey = make(map[int]*kdTree, len(groups))
-		for h, members := range groups {
-			pts := make([][]float64, len(members))
-			for j, m := range members {
-				pts[j] = x[m][:oneHotOffset]
-			}
-			idx.byKey[h] = newKDTree(pts, members)
+		idx.byKey = make(map[int]*kdTree, len(idx.groups))
+		for h := range idx.groups {
+			idx.rebuildKey(x, h)
 			idx.keys = append(idx.keys, h)
 		}
 		sort.Ints(idx.keys)
@@ -254,6 +253,59 @@ func buildIndex(x [][]float64) *kdIndex {
 	}
 	idx.tree = newKDTree(pts, ids)
 	return idx
+}
+
+// rebuildKey rebuilds one key's subtree from its member list. Members
+// are in insertion order, so an incrementally rebuilt subtree is
+// identical to the one a from-scratch buildIndex over the cumulative
+// rows produces.
+func (ix *kdIndex) rebuildKey(x [][]float64, h int) {
+	members := ix.groups[h]
+	pts := make([][]float64, len(members))
+	for j, m := range members {
+		pts[j] = x[m][:oneHotOffset]
+	}
+	ix.byKey[h] = newKDTree(pts, members)
+}
+
+// addRows merges rows x[from:] into the index incrementally, rebuilding
+// only the per-key subtrees that gained members (the cheap per-MAC merge
+// the insert log is buffered for). It reports false — mutating nothing —
+// when any new row does not fit the index's one-hot layout; the caller
+// then rebuilds the index from scratch.
+func (ix *kdIndex) addRows(x [][]float64, from int) bool {
+	if ix.tree != nil {
+		// Full-dimension fallback layout: no per-key structure to merge
+		// into.
+		return false
+	}
+	hs := make([]int, len(x)-from)
+	for i := from; i < len(x); i++ {
+		row := x[i]
+		if len(row) != ix.dims {
+			return false
+		}
+		h := hotIndex(row, oneHotOffset)
+		if h < 0 || row[oneHotOffset+h] != ix.scale {
+			return false
+		}
+		hs[i-from] = h
+	}
+	dirty := map[int]bool{}
+	for i, h := range hs {
+		ix.groups[h] = append(ix.groups[h], from+i)
+		dirty[h] = true
+	}
+	for h := range dirty {
+		if _, known := ix.byKey[h]; !known {
+			pos := sort.SearchInts(ix.keys, h)
+			ix.keys = append(ix.keys, 0)
+			copy(ix.keys[pos+1:], ix.keys[pos:])
+			ix.keys[pos] = h
+		}
+		ix.rebuildKey(x, h)
+	}
+	return true
 }
 
 // oneHotOffset is where the one-hot block starts in the paper's feature

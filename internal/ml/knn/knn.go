@@ -57,7 +57,23 @@ type Config struct {
 	// for p=2. Predictions are identical either way; the flag exists to
 	// benchmark the index against its baseline.
 	BruteForce bool
+	// MergeThreshold bounds the incremental insert log: once more than
+	// this many observed rows sit outside the KD-tree index, Observe
+	// merges them in, rebuilding only the per-MAC subtrees whose keys
+	// gained rows (rows that break the one-hot layout degrade to a full
+	// index rebuild). Queries are byte-identical before and after a
+	// merge — the log is scanned with the same canonical
+	// (distance, index) ordering the index uses — so the threshold
+	// trades only index freshness against rebuild frequency. ≤ 0 means
+	// DefaultMergeThreshold.
+	MergeThreshold int
 }
+
+// DefaultMergeThreshold is the insert-log bound used when
+// Config.MergeThreshold is unset: small enough that the linear tail scan
+// stays negligible next to a tree descent, large enough to amortise
+// rebuilds over many observations.
+const DefaultMergeThreshold = 128
 
 // PaperPlainConfig is the paper's tuned plain kNN: k=3, distance weights,
 // Euclidean metric.
@@ -87,17 +103,27 @@ func (c Config) Validate() error {
 
 // Regressor is a kNN regressor. Fit stores the training set and, for the
 // Euclidean metric, builds the KD-tree index; Predict queries it.
+//
+// Regressor is incremental: Observe appends new samples to an insert log
+// that queries scan alongside the index (canonical neighbour ordering
+// makes the two paths merge byte-identically), and the log folds into the
+// KD-forest once it exceeds Config.MergeThreshold or Refit is called.
+// Observe and Refit must not run concurrently with queries.
 type Regressor struct {
-	cfg   Config
-	x     [][]float64
-	y     []float64
-	index *kdIndex
+	cfg Config
+	x   [][]float64
+	y   []float64
+	// index covers x[:indexed]; rows at and beyond indexed are the insert
+	// log, scanned linearly by every query until the next merge.
+	index   *kdIndex
+	indexed int
 }
 
 var (
-	_ ml.Estimator      = (*Regressor)(nil)
-	_ ml.Named          = (*Regressor)(nil)
-	_ ml.BatchPredictor = (*Regressor)(nil)
+	_ ml.Estimator            = (*Regressor)(nil)
+	_ ml.Named                = (*Regressor)(nil)
+	_ ml.BatchPredictor       = (*Regressor)(nil)
+	_ ml.IncrementalEstimator = (*Regressor)(nil)
 )
 
 // New builds a regressor with the given configuration.
@@ -124,10 +150,72 @@ func (r *Regressor) Fit(x [][]float64, y []float64) error {
 	}
 	r.y = append([]float64(nil), y...)
 	r.index = nil
-	if r.cfg.MinkowskiP == 2 && !r.cfg.BruteForce {
-		r.index = buildIndex(r.x)
+	r.indexed = 0
+	r.merge()
+	return nil
+}
+
+// Observe implements ml.IncrementalEstimator: the batch lands in the
+// insert log (immediately visible to queries) and merges into the index
+// once the log outgrows the threshold. A single shared-feature-space kNN
+// has cross-key reach — a new sample under one hot key can enter the
+// neighbour set of queries under any other key, because the one-hot
+// offset is a constant distance penalty, not a wall — so the whole
+// vocabulary is reported dirty. The per-key ensemble (PerKey) is the
+// variant with tight dirty sets.
+func (r *Regressor) Observe(x [][]float64, y []float64) ([]int, error) {
+	if r.x == nil {
+		return nil, ml.ErrNotFitted
+	}
+	if err := ml.ValidateObserved(x, y, len(r.x[0])); err != nil {
+		return nil, err
+	}
+	if len(x) == 0 {
+		return nil, nil
+	}
+	for _, row := range x {
+		r.x = append(r.x, append([]float64(nil), row...))
+	}
+	r.y = append(r.y, y...)
+	threshold := r.cfg.MergeThreshold
+	if threshold <= 0 {
+		threshold = DefaultMergeThreshold
+	}
+	if len(r.x)-r.indexed > threshold {
+		r.merge()
+	}
+	return []int{ml.DirtyAll}, nil
+}
+
+// Refit implements ml.IncrementalEstimator: any logged rows merge into
+// the index. Queries return the same bits before and after.
+func (r *Regressor) Refit() error {
+	if r.x == nil {
+		return ml.ErrNotFitted
+	}
+	if r.indexed < len(r.x) {
+		r.merge()
 	}
 	return nil
+}
+
+// merge folds the insert log into the index, emptying it. When the
+// logged rows fit the index's per-MAC layout, only the subtrees whose
+// keys gained members are rebuilt (the cheap per-key merge); a layout
+// change — or the full-dimension fallback tree — falls back to a
+// from-scratch index build. Queries return the same bits either way.
+func (r *Regressor) merge() {
+	if r.cfg.MinkowskiP != 2 || r.cfg.BruteForce {
+		r.index = nil
+		r.indexed = len(r.x)
+		return
+	}
+	if r.index != nil && r.index.addRows(r.x, r.indexed) {
+		r.indexed = len(r.x)
+		return
+	}
+	r.index = buildIndex(r.x)
+	r.indexed = len(r.x)
 }
 
 // distance computes the Minkowski distance of order p and, for p=2, the
@@ -146,9 +234,16 @@ func (r *Regressor) distance(a, b []float64) (float64, float64) {
 }
 
 // gather fills nb with the k nearest training points in canonical
-// (dist, idx) order, via the index when one applies.
+// (dist, idx) order, via the index when one applies. Rows in the insert
+// log (past indexed) are scanned linearly either way; consider keeps the
+// canonical ordering regardless of offer order, so indexed and logged
+// candidates merge byte-identically to a full scan.
 func (r *Regressor) gather(q []float64, nb *nearest) {
 	if r.index != nil && r.index.search(q, nb) {
+		for i := r.indexed; i < len(r.x); i++ {
+			d, sq := r.distance(q, r.x[i])
+			nb.consider(i, d, sq)
+		}
 		return
 	}
 	for i, row := range r.x {

@@ -1,0 +1,87 @@
+package nn
+
+import (
+	"fmt"
+
+	"repro/internal/ml"
+	"repro/internal/simrand"
+)
+
+// Incremental training: Observe extends the retained cumulative training
+// set; Refit either retrains from scratch (Config.FineTuneEpochs == 0 —
+// byte-identical to a fresh network fitted on the cumulative data, the
+// determinism contract's rule 7) or warm-starts from the current weights
+// for a bounded number of epochs (FineTuneEpochs > 0 — deterministic
+// across identical Observe/Refit sequences, documented as diverging from
+// the from-scratch bits). Observe and Refit must not run concurrently
+// with Predict.
+
+var _ ml.IncrementalEstimator = (*Network)(nil)
+
+// Observe implements ml.IncrementalEstimator: the batch is appended to the
+// cumulative training set. A neural network is a global function
+// approximator — any sample moves every weight at the next Refit — so the
+// whole vocabulary is dirty.
+func (n *Network) Observe(x [][]float64, y []float64) ([]int, error) {
+	if !n.fitted {
+		return nil, ml.ErrNotFitted
+	}
+	if !n.cfg.RetainTraining {
+		return nil, fmt.Errorf("nn: incremental use needs Config.RetainTraining (the cumulative training set is released after a batch-mode Fit)")
+	}
+	if err := ml.ValidateObserved(x, y, n.dim); err != nil {
+		return nil, err
+	}
+	if len(x) == 0 {
+		return nil, nil
+	}
+	for _, row := range x {
+		n.trainX = append(n.trainX, append([]float64(nil), row...))
+	}
+	n.trainY = append(n.trainY, y...)
+	n.pending = true
+	return []int{ml.DirtyAll}, nil
+}
+
+// Refit implements ml.IncrementalEstimator; see the file comment for the
+// two regimes.
+func (n *Network) Refit() error {
+	if !n.fitted {
+		return ml.ErrNotFitted
+	}
+	if !n.pending {
+		return nil
+	}
+	if n.cfg.FineTuneEpochs <= 0 {
+		// Fit re-derives its rng from the seed, so this is exactly what a
+		// fresh network of the same Config learns from the cumulative
+		// data. Fit also clears pending.
+		return n.Fit(n.trainX, n.trainY)
+	}
+	n.fineTune()
+	n.pending = false
+	return nil
+}
+
+// fineTune continues training from the current weights: optimiser moments
+// and the input/target normalisation statistics stay frozen at their
+// initial-Fit values (new rows are standardised with the old statistics —
+// the usual warm-start drift caveat), and the shuffle stream is derived
+// from the seed and the refit generation, so an identical
+// Observe/Refit sequence reproduces identical weights.
+func (n *Network) fineTune() {
+	n.refitGen++
+	rng := simrand.New(n.cfg.Seed).Derive("nn").Derive(fmt.Sprintf("refit-%d", n.refitGen))
+	targets := n.trainY
+	if n.cfg.NormalizeTargets {
+		targets = make([]float64, len(n.trainY))
+		for i, v := range n.trainY {
+			targets[i] = (v - n.yMean) / n.yStd
+		}
+	}
+	if n.cfg.PerSampleUpdates {
+		n.trainPerSample(n.trainX, targets, rng, n.cfg.FineTuneEpochs)
+	} else {
+		n.trainMinibatch(n.trainX, targets, rng, n.cfg.FineTuneEpochs)
+	}
+}

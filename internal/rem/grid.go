@@ -32,24 +32,105 @@ type BuildOptions struct {
 	Workers int
 }
 
+// TileCells is the fixed tile capacity in cells. Each key's cell run is
+// cut into tiles of this size (the last tile of a key may be shorter).
+// Tiles are the unit of copy-on-write sharing between snapshot
+// generations and the unit of the binary codec's tile table. Power of
+// two, so the query path resolves a cell with a shift and a mask.
+const TileCells = 256
+
+const (
+	tileShift = 8
+	tileMask  = TileCells - 1
+)
+
 // Map is a fine-grained 3-D REM: a regular grid of predicted signal
 // strengths per beacon source over a volume. A built Map is immutable and
 // safe for concurrent queries.
+//
+// Storage is tiled: each key's nx·ny·nz cell run is split into fixed-size
+// tiles (TileCells), laid out per key in cell order. RebuildKeys derives a
+// new Map that shares every tile of untouched keys with its parent, so an
+// incremental snapshot costs memory proportional to the dirty key set.
 type Map struct {
 	volume     geom.Cuboid
 	nx, ny, nz int
-	keys       []string
-	// values is a flat per-key-contiguous layout:
-	// values[k*nx*ny*nz + ix + nx*(iy + ny*iz)] is the prediction for key
-	// k at cell centre (ix, iy, iz).
-	values []float64
+	// stride is the per-key cell count (nx·ny·nz), hoisted at build time
+	// so the per-query index math never recomputes it.
+	stride int
+	// tilesPerKey is ⌈stride / TileCells⌉, hoisted for the same reason.
+	tilesPerKey int
+	keys        []string
+	// tiles[k*tilesPerKey + t][c] is the prediction for key k at flat cell
+	// index t·TileCells + c.
+	tiles [][]float64
+	// version counts rebuild generations: 1 for a fresh build, parent+1
+	// for every RebuildKeys derivation.
+	version uint64
 }
 
-// cells returns the per-key cell count.
-func (m *Map) cells() int { return m.nx * m.ny * m.nz }
+// cells returns the per-key cell count (the hoisted stride).
+func (m *Map) cells() int { return m.stride }
 
 // val returns the stored prediction for key ki at flat cell index idx.
-func (m *Map) val(ki, idx int) float64 { return m.values[ki*m.cells()+idx] }
+func (m *Map) val(ki, idx int) float64 {
+	return m.tiles[ki*m.tilesPerKey+idx>>tileShift][idx&tileMask]
+}
+
+// setCell stores the prediction for key ki at flat cell index idx.
+func (m *Map) setCell(ki, idx int, v float64) {
+	m.tiles[ki*m.tilesPerKey+idx>>tileShift][idx&tileMask] = v
+}
+
+// copyRange scatters vals into the tiles of key ki starting at flat cell
+// index lo, crossing tile boundaries as needed.
+func (m *Map) copyRange(ki, lo int, vals []float64) {
+	for len(vals) > 0 {
+		tile := m.tiles[ki*m.tilesPerKey+lo>>tileShift]
+		n := copy(tile[lo&tileMask:], vals)
+		vals = vals[n:]
+		lo += n
+	}
+}
+
+// tileLen returns the cell count of per-key tile t (the trailing tile of
+// a key may be shorter than TileCells).
+func (m *Map) tileLen(t int) int {
+	if n := m.stride - t*TileCells; n < TileCells {
+		return n
+	}
+	return TileCells
+}
+
+// allocKey gives key ki fresh tile storage, detaching it from any parent
+// snapshot the tile headers were copied from.
+func (m *Map) allocKey(ki int) {
+	for t := 0; t < m.tilesPerKey; t++ {
+		m.tiles[ki*m.tilesPerKey+t] = make([]float64, m.tileLen(t))
+	}
+}
+
+// newShell validates the grid and returns a Map with dimensions, keys and
+// tile geometry set but no tile storage allocated.
+func newShell(volume geom.Cuboid, nx, ny, nz int, keys []string) (*Map, error) {
+	if nx < 1 || ny < 1 || nz < 1 {
+		return nil, fmt.Errorf("rem: grid resolution %dx%dx%d invalid", nx, ny, nz)
+	}
+	if len(keys) == 0 {
+		return nil, fmt.Errorf("rem: map needs at least one key")
+	}
+	stride := nx * ny * nz
+	m := &Map{
+		volume: volume,
+		nx:     nx, ny: ny, nz: nz,
+		stride:      stride,
+		tilesPerKey: (stride + TileCells - 1) / TileCells,
+		keys:        append([]string(nil), keys...),
+		version:     1,
+	}
+	m.tiles = make([][]float64, len(keys)*m.tilesPerKey)
+	return m, nil
+}
 
 // BuildMap evaluates the model over an nx × ny × nz grid of cell centres
 // with default options (one worker per CPU).
@@ -64,14 +145,13 @@ func BuildMapOpts(volume geom.Cuboid, nx, ny, nz int, keys []string, predict Pre
 		return nil, fmt.Errorf("rem: map needs a predictor")
 	}
 	return buildMap(volume, nx, ny, nz, keys, opts, func(m *Map, ki, lo, hi int) error {
-		base := ki * m.cells()
 		for idx := lo; idx < hi; idx++ {
 			p := m.cellCenter(idx%nx, (idx/nx)%ny, idx/(nx*ny))
 			v, err := predict(p, ki)
 			if err != nil {
 				return fmt.Errorf("rem: predicting %s at %v: %w", m.keys[ki], p, err)
 			}
-			m.values[base+idx] = v
+			m.setCell(ki, idx, v)
 		}
 		return nil
 	})
@@ -84,10 +164,16 @@ func BuildMapBatch(volume geom.Cuboid, nx, ny, nz int, keys []string, predict Ba
 	if predict == nil {
 		return nil, fmt.Errorf("rem: map needs a predictor")
 	}
-	return buildMap(volume, nx, ny, nz, keys, opts, func(m *Map, ki, lo, hi int) error {
+	return buildMap(volume, nx, ny, nz, keys, opts, batchFill(predict))
+}
+
+// batchFill adapts a batch predictor to the tile-at-a-time fill contract
+// shared by from-scratch builds and incremental rebuilds.
+func batchFill(predict BatchPredictFunc) func(m *Map, ki, lo, hi int) error {
+	return func(m *Map, ki, lo, hi int) error {
 		centers := make([]geom.Vec3, hi-lo)
 		for idx := lo; idx < hi; idx++ {
-			centers[idx-lo] = m.cellCenter(idx%nx, (idx/nx)%ny, idx/(nx*ny))
+			centers[idx-lo] = m.cellCenter(idx%m.nx, (idx/m.nx)%m.ny, idx/(m.nx*m.ny))
 		}
 		vals, err := predict(centers, ki)
 		if err != nil {
@@ -96,30 +182,26 @@ func BuildMapBatch(volume geom.Cuboid, nx, ny, nz int, keys []string, predict Ba
 		if len(vals) != len(centers) {
 			return fmt.Errorf("rem: batch predictor returned %d values for %d cells", len(vals), len(centers))
 		}
-		copy(m.values[ki*m.cells()+lo:], vals)
+		m.copyRange(ki, lo, vals)
 		return nil
-	})
+	}
 }
 
-// buildMap validates the grid, then fans per-key contiguous cell chunks
-// out across the pool; fill writes values for cells [lo, hi) of key ki.
+// buildMap validates the grid, allocates every key's tiles, then fans
+// per-key contiguous cell chunks out across the pool; fill writes values
+// for cells [lo, hi) of key ki.
 func buildMap(volume geom.Cuboid, nx, ny, nz int, keys []string, opts BuildOptions, fill func(m *Map, ki, lo, hi int) error) (*Map, error) {
-	if nx < 1 || ny < 1 || nz < 1 {
-		return nil, fmt.Errorf("rem: grid resolution %dx%dx%d invalid", nx, ny, nz)
+	m, err := newShell(volume, nx, ny, nz, keys)
+	if err != nil {
+		return nil, err
 	}
-	if len(keys) == 0 {
-		return nil, fmt.Errorf("rem: map needs at least one key")
-	}
-	m := &Map{
-		volume: volume,
-		nx:     nx, ny: ny, nz: nz,
-		keys:   append([]string(nil), keys...),
-		values: make([]float64, len(keys)*nx*ny*nz),
+	for ki := range m.keys {
+		m.allocKey(ki)
 	}
 	// Chunks never span keys, so batch predictors see a single key per
 	// call; the flat (key, cell) space is chunked for load balance.
-	cells := m.cells()
-	err := parallel.ForEachChunk(len(keys)*cells, opts.Workers, func(lo, hi int) error {
+	cells := m.stride
+	err = parallel.ForEachChunk(len(keys)*cells, opts.Workers, func(lo, hi int) error {
 		for lo < hi {
 			ki := lo / cells
 			end := (ki + 1) * cells
@@ -293,7 +375,7 @@ func (m *Map) DarkRegions(thresholdDBm float64) []DarkCell {
 // CoverageFraction returns the fraction of cells whose best coverage meets
 // thresholdDBm.
 func (m *Map) CoverageFraction(thresholdDBm float64) float64 {
-	total := m.nx * m.ny * m.nz
+	total := m.stride
 	dark := len(m.DarkRegions(thresholdDBm))
 	return float64(total-dark) / float64(total)
 }
@@ -333,7 +415,7 @@ func (m *Map) CoverageFractionFor(key string, thresholdDBm float64) (float64, er
 	if err != nil {
 		return 0, err
 	}
-	total := m.nx * m.ny * m.nz
+	total := m.stride
 	return float64(total-len(dark)) / float64(total), nil
 }
 

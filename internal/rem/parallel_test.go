@@ -42,16 +42,14 @@ func TestBuildMapWorkerCountInvariance(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(seq.values) != len(par.values) || len(seq.values) != len(bat.values) {
-		t.Fatalf("value counts differ: %d/%d/%d", len(seq.values), len(par.values), len(bat.values))
+	if seq.NumTiles() != par.NumTiles() || seq.NumTiles() != bat.NumTiles() {
+		t.Fatalf("tile counts differ: %d/%d/%d", seq.NumTiles(), par.NumTiles(), bat.NumTiles())
 	}
-	for i := range seq.values {
-		if seq.values[i] != par.values[i] {
-			t.Fatalf("cell %d: workers=8 value %v ≠ workers=1 value %v", i, par.values[i], seq.values[i])
-		}
-		if seq.values[i] != bat.values[i] {
-			t.Fatalf("cell %d: batch value %v ≠ workers=1 value %v", i, bat.values[i], seq.values[i])
-		}
+	if !seq.Equal(par) {
+		t.Fatal("workers=8 map differs from workers=1 map")
+	}
+	if !seq.Equal(bat) {
+		t.Fatal("batch map differs from workers=1 map")
 	}
 }
 
@@ -203,11 +201,8 @@ func TestBuildMapNNBatchWorkerInvariance(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		for i := range ref.values {
-			if got.values[i] != ref.values[i] {
-				t.Fatalf("workers=%d cell %d: NN batch value %x ≠ per-sample %x",
-					workers, i, got.values[i], ref.values[i])
-			}
+		if !got.Equal(ref) {
+			t.Fatalf("workers=%d: NN batch map differs from per-sample map", workers)
 		}
 	}
 }

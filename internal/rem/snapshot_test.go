@@ -1,0 +1,227 @@
+package rem
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/ml"
+)
+
+// field returns a deterministic batch predictor whose value depends on the
+// centre, the key, and a generation g — so two generations differ on every
+// cell of every key.
+func field(g float64) BatchPredictFunc {
+	return func(centers []geom.Vec3, k int) ([]float64, error) {
+		out := make([]float64, len(centers))
+		for i, p := range centers {
+			out[i] = -50 - 5*math.Sin(p.X+float64(k)) - 3*p.Y - 2*p.Z - g
+		}
+		return out, nil
+	}
+}
+
+// mixedField answers with gen-g values for dirty keys and gen-0 values
+// otherwise — the shape of a model where only some keys' predictions
+// changed.
+func mixedField(g float64, dirty map[int]bool) BatchPredictFunc {
+	f0, fg := field(0), field(g)
+	return func(centers []geom.Vec3, k int) ([]float64, error) {
+		if dirty[k] {
+			return fg(centers, k)
+		}
+		return f0(centers, k)
+	}
+}
+
+func buildTestMap(t *testing.T, predict BatchPredictFunc, workers int) *Map {
+	t.Helper()
+	vol := geom.MustCuboid(geom.V(0, 0, 0), 4, 3, 2.6)
+	// 9×7×5 = 315 cells per key: two tiles per key (256 + 59), so tile
+	// boundaries and a short trailing tile are both exercised.
+	m, err := BuildMapBatch(vol, 9, 7, 5, []string{"AA", "BB", "CC", "DD"}, predict, BuildOptions{Workers: workers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestTileGeometry pins the tile layout: stride hoisted, per-key tile
+// count, short trailing tile.
+func TestTileGeometry(t *testing.T) {
+	m := buildTestMap(t, field(0), 1)
+	if m.cells() != 315 {
+		t.Fatalf("stride = %d, want 315", m.cells())
+	}
+	if m.TilesPerKey() != 2 {
+		t.Fatalf("tiles per key = %d, want 2", m.TilesPerKey())
+	}
+	if m.NumTiles() != 8 {
+		t.Fatalf("total tiles = %d, want 8", m.NumTiles())
+	}
+	if got := m.tileLen(0); got != TileCells {
+		t.Fatalf("tile 0 length = %d, want %d", got, TileCells)
+	}
+	if got := m.tileLen(1); got != 315-TileCells {
+		t.Fatalf("tile 1 length = %d, want %d", got, 315-TileCells)
+	}
+	if m.Version() != 1 {
+		t.Fatalf("fresh build version = %d, want 1", m.Version())
+	}
+	// Values stored across the tile boundary must round-trip through val.
+	want, _ := field(0)([]geom.Vec3{m.cellCenter(TileCells%9, (TileCells/9)%7, TileCells/63)}, 2)
+	if got := m.val(2, TileCells); got != want[0] {
+		t.Fatalf("val across tile boundary = %v, want %v", got, want[0])
+	}
+}
+
+// TestRebuildKeysByteIdentity is determinism-contract rule 7 at the rem
+// layer: rebuilding the dirty key set against a changed model yields a map
+// byte-identical to a from-scratch build against that model, for any
+// worker count, while sharing every clean key's tiles with the parent.
+func TestRebuildKeysByteIdentity(t *testing.T) {
+	dirty := map[int]bool{1: true, 3: true}
+	parent := buildTestMap(t, field(0), 1)
+	want := buildTestMap(t, mixedField(7, dirty), 1)
+	for _, workers := range []int{1, 8} {
+		got, err := parent.RebuildKeys([]int{3, 1, 3}, mixedField(7, dirty), BuildOptions{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(want) {
+			t.Fatalf("workers=%d: incremental rebuild differs from from-scratch build", workers)
+		}
+		if got.Version() != parent.Version()+1 {
+			t.Fatalf("workers=%d: version = %d, want %d", workers, got.Version(), parent.Version()+1)
+		}
+		// Keys 0 and 2 are clean: their 2 tiles each must be aliased.
+		if shared := got.SharedTiles(parent); shared != 4 {
+			t.Fatalf("workers=%d: shared tiles = %d, want 4", workers, shared)
+		}
+		// The parent must be untouched.
+		if !parent.Equal(buildTestMap(t, field(0), 1)) {
+			t.Fatalf("workers=%d: rebuild mutated its parent", workers)
+		}
+	}
+}
+
+// TestRebuildAllKeysMatchesFresh: a full-dirty rebuild equals a fresh
+// build and shares nothing.
+func TestRebuildAllKeysMatchesFresh(t *testing.T) {
+	parent := buildTestMap(t, field(0), 1)
+	got, err := parent.RebuildKeys([]int{0, 1, 2, 3}, field(9), BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(buildTestMap(t, field(9), 1)) {
+		t.Fatal("full rebuild differs from fresh build")
+	}
+	if shared := got.SharedTiles(parent); shared != 0 {
+		t.Fatalf("full rebuild shares %d tiles, want 0", shared)
+	}
+}
+
+// TestRebuildNoDirtyKeysSharesEverything: an empty delta publishes a new
+// generation that is the parent, tile for tile.
+func TestRebuildNoDirtyKeysSharesEverything(t *testing.T) {
+	parent := buildTestMap(t, field(0), 1)
+	got, err := parent.RebuildKeys(nil, field(99), BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(parent) {
+		t.Fatal("no-op rebuild changed values")
+	}
+	if shared := got.SharedTiles(parent); shared != parent.NumTiles() {
+		t.Fatalf("no-op rebuild shares %d tiles, want %d", shared, parent.NumTiles())
+	}
+	if got.Version() != parent.Version()+1 {
+		t.Fatalf("version = %d, want %d", got.Version(), parent.Version()+1)
+	}
+}
+
+// TestRebuildKeysValidation: nil predictors and out-of-range keys are
+// rejected.
+func TestRebuildKeysValidation(t *testing.T) {
+	parent := buildTestMap(t, field(0), 1)
+	if _, err := parent.RebuildKeys([]int{0}, nil, BuildOptions{}); err == nil {
+		t.Error("nil predictor accepted")
+	}
+	for _, bad := range []int{-2, 4} {
+		if _, err := parent.RebuildKeys([]int{bad}, field(1), BuildOptions{}); err == nil {
+			t.Errorf("dirty key %d accepted", bad)
+		}
+	}
+}
+
+// TestRebuildDirtyAllSentinel: an Observe result containing ml.DirtyAll
+// wires straight into RebuildKeys as a full rebuild.
+func TestRebuildDirtyAllSentinel(t *testing.T) {
+	parent := buildTestMap(t, field(0), 1)
+	got, err := parent.RebuildKeys([]int{ml.DirtyAll}, field(3), BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(buildTestMap(t, field(3), 1)) {
+		t.Fatal("DirtyAll rebuild differs from fresh build")
+	}
+	if shared := got.SharedTiles(parent); shared != 0 {
+		t.Fatalf("DirtyAll rebuild shares %d tiles, want 0", shared)
+	}
+}
+
+// TestRebuildChain: stacked incremental generations stay byte-identical to
+// from-scratch builds of each cumulative state.
+func TestRebuildChain(t *testing.T) {
+	cur := buildTestMap(t, field(0), 1)
+	dirtySets := [][]int{{0}, {2, 3}, {1}}
+	state := map[int]float64{}
+	for gen, dirty := range dirtySets {
+		g := float64(gen + 1)
+		for _, k := range dirty {
+			state[k] = g
+		}
+		perKey := func(centers []geom.Vec3, k int) ([]float64, error) {
+			return field(state[k])(centers, k)
+		}
+		next, err := cur.RebuildKeys(dirty, perKey, BuildOptions{Workers: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !next.Equal(buildTestMap(t, perKey, 1)) {
+			t.Fatalf("generation %d differs from from-scratch build", gen+1)
+		}
+		if next.Version() != uint64(gen+2) {
+			t.Fatalf("generation %d version = %d", gen+1, next.Version())
+		}
+		cur = next
+	}
+}
+
+// TestEqualDetectsDifferences: Equal must notice geometry, key and value
+// changes, and must compare NaNs bitwise rather than by IEEE equality.
+func TestEqualDetectsDifferences(t *testing.T) {
+	m := buildTestMap(t, field(0), 1)
+	if m.Equal(nil) {
+		t.Error("Equal(nil) = true")
+	}
+	if !m.Equal(m) {
+		t.Error("Equal(self) = false")
+	}
+	other := buildTestMap(t, field(1), 1)
+	if m.Equal(other) {
+		t.Error("maps with different values compare equal")
+	}
+	nanField := func(centers []geom.Vec3, k int) ([]float64, error) {
+		out := make([]float64, len(centers))
+		for i := range out {
+			out[i] = math.NaN()
+		}
+		return out, nil
+	}
+	a := buildTestMap(t, nanField, 1)
+	b := buildTestMap(t, nanField, 1)
+	if !a.Equal(b) {
+		t.Error("identical NaN maps compare unequal")
+	}
+}

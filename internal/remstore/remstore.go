@@ -1,0 +1,207 @@
+// Package remstore is the live-serving side of the REM: a concurrent
+// snapshot store that decouples queries from rebuilds. A writer publishes
+// immutable rem.Map generations (typically produced by Map.RebuildKeys
+// from a window of new observations); readers resolve the current
+// snapshot with a single atomic pointer load and query it lock-free, so a
+// rebuild never blocks a query and a query never observes a half-built
+// map. The store keeps a bounded history of recent snapshots (useful for
+// delta inspection and for readers pinned to an old generation) and
+// per-snapshot build/query counters.
+package remstore
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/geom"
+	"repro/internal/rem"
+)
+
+// DefaultMaxHistory bounds the snapshot history when New is given no
+// explicit bound.
+const DefaultMaxHistory = 4
+
+// ErrEmpty is returned by queries against a store that has never
+// published a snapshot.
+var ErrEmpty = errors.New("remstore: no snapshot published")
+
+// Snapshot is one published, immutable REM generation together with its
+// serving counters. All methods are safe for concurrent use.
+type Snapshot struct {
+	m       *rem.Map
+	version uint64
+	// Build provenance: how many keys the publisher re-rasterised for
+	// this generation and how many tiles it shares with its predecessor.
+	builtKeys   int
+	sharedTiles int
+	queries     atomic.Uint64
+}
+
+// Map returns the snapshot's immutable map.
+func (s *Snapshot) Map() *rem.Map { return s.m }
+
+// Version returns the store's publish sequence number (1 for the first
+// published snapshot).
+func (s *Snapshot) Version() uint64 { return s.version }
+
+// Queries returns how many queries this snapshot has served.
+func (s *Snapshot) Queries() uint64 { return s.queries.Load() }
+
+// BuildStats returns the publish-time provenance: the number of keys
+// rebuilt for this generation and the number of tiles shared with the
+// previous snapshot.
+func (s *Snapshot) BuildStats() (builtKeys, sharedTiles int) {
+	return s.builtKeys, s.sharedTiles
+}
+
+// Store is the concurrent snapshot store. Publish swaps the current
+// snapshot atomically; Current and the query helpers are lock-free. The
+// zero value is not usable; call New.
+type Store struct {
+	cur atomic.Pointer[Snapshot]
+
+	// mu serialises publishers and guards history; readers never take it.
+	mu      sync.Mutex
+	history []*Snapshot
+	maxHist int
+
+	publishes atomic.Uint64
+	queries   atomic.Uint64
+}
+
+// New returns an empty store keeping at most maxHistory snapshots
+// (≤ 0 means DefaultMaxHistory).
+func New(maxHistory int) *Store {
+	if maxHistory <= 0 {
+		maxHistory = DefaultMaxHistory
+	}
+	return &Store{maxHist: maxHistory}
+}
+
+// Publish makes m the current snapshot and returns it. builtKeys records
+// how many keys the caller re-rasterised to produce m (its key count for
+// a from-scratch build). Publishers are serialised; readers continue on
+// the previous snapshot until the single atomic swap.
+func (st *Store) Publish(m *rem.Map, builtKeys int) (*Snapshot, error) {
+	if m == nil {
+		return nil, errors.New("remstore: nil map")
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	prev := st.cur.Load()
+	if prev != nil {
+		pn, pm, pz := prev.m.Resolution()
+		nn, nm, nz := m.Resolution()
+		if pn != nn || pm != nm || pz != nz || len(prev.m.Keys()) != len(m.Keys()) {
+			return nil, fmt.Errorf("remstore: snapshot geometry %dx%dx%d/%d keys does not match current %dx%dx%d/%d keys",
+				nn, nm, nz, len(m.Keys()), pn, pm, pz, len(prev.m.Keys()))
+		}
+		// Same cardinality is not enough: mixing vocabularies in one
+		// store would make key-addressed queries answer from whichever
+		// generation happens to be current.
+		for i, k := range m.Keys() {
+			if pk := prev.m.Keys()[i]; pk != k {
+				return nil, fmt.Errorf("remstore: snapshot key %d is %q, current store serves %q", i, k, pk)
+			}
+		}
+		// And the coordinate frame must match: a snapshot over a
+		// different volume would silently clamp and interpolate queries
+		// in the wrong frame under the same keys.
+		if pv, v := prev.m.Volume(), m.Volume(); !sameBounds(pv, v) {
+			return nil, fmt.Errorf("remstore: snapshot volume %v–%v does not match current %v–%v", v.Min, v.Max, pv.Min, pv.Max)
+		}
+	}
+	s := &Snapshot{m: m, version: st.publishes.Add(1), builtKeys: builtKeys}
+	if prev != nil {
+		s.sharedTiles = m.SharedTiles(prev.m)
+	}
+	st.history = append(st.history, s)
+	if len(st.history) > st.maxHist {
+		st.history = append(st.history[:0], st.history[len(st.history)-st.maxHist:]...)
+	}
+	st.cur.Store(s)
+	return s, nil
+}
+
+// sameBounds compares two volumes bit-for-bit (the identity rem.Map.Equal
+// uses), so NaN coordinates can never slip past the frame check.
+func sameBounds(a, b geom.Cuboid) bool {
+	av := [6]float64{a.Min.X, a.Min.Y, a.Min.Z, a.Max.X, a.Max.Y, a.Max.Z}
+	bv := [6]float64{b.Min.X, b.Min.Y, b.Min.Z, b.Max.X, b.Max.Y, b.Max.Z}
+	for i := range av {
+		if math.Float64bits(av[i]) != math.Float64bits(bv[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Current returns the latest snapshot, or nil before the first publish.
+// It is a single atomic load — safe to call from any number of
+// goroutines while publishes proceed.
+func (st *Store) Current() *Snapshot { return st.cur.Load() }
+
+// At answers a point query against the current snapshot, returning the
+// interpolated value and the snapshot version that served it.
+func (st *Store) At(key string, p geom.Vec3) (float64, uint64, error) {
+	s := st.cur.Load()
+	if s == nil {
+		return 0, 0, ErrEmpty
+	}
+	s.queries.Add(1)
+	st.queries.Add(1)
+	v, err := s.m.At(key, p)
+	return v, s.version, err
+}
+
+// Strongest answers a best-server query against the current snapshot,
+// returning the winning key, its value and the serving snapshot version.
+func (st *Store) Strongest(p geom.Vec3) (string, float64, uint64, error) {
+	s := st.cur.Load()
+	if s == nil {
+		return "", 0, 0, ErrEmpty
+	}
+	s.queries.Add(1)
+	st.queries.Add(1)
+	key, v := s.m.Strongest(p)
+	return key, v, s.version, nil
+}
+
+// History returns the retained snapshots, oldest first. The slice is a
+// copy; the snapshots are shared (and immutable apart from their
+// counters).
+func (st *Store) History() []*Snapshot {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return append([]*Snapshot(nil), st.history...)
+}
+
+// Stats is an aggregate view of the store.
+type Stats struct {
+	// Publishes counts snapshots ever published.
+	Publishes uint64
+	// Queries counts queries served across all snapshots.
+	Queries uint64
+	// CurrentVersion is the serving snapshot's version (0 when empty).
+	CurrentVersion uint64
+	// HistoryLen is the retained snapshot count.
+	HistoryLen int
+}
+
+// Stats returns the aggregate counters.
+func (st *Store) Stats() Stats {
+	s := Stats{
+		Publishes: st.publishes.Load(),
+		Queries:   st.queries.Load(),
+	}
+	if cur := st.cur.Load(); cur != nil {
+		s.CurrentVersion = cur.version
+	}
+	st.mu.Lock()
+	s.HistoryLen = len(st.history)
+	st.mu.Unlock()
+	return s
+}

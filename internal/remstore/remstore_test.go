@@ -1,0 +1,245 @@
+package remstore
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/rem"
+)
+
+var testVol = geom.MustCuboid(geom.V(0, 0, 0), 4, 3, 2.6)
+
+// constMap builds a map whose every cell holds v — so a reader can verify
+// a snapshot's internal consistency by sampling many cells.
+func constMap(t testing.TB, v float64, keys []string) *rem.Map {
+	t.Helper()
+	m, err := rem.BuildMapBatch(testVol, 6, 5, 4, keys, func(centers []geom.Vec3, k int) ([]float64, error) {
+		out := make([]float64, len(centers))
+		for i := range out {
+			out[i] = v
+		}
+		return out, nil
+	}, rem.BuildOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestStoreLifecycle(t *testing.T) {
+	st := New(2)
+	if st.Current() != nil {
+		t.Fatal("empty store has a current snapshot")
+	}
+	if _, _, err := st.At("a", geom.V(1, 1, 1)); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("query on empty store = %v, want ErrEmpty", err)
+	}
+	if _, _, _, err := st.Strongest(geom.V(1, 1, 1)); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("Strongest on empty store = %v, want ErrEmpty", err)
+	}
+	if _, err := st.Publish(nil, 0); err == nil {
+		t.Fatal("nil map published")
+	}
+	keys := []string{"a", "b"}
+	for gen := 1; gen <= 3; gen++ {
+		s, err := st.Publish(constMap(t, float64(-gen), keys), len(keys))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Version() != uint64(gen) {
+			t.Fatalf("publish %d: version = %d", gen, s.Version())
+		}
+		v, ver, err := st.At("a", geom.V(1, 1, 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != float64(-gen) || ver != uint64(gen) {
+			t.Fatalf("publish %d: At = %v @ version %d", gen, v, ver)
+		}
+	}
+	// History is bounded to 2 and ordered oldest first.
+	h := st.History()
+	if len(h) != 2 || h[0].Version() != 2 || h[1].Version() != 3 {
+		vs := make([]uint64, len(h))
+		for i, s := range h {
+			vs[i] = s.Version()
+		}
+		t.Fatalf("history versions = %v, want [2 3]", vs)
+	}
+	stats := st.Stats()
+	if stats.Publishes != 3 || stats.CurrentVersion != 3 || stats.HistoryLen != 2 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if stats.Queries != 3 { // one successful At per publish; empty-store queries are uncounted
+		t.Fatalf("store queries = %d, want 3", stats.Queries)
+	}
+	cur := st.Current()
+	if got := cur.Queries(); got != 1 {
+		t.Fatalf("current snapshot queries = %d, want 1", got)
+	}
+	if built, shared := cur.BuildStats(); built != 2 || shared != 0 {
+		t.Fatalf("build stats = %d built, %d shared", built, shared)
+	}
+}
+
+// TestPublishRejectsGeometryChange: a snapshot with different grid or key
+// cardinality cannot silently replace the serving one.
+func TestPublishRejectsGeometryChange(t *testing.T) {
+	st := New(0)
+	if _, err := st.Publish(constMap(t, -1, []string{"a", "b"}), 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Publish(constMap(t, -2, []string{"a"}), 1); err == nil {
+		t.Fatal("key-cardinality change published")
+	}
+	// Same cardinality but a different vocabulary must be rejected too:
+	// key-addressed queries would otherwise answer from whichever
+	// generation is current.
+	if _, err := st.Publish(constMap(t, -2, []string{"a", "c"}), 2); err == nil {
+		t.Fatal("vocabulary change published")
+	}
+	// So must a different coordinate frame under the same keys.
+	other, err := rem.BuildMapBatch(geom.MustCuboid(geom.V(10, 10, 0), 4, 3, 2.6), 6, 5, 4,
+		[]string{"a", "b"}, func(centers []geom.Vec3, k int) ([]float64, error) {
+			return make([]float64, len(centers)), nil
+		}, rem.BuildOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Publish(other, 2); err == nil {
+		t.Fatal("volume change published")
+	}
+}
+
+// TestSharedTilesStat: Publish records tile sharing against the previous
+// snapshot.
+func TestSharedTilesStat(t *testing.T) {
+	st := New(0)
+	keys := []string{"a", "b", "c"}
+	m1 := constMap(t, -1, keys)
+	if _, err := st.Publish(m1, len(keys)); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := m1.RebuildKeys([]int{1}, func(centers []geom.Vec3, k int) ([]float64, error) {
+		return make([]float64, len(centers)), nil
+	}, rem.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := st.Publish(m2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	built, shared := s2.BuildStats()
+	if built != 1 || shared != m1.NumTiles()-m1.TilesPerKey() {
+		t.Fatalf("build stats = %d built, %d shared; want 1, %d", built, shared, m1.NumTiles()-m1.TilesPerKey())
+	}
+}
+
+// TestConcurrentQueryDuringPublish hammers the store with readers while a
+// writer swaps snapshots. Every map is constant-valued with its
+// generation, so a reader can detect a torn snapshot by comparing cells
+// sampled across the map — and the version returned by At must match the
+// value served. Run under -race this is the publish/query safety proof.
+func TestConcurrentQueryDuringPublish(t *testing.T) {
+	const (
+		readers   = 8
+		publishes = 60
+	)
+	keys := []string{"a", "b", "c", "d"}
+	maps := make([]*rem.Map, publishes+1)
+	for g := range maps {
+		maps[g] = constMap(t, float64(g), keys)
+	}
+	probes := []geom.Vec3{
+		geom.V(0.1, 0.1, 0.1), geom.V(3.9, 2.9, 2.5), geom.V(2, 1.5, 1.3), geom.V(1, 2, 0.4),
+	}
+	// expected[g][pi] is generation g's exact answer at probes[pi]
+	// (identical for every key: the maps are key-symmetric). Any reader
+	// observing a value that is not bit-equal to its snapshot's expected
+	// row saw a torn or misversioned map.
+	expected := make([][]float64, len(maps))
+	for g, m := range maps {
+		expected[g] = make([]float64, len(probes))
+		for pi, p := range probes {
+			v, err := m.At(keys[0], p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			expected[g][pi] = v
+		}
+	}
+	st := New(3)
+	if _, err := st.Publish(maps[0], len(keys)); err != nil {
+		t.Fatal(err)
+	}
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	errs := make(chan error, readers)
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			// At least one full iteration per reader, even if the writer
+			// finishes first (single-CPU schedulers).
+			for iter := 0; iter == 0 || !stop.Load(); iter++ {
+				s := st.Current()
+				m := s.Map()
+				g := int(s.Version() - 1)
+				if g < 0 || g >= len(maps) {
+					errs <- errors.New("snapshot version outside published range")
+					return
+				}
+				for pi, p := range probes {
+					for _, k := range keys {
+						v, err := m.At(k, p)
+						if err != nil {
+							errs <- err
+							return
+						}
+						if v != expected[g][pi] {
+							errs <- errors.New("torn snapshot: value does not match the snapshot's generation")
+							return
+						}
+					}
+				}
+				// The store-level query path must serve a consistent
+				// (value, version) pair even while swaps happen between
+				// the load and the read.
+				v, ver, err := st.At(keys[0], probes[2])
+				if err != nil {
+					errs <- err
+					return
+				}
+				if ver == 0 || int(ver-1) >= len(maps) || v != expected[ver-1][2] {
+					errs <- errors.New("store query (value, version) pair inconsistent")
+					return
+				}
+			}
+		}(r)
+	}
+	for g := 1; g <= publishes; g++ {
+		if _, err := st.Publish(maps[g], len(keys)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	stats := st.Stats()
+	if stats.Publishes != publishes+1 {
+		t.Fatalf("publishes = %d, want %d", stats.Publishes, publishes+1)
+	}
+	if stats.HistoryLen != 3 {
+		t.Fatalf("history length = %d, want 3", stats.HistoryLen)
+	}
+	if stats.Queries == 0 {
+		t.Fatal("no queries counted")
+	}
+}
