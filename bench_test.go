@@ -20,7 +20,9 @@ import (
 	"repro/internal/ml"
 	"repro/internal/ml/knn"
 	"repro/internal/ml/nn"
+	"repro/internal/parallel"
 	"repro/internal/rem"
+	"repro/internal/remshard"
 	"repro/internal/remstore"
 	"repro/internal/simrand"
 	"repro/internal/uwb"
@@ -458,6 +460,243 @@ func BenchmarkREMIncrementalRebuild(b *testing.B) {
 		}
 	}
 }
+
+// ---------------------------------------------------------------------------
+// Batched-query benchmarks: the point-wise At loop against AtBatchInto
+// (key resolved once, zero allocations) over the same 512 points —
+// byte-identical values, only the per-query overhead differs.
+
+func benchQueryPoints(n int) []geom.Vec3 {
+	rng := simrand.New(99)
+	pts := make([]geom.Vec3, n)
+	for i := range pts {
+		pts[i] = geom.V(rng.Range(0, 4), rng.Range(0, 3), rng.Range(0, 2.6))
+	}
+	return pts
+}
+
+// BenchmarkREMQueryAtPointwise512 is the baseline: 512 independent At
+// calls (each re-resolving the key) per op.
+func BenchmarkREMQueryAtPointwise512(b *testing.B) {
+	m, _, keys := benchREMMap(b)
+	pts := benchQueryPoints(512)
+	out := make([]float64, len(pts))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		key := keys[i%len(keys)]
+		for j, p := range pts {
+			v, err := m.At(key, p)
+			if err != nil {
+				b.Fatal(err)
+			}
+			out[j] = v
+		}
+	}
+}
+
+// BenchmarkREMQueryAtBatch512 is the batched path: one AtBatchInto per
+// op for the same 512 points, bit-identical output.
+func BenchmarkREMQueryAtBatch512(b *testing.B) {
+	m, _, keys := benchREMMap(b)
+	pts := benchQueryPoints(512)
+	out := make([]float64, len(pts))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.AtBatchInto(out, keys[i%len(keys)], pts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Contention benchmarks (run with -cpu 1,4): concurrent point queries
+// against one monolithic store — every reader bumping the same (padded)
+// counters — versus a 4-shard store where readers spread across
+// per-shard counters and snapshots. Single-CPU runs isolate the
+// per-query overhead; multi-CPU runs expose the cache-line traffic.
+
+// BenchmarkREMStoreQueryParallel hammers one store from b.RunParallel
+// goroutines.
+func BenchmarkREMStoreQueryParallel(b *testing.B) {
+	m, _, keys := benchREMMap(b)
+	st := remstore.New(0)
+	if _, err := st.Publish(m, len(keys)); err != nil {
+		b.Fatal(err)
+	}
+	pts := benchQueryPoints(512)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			if _, _, err := st.At(keys[i%len(keys)], pts[i%len(pts)]); err != nil {
+				b.Fatal(err)
+			}
+			i++
+		}
+	})
+}
+
+// BenchmarkShardedQueryParallel is the same query stream routed across a
+// 4-shard store: one extra map lookup per query buys contention-free
+// counters and per-shard snapshot loads.
+func BenchmarkShardedQueryParallel(b *testing.B) {
+	predict, keys := benchREMSetup(b)
+	st, err := remshard.New(keys, remshard.Config{
+		Shards: 4, Volume: geom.PaperScanVolume(), Resolution: [3]int{12, 10, 6},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := st.Rebuild(benchAllKeys(len(keys)), predict, rem.BuildOptions{}); err != nil {
+		b.Fatal(err)
+	}
+	pts := benchQueryPoints(512)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			if _, _, err := st.At(keys[i%len(keys)], pts[i%len(pts)]); err != nil {
+				b.Fatal(err)
+			}
+			i++
+		}
+	})
+}
+
+func benchAllKeys(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Sharded-rebuild scaling (BENCH_rem.json): a fixed budget of 8
+// localized update rounds — 2 dirty keys each, confined to one shard by
+// a range partitioner — processed as independent per-shard chains. With
+// S shards the chains run concurrently (each rebuild single-threaded, so
+// the measured scaling is purely the shard-parallel dimension); with 1
+// shard every round serialises on the single snapshot chain, which is
+// exactly the monolithic store's constraint. Total rasterisation work is
+// identical at every shard count.
+
+func benchmarkShardedRebuild(b *testing.B, shards int) {
+	predict, keys := benchREMSetup(b)
+	part := remshard.PartitionFunc(func(key string, n int) int {
+		var i int
+		if _, err := fmt.Sscanf(key, "key%02d", &i); err != nil {
+			return -1
+		}
+		return i * n / len(keys)
+	})
+	const totalRounds = 8
+	cfg := remshard.Config{
+		Shards: shards, Partitioner: part,
+		Volume: geom.PaperScanVolume(), Resolution: [3]int{12, 10, 6},
+	}
+	b.ResetTimer()
+	for it := 0; it < b.N; it++ {
+		b.StopTimer()
+		st, err := remshard.New(keys, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := st.Rebuild(benchAllKeys(len(keys)), predict, rem.BuildOptions{}); err != nil {
+			b.Fatal(err)
+		}
+		// Each shard's localized dirty set: its first two keys, by
+		// global index.
+		dirty := make([][]int, shards)
+		for s := range dirty {
+			sk := st.ShardKeys(s)
+			if len(sk) < 2 {
+				b.Fatalf("shard %d owns %d keys; the range partitioner should give it ≥2", s, len(sk))
+			}
+			for _, k := range sk[:2] {
+				var gi int
+				if _, err := fmt.Sscanf(k, "key%02d", &gi); err != nil {
+					b.Fatal(err)
+				}
+				dirty[s] = append(dirty[s], gi)
+			}
+		}
+		b.StartTimer()
+		err = parallel.ForEach(shards, shards, func(s int) error {
+			// Round-robin assignment: shard s owns rounds s, s+S, …; its
+			// rounds chain on its own snapshot history, independent of
+			// every other shard's chain.
+			for r := s; r < totalRounds; r += shards {
+				if _, err := st.Rebuild(dirty[s], predict, rem.BuildOptions{Workers: 1}); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkShardedRebuild1(b *testing.B) { benchmarkShardedRebuild(b, 1) }
+func BenchmarkShardedRebuild2(b *testing.B) { benchmarkShardedRebuild(b, 2) }
+func BenchmarkShardedRebuild4(b *testing.B) { benchmarkShardedRebuild(b, 4) }
+func BenchmarkShardedRebuild8(b *testing.B) { benchmarkShardedRebuild(b, 8) }
+
+// ---------------------------------------------------------------------------
+// Insert-log merge-threshold frontier (ROADMAP "insert-log tuning"): an
+// interleaved observe/query stream against the shared-feature-space kNN,
+// swept across thresholds. Small thresholds keep the per-query linear
+// log scan short but rebuild subtrees often; large ones amortise
+// rebuilds but tax every query. t=0 is the derived ≈√n default.
+
+func benchmarkKNNMergeFrontier(b *testing.B, threshold int) {
+	cfg := knn.PaperScaledConfig()
+	cfg.MergeThreshold = threshold
+	// 2500 synthetic rows: the first 2000 are the initial fit, the rest
+	// stream in 8-row batches.
+	x, y := benchTrainingSet(40)
+	const fitRows = 2000
+	queries := make([][]float64, 32)
+	rng := simrand.New(77)
+	for i := range queries {
+		q := make([]float64, 3+40)
+		q[0], q[1], q[2] = rng.Range(0, 4), rng.Range(0, 3), rng.Range(0, 2.6)
+		q[3+rng.Intn(40)] = 3
+		queries[i] = q
+	}
+	b.ResetTimer()
+	for it := 0; it < b.N; it++ {
+		b.StopTimer()
+		r, err := knn.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := r.Fit(x[:fitRows], y[:fitRows]); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		// 62 cycles of: observe 8 rows, answer 32 queries.
+		for lo := fitRows; lo+8 <= len(x); lo += 8 {
+			if _, err := r.Observe(x[lo:lo+8], y[lo:lo+8]); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := r.PredictBatch(queries); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkKNNMergeFrontierAuto is the derived ≈√n threshold (the new
+// default when Config.MergeThreshold is unset).
+func BenchmarkKNNMergeFrontierAuto(b *testing.B) { benchmarkKNNMergeFrontier(b, 0) }
+func BenchmarkKNNMergeFrontier16(b *testing.B)   { benchmarkKNNMergeFrontier(b, 16) }
+func BenchmarkKNNMergeFrontier128(b *testing.B)  { benchmarkKNNMergeFrontier(b, 128) }
+func BenchmarkKNNMergeFrontier512(b *testing.B)  { benchmarkKNNMergeFrontier(b, 512) }
 
 // benchmarkGridSearch evaluates the §III-B kNN hyper-parameter grid on a
 // synthetic training set with the given worker count.

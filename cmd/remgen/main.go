@@ -15,6 +15,7 @@
 //	remgen -seed 7 -res 20x16x10 -extended
 //	remgen -dataset stored.csv -o rem.csv   # re-analyse a stored mission
 //	remgen -stream -window 400 -o rem.csv   # windowed incremental serving
+//	remgen -stream -shards 4 -o rem.csv     # sharded stores, per-shard rebuilds
 package main
 
 import (
@@ -27,6 +28,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/geom"
 	"repro/internal/rem"
+	"repro/internal/remshard"
 	"repro/internal/remstore"
 )
 
@@ -50,6 +52,7 @@ func run() error {
 		stream   = flag.Bool("stream", false, "run the windowed incremental pipeline: one published REM snapshot per sample window")
 		window   = flag.Int("window", 0, "with -stream, preprocessed rows per window (≤0 splits the mission into 4 windows)")
 		history  = flag.Int("history", 0, "with -stream, retained snapshot history (≤0 uses the store default)")
+		shards   = flag.Int("shards", 0, "with -stream, partition the vocabulary across N independent stores (hash-by-MAC routing); only the shards a window dirties rebuild and publish")
 	)
 	flag.Parse()
 
@@ -84,10 +87,10 @@ func run() error {
 		if *extended {
 			return fmt.Errorf("-extended has no effect with -stream: streaming serves a single estimator, not the Figure 8 suite")
 		}
-		return runStream(cfg, stored, *window, *history, *out, *dark, *slice)
+		return runStream(cfg, stored, *window, *history, *shards, *out, *dark, *slice)
 	}
-	if *window != 0 || *history != 0 {
-		return fmt.Errorf("-window and -history configure the streaming pipeline; add -stream")
+	if *window != 0 || *history != 0 || *shards != 0 {
+		return fmt.Errorf("-window, -history and -shards configure the streaming pipeline; add -stream")
 	}
 
 	var result *core.Result
@@ -144,18 +147,28 @@ func reportMap(m *rem.Map, dark, slice float64) error {
 	return nil
 }
 
-// runStream drives the windowed incremental pipeline and exports the
-// final snapshot.
-func runStream(base core.Config, stored *dataset.Dataset, window, history int, out string, dark, slice float64) error {
+// runStream drives the windowed incremental pipeline — monolithic, or
+// sharded with -shards — and exports the final snapshot (for a sharded
+// store, the merged monolithic view, byte-identical to what the
+// monolithic stream would serve).
+func runStream(base core.Config, stored *dataset.Dataset, window, history, shards int, out string, dark, slice float64) error {
 	cfg := core.StreamConfig{
 		Config:     base,
 		WindowRows: window,
 		MaxHistory: history,
-		OnWindow: func(rep core.WindowReport, snap *remstore.Snapshot) {
+	}
+	if shards > 0 {
+		cfg.Shards = shards
+		cfg.OnShardWindow = func(rep core.WindowReport, round remshard.Round) {
+			fmt.Fprintf(os.Stderr, "window %d: +%d rows (%d total) → round %d: %d keys dirty across %d/%d shards, %d tiles shared\n",
+				rep.Window, rep.NewRows, rep.TotalRows, rep.Version, rep.DirtyKeys, rep.Shards, shards, rep.SharedTiles)
+		}
+	} else {
+		cfg.OnWindow = func(rep core.WindowReport, snap *remstore.Snapshot) {
 			built, shared := snap.BuildStats()
 			fmt.Fprintf(os.Stderr, "window %d: +%d rows (%d total) → snapshot v%d: %d/%d keys rebuilt, %d tiles shared\n",
 				rep.Window, rep.NewRows, rep.TotalRows, rep.Version, built, len(snap.Map().Keys()), shared)
-		},
+		}
 	}
 	var res *core.StreamResult
 	var err error
@@ -167,10 +180,24 @@ func runStream(base core.Config, stored *dataset.Dataset, window, history int, o
 	if err != nil {
 		return err
 	}
-	stats := res.Store.Stats()
-	fmt.Fprintf(os.Stderr, "stream: %d snapshots published (%d retained); serving v%d\n",
-		stats.Publishes, stats.HistoryLen, stats.CurrentVersion)
-	m := res.Store.Current().Map()
+	var m *rem.Map
+	if shards > 0 {
+		stats := res.Sharded.Stats()
+		fmt.Fprintf(os.Stderr, "stream: %d rounds over %d shards, %d shard publishes\n",
+			stats.Rounds, stats.Shards, stats.ShardPublishes)
+		for si, ps := range stats.PerShard {
+			fmt.Fprintf(os.Stderr, "  shard %d: %d keys, %d publishes, serving v%d\n",
+				si, len(res.Sharded.ShardKeys(si)), ps.Publishes, ps.CurrentVersion)
+		}
+		if m, err = res.Sharded.MergedSnapshot(); err != nil {
+			return err
+		}
+	} else {
+		stats := res.Store.Stats()
+		fmt.Fprintf(os.Stderr, "stream: %d snapshots published (%d retained); serving v%d\n",
+			stats.Publishes, stats.HistoryLen, stats.CurrentVersion)
+		m = res.Store.Current().Map()
+	}
 	if err := reportMap(m, dark, slice); err != nil {
 		return err
 	}

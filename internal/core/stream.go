@@ -10,6 +10,7 @@ import (
 	"repro/internal/ml"
 	"repro/internal/ml/knn"
 	"repro/internal/rem"
+	"repro/internal/remshard"
 	"repro/internal/remstore"
 )
 
@@ -20,6 +21,15 @@ import (
 // a window can affect, and rem.Map.RebuildKeys re-rasterises only those,
 // sharing every other tile with the previous snapshot. Queries against
 // the store never block on a rebuild.
+//
+// With StreamConfig.Shards the sink is a remshard.ShardedStore instead:
+// each window's dirty-key set is grouped by shard and only the affected
+// shards rebuild and publish, concurrently — an update to one AP never
+// touches the serving snapshots of the rest, and every query still
+// answers byte-identically to the monolithic stream (determinism
+// contract rule 8). The estimator's Observe/Refit remain single
+// estimator-level calls either way (the estimator owns its internal
+// structure); it is the rasterise-and-publish half that fans out.
 //
 // The key vocabulary is fixed upfront by preprocessing the full dataset
 // (the simulated AP population is known to the mission), so every window
@@ -47,11 +57,34 @@ type StreamConfig struct {
 	MaxHistory int
 	// Store, when set, receives the published snapshots instead of a
 	// freshly created store — so clients can query the store while the
-	// stream is still running (MaxHistory is then ignored).
+	// stream is still running (MaxHistory is then ignored). Monolithic
+	// mode only; incompatible with Shards/Partitioner/ShardStore.
 	Store *remstore.Store
 	// OnWindow, when set, observes every published window in order —
-	// the live-serving hook (progress logs, query probes).
+	// the live-serving hook (progress logs, query probes). Monolithic
+	// mode only; sharded streams report through OnShardWindow.
 	OnWindow func(WindowReport, *remstore.Snapshot)
+
+	// Shards > 0 streams into a sharded store instead of a single
+	// monolithic one: the key vocabulary is partitioned across that many
+	// independent stores, each window's dirty-key set is grouped by
+	// shard, and only the affected shards rebuild and publish —
+	// concurrently, within the Workers bound. Every query answers
+	// byte-identically to the monolithic stream (determinism contract
+	// rule 8), so sharding is purely an availability/parallelism choice.
+	Shards int
+	// Partitioner routes keys to shards in sharded mode; nil means
+	// remshard.HashByKey. Setting it (or ShardStore) implies sharded
+	// mode even when Shards is 0.
+	Partitioner remshard.Partitioner
+	// ShardStore, when set, receives the sharded publishes instead of a
+	// freshly created store — the sharded analogue of Store. Its
+	// vocabulary and geometry must match the preprocessed dataset and
+	// the configured resolution.
+	ShardStore *remshard.ShardedStore
+	// OnShardWindow observes every sharded window in order — the
+	// sharded analogue of OnWindow.
+	OnShardWindow func(WindowReport, remshard.Round)
 }
 
 // DefaultStreamConfig mirrors DefaultConfig for streaming runs.
@@ -83,21 +116,31 @@ type WindowReport struct {
 	NewRows int
 	// TotalRows is the cumulative row count after the window.
 	TotalRows int
-	// DirtyKeys is how many keys were re-rasterised for this snapshot
-	// (every key in window 0).
+	// DirtyKeys is how many keys the window dirtied (every key in
+	// window 0).
 	DirtyKeys int
-	// SharedTiles is how many tiles the snapshot shares with its
-	// predecessor (0 in window 0).
+	// SharedTiles is how many tiles the published snapshot(s) share
+	// with their predecessors (0 in window 0). In sharded mode only the
+	// affected shards publish, so untouched shards' tiles — still
+	// serving, never copied — are not part of this count.
 	SharedTiles int
-	// Version is the published snapshot's store version.
+	// Version is the published snapshot's store version; in sharded
+	// mode, the rebuild-round sequence number. Both equal window+1.
 	Version uint64
+	// Shards is how many shards rebuilt and published this window
+	// (0 in monolithic mode).
+	Shards int
 }
 
 // StreamResult is the full streaming output.
 type StreamResult struct {
 	// Store serves the published snapshots; Store.Current() is the final
-	// generation.
+	// generation. Nil in sharded mode — see Sharded.
 	Store *remstore.Store
+	// Sharded serves the published snapshots in sharded mode;
+	// Sharded.MergedSnapshot() is the final monolithic view. Nil in
+	// monolithic mode.
+	Sharded *remshard.ShardedStore
 	// Windows are the per-window reports, in publish order.
 	Windows []WindowReport
 	// Data is the raw mission dataset.
@@ -167,22 +210,38 @@ func RunStreamWithDataset(cfg StreamConfig, data *dataset.Dataset, report *missi
 	opts := rem.BuildOptions{Workers: cfg.Workers}
 	vol := geom.PaperScanVolume()
 	nKeys := len(pre.MACs)
-	store := cfg.Store
-	if store == nil {
-		store = remstore.New(cfg.MaxHistory)
-	}
 	res := &StreamResult{
-		Store:     store,
 		Data:      data,
 		Report:    report,
 		Pre:       pre,
 		Estimator: inc,
 	}
+	sharded := cfg.Shards > 0 || cfg.Partitioner != nil || cfg.ShardStore != nil
+	if sharded {
+		if cfg.Store != nil {
+			return nil, errors.New("core: Store is the monolithic sink; sharded streams publish into ShardStore")
+		}
+		if cfg.OnWindow != nil {
+			return nil, errors.New("core: OnWindow is the monolithic hook; sharded streams report through OnShardWindow")
+		}
+		if res.Sharded, err = shardStoreFor(cfg, pre.MACs, vol); err != nil {
+			return nil, err
+		}
+	} else {
+		if cfg.OnShardWindow != nil {
+			return nil, errors.New("core: OnShardWindow reports sharded streams; set Shards (or stay with OnWindow)")
+		}
+		res.Store = cfg.Store
+		if res.Store == nil {
+			res.Store = remstore.New(cfg.MaxHistory)
+		}
+	}
+	first := true
 	var cur *rem.Map
 	for start, w := 0, 0; start < rows; start, w = start+win, w+1 {
 		end := min(start+win, rows)
 		var dirty []int
-		if cur == nil {
+		if first {
 			if err := inc.Fit(allX[:end], allY[:end]); err != nil {
 				return nil, fmt.Errorf("core: fitting %s on window 0: %w", spec.Name, err)
 			}
@@ -194,31 +253,89 @@ func RunStreamWithDataset(cfg StreamConfig, data *dataset.Dataset, report *missi
 				return nil, fmt.Errorf("core: refitting after window %d: %w", w, err)
 			}
 		}
-		dirtyKeys := resolveDirty(dirty, nKeys, cur == nil)
-		next, err := rebuild(cur, vol, cfg.REMResolution, pre.MACs, dirtyKeys, predict, opts)
-		if err != nil {
-			return nil, fmt.Errorf("core: rasterising window %d: %w", w, err)
-		}
-		snap, err := res.Store.Publish(next, len(dirtyKeys))
-		if err != nil {
-			return nil, err
-		}
-		_, shared := snap.BuildStats() // computed once by Publish
+		dirtyKeys := resolveDirty(dirty, nKeys, first)
 		rep := WindowReport{
-			Window:      w,
-			NewRows:     end - start,
-			TotalRows:   end,
-			DirtyKeys:   len(dirtyKeys),
-			SharedTiles: shared,
-			Version:     snap.Version(),
+			Window:    w,
+			NewRows:   end - start,
+			TotalRows: end,
+			DirtyKeys: len(dirtyKeys),
 		}
-		res.Windows = append(res.Windows, rep)
-		if cfg.OnWindow != nil {
-			cfg.OnWindow(rep, snap)
+		if sharded {
+			// The window's dirty set, grouped by shard: only the
+			// affected shards re-rasterise and publish, concurrently on
+			// the worker pool.
+			round, err := res.Sharded.Rebuild(dirtyKeys, predict, opts)
+			if err != nil {
+				return nil, fmt.Errorf("core: rasterising window %d: %w", w, err)
+			}
+			rep.SharedTiles = round.SharedTiles
+			rep.Version = round.Seq
+			rep.Shards = round.AffectedShards
+			res.Windows = append(res.Windows, rep)
+			if cfg.OnShardWindow != nil {
+				cfg.OnShardWindow(rep, round)
+			}
+		} else {
+			next, err := rebuild(cur, vol, cfg.REMResolution, pre.MACs, dirtyKeys, predict, opts)
+			if err != nil {
+				return nil, fmt.Errorf("core: rasterising window %d: %w", w, err)
+			}
+			snap, err := res.Store.Publish(next, len(dirtyKeys))
+			if err != nil {
+				return nil, err
+			}
+			_, shared := snap.BuildStats() // computed once by Publish
+			rep.SharedTiles = shared
+			rep.Version = snap.Version()
+			res.Windows = append(res.Windows, rep)
+			if cfg.OnWindow != nil {
+				cfg.OnWindow(rep, snap)
+			}
+			cur = next
 		}
-		cur = next
+		first = false
 	}
 	return res, nil
+}
+
+// shardStoreFor resolves the sharded sink: the caller's ShardStore when
+// set (validated against the dataset's vocabulary and the configured
+// geometry, so a store built for a different mission cannot silently
+// serve this one), a freshly partitioned one otherwise.
+func shardStoreFor(cfg StreamConfig, macs []string, vol geom.Cuboid) (*remshard.ShardedStore, error) {
+	if st := cfg.ShardStore; st != nil {
+		// The store owns its layout; a conflicting Shards/Partitioner
+		// request would be silently ignored, so reject it instead.
+		if cfg.Shards > 0 && cfg.Shards != st.NumShards() {
+			return nil, fmt.Errorf("core: ShardStore has %d shards, Shards asks for %d", st.NumShards(), cfg.Shards)
+		}
+		if cfg.Partitioner != nil {
+			return nil, errors.New("core: ShardStore already fixed its partitioning; Partitioner only applies to a store the stream creates")
+		}
+		keys := st.Keys()
+		if len(keys) != len(macs) {
+			return nil, fmt.Errorf("core: ShardStore serves %d keys, dataset has %d", len(keys), len(macs))
+		}
+		for i, k := range keys {
+			if macs[i] != k {
+				return nil, fmt.Errorf("core: ShardStore key %d is %q, dataset has %q", i, k, macs[i])
+			}
+		}
+		if got := st.Resolution(); got != cfg.REMResolution {
+			return nil, fmt.Errorf("core: ShardStore resolution %v does not match configured %v", got, cfg.REMResolution)
+		}
+		if got := st.Volume(); got != vol {
+			return nil, fmt.Errorf("core: ShardStore volume %v–%v does not match the scan volume %v–%v", got.Min, got.Max, vol.Min, vol.Max)
+		}
+		return st, nil
+	}
+	return remshard.New(macs, remshard.Config{
+		Shards:      cfg.Shards,
+		Partitioner: cfg.Partitioner,
+		Volume:      vol,
+		Resolution:  cfg.REMResolution,
+		MaxHistory:  cfg.MaxHistory,
+	})
 }
 
 // resolveDirty turns an estimator's dirty report into an explicit key

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+	"math"
 	"testing"
 
 	"repro/internal/dataset"
@@ -10,6 +12,7 @@ import (
 	"repro/internal/ml/knn"
 	"repro/internal/ml/nn"
 	"repro/internal/rem"
+	"repro/internal/remshard"
 	"repro/internal/remstore"
 	"repro/internal/simrand"
 )
@@ -198,6 +201,212 @@ func TestRunStreamWorkerInvariance(t *testing.T) {
 	seq, par := run(1), run(4)
 	if !seq.Store.Current().Map().Equal(par.Store.Current().Map()) {
 		t.Fatal("final snapshots differ between workers=1 and workers=4")
+	}
+	for i := range seq.Windows {
+		if seq.Windows[i] != par.Windows[i] {
+			t.Fatalf("window %d: %+v ≠ %+v", i, par.Windows[i], seq.Windows[i])
+		}
+	}
+}
+
+// TestRunStreamShardedEquivalence is determinism contract rule 8 at the
+// pipeline layer: the same dataset streamed into a sharded store — for
+// two partitioner families and shard counts 1, 2 and 4 — serves every
+// query byte-identically to the monolithic stream, window for window,
+// and the merged sharded view is Map.Equal to the monolithic snapshot.
+func TestRunStreamShardedEquivalence(t *testing.T) {
+	data := streamDataset()
+	mono, err := RunStreamWithDataset(streamCfg(nil, 2), data, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	macs := mono.Pre.MACs
+	partitioners := func(shards int) map[string]remshard.Partitioner {
+		assign := make(map[string]int, len(macs))
+		for i, m := range macs {
+			assign[m] = i % shards
+		}
+		return map[string]remshard.Partitioner{
+			"hash":     remshard.HashByKey{},
+			"explicit": remshard.Explicit{Assign: assign, Fallback: remshard.HashByKey{}},
+		}
+	}
+	rng := simrand.New(8)
+	probes := make([]geom.Vec3, 16)
+	for i := range probes {
+		probes[i] = geom.V(rng.Range(0, 4), rng.Range(0, 3), rng.Range(0, 2.6))
+	}
+	for _, shards := range []int{1, 2, 4} {
+		for name, p := range partitioners(shards) {
+			t.Run(fmt.Sprintf("%s/shards=%d", name, shards), func(t *testing.T) {
+				cfg := streamCfg(nil, 4)
+				cfg.Shards = shards
+				cfg.Partitioner = p
+				var rounds []remshard.Round
+				cfg.OnShardWindow = func(rep WindowReport, round remshard.Round) {
+					rounds = append(rounds, round)
+				}
+				sh, err := RunStreamWithDataset(cfg, data, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if sh.Store != nil || sh.Sharded == nil {
+					t.Fatal("sharded stream did not publish into a sharded store")
+				}
+				if len(sh.Windows) != len(mono.Windows) {
+					t.Fatalf("windows = %d, want %d", len(sh.Windows), len(mono.Windows))
+				}
+				for i, w := range sh.Windows {
+					mw := mono.Windows[i]
+					if w.DirtyKeys != mw.DirtyKeys || w.Version != mw.Version || w.NewRows != mw.NewRows {
+						t.Fatalf("window %d: sharded %+v, monolithic %+v", i, w, mw)
+					}
+					if w.Shards < 1 || rounds[i].Seq != w.Version {
+						t.Fatalf("window %d: round %+v for report %+v", i, rounds[i], w)
+					}
+				}
+				merged, err := sh.Sharded.MergedSnapshot()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !merged.Equal(mono.Store.Current().Map()) {
+					t.Fatal("merged sharded view differs from the monolithic snapshot")
+				}
+				monoQ0 := mono.Store.Stats().Queries
+				for _, pb := range probes {
+					for _, mac := range macs {
+						wv, _, err := mono.Store.At(mac, pb)
+						if err != nil {
+							t.Fatal(err)
+						}
+						gv, _, err := sh.Sharded.At(mac, pb)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if math.Float64bits(gv) != math.Float64bits(wv) {
+							t.Fatalf("At(%s, %v): sharded %v, monolithic %v", mac, pb, gv, wv)
+						}
+					}
+					wk, wv, _, err := mono.Store.Strongest(pb)
+					if err != nil {
+						t.Fatal(err)
+					}
+					gk, gv, _, err := sh.Sharded.Strongest(pb)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if gk != wk || math.Float64bits(gv) != math.Float64bits(wv) {
+						t.Fatalf("Strongest(%v): sharded (%s, %v), monolithic (%s, %v)", pb, gk, gv, wk, wv)
+					}
+				}
+				// The same query stream counts identically (rule 8 on
+				// Stats): compare the deltas this subtest produced.
+				wantQ := mono.Store.Stats().Queries - monoQ0
+				if got := sh.Sharded.Stats().Queries; got != wantQ {
+					t.Fatalf("sharded logical queries = %d, monolithic = %d", got, wantQ)
+				}
+			})
+		}
+	}
+}
+
+// TestRunStreamShardedPrebuiltStore: a caller-owned sharded store is
+// used when compatible and rejected when its vocabulary or geometry
+// differs.
+func TestRunStreamShardedPrebuiltStore(t *testing.T) {
+	data := streamDataset()
+	cfg := streamCfg(nil, 1)
+	mono, err := RunStreamWithDataset(cfg, data, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	macs := mono.Pre.MACs
+	mk := func(res [3]int, keys []string) *remshard.ShardedStore {
+		st, err := remshard.New(keys, remshard.Config{
+			Shards: 2, Volume: geom.PaperScanVolume(), Resolution: res,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	good := mk(cfg.REMResolution, macs)
+	cfg.ShardStore = good
+	res, err := RunStreamWithDataset(cfg, data, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sharded != good {
+		t.Fatal("caller-owned sharded store not used")
+	}
+	if got := good.Rounds(); got != uint64(len(res.Windows)) {
+		t.Fatalf("store saw %d rounds for %d windows", got, len(res.Windows))
+	}
+	cfg.ShardStore = mk([3]int{5, 5, 5}, macs)
+	if _, err := RunStreamWithDataset(cfg, data, nil); err == nil {
+		t.Fatal("resolution mismatch accepted")
+	}
+	cfg.ShardStore = mk(cfg.REMResolution, []string{"zz:99", "zz:98", "zz:97", "zz:96"})
+	if _, err := RunStreamWithDataset(cfg, data, nil); err == nil {
+		t.Fatal("vocabulary mismatch accepted")
+	}
+	// A ShardStore fixes its own layout: conflicting Shards/Partitioner
+	// requests are rejected rather than silently ignored.
+	cfg.ShardStore = mk(cfg.REMResolution, macs)
+	cfg.Shards = 8 // store has 2
+	if _, err := RunStreamWithDataset(cfg, data, nil); err == nil {
+		t.Fatal("shard-count conflict accepted")
+	}
+	cfg.Shards = 0
+	cfg.Partitioner = remshard.HashByKey{}
+	if _, err := RunStreamWithDataset(cfg, data, nil); err == nil {
+		t.Fatal("Partitioner alongside ShardStore accepted")
+	}
+	cfg.Partitioner = nil
+	// Conflicting monolithic/sharded options are rejected loudly.
+	cfg = streamCfg(nil, 1)
+	cfg.Shards = 2
+	cfg.Store = remstore.New(0)
+	if _, err := RunStreamWithDataset(cfg, data, nil); err == nil {
+		t.Fatal("Store + Shards accepted")
+	}
+	cfg = streamCfg(nil, 1)
+	cfg.Shards = 2
+	cfg.OnWindow = func(WindowReport, *remstore.Snapshot) {}
+	if _, err := RunStreamWithDataset(cfg, data, nil); err == nil {
+		t.Fatal("OnWindow + Shards accepted")
+	}
+	cfg = streamCfg(nil, 1)
+	cfg.OnShardWindow = func(WindowReport, remshard.Round) {}
+	if _, err := RunStreamWithDataset(cfg, data, nil); err == nil {
+		t.Fatal("OnShardWindow without Shards accepted")
+	}
+}
+
+// TestRunStreamShardedWorkerInvariance: the sharded pipeline keeps the
+// determinism contract across worker counts.
+func TestRunStreamShardedWorkerInvariance(t *testing.T) {
+	data := streamDataset()
+	run := func(workers int) *StreamResult {
+		cfg := streamCfg(nil, workers)
+		cfg.Shards = 3
+		res, err := RunStreamWithDataset(cfg, data, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	seq, par := run(1), run(4)
+	a, err := seq.Sharded.MergedSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := par.Sharded.MergedSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(b) {
+		t.Fatal("final sharded snapshots differ between workers=1 and workers=4")
 	}
 	for i := range seq.Windows {
 		if seq.Windows[i] != par.Windows[i] {

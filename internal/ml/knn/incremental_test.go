@@ -139,6 +139,72 @@ func TestRegressorMergeThreshold(t *testing.T) {
 	}
 }
 
+// TestDerivedMergeThreshold: with MergeThreshold unset, the insert-log
+// bound derives from the training-set size (≈√n, floored at
+// MinMergeThreshold) and grows as the set does — and the derived bound
+// changes only when the log merges, never a prediction bit (pinned by
+// TestRegressorIncrementalIdentity, which sweeps merged and unmerged
+// states).
+func TestDerivedMergeThreshold(t *testing.T) {
+	rng := simrand.New(31)
+	x, y := knnStream(3, 1000, 1, rng)
+	r, err := New(PaperPlainConfig()) // MergeThreshold unset
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tiny set: the floor applies.
+	if err := r.Fit(x[:9], y[:9]); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.mergeThreshold(); got != MinMergeThreshold {
+		t.Fatalf("threshold for n=9 is %d, want the %d floor", got, MinMergeThreshold)
+	}
+	if _, err := r.Observe(x[9:25], y[9:25]); err != nil { // log = 16 ≤ 16
+		t.Fatal(err)
+	}
+	if r.indexed != 9 {
+		t.Fatalf("log within the floor merged early: indexed = %d", r.indexed)
+	}
+	if _, err := r.Observe(x[25:26], y[25:26]); err != nil { // log = 17 > 16
+		t.Fatal(err)
+	}
+	if r.indexed != 26 {
+		t.Fatalf("log over the floor did not merge: indexed = %d", r.indexed)
+	}
+	// Large set: √n takes over and scales with the cumulative size.
+	if err := r.Fit(x[:900], y[:900]); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.mergeThreshold(); got != 30 {
+		t.Fatalf("threshold for n=900 is %d, want √900 = 30", got)
+	}
+	if _, err := r.Observe(x[900:930], y[900:930]); err != nil { // log = 30 ≤ 30
+		t.Fatal(err)
+	}
+	if r.indexed != 900 {
+		t.Fatalf("log within √n merged early: indexed = %d", r.indexed)
+	}
+	if _, err := r.Observe(x[930:932], y[930:932]); err != nil { // log = 32 > √932 ≈ 30.5
+		t.Fatal(err)
+	}
+	if r.indexed != 932 {
+		t.Fatalf("log over √n did not merge: indexed = %d", r.indexed)
+	}
+	// An explicit configuration still pins the bound exactly.
+	cfg := PaperPlainConfig()
+	cfg.MergeThreshold = 500
+	pinned, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pinned.Fit(x[:900], y[:900]); err != nil {
+		t.Fatal(err)
+	}
+	if got := pinned.mergeThreshold(); got != 500 {
+		t.Fatalf("explicit threshold resolved to %d", got)
+	}
+}
+
 // TestMergeRebuildsOnlyDirtySubtrees: an insert-log merge rebuilds the
 // per-MAC subtrees that gained rows and leaves every other subtree's
 // structure untouched (pointer-identical) — the cheap per-key merge the

@@ -64,16 +64,19 @@ type Config struct {
 	// index rebuild). Queries are byte-identical before and after a
 	// merge — the log is scanned with the same canonical
 	// (distance, index) ordering the index uses — so the threshold
-	// trades only index freshness against rebuild frequency. ≤ 0 means
-	// DefaultMergeThreshold.
+	// trades only query cost against rebuild frequency. ≤ 0 derives the
+	// bound from the training-set size (≈√n, floored at
+	// MinMergeThreshold): every query scans the log linearly — O(t) for
+	// a log of t rows — while a subtree rebuild costs O(n log n)
+	// amortised over those t observations, and t ≈ √n balances the two
+	// as the set grows — a small survey merges eagerly, a large one
+	// lets the log amortise more.
 	MergeThreshold int
 }
 
-// DefaultMergeThreshold is the insert-log bound used when
-// Config.MergeThreshold is unset: small enough that the linear tail scan
-// stays negligible next to a tree descent, large enough to amortise
-// rebuilds over many observations.
-const DefaultMergeThreshold = 128
+// MinMergeThreshold floors the derived ≈√n insert-log bound so tiny
+// training sets do not rebuild their index on nearly every observation.
+const MinMergeThreshold = 16
 
 // PaperPlainConfig is the paper's tuned plain kNN: k=3, distance weights,
 // Euclidean metric.
@@ -177,14 +180,24 @@ func (r *Regressor) Observe(x [][]float64, y []float64) ([]int, error) {
 		r.x = append(r.x, append([]float64(nil), row...))
 	}
 	r.y = append(r.y, y...)
-	threshold := r.cfg.MergeThreshold
-	if threshold <= 0 {
-		threshold = DefaultMergeThreshold
-	}
-	if len(r.x)-r.indexed > threshold {
+	if len(r.x)-r.indexed > r.mergeThreshold() {
 		r.merge()
 	}
 	return []int{ml.DirtyAll}, nil
+}
+
+// mergeThreshold resolves the insert-log bound: the configured value, or
+// ≈√n derived from the current training-set size when unset (floored at
+// MinMergeThreshold). Deriving from len(r.x) means the bound grows with
+// the set: merges stay rare relative to the observations they amortise.
+func (r *Regressor) mergeThreshold() int {
+	if r.cfg.MergeThreshold > 0 {
+		return r.cfg.MergeThreshold
+	}
+	if t := int(math.Sqrt(float64(len(r.x)))); t > MinMergeThreshold {
+		return t
+	}
+	return MinMergeThreshold
 }
 
 // Refit implements ml.IncrementalEstimator: any logged rows merge into

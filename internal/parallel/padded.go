@@ -1,0 +1,29 @@
+package parallel
+
+import "sync/atomic"
+
+// PaddedUint64 is an atomic counter padded to live alone on its cache
+// line(s): 64 bytes of padding on either side keep a hot counter from
+// sharing a line with its neighbours, so independent counters bumped from
+// different CPUs never invalidate each other (false sharing). The serving
+// layers use one per shard/store for their query counters; the padding is
+// the whole point — use atomic.Uint64 directly when the counter is not
+// hammered concurrently.
+//
+// The leading pad also distances the counter from whatever field precedes
+// it inside an enclosing struct, so embedding a PaddedUint64 after
+// read-mostly fields keeps those fields' lines clean too.
+type PaddedUint64 struct {
+	_ [64]byte
+	v atomic.Uint64
+	_ [56]byte
+}
+
+// Add atomically adds delta and returns the new value.
+func (p *PaddedUint64) Add(delta uint64) uint64 { return p.v.Add(delta) }
+
+// Load atomically loads the value.
+func (p *PaddedUint64) Load() uint64 { return p.v.Load() }
+
+// Store atomically stores v.
+func (p *PaddedUint64) Store(v uint64) { p.v.Store(v) }

@@ -1,0 +1,86 @@
+package rem
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/geom"
+)
+
+// This file is the batched query side of the Map: AtBatch/AtBatchInto
+// resolve the key lookup once and stream cells for a whole run of points,
+// and StrongestBatch walks the tiles key-outer so every key's cells are
+// visited with cache locality. Both are bit-identical to their point-wise
+// counterparts (At / Strongest per point) — the batch paths change only
+// where the per-query overhead is paid, never a single output bit, which
+// is what lets callers (the store fronts, examples, benchmarks) switch
+// freely between them.
+
+// AtBatch returns the trilinearly interpolated prediction for the key at
+// every point, clamping each point into the volume. Element i of the
+// result corresponds to pts[i] and is bit-identical to At(key, pts[i]);
+// the key is resolved once for the whole batch.
+func (m *Map) AtBatch(key string, pts []geom.Vec3) ([]float64, error) {
+	out := make([]float64, len(pts))
+	if err := m.AtBatchInto(out, key, pts); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// AtBatchInto is AtBatch into a caller-owned buffer (no allocation):
+// dst[i] receives the prediction at pts[i]. len(dst) must equal
+// len(pts).
+func (m *Map) AtBatchInto(dst []float64, key string, pts []geom.Vec3) error {
+	if len(dst) != len(pts) {
+		return fmt.Errorf("rem: batch destination holds %d values for %d points", len(dst), len(pts))
+	}
+	ki := m.KeyIndex(key)
+	if ki < 0 {
+		return fmt.Errorf("rem: unknown key %q", key)
+	}
+	for i, p := range pts {
+		dst[i] = m.at(ki, p)
+	}
+	return nil
+}
+
+// StrongestBatch returns, for every point, the key with the highest
+// predicted RSS there and that value — element i is exactly what
+// Strongest(pts[i]) returns (same strict-> comparison in vocabulary
+// order, so ties resolve to the earliest key either way). The iteration
+// is key-outer: each key's tiles are streamed once across the whole
+// batch instead of once per point.
+func (m *Map) StrongestBatch(pts []geom.Vec3) ([]string, []float64) {
+	keys := make([]string, len(pts))
+	vals := make([]float64, len(pts))
+	m.strongestBatchInto(keys, vals, pts)
+	return keys, vals
+}
+
+// StrongestBatchInto is StrongestBatch into caller-owned buffers.
+func (m *Map) StrongestBatchInto(keys []string, vals []float64, pts []geom.Vec3) error {
+	if len(keys) != len(pts) || len(vals) != len(pts) {
+		return fmt.Errorf("rem: batch destinations hold %d keys / %d values for %d points", len(keys), len(vals), len(pts))
+	}
+	m.strongestBatchInto(keys, vals, pts)
+	return nil
+}
+
+func (m *Map) strongestBatchInto(keys []string, vals []float64, pts []geom.Vec3) {
+	for i := range vals {
+		keys[i] = ""
+		vals[i] = math.Inf(-1)
+	}
+	// Key-outer, point-inner: the per-point winner update uses the same
+	// strict > that Strongest's key loop uses, and keys are visited in
+	// the same vocabulary order, so the selected (key, value) pairs are
+	// identical to the point-wise path.
+	for ki, key := range m.keys {
+		for i, p := range pts {
+			if v := m.at(ki, p); v > vals[i] {
+				keys[i], vals[i] = key, v
+			}
+		}
+	}
+}

@@ -1,0 +1,251 @@
+package rem
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/simrand"
+)
+
+// queryField is the deterministic per-key field the query tests build
+// from. It depends only on the key's identity ("a" → 0, "b" → 1, …) and
+// the position — never on the key's index within a particular build —
+// so a map over any key subset holds bit-identical cells to the full
+// build. Key "b" carries a NaN pocket (position-based, so batch/chunk
+// boundaries cannot move it) exercising the bit-level comparisons.
+func queryField(key string, p geom.Vec3) float64 {
+	gi := float64(key[0] - 'a')
+	if key == "b" && p.X < 0.5 && p.Y < 0.5 && p.Z < 0.5 {
+		return math.NaN()
+	}
+	return -60 - p.X*(1+float64(int(gi)%3)) - 2*p.Y + p.Z*gi - gi
+}
+
+// queryTestMap builds a map over the given keys from queryField: each
+// key has a distinct planar field so Strongest winners vary across the
+// volume.
+func queryTestMap(t testing.TB, keys []string) *Map {
+	t.Helper()
+	vol := geom.MustCuboid(geom.V(0, 0, 0), 4, 3, 2.6)
+	m, err := BuildMapBatch(vol, 7, 5, 4, keys, func(centers []geom.Vec3, ki int) ([]float64, error) {
+		out := make([]float64, len(centers))
+		for i, p := range centers {
+			out[i] = queryField(keys[ki], p)
+		}
+		return out, nil
+	}, BuildOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func queryProbes(n int) []geom.Vec3 {
+	rng := simrand.New(4321)
+	pts := make([]geom.Vec3, n)
+	for i := range pts {
+		// Include points outside the volume so clamping is exercised.
+		pts[i] = geom.V(rng.Range(-0.5, 4.5), rng.Range(-0.5, 3.5), rng.Range(-0.3, 3))
+	}
+	return pts
+}
+
+// TestAtBatchMatchesAt: the batch path answers bit-identically to the
+// point-wise path for every key, including NaN cells.
+func TestAtBatchMatchesAt(t *testing.T) {
+	keys := []string{"a", "b", "c", "d", "e"}
+	m := queryTestMap(t, keys)
+	pts := queryProbes(97)
+	for _, key := range keys {
+		got, err := m.AtBatch(key, pts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(pts) {
+			t.Fatalf("AtBatch returned %d values for %d points", len(got), len(pts))
+		}
+		for i, p := range pts {
+			want, err := m.At(key, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Float64bits(got[i]) != math.Float64bits(want) {
+				t.Fatalf("key %s point %d: AtBatch = %v, At = %v", key, i, got[i], want)
+			}
+		}
+	}
+	// Into variant shares the same bits and validates its buffer.
+	dst := make([]float64, len(pts))
+	if err := m.AtBatchInto(dst, "c", pts); err != nil {
+		t.Fatal(err)
+	}
+	want, _ := m.AtBatch("c", pts)
+	for i := range dst {
+		if math.Float64bits(dst[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("AtBatchInto differs at %d", i)
+		}
+	}
+	if err := m.AtBatchInto(dst[:1], "c", pts); err == nil {
+		t.Fatal("short destination accepted")
+	}
+	if _, err := m.AtBatch("nope", pts); err == nil {
+		t.Fatal("unknown key accepted")
+	}
+}
+
+// TestStrongestBatchMatchesStrongest: per-point winners and values match
+// the point-wise path exactly, ties and NaNs included.
+func TestStrongestBatchMatchesStrongest(t *testing.T) {
+	keys := []string{"a", "b", "c", "d", "e"}
+	m := queryTestMap(t, keys)
+	pts := queryProbes(97)
+	gotK, gotV := m.StrongestBatch(pts)
+	for i, p := range pts {
+		wantK, wantV := m.Strongest(p)
+		if gotK[i] != wantK || math.Float64bits(gotV[i]) != math.Float64bits(wantV) {
+			t.Fatalf("point %d: StrongestBatch = (%s, %v), Strongest = (%s, %v)", i, gotK[i], gotV[i], wantK, wantV)
+		}
+	}
+	ks := make([]string, len(pts))
+	vs := make([]float64, len(pts))
+	if err := m.StrongestBatchInto(ks, vs, pts); err != nil {
+		t.Fatal(err)
+	}
+	for i := range pts {
+		if ks[i] != gotK[i] || math.Float64bits(vs[i]) != math.Float64bits(gotV[i]) {
+			t.Fatalf("StrongestBatchInto differs at %d", i)
+		}
+	}
+	if err := m.StrongestBatchInto(ks[:1], vs, pts); err == nil {
+		t.Fatal("short destination accepted")
+	}
+}
+
+// TestStrongestBatchTies: equal values resolve to the earliest key in
+// vocabulary order on both paths.
+func TestStrongestBatchTies(t *testing.T) {
+	vol := geom.MustCuboid(geom.V(0, 0, 0), 4, 3, 2.6)
+	keys := []string{"x", "y", "z"}
+	m, err := BuildMapBatch(vol, 3, 3, 2, keys, func(centers []geom.Vec3, ki int) ([]float64, error) {
+		out := make([]float64, len(centers))
+		for i := range out {
+			out[i] = -50 // every key identical everywhere
+		}
+		return out, nil
+	}, BuildOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := queryProbes(11)
+	ks, vs := m.StrongestBatch(pts)
+	for i, p := range pts {
+		wk, wv := m.Strongest(p)
+		if ks[i] != "x" || ks[i] != wk || vs[i] != wv {
+			t.Fatalf("tie at %d resolved to %q (point-wise %q)", i, ks[i], wk)
+		}
+	}
+}
+
+// TestMergeRoundTrip is rule 8 at the map layer: splitting a map's keys
+// across parts and merging them back yields a byte-identical map, for
+// several partitions including out-of-order and singleton parts.
+func TestMergeRoundTrip(t *testing.T) {
+	keys := []string{"a", "b", "c", "d", "e"}
+	m := queryTestMap(t, keys)
+	subMap := func(sel ...string) *Map {
+		sm := queryTestMap(t, sel)
+		return sm
+	}
+	partitions := [][][]string{
+		{{"a", "b", "c", "d", "e"}},
+		{{"a", "c", "e"}, {"b", "d"}},
+		{{"e", "a"}, {"d"}, {"b", "c"}}, // parts hold keys out of vocabulary order
+		{{"a"}, {"b"}, {"c"}, {"d"}, {"e"}},
+	}
+	for pi, partition := range partitions {
+		parts := make([]*Map, len(partition))
+		for i, sel := range partition {
+			parts[i] = subMap(sel...)
+		}
+		merged, err := Merge(keys, parts)
+		if err != nil {
+			t.Fatalf("partition %d: %v", pi, err)
+		}
+		if !merged.Equal(m) {
+			t.Fatalf("partition %d: merged map differs from the monolithic build", pi)
+		}
+	}
+}
+
+// TestMergeSharesTiles: merging copies tile headers, not tile data.
+func TestMergeSharesTiles(t *testing.T) {
+	a := queryTestMap(t, []string{"a", "b"})
+	c := queryTestMap(t, []string{"c"})
+	merged, err := Merge([]string{"a", "b", "c"}, []*Map{a, c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := merged.SharedTiles(merged); got != merged.NumTiles() {
+		t.Fatalf("self-share = %d, want %d", got, merged.NumTiles())
+	}
+	// Every merged tile aliases a part tile.
+	shared := 0
+	for _, part := range []*Map{a, c} {
+		for _, pt := range part.tiles {
+			for _, mt := range merged.tiles {
+				if len(pt) > 0 && len(mt) > 0 && &pt[0] == &mt[0] {
+					shared++
+					break
+				}
+			}
+		}
+	}
+	if shared != merged.NumTiles() {
+		t.Fatalf("merged aliases %d of %d part tiles", shared, merged.NumTiles())
+	}
+}
+
+// TestMergeValidation: bad partitions are rejected.
+func TestMergeValidation(t *testing.T) {
+	ab := queryTestMap(t, []string{"a", "b"})
+	bc := queryTestMap(t, []string{"b", "c"})
+	c := queryTestMap(t, []string{"c"})
+	if _, err := Merge([]string{"a", "b", "c"}, []*Map{ab, bc}); err == nil {
+		t.Fatal("duplicate key across parts accepted")
+	}
+	if _, err := Merge([]string{"a", "b", "c"}, []*Map{ab}); err == nil {
+		t.Fatal("missing key accepted")
+	}
+	if _, err := Merge([]string{"a", "b"}, []*Map{ab, c}); err == nil {
+		t.Fatal("extra part key accepted")
+	}
+	if _, err := Merge(nil, []*Map{ab}); err == nil {
+		t.Fatal("empty order accepted")
+	}
+	if _, err := Merge([]string{"a", "b"}, nil); err == nil {
+		t.Fatal("no parts accepted")
+	}
+	if _, err := Merge([]string{"a", "a"}, []*Map{ab}); err == nil {
+		t.Fatal("duplicate order key accepted")
+	}
+	// Geometry mismatches.
+	other, err := BuildMapBatch(geom.MustCuboid(geom.V(9, 9, 9), 4, 3, 2.6), 7, 5, 4, []string{"c"},
+		func(centers []geom.Vec3, ki int) ([]float64, error) { return make([]float64, len(centers)), nil },
+		BuildOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Merge([]string{"a", "b", "c"}, []*Map{ab, other}); err == nil {
+		t.Fatal("volume mismatch accepted")
+	}
+	coarse, err := BuildMapBatch(geom.MustCuboid(geom.V(0, 0, 0), 4, 3, 2.6), 3, 3, 2, []string{"c"},
+		func(centers []geom.Vec3, ki int) ([]float64, error) { return make([]float64, len(centers)), nil },
+		BuildOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Merge([]string{"a", "b", "c"}, []*Map{ab, coarse}); err == nil {
+		t.Fatal("resolution mismatch accepted")
+	}
+}

@@ -1,0 +1,67 @@
+package remshard
+
+// A Partitioner decides which shard owns a key. It must be a pure
+// function of (key, shards): New calls it once per vocabulary key and
+// freezes the resulting assignment for the store's lifetime, and the
+// determinism contract's rule 8 (sharded answers ≡ monolithic answers)
+// holds for any assignment at all — the partitioner only moves where a
+// key's tiles live, never what they hold.
+type Partitioner interface {
+	// Shard returns the owning shard for key, in [0, shards). A result
+	// outside that range makes New fail — partitioners signal "no
+	// assignment" that way rather than by panicking.
+	Shard(key string, shards int) int
+}
+
+// PartitionFunc adapts a plain function to the Partitioner interface —
+// range partitioners, modulo-by-suffix schemes, test stubs.
+type PartitionFunc func(key string, shards int) int
+
+// Shard implements Partitioner.
+func (f PartitionFunc) Shard(key string, shards int) int { return f(key, shards) }
+
+// HashByKey is the default partitioner: FNV-1a over the key bytes,
+// reduced modulo the shard count. MAC-address vocabularies spread
+// near-uniformly, no coordination or configuration needed.
+type HashByKey struct{}
+
+// Shard implements Partitioner.
+func (HashByKey) Shard(key string, shards int) int {
+	if shards < 1 {
+		return -1
+	}
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= prime32
+	}
+	return int(h % uint32(shards))
+}
+
+// Explicit pins keys to shards by name — the per-building / per-floor
+// layout: every AP of one floor lands in one shard, so a re-survey of
+// that floor rebuilds exactly one shard and the rest keep serving
+// untouched.
+type Explicit struct {
+	// Assign maps key → shard.
+	Assign map[string]int
+	// Fallback routes keys missing from Assign; nil makes New reject
+	// vocabularies with unassigned keys (the safe default for curated
+	// layouts).
+	Fallback Partitioner
+}
+
+// Shard implements Partitioner.
+func (e Explicit) Shard(key string, shards int) int {
+	if s, ok := e.Assign[key]; ok {
+		return s
+	}
+	if e.Fallback != nil {
+		return e.Fallback.Shard(key, shards)
+	}
+	return -1
+}

@@ -5,8 +5,12 @@
 // snapshot with a single atomic pointer load and query it lock-free, so a
 // rebuild never blocks a query and a query never observes a half-built
 // map. The store keeps a bounded history of recent snapshots (useful for
-// delta inspection and for readers pinned to an old generation) and
-// per-snapshot build/query counters.
+// delta inspection and for readers pinned to an old generation) under a
+// configurable retention policy (max count and max age, see
+// SetRetention), and per-snapshot build/query counters. The hot counters
+// are cache-line padded (parallel.PaddedUint64) so concurrent readers
+// bumping them do not invalidate each other's lines — and, in a sharded
+// deployment, so two stores' counters never share a line.
 package remstore
 
 import (
@@ -15,8 +19,10 @@ import (
 	"math"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/geom"
+	"repro/internal/parallel"
 	"repro/internal/rem"
 )
 
@@ -31,13 +37,17 @@ var ErrEmpty = errors.New("remstore: no snapshot published")
 // Snapshot is one published, immutable REM generation together with its
 // serving counters. All methods are safe for concurrent use.
 type Snapshot struct {
-	m       *rem.Map
-	version uint64
+	m           *rem.Map
+	version     uint64
+	publishedAt time.Time
 	// Build provenance: how many keys the publisher re-rasterised for
 	// this generation and how many tiles it shares with its predecessor.
 	builtKeys   int
 	sharedTiles int
-	queries     atomic.Uint64
+	// queries is bumped by every reader serving from this snapshot; the
+	// padding keeps those increments off the immutable fields' cache
+	// lines above.
+	queries parallel.PaddedUint64
 }
 
 // Map returns the snapshot's immutable map.
@@ -46,6 +56,10 @@ func (s *Snapshot) Map() *rem.Map { return s.m }
 // Version returns the store's publish sequence number (1 for the first
 // published snapshot).
 func (s *Snapshot) Version() uint64 { return s.version }
+
+// PublishedAt returns when the snapshot was published (the store clock;
+// wall time outside tests). Age-based retention evicts against it.
+func (s *Snapshot) PublishedAt() time.Time { return s.publishedAt }
 
 // Queries returns how many queries this snapshot has served.
 func (s *Snapshot) Queries() uint64 { return s.queries.Load() }
@@ -57,28 +71,81 @@ func (s *Snapshot) BuildStats() (builtKeys, sharedTiles int) {
 	return s.builtKeys, s.sharedTiles
 }
 
+// Retention is the snapshot history policy. The serving snapshot is
+// never evicted, whatever the bounds say.
+type Retention struct {
+	// MaxCount bounds the retained snapshots, serving one included;
+	// ≤ 0 keeps the store's current count bound unchanged.
+	MaxCount int
+	// MaxAge evicts snapshots published longer than this ago; ≤ 0
+	// disables age-based eviction.
+	MaxAge time.Duration
+}
+
 // Store is the concurrent snapshot store. Publish swaps the current
 // snapshot atomically; Current and the query helpers are lock-free. The
 // zero value is not usable; call New.
 type Store struct {
 	cur atomic.Pointer[Snapshot]
 
-	// mu serialises publishers and guards history; readers never take it.
-	mu      sync.Mutex
-	history []*Snapshot
-	maxHist int
+	// mu serialises publishers and guards history/retention; readers
+	// never take it.
+	mu        sync.Mutex
+	history   []*Snapshot
+	retain    Retention
+	evictions uint64
+	// now is the store clock — time.Now outside tests, injectable so
+	// age-based retention is testable without sleeping.
+	now func() time.Time
 
-	publishes atomic.Uint64
-	queries   atomic.Uint64
+	// The store-wide counters are padded to their own cache lines:
+	// queries is bumped by every concurrent reader and must not share a
+	// line with publishes (bumped by writers) or with cur (loaded by
+	// every reader).
+	publishes parallel.PaddedUint64
+	queries   parallel.PaddedUint64
 }
 
 // New returns an empty store keeping at most maxHistory snapshots
-// (≤ 0 means DefaultMaxHistory).
+// (≤ 0 means DefaultMaxHistory). Use SetRetention to add an age bound
+// or change the count bound later.
 func New(maxHistory int) *Store {
 	if maxHistory <= 0 {
 		maxHistory = DefaultMaxHistory
 	}
-	return &Store{maxHist: maxHistory}
+	return &Store{retain: Retention{MaxCount: maxHistory}, now: time.Now}
+}
+
+// SetRetention updates the history policy and prunes immediately.
+// A non-positive MaxCount leaves the count bound unchanged; a
+// non-positive MaxAge disables age eviction.
+func (st *Store) SetRetention(r Retention) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if r.MaxCount > 0 {
+		st.retain.MaxCount = r.MaxCount
+	}
+	st.retain.MaxAge = r.MaxAge
+	st.pruneLocked(st.now())
+}
+
+// pruneLocked applies the retention policy to the history front (the
+// oldest snapshots). The serving snapshot — always the last history
+// entry — survives both bounds.
+func (st *Store) pruneLocked(now time.Time) {
+	for len(st.history) > st.retain.MaxCount {
+		st.history[0] = nil
+		st.history = st.history[1:]
+		st.evictions++
+	}
+	if st.retain.MaxAge > 0 {
+		cutoff := now.Add(-st.retain.MaxAge)
+		for len(st.history) > 1 && st.history[0].publishedAt.Before(cutoff) {
+			st.history[0] = nil
+			st.history = st.history[1:]
+			st.evictions++
+		}
+	}
 }
 
 // Publish makes m the current snapshot and returns it. builtKeys records
@@ -114,15 +181,13 @@ func (st *Store) Publish(m *rem.Map, builtKeys int) (*Snapshot, error) {
 			return nil, fmt.Errorf("remstore: snapshot volume %v–%v does not match current %v–%v", v.Min, v.Max, pv.Min, pv.Max)
 		}
 	}
-	s := &Snapshot{m: m, version: st.publishes.Add(1), builtKeys: builtKeys}
+	s := &Snapshot{m: m, version: st.publishes.Add(1), publishedAt: st.now(), builtKeys: builtKeys}
 	if prev != nil {
 		s.sharedTiles = m.SharedTiles(prev.m)
 	}
 	st.history = append(st.history, s)
-	if len(st.history) > st.maxHist {
-		st.history = append(st.history[:0], st.history[len(st.history)-st.maxHist:]...)
-	}
 	st.cur.Store(s)
+	st.pruneLocked(s.publishedAt)
 	return s, nil
 }
 
@@ -145,16 +210,49 @@ func sameBounds(a, b geom.Cuboid) bool {
 func (st *Store) Current() *Snapshot { return st.cur.Load() }
 
 // At answers a point query against the current snapshot, returning the
-// interpolated value and the snapshot version that served it.
+// interpolated value and the snapshot version that served it. Only
+// served queries count: a failed lookup (unknown key, empty store)
+// leaves the counters alone.
 func (st *Store) At(key string, p geom.Vec3) (float64, uint64, error) {
 	s := st.cur.Load()
 	if s == nil {
 		return 0, 0, ErrEmpty
 	}
-	s.queries.Add(1)
-	st.queries.Add(1)
 	v, err := s.m.At(key, p)
+	if err == nil {
+		s.queries.Add(1)
+		st.queries.Add(1)
+	}
 	return v, s.version, err
+}
+
+// AtBatch answers a multi-point query against the current snapshot: the
+// key is resolved once and every point is served by the same snapshot,
+// whose version is returned. Element i corresponds to pts[i] and is
+// bit-identical to At(key, pts[i]); each point counts as one query.
+func (st *Store) AtBatch(key string, pts []geom.Vec3) ([]float64, uint64, error) {
+	out := make([]float64, len(pts))
+	ver, err := st.AtBatchInto(out, key, pts)
+	if err != nil {
+		return nil, 0, err
+	}
+	return out, ver, nil
+}
+
+// AtBatchInto is AtBatch into a caller-owned buffer — the
+// zero-allocation serving path. len(dst) must equal len(pts). A failed
+// batch (unknown key, buffer mismatch) counts no queries.
+func (st *Store) AtBatchInto(dst []float64, key string, pts []geom.Vec3) (uint64, error) {
+	s := st.cur.Load()
+	if s == nil {
+		return 0, ErrEmpty
+	}
+	if err := s.m.AtBatchInto(dst, key, pts); err != nil {
+		return 0, err
+	}
+	s.queries.Add(uint64(len(pts)))
+	st.queries.Add(uint64(len(pts)))
+	return s.version, nil
 }
 
 // Strongest answers a best-server query against the current snapshot,
@@ -170,6 +268,20 @@ func (st *Store) Strongest(p geom.Vec3) (string, float64, uint64, error) {
 	return key, v, s.version, nil
 }
 
+// StrongestBatch answers a best-server query for every point against one
+// snapshot (whose version is returned): element i matches what
+// Strongest(pts[i]) would return. Each point counts as one query.
+func (st *Store) StrongestBatch(pts []geom.Vec3) ([]string, []float64, uint64, error) {
+	s := st.cur.Load()
+	if s == nil {
+		return nil, nil, 0, ErrEmpty
+	}
+	s.queries.Add(uint64(len(pts)))
+	st.queries.Add(uint64(len(pts)))
+	keys, vals := s.m.StrongestBatch(pts)
+	return keys, vals, s.version, nil
+}
+
 // History returns the retained snapshots, oldest first. The slice is a
 // copy; the snapshots are shared (and immutable apart from their
 // counters).
@@ -179,16 +291,48 @@ func (st *Store) History() []*Snapshot {
 	return append([]*Snapshot(nil), st.history...)
 }
 
+// LiveTiles returns the distinct tile count referenced by the retained
+// snapshots — the memory the history actually holds live, as opposed to
+// HistoryLen × NumTiles. It is computed from the per-snapshot
+// SharedTiles provenance: the oldest retained snapshot contributes all
+// its tiles, every later one only the tiles it did not share with its
+// immediate predecessor. Exact for publish chains produced by
+// RebuildKeys (tile sharing is strictly between consecutive
+// generations there); an upper bound if unrelated maps that alias
+// storage are published out of order.
+func (st *Store) LiveTiles() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.liveTilesLocked()
+}
+
+func (st *Store) liveTilesLocked() int {
+	if len(st.history) == 0 {
+		return 0
+	}
+	live := st.history[0].m.NumTiles()
+	for _, s := range st.history[1:] {
+		live += s.m.NumTiles() - s.sharedTiles
+	}
+	return live
+}
+
 // Stats is an aggregate view of the store.
 type Stats struct {
 	// Publishes counts snapshots ever published.
 	Publishes uint64
-	// Queries counts queries served across all snapshots.
+	// Queries counts queries served across all snapshots (each point of
+	// a batch query counts once).
 	Queries uint64
 	// CurrentVersion is the serving snapshot's version (0 when empty).
 	CurrentVersion uint64
 	// HistoryLen is the retained snapshot count.
 	HistoryLen int
+	// Evictions counts snapshots dropped by the retention policy.
+	Evictions uint64
+	// LiveTiles is the distinct tile count the retained history
+	// references (see Store.LiveTiles).
+	LiveTiles int
 }
 
 // Stats returns the aggregate counters.
@@ -202,6 +346,8 @@ func (st *Store) Stats() Stats {
 	}
 	st.mu.Lock()
 	s.HistoryLen = len(st.history)
+	s.Evictions = st.evictions
+	s.LiveTiles = st.liveTilesLocked()
 	st.mu.Unlock()
 	return s
 }
