@@ -9,8 +9,12 @@
 package repro
 
 import (
+	"bytes"
 	"fmt"
+	"io"
 	"math"
+	"net/http"
+	"net/http/httptest"
 	"testing"
 
 	"repro/internal/core"
@@ -22,6 +26,7 @@ import (
 	"repro/internal/ml/nn"
 	"repro/internal/parallel"
 	"repro/internal/rem"
+	"repro/internal/remserve"
 	"repro/internal/remshard"
 	"repro/internal/remstore"
 	"repro/internal/simrand"
@@ -829,4 +834,102 @@ func BenchmarkNNPredictBatch(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// ---------------------------------------------------------------------------
+// HTTP serving (BENCH_rem.json): the remserve handlers driven directly
+// (no socket, no net/http request parsing), so the measured delta against
+// BenchmarkShardedQueryParallel — the same 4-shard store queried through
+// the library — is exactly the serving layer's own cost: query-string
+// scan, store query, pooled JSON assembly.
+
+// benchServeRW is a minimal ResponseWriter: a reusable header map and a
+// byte-count sink, so the handler's own allocations are the only ones
+// the benchmark sees.
+type benchServeRW struct {
+	h    http.Header
+	n    int
+	code int
+}
+
+func (w *benchServeRW) Header() http.Header         { return w.h }
+func (w *benchServeRW) Write(p []byte) (int, error) { w.n += len(p); return len(p), nil }
+func (w *benchServeRW) WriteHeader(c int)           { w.code = c }
+
+func benchServeServer(b *testing.B) (*remserve.Server, []string) {
+	b.Helper()
+	predict, keys := benchREMSetup(b)
+	ss, err := remshard.New(keys, remshard.Config{
+		Shards: 4, Volume: geom.PaperScanVolume(), Resolution: [3]int{12, 10, 6},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := ss.Rebuild(benchAllKeys(len(keys)), predict, rem.BuildOptions{}); err != nil {
+		b.Fatal(err)
+	}
+	return remserve.NewSharded(ss, remserve.Options{}), keys
+}
+
+// BenchmarkServeAt is GET /at through the handler: one op = one routed
+// point query rendered to JSON. Compare against
+// BenchmarkShardedQueryParallel (the no-HTTP library baseline) for the
+// serving layer's per-query overhead; zero allocations per op after
+// warm-up.
+func BenchmarkServeAt(b *testing.B) {
+	srv, keys := benchServeServer(b)
+	pts := benchQueryPoints(512)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		w := &benchServeRW{h: make(http.Header)}
+		reqs := make([]*http.Request, len(keys))
+		for i, k := range keys {
+			p := pts[i%len(pts)]
+			reqs[i] = httptest.NewRequest("GET", fmt.Sprintf("/at?key=%s&x=%g&y=%g&z=%g", k, p.X, p.Y, p.Z), nil)
+		}
+		i := 0
+		for pb.Next() {
+			w.code = 0
+			srv.ServeHTTP(w, reqs[i%len(reqs)])
+			if w.code != 0 && w.code != http.StatusOK {
+				b.Fatalf("status %d", w.code)
+			}
+			i++
+		}
+	})
+}
+
+// BenchmarkServeAtBatch is POST /at with 512 points through the
+// handler: one op = one batch (body decode, one AtBatchInto, JSON
+// array render), so per-point cost is ns/op ÷ 512.
+func BenchmarkServeAtBatch(b *testing.B) {
+	srv, keys := benchServeServer(b)
+	pts := benchQueryPoints(512)
+	var body bytes.Buffer
+	fmt.Fprintf(&body, "{\"key\":%q,\"points\":[", keys[0])
+	for i, p := range pts {
+		if i > 0 {
+			body.WriteByte(',')
+		}
+		fmt.Fprintf(&body, "[%g,%g,%g]", p.X, p.Y, p.Z)
+	}
+	body.WriteString("]}")
+	payload := body.Bytes()
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		w := &benchServeRW{h: make(http.Header)}
+		req := httptest.NewRequest("POST", "/at", nil)
+		var rd bytes.Reader
+		for pb.Next() {
+			w.code = 0
+			rd.Reset(payload)
+			req.Body = io.NopCloser(&rd)
+			srv.ServeHTTP(w, req)
+			if w.code != 0 && w.code != http.StatusOK {
+				b.Fatalf("status %d", w.code)
+			}
+		}
+	})
 }

@@ -9,6 +9,14 @@
 // concurrent store, and the per-window delta (dirty keys, shared tiles)
 // is reported. The final snapshot is exported.
 //
+// With -serve, the streamed store is additionally fronted by the
+// remserve HTTP subsystem from the moment the stream starts: clients
+// query /at, /strongest, /stats and download /snapshot while windows
+// keep publishing underneath, and after the stream completes remgen
+// keeps serving the final generation until interrupted. SIGINT/SIGTERM
+// shut down gracefully: the stream stops between windows and the server
+// drains in-flight queries.
+//
 // Usage:
 //
 //	remgen -o rem.csv
@@ -16,18 +24,27 @@
 //	remgen -dataset stored.csv -o rem.csv   # re-analyse a stored mission
 //	remgen -stream -window 400 -o rem.csv   # windowed incremental serving
 //	remgen -stream -shards 4 -o rem.csv     # sharded stores, per-shard rebuilds
+//	remgen -stream -shards 4 -serve 127.0.0.1:8080   # HTTP query front
+//	remgen -stream -snapshot rem.remt       # binary codec export (rem.ReadFrom)
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"os"
+	"os/signal"
 	"runtime"
+	"syscall"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/geom"
 	"repro/internal/rem"
+	"repro/internal/remserve"
 	"repro/internal/remshard"
 	"repro/internal/remstore"
 )
@@ -53,6 +70,8 @@ func run() error {
 		window   = flag.Int("window", 0, "with -stream, preprocessed rows per window (≤0 splits the mission into 4 windows)")
 		history  = flag.Int("history", 0, "with -stream, retained snapshot history (≤0 uses the store default)")
 		shards   = flag.Int("shards", 0, "with -stream, partition the vocabulary across N independent stores (hash-by-MAC routing); only the shards a window dirties rebuild and publish")
+		serve    = flag.String("serve", "", "with -stream, serve the live store over HTTP on this address (e.g. 127.0.0.1:8080) while and after streaming; SIGINT/SIGTERM stop cleanly")
+		snapOut  = flag.String("snapshot", "", "also export the final REM in the binary snapshot codec (rem.ReadFrom loads it) to this path")
 	)
 	flag.Parse()
 
@@ -87,10 +106,14 @@ func run() error {
 		if *extended {
 			return fmt.Errorf("-extended has no effect with -stream: streaming serves a single estimator, not the Figure 8 suite")
 		}
-		return runStream(cfg, stored, *window, *history, *shards, *out, *dark, *slice)
+		return runStream(cfg, stored, streamOpts{
+			window: *window, history: *history, shards: *shards,
+			out: *out, snapOut: *snapOut, serve: *serve,
+			dark: *dark, slice: *slice,
+		})
 	}
-	if *window != 0 || *history != 0 || *shards != 0 {
-		return fmt.Errorf("-window, -history and -shards configure the streaming pipeline; add -stream")
+	if *window != 0 || *history != 0 || *shards != 0 || *serve != "" {
+		return fmt.Errorf("-window, -history, -shards and -serve configure the streaming pipeline; add -stream")
 	}
 
 	var result *core.Result
@@ -122,6 +145,9 @@ func run() error {
 	if err := reportMap(m, *dark, *slice); err != nil {
 		return err
 	}
+	if err := writeSnapshotOut(m, *snapOut); err != nil {
+		return err
+	}
 	return writeCSVOut(m, *out)
 }
 
@@ -147,15 +173,26 @@ func reportMap(m *rem.Map, dark, slice float64) error {
 	return nil
 }
 
+// streamOpts gathers the streaming-mode flags.
+type streamOpts struct {
+	window, history, shards int
+	out, snapOut, serve     string
+	dark, slice             float64
+}
+
 // runStream drives the windowed incremental pipeline — monolithic, or
 // sharded with -shards — and exports the final snapshot (for a sharded
 // store, the merged monolithic view, byte-identical to what the
-// monolithic stream would serve).
-func runStream(base core.Config, stored *dataset.Dataset, window, history, shards int, out string, dark, slice float64) error {
+// monolithic stream would serve). With -serve the store is fronted by
+// the remserve HTTP subsystem from the first window on; the final
+// generation keeps serving after the stream until SIGINT/SIGTERM, which
+// also cancels a still-running stream between windows.
+func runStream(base core.Config, stored *dataset.Dataset, opts streamOpts) error {
+	shards := opts.shards
 	cfg := core.StreamConfig{
 		Config:     base,
-		WindowRows: window,
-		MaxHistory: history,
+		WindowRows: opts.window,
+		MaxHistory: opts.history,
 	}
 	if shards > 0 {
 		cfg.Shards = shards
@@ -170,6 +207,30 @@ func runStream(base core.Config, stored *dataset.Dataset, window, history, shard
 				rep.Window, rep.NewRows, rep.TotalRows, rep.Version, built, len(snap.Map().Keys()), shared)
 		}
 	}
+
+	var srv *remserve.Server
+	serveErr := make(chan error, 1)
+	if opts.serve != "" {
+		ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer cancel()
+		cfg.Context = ctx
+		cfg.OnStore = func(st *remstore.Store, ss *remshard.ShardedStore) {
+			if ss != nil {
+				srv = remserve.NewSharded(ss, remserve.Options{})
+			} else {
+				srv = remserve.NewStore(st, remserve.Options{})
+			}
+			l, err := net.Listen("tcp", opts.serve)
+			if err != nil {
+				serveErr <- err
+				cancel() // no edge to serve through; stop the stream too
+				return
+			}
+			fmt.Fprintf(os.Stderr, "serving REM queries on http://%s\n", l.Addr())
+			go func() { serveErr <- srv.Serve(l) }()
+		}
+	}
+
 	var res *core.StreamResult
 	var err error
 	if stored != nil {
@@ -177,10 +238,69 @@ func runStream(base core.Config, stored *dataset.Dataset, window, history, shard
 	} else {
 		res, err = core.RunStream(cfg)
 	}
-	if err != nil {
+	cancelled := err != nil && errors.Is(err, context.Canceled)
+	if err != nil && !cancelled {
+		shutdownServer(srv)
+		select {
+		case serr := <-serveErr:
+			if serr != nil {
+				return fmt.Errorf("%w (HTTP front: %v)", err, serr)
+			}
+		default:
+		}
 		return err
 	}
+	if cancelled {
+		// A bind failure cancels the stream through the same context a
+		// signal does — surface it instead of reporting a clean stop.
+		select {
+		case serr := <-serveErr:
+			if serr != nil {
+				return fmt.Errorf("starting HTTP front: %w", serr)
+			}
+		default:
+		}
+		fmt.Fprintf(os.Stderr, "remgen: %v\n", err)
+		return shutdownServer(srv)
+	}
+	if err := reportStream(res, shards, opts); err != nil {
+		shutdownServer(srv)
+		return err
+	}
+	if srv != nil {
+		fmt.Fprintln(os.Stderr, "stream complete; serving until interrupted (Ctrl-C)")
+		select {
+		case serr := <-serveErr:
+			// The listener died (or never bound) — surface that.
+			shutdownServer(srv)
+			if serr != nil {
+				return serr
+			}
+			return errors.New("remgen: HTTP server stopped unexpectedly")
+		case <-cfg.Context.Done():
+			fmt.Fprintln(os.Stderr, "remgen: interrupted; draining queries")
+			return shutdownServer(srv)
+		}
+	}
+	return nil
+}
+
+// shutdownServer drains the HTTP front, bounded so a stuck client
+// cannot wedge shutdown. A nil server is a no-op.
+func shutdownServer(srv *remserve.Server) error {
+	if srv == nil {
+		return nil
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	return srv.Shutdown(ctx)
+}
+
+// reportStream prints the stream summary and writes the CSV and
+// snapshot exports of the final generation.
+func reportStream(res *core.StreamResult, shards int, opts streamOpts) error {
 	var m *rem.Map
+	var err error
 	if shards > 0 {
 		stats := res.Sharded.Stats()
 		fmt.Fprintf(os.Stderr, "stream: %d rounds over %d shards, %d shard publishes\n",
@@ -198,10 +318,31 @@ func runStream(base core.Config, stored *dataset.Dataset, window, history, shard
 			stats.Publishes, stats.HistoryLen, stats.CurrentVersion)
 		m = res.Store.Current().Map()
 	}
-	if err := reportMap(m, dark, slice); err != nil {
+	if err := reportMap(m, opts.dark, opts.slice); err != nil {
 		return err
 	}
-	return writeCSVOut(m, out)
+	if err := writeSnapshotOut(m, opts.snapOut); err != nil {
+		return err
+	}
+	return writeCSVOut(m, opts.out)
+}
+
+// writeSnapshotOut exports the map in the binary snapshot codec
+// (Map.WriteTo); an empty path is a no-op. The bytes are exactly what
+// a remserve /snapshot download of the same generation returns.
+func writeSnapshotOut(m *rem.Map, path string) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	_, werr := m.WriteTo(f)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	return werr
 }
 
 // writeCSVOut exports the map as CSV to a path or stdout ("-").

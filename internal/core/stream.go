@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -64,6 +65,19 @@ type StreamConfig struct {
 	// the live-serving hook (progress logs, query probes). Monolithic
 	// mode only; sharded streams report through OnShardWindow.
 	OnWindow func(WindowReport, *remstore.Snapshot)
+
+	// Context, when set, cancels the stream between windows: the loop
+	// checks it before fitting each window and returns the result so
+	// far together with the context's error — the published snapshots
+	// stay serveable, so a signal-driven shutdown (remgen -serve) can
+	// keep answering queries while it drains. Nil means never cancel.
+	Context context.Context
+	// OnStore, when set, fires exactly once, after the sink store
+	// exists and before the first window publishes — the
+	// serve-while-streaming hook: an HTTP front (remserve) started here
+	// serves every generation from the very first publish. Exactly one
+	// of the two arguments is non-nil, matching the stream mode.
+	OnStore func(*remstore.Store, *remshard.ShardedStore)
 
 	// Shards > 0 streams into a sharded store instead of a single
 	// monolithic one: the key vocabulary is partitioned across that many
@@ -236,9 +250,20 @@ func RunStreamWithDataset(cfg StreamConfig, data *dataset.Dataset, report *missi
 			res.Store = remstore.New(cfg.MaxHistory)
 		}
 	}
+	if cfg.OnStore != nil {
+		cfg.OnStore(res.Store, res.Sharded)
+	}
 	first := true
 	var cur *rem.Map
 	for start, w := 0, 0; start < rows; start, w = start+win, w+1 {
+		if cfg.Context != nil {
+			if err := cfg.Context.Err(); err != nil {
+				// A clean stop, not a failure: everything published so
+				// far keeps serving, so hand the partial result back
+				// alongside the cancellation cause.
+				return res, fmt.Errorf("core: stream cancelled after %d window(s): %w", w, err)
+			}
+		}
 		end := min(start+win, rows)
 		var dirty []int
 		if first {

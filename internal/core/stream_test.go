@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"testing"
@@ -430,5 +432,90 @@ func TestRunStreamValidation(t *testing.T) {
 	cfg.MinSamplesPerMAC = 0
 	if _, err := RunStreamWithDataset(cfg, streamDataset(), nil); err == nil {
 		t.Error("zero MAC threshold accepted")
+	}
+}
+
+// TestRunStreamCancellation pins the graceful-stop contract: cancelling
+// the config Context between windows stops the stream cleanly — the
+// partial result is returned alongside the context error, and every
+// snapshot published before the stop keeps serving.
+func TestRunStreamCancellation(t *testing.T) {
+	data := streamDataset()
+	ctx, cancel := context.WithCancel(context.Background())
+	cfg := streamCfg(nil, 1)
+	cfg.Context = ctx
+	published := 0
+	cfg.OnWindow = func(rep WindowReport, _ *remstore.Snapshot) {
+		published++
+		if rep.Window == 0 {
+			cancel() // stop after the first publish; window 1 must not run
+		}
+	}
+	res, err := RunStreamWithDataset(cfg, data, nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled stream returned %v, want context.Canceled", err)
+	}
+	if published != 1 {
+		t.Fatalf("published %d windows after cancelling in window 0, want 1", published)
+	}
+	if res == nil || len(res.Windows) != 1 {
+		t.Fatalf("cancelled stream must hand back the partial result (got %+v)", res)
+	}
+	// The published generation keeps serving after the stop.
+	if _, _, err := res.Store.At(res.Pre.MACs[0], geom.V(1, 1, 1)); err != nil {
+		t.Fatalf("partial store stopped serving: %v", err)
+	}
+	// An already-cancelled context publishes nothing at all.
+	cfg = streamCfg(nil, 1)
+	cfg.Context = ctx
+	res, err = RunStreamWithDataset(cfg, data, nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled stream returned %v, want context.Canceled", err)
+	}
+	if res == nil || len(res.Windows) != 0 {
+		t.Fatal("pre-cancelled stream must return an empty partial result")
+	}
+}
+
+// TestRunStreamOnStore pins the serve-while-streaming hook: it fires
+// exactly once, before the first publish, with the mode-matching sink —
+// so an HTTP front started there observes every generation from v1.
+func TestRunStreamOnStore(t *testing.T) {
+	data := streamDataset()
+	for _, shards := range []int{0, 2} {
+		cfg := streamCfg(nil, 1)
+		cfg.Shards = shards
+		calls := 0
+		sawEmpty := false
+		cfg.OnStore = func(st *remstore.Store, ss *remshard.ShardedStore) {
+			calls++
+			if shards > 0 {
+				if st != nil || ss == nil {
+					t.Fatalf("sharded OnStore got (store %v, sharded %v)", st != nil, ss != nil)
+				}
+				sawEmpty = ss.StoreOf(0).Current() == nil && ss.StoreOf(1).Current() == nil
+			} else {
+				if st == nil || ss != nil {
+					t.Fatalf("monolithic OnStore got (store %v, sharded %v)", st != nil, ss != nil)
+				}
+				sawEmpty = st.Current() == nil
+			}
+		}
+		if shards > 0 {
+			cfg.OnWindow = nil
+		}
+		res, err := RunStreamWithDataset(cfg, data, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if calls != 1 {
+			t.Fatalf("OnStore fired %d times, want 1", calls)
+		}
+		if !sawEmpty {
+			t.Fatal("OnStore fired after the first publish")
+		}
+		if shards > 0 && res.Sharded == nil || shards == 0 && res.Store == nil {
+			t.Fatal("result sink does not match the hooked one")
+		}
 	}
 }

@@ -2,6 +2,7 @@ package rem
 
 import (
 	"encoding/csv"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -10,6 +11,12 @@ import (
 	"repro/internal/geom"
 	"repro/internal/parallel"
 )
+
+// ErrUnknownKey is the sentinel wrapped by every key-addressed query
+// against a key outside the map's vocabulary. Callers that route errors
+// by kind (the HTTP front maps it to 404, everything else to 5xx) match
+// it with errors.Is; the wrapping message still names the offending key.
+var ErrUnknownKey = errors.New("rem: unknown key")
 
 // PredictFunc evaluates a trained model at a position for a given key
 // (MAC). The core pipeline adapts its estimators to this signature. It
@@ -255,7 +262,7 @@ func (m *Map) KeyIndex(key string) int {
 func (m *Map) At(key string, p geom.Vec3) (float64, error) {
 	ki := m.KeyIndex(key)
 	if ki < 0 {
-		return 0, fmt.Errorf("rem: unknown key %q", key)
+		return 0, fmt.Errorf("%w %q", ErrUnknownKey, key)
 	}
 	return m.at(ki, p), nil
 }
@@ -387,7 +394,7 @@ func (m *Map) CoverageFraction(thresholdDBm float64) float64 {
 func (m *Map) DarkRegionsFor(key string, thresholdDBm float64) ([]DarkCell, error) {
 	ki := m.KeyIndex(key)
 	if ki < 0 {
-		return nil, fmt.Errorf("rem: unknown key %q", key)
+		return nil, fmt.Errorf("%w %q", ErrUnknownKey, key)
 	}
 	var out []DarkCell
 	for iz := 0; iz < m.nz; iz++ {

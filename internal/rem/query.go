@@ -37,7 +37,7 @@ func (m *Map) AtBatchInto(dst []float64, key string, pts []geom.Vec3) error {
 	}
 	ki := m.KeyIndex(key)
 	if ki < 0 {
-		return fmt.Errorf("rem: unknown key %q", key)
+		return fmt.Errorf("%w %q", ErrUnknownKey, key)
 	}
 	for i, p := range pts {
 		dst[i] = m.at(ki, p)

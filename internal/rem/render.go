@@ -29,7 +29,7 @@ type Slice struct {
 func (m *Map) SliceAt(key string, z float64, nx, ny int) (*Slice, error) {
 	ki := m.KeyIndex(key)
 	if ki < 0 {
-		return nil, fmt.Errorf("rem: unknown key %q", key)
+		return nil, fmt.Errorf("%w %q", ErrUnknownKey, key)
 	}
 	if nx < 1 || ny < 1 {
 		return nil, fmt.Errorf("rem: slice raster %dx%d invalid", nx, ny)

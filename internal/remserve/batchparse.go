@@ -1,0 +1,232 @@
+package remserve
+
+import (
+	"strconv"
+)
+
+// Fast path for the POST /at body. encoding/json decodes a 512-point
+// batch through per-element reflection, which costs more than the 512
+// store lookups it feeds; this hand-rolled scanner handles the exact
+// shape well-behaved clients send — {"key":"…","points":[[x,y,z],…]},
+// any field order, any JSON number syntax, no escapes in the key —
+// and reports ok=false for anything else so the caller can fall back
+// to encoding/json for full generality. The fallback keeps behaviour
+// identical on every body the fast path declines: exotic-but-legal
+// bodies still parse, malformed ones still get encoding/json's
+// diagnostics (pinned by TestBatchParseMatchesEncodingJSON).
+
+type batchScanner struct {
+	b []byte
+	i int
+}
+
+func (s *batchScanner) ws() {
+	for s.i < len(s.b) {
+		switch s.b[s.i] {
+		case ' ', '\t', '\n', '\r':
+			s.i++
+		default:
+			return
+		}
+	}
+}
+
+// expect consumes c (after whitespace) or fails.
+func (s *batchScanner) expect(c byte) bool {
+	s.ws()
+	if s.i < len(s.b) && s.b[s.i] == c {
+		s.i++
+		return true
+	}
+	return false
+}
+
+// peek reports the next non-whitespace byte without consuming it.
+func (s *batchScanner) peek() (byte, bool) {
+	s.ws()
+	if s.i < len(s.b) {
+		return s.b[s.i], true
+	}
+	return 0, false
+}
+
+// simpleString parses a JSON string with no escapes (a MAC key; a body
+// whose key needs escaping takes the fallback).
+func (s *batchScanner) simpleString() (string, bool) {
+	if !s.expect('"') {
+		return "", false
+	}
+	start := s.i
+	for s.i < len(s.b) {
+		switch c := s.b[s.i]; {
+		case c == '"':
+			// The copy detaches the key from the pooled body buffer.
+			str := string(s.b[start:s.i])
+			s.i++
+			return str, true
+		case c == '\\' || c < 0x20:
+			return "", false
+		default:
+			s.i++
+		}
+	}
+	return "", false
+}
+
+// number parses one JSON number. The token must match JSON's exact
+// number grammar before strconv sees it — strconv.ParseFloat is a
+// superset (it also takes "+1", ".5", "1.", hex floats), and accepting
+// those here would make the fast path serve bodies the generic decoder
+// rejects. Range overflow ("1e999") fails ParseFloat and falls back,
+// where encoding/json produces the client-visible error.
+func (s *batchScanner) number() (float64, bool) {
+	s.ws()
+	start := s.i
+	for s.i < len(s.b) {
+		switch c := s.b[s.i]; {
+		case c >= '0' && c <= '9', c == '-', c == '+', c == '.', c == 'e', c == 'E':
+			s.i++
+		default:
+			goto done
+		}
+	}
+done:
+	tok := s.b[start:s.i]
+	if !validJSONNumber(tok) {
+		return 0, false
+	}
+	v, err := strconv.ParseFloat(string(tok), 64)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+// validJSONNumber reports whether b matches RFC 8259's number grammar:
+// -?(0|[1-9][0-9]*)(\.[0-9]+)?([eE][+-]?[0-9]+)?
+func validJSONNumber(b []byte) bool {
+	i := 0
+	if i < len(b) && b[i] == '-' {
+		i++
+	}
+	switch {
+	case i < len(b) && b[i] == '0':
+		i++
+	case i < len(b) && b[i] >= '1' && b[i] <= '9':
+		for i < len(b) && b[i] >= '0' && b[i] <= '9' {
+			i++
+		}
+	default:
+		return false
+	}
+	if i < len(b) && b[i] == '.' {
+		i++
+		if i == len(b) || b[i] < '0' || b[i] > '9' {
+			return false
+		}
+		for i < len(b) && b[i] >= '0' && b[i] <= '9' {
+			i++
+		}
+	}
+	if i < len(b) && (b[i] == 'e' || b[i] == 'E') {
+		i++
+		if i < len(b) && (b[i] == '+' || b[i] == '-') {
+			i++
+		}
+		if i == len(b) || b[i] < '0' || b[i] > '9' {
+			return false
+		}
+		for i < len(b) && b[i] >= '0' && b[i] <= '9' {
+			i++
+		}
+	}
+	return i == len(b)
+}
+
+// parseBatchFast decodes body into req. ok=false means "shape outside
+// the fast subset — use encoding/json"; it never reports success on a
+// body the generic decoder would reject with an error the client needs
+// to see.
+func parseBatchFast(body []byte, req *batchReq) bool {
+	s := batchScanner{b: body}
+	if !s.expect('{') {
+		return false
+	}
+	req.Key = ""
+	req.Points = req.Points[:0]
+	sawKey, sawPoints := false, false
+	if c, ok := s.peek(); ok && c == '}' {
+		s.i++
+	} else {
+		for {
+			name, ok := s.simpleString()
+			if !ok || !s.expect(':') {
+				return false
+			}
+			switch name {
+			case "key":
+				if sawKey {
+					return false // duplicate field semantics → fallback
+				}
+				sawKey = true
+				k, ok := s.simpleString()
+				if !ok {
+					return false
+				}
+				req.Key = k
+			case "points":
+				if sawPoints {
+					return false
+				}
+				sawPoints = true
+				if !s.expect('[') {
+					return false
+				}
+				if c, ok := s.peek(); ok && c == ']' {
+					s.i++
+					break
+				}
+				for {
+					if !s.expect('[') {
+						return false
+					}
+					var p [3]float64
+					for d := 0; d < 3; d++ {
+						v, ok := s.number()
+						if !ok {
+							return false
+						}
+						p[d] = v
+						if d < 2 && !s.expect(',') {
+							return false
+						}
+					}
+					if !s.expect(']') {
+						return false
+					}
+					req.Points = append(req.Points, p)
+					if c, ok := s.peek(); ok && c == ',' {
+						s.i++
+						continue
+					}
+					break
+				}
+				if !s.expect(']') {
+					return false
+				}
+			default:
+				return false // unknown field → let encoding/json decide
+			}
+			if c, ok := s.peek(); ok && c == ',' {
+				s.i++
+				continue
+			}
+			break
+		}
+		if !s.expect('}') {
+			return false
+		}
+	}
+	s.ws()
+	return s.i == len(s.b)
+}

@@ -1,0 +1,522 @@
+package remserve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/geom"
+	"repro/internal/rem"
+	"repro/internal/remshard"
+	"repro/internal/remstore"
+)
+
+// This file is the request path: routing, parameter parsing and
+// response assembly. The hot handlers (GET/POST /at, GET /strongest)
+// are zero-allocation after warm-up: the query string is scanned in
+// place (no url.Values map), response bodies are appended into pooled
+// buffers, and the Content-Type header is installed as a shared
+// package-level slice. Float values render in strconv 'g' shortest
+// round-trip form — the same bits parse back — with non-finite values
+// (JSON has no NaN/Inf) as null. The encoding is deterministic: the
+// same (value, version) always serialises to the same bytes, which is
+// what lets the rule 8 wire tests compare HTTP responses against
+// direct library calls byte for byte.
+
+// buffers is the per-request scratch a handler borrows from the pool:
+// the response body, the POST body, decoded points and query outputs.
+type buffers struct {
+	out  []byte
+	body []byte
+	pts  []geom.Vec3
+	vals []float64
+	req  batchReq
+}
+
+// batchReq is the POST /at body shape.
+type batchReq struct {
+	Key    string       `json:"key"`
+	Points [][3]float64 `json:"points"`
+}
+
+var bufPool = sync.Pool{New: func() any { return new(buffers) }}
+
+// jsonCT and binCT are installed into response header maps as shared
+// slices so the hot path never allocates a header value. They are never
+// mutated.
+var (
+	jsonCT = []string{"application/json"}
+	binCT  = []string{"application/octet-stream"}
+)
+
+// ServeHTTP routes the fixed endpoint set. Unknown paths get 404,
+// wrong methods 405 with an Allow header.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch r.URL.Path {
+	case "/at":
+		switch r.Method {
+		case http.MethodGet, http.MethodHead:
+			s.handleAt(w, r)
+		case http.MethodPost:
+			s.handleAtBatch(w, r)
+		default:
+			methodNotAllowed(w, "GET, POST")
+		}
+	case "/strongest":
+		if !getOrHead(w, r) {
+			return
+		}
+		s.handleStrongest(w, r)
+	case "/stats":
+		if !getOrHead(w, r) {
+			return
+		}
+		s.handleStats(w)
+	case "/snapshot":
+		if !getOrHead(w, r) {
+			return
+		}
+		s.handleSnapshot(w, r)
+	case "/healthz":
+		if !getOrHead(w, r) {
+			return
+		}
+		s.handleHealthz(w)
+	case "/version":
+		if !getOrHead(w, r) {
+			return
+		}
+		s.handleVersion(w)
+	default:
+		http.NotFound(w, r)
+	}
+}
+
+// getOrHead admits GET and HEAD (net/http suppresses the response body
+// for HEAD on its own) and answers 405 for everything else.
+func getOrHead(w http.ResponseWriter, r *http.Request) bool {
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		methodNotAllowed(w, "GET")
+		return false
+	}
+	return true
+}
+
+func methodNotAllowed(w http.ResponseWriter, allow string) {
+	w.Header().Set("Allow", allow)
+	http.Error(w, http.StatusText(http.StatusMethodNotAllowed), http.StatusMethodNotAllowed)
+}
+
+// queryError maps a store error to its status: 404 for a key outside
+// the vocabulary, 503 for a store that has not (fully) published yet —
+// both with the store's own message — and 500 for anything else.
+func queryError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, rem.ErrUnknownKey):
+		http.Error(w, err.Error(), http.StatusNotFound)
+	case errors.Is(err, remstore.ErrEmpty), errors.Is(err, remshard.ErrPartial):
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+	default:
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// writeJSON emits a completed body from a pooled buffer. The
+// Content-Type slice is installed only when absent so steady-state
+// writes against a reused header map allocate nothing.
+func writeJSON(w http.ResponseWriter, body []byte) {
+	h := w.Header()
+	if _, ok := h["Content-Type"]; !ok {
+		h["Content-Type"] = jsonCT
+	}
+	w.Write(body)
+}
+
+// handleAt serves GET /at?key=K&x=…&y=…[&z=…].
+func (s *Server) handleAt(w http.ResponseWriter, r *http.Request) {
+	key, p, err := queryParams(r.URL.RawQuery, true)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	v, ver, err := s.b.At(key, p)
+	if err != nil {
+		queryError(w, err)
+		return
+	}
+	bb := bufPool.Get().(*buffers)
+	b := append(bb.out[:0], `{"key":`...)
+	b = appendJSONString(b, key)
+	b = append(b, `,"value":`...)
+	b = appendJSONFloat(b, v)
+	b = append(b, `,"version":`...)
+	b = strconv.AppendUint(b, ver, 10)
+	b = append(b, "}\n"...)
+	writeJSON(w, b)
+	bb.out = b
+	bufPool.Put(bb)
+}
+
+// handleStrongest serves GET /strongest?x=…&y=…[&z=…].
+func (s *Server) handleStrongest(w http.ResponseWriter, r *http.Request) {
+	_, p, err := queryParams(r.URL.RawQuery, false)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	key, v, ver, err := s.b.Strongest(p)
+	if err != nil {
+		queryError(w, err)
+		return
+	}
+	bb := bufPool.Get().(*buffers)
+	b := append(bb.out[:0], `{"key":`...)
+	b = appendJSONString(b, key)
+	b = append(b, `,"value":`...)
+	b = appendJSONFloat(b, v)
+	b = append(b, `,"version":`...)
+	b = strconv.AppendUint(b, ver, 10)
+	b = append(b, "}\n"...)
+	writeJSON(w, b)
+	bb.out = b
+	bufPool.Put(bb)
+}
+
+// handleAtBatch serves POST /at with {"key":K,"points":[[x,y,z],…]}:
+// the key is resolved once and the whole batch is answered by one
+// snapshot of the owning store. Bodies over MaxBatchBytes and batches
+// over MaxBatchPoints get 413.
+func (s *Server) handleAtBatch(w http.ResponseWriter, r *http.Request) {
+	if r.ContentLength > s.maxBytes {
+		http.Error(w, fmt.Sprintf("remserve: batch body exceeds %d bytes", s.maxBytes), http.StatusRequestEntityTooLarge)
+		return
+	}
+	bb := bufPool.Get().(*buffers)
+	defer func() { bufPool.Put(bb) }()
+	body, err := readBody(bb.body[:0], r.Body, s.maxBytes)
+	bb.body = body[:0]
+	if err != nil {
+		if errors.Is(err, errBodyTooLarge) {
+			http.Error(w, fmt.Sprintf("remserve: batch body exceeds %d bytes", s.maxBytes), http.StatusRequestEntityTooLarge)
+		} else {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+		}
+		return
+	}
+	if !parseBatchFast(body, &bb.req) {
+		// Outside the fast subset: decode generically, so exotic-but-
+		// legal bodies still work and malformed ones get encoding/json's
+		// diagnostics.
+		bb.req.Key = ""
+		bb.req.Points = bb.req.Points[:0]
+		if err := json.Unmarshal(body, &bb.req); err != nil {
+			http.Error(w, "remserve: bad batch body: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+	}
+	if bb.req.Key == "" {
+		http.Error(w, `remserve: batch body needs a "key"`, http.StatusBadRequest)
+		return
+	}
+	if len(bb.req.Points) > s.maxPoints {
+		http.Error(w, fmt.Sprintf("remserve: batch of %d points exceeds the %d-point cap", len(bb.req.Points), s.maxPoints), http.StatusRequestEntityTooLarge)
+		return
+	}
+	bb.pts = bb.pts[:0]
+	for i, q := range bb.req.Points {
+		for _, c := range q {
+			if math.IsNaN(c) || math.IsInf(c, 0) {
+				http.Error(w, fmt.Sprintf("remserve: point %d is not finite", i), http.StatusBadRequest)
+				return
+			}
+		}
+		bb.pts = append(bb.pts, geom.V(q[0], q[1], q[2]))
+	}
+	if cap(bb.vals) < len(bb.pts) {
+		bb.vals = make([]float64, len(bb.pts))
+	}
+	vals := bb.vals[:len(bb.pts)]
+	ver, err := s.b.AtBatchInto(vals, bb.req.Key, bb.pts)
+	if err != nil {
+		queryError(w, err)
+		return
+	}
+	b := append(bb.out[:0], `{"key":`...)
+	b = appendJSONString(b, bb.req.Key)
+	b = append(b, `,"values":[`...)
+	for i, v := range vals {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = appendJSONFloat(b, v)
+	}
+	b = append(b, `],"version":`...)
+	b = strconv.AppendUint(b, ver, 10)
+	b = append(b, "}\n"...)
+	writeJSON(w, b)
+	bb.out = b
+}
+
+// handleSnapshot serves GET /snapshot: the binary codec of the serving
+// map (Map.WriteTo — byte-identical to a direct library export of the
+// same generation), with a strong ETag derived from the serving
+// version(s). If-None-Match on an unchanged map answers 304 with no
+// body, so a polling client pays one header exchange per unchanged
+// generation.
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	m, tag, err := s.b.Snapshot()
+	if err != nil {
+		queryError(w, err)
+		return
+	}
+	etag := `"` + tag + `"`
+	h := w.Header()
+	h.Set("ETag", etag)
+	if etagMatch(r.Header.Get("If-None-Match"), etag) {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	h["Content-Type"] = binCT
+	h.Set("X-REM-Version", tag)
+	if r.Method == http.MethodHead {
+		// Validators are set; skip serialising a body net/http would
+		// discard anyway.
+		return
+	}
+	if _, err := m.WriteTo(w); err != nil {
+		// Headers are gone; all we can do is abandon the connection.
+		return
+	}
+}
+
+// etagMatch reports whether an If-None-Match header matches the given
+// strong ETag: "*", or any member of the comma-separated list (weak
+// validators compare by opaque tag, per RFC 9110's weak comparison).
+func etagMatch(header, etag string) bool {
+	for header != "" {
+		var c string
+		if i := strings.IndexByte(header, ','); i >= 0 {
+			c, header = header[:i], header[i+1:]
+		} else {
+			c, header = header, ""
+		}
+		c = strings.TrimSpace(c)
+		c = strings.TrimPrefix(c, "W/")
+		if c == "*" || c == etag {
+			return true
+		}
+	}
+	return false
+}
+
+// handleStats serves GET /stats: the full Stats JSON (cold path,
+// encoding/json).
+func (s *Server) handleStats(w http.ResponseWriter) {
+	body, err := json.Marshal(s.b.Stats())
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, append(body, '\n'))
+}
+
+// handleHealthz serves GET /healthz: 200 {"status":"serving",…} once
+// every key-owning shard has published, 503 {"status":"empty",…}
+// before — so "poll until healthz is 200" is a complete readiness
+// check for the CI smoke and for orchestrators.
+func (s *Server) handleHealthz(w http.ResponseWriter) {
+	st := s.b.Stats()
+	status := "serving"
+	if !st.Serving {
+		status = "empty"
+	}
+	bb := bufPool.Get().(*buffers)
+	b := append(bb.out[:0], `{"status":"`...)
+	b = append(b, status...)
+	b = append(b, `","shards":`...)
+	b = strconv.AppendInt(b, int64(st.Shards), 10)
+	b = append(b, `,"version":"`...)
+	b = append(b, st.Version...)
+	b = append(b, "\"}\n"...)
+	h := w.Header()
+	if _, ok := h["Content-Type"]; !ok {
+		h["Content-Type"] = jsonCT
+	}
+	if !st.Serving {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	w.Write(b)
+	bb.out = b
+	bufPool.Put(bb)
+}
+
+// handleVersion serves GET /version: the serving version tag and shard
+// count, 200 whether or not anything has published (version "0"s until
+// then).
+func (s *Server) handleVersion(w http.ResponseWriter) {
+	st := s.b.Stats()
+	bb := bufPool.Get().(*buffers)
+	b := append(bb.out[:0], `{"version":"`...)
+	b = append(b, st.Version...)
+	b = append(b, `","shards":`...)
+	b = strconv.AppendInt(b, int64(st.Shards), 10)
+	b = append(b, "}\n"...)
+	writeJSON(w, b)
+	bb.out = b
+	bufPool.Put(bb)
+}
+
+// errBodyTooLarge marks a request body over the configured cap.
+var errBodyTooLarge = errors.New("remserve: request body too large")
+
+// readBody appends the request body into dst, refusing bodies longer
+// than maxBytes — without the per-request wrapper allocation
+// http.MaxBytesReader would cost the hot batch path. The reused dst
+// capacity bounds each read, so an over-cap (or unbounded chunked)
+// body is detected within one buffer growth of the cap.
+func readBody(dst []byte, r io.Reader, maxBytes int64) ([]byte, error) {
+	for {
+		if int64(len(dst)) > maxBytes {
+			return dst, errBodyTooLarge
+		}
+		if len(dst) == cap(dst) {
+			dst = append(dst, 0)[:len(dst)]
+		}
+		n, err := r.Read(dst[len(dst):cap(dst)])
+		dst = dst[:len(dst)+n]
+		if err == io.EOF {
+			if int64(len(dst)) > maxBytes {
+				return dst, errBodyTooLarge
+			}
+			return dst, nil
+		}
+		if err != nil {
+			return dst, err
+		}
+	}
+}
+
+// queryParams scans a raw query string in place: key (when wantKey),
+// x, y required, z optional (0 — the store clamps into the volume
+// anyway). Unescaping allocates only for values that actually contain
+// %-escapes or '+', so plain requests parse allocation-free. Coordinates
+// must be finite.
+func queryParams(raw string, wantKey bool) (string, geom.Vec3, error) {
+	var key string
+	var p geom.Vec3
+	var haveKey, haveX, haveY bool
+	for raw != "" {
+		var seg string
+		if i := strings.IndexByte(raw, '&'); i >= 0 {
+			seg, raw = raw[:i], raw[i+1:]
+		} else {
+			seg, raw = raw, ""
+		}
+		if seg == "" {
+			continue
+		}
+		name, val := seg, ""
+		if i := strings.IndexByte(seg, '='); i >= 0 {
+			name, val = seg[:i], seg[i+1:]
+		}
+		switch name {
+		case "key":
+			k, err := unescape(val)
+			if err != nil {
+				return "", geom.Vec3{}, fmt.Errorf("remserve: bad key escaping: %w", err)
+			}
+			key, haveKey = k, true
+		case "x":
+			v, err := parseCoord(name, val)
+			if err != nil {
+				return "", geom.Vec3{}, err
+			}
+			p.X, haveX = v, true
+		case "y":
+			v, err := parseCoord(name, val)
+			if err != nil {
+				return "", geom.Vec3{}, err
+			}
+			p.Y, haveY = v, true
+		case "z":
+			v, err := parseCoord(name, val)
+			if err != nil {
+				return "", geom.Vec3{}, err
+			}
+			p.Z = v
+		}
+	}
+	if wantKey && !haveKey {
+		return "", geom.Vec3{}, errors.New(`remserve: missing "key" parameter`)
+	}
+	if !haveX || !haveY {
+		return "", geom.Vec3{}, errors.New(`remserve: missing "x"/"y" parameters`)
+	}
+	return key, p, nil
+}
+
+// parseCoord decodes one coordinate under standard query semantics —
+// %-escapes resolve and '+' means space, so a correctly encoded
+// exponent sign arrives as "%2B" ("x=1e%2B5" parses, a literal
+// "x=1e+5" is "1e 5" and fails) — then requires a finite float. The
+// unescape fast path keeps plain numbers allocation-free.
+func parseCoord(name, val string) (float64, error) {
+	val, err := unescape(val)
+	if err != nil {
+		return 0, fmt.Errorf("remserve: bad %s escaping: %w", name, err)
+	}
+	v, err := strconv.ParseFloat(val, 64)
+	if err != nil {
+		return 0, fmt.Errorf("remserve: bad %s %q", name, val)
+	}
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0, fmt.Errorf("remserve: %s %q is not finite", name, val)
+	}
+	return v, nil
+}
+
+// unescape resolves %-escapes and '+' in a query value; the common case
+// (a plain MAC key — hex and colons) is returned as a zero-copy
+// substring.
+func unescape(val string) (string, error) {
+	if !strings.ContainsAny(val, "%+") {
+		return val, nil
+	}
+	return url.QueryUnescape(val)
+}
+
+// appendJSONFloat appends v as a JSON number in strconv 'g' shortest
+// round-trip form; non-finite values (unrepresentable in JSON) become
+// null.
+func appendJSONFloat(b []byte, v float64) []byte {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return append(b, "null"...)
+	}
+	return strconv.AppendFloat(b, v, 'g', -1, 64)
+}
+
+// appendJSONString appends s as a JSON string. Keys are MAC-shaped (hex
+// digits and colons), so the fast path copies bytes between quotes;
+// anything needing escapes falls back to encoding/json.
+func appendJSONString(b []byte, s string) []byte {
+	for i := 0; i < len(s); i++ {
+		if c := s[i]; c < 0x20 || c == '"' || c == '\\' || c >= 0x80 {
+			enc, err := json.Marshal(s)
+			if err != nil {
+				// A Go string always marshals; keep the signature total.
+				return append(append(append(b, '"'), []byte("?")...), '"')
+			}
+			return append(b, enc...)
+		}
+	}
+	b = append(b, '"')
+	b = append(b, s...)
+	return append(b, '"')
+}

@@ -1,0 +1,295 @@
+// Package remserve is the network edge of the REM serving stack: a
+// net/http front over a live snapshot store — the sharded
+// remshard.ShardedStore or a plain remstore.Store — so consumers can
+// query the map without linking the Go packages. The store keeps
+// publishing new generations underneath it (core.RunStream, targeted
+// Rebuild calls); the server never takes a lock on the query path, so a
+// rebuild never blocks an HTTP response and a response never observes a
+// half-published map.
+//
+// Endpoints:
+//
+//	GET  /at?key=K&x=…&y=…[&z=…]   one interpolated value for key K
+//	POST /at                       batch: {"key":K,"points":[[x,y,z],…]}
+//	GET  /strongest?x=…&y=…[&z=…]  best-server query across all keys
+//	GET  /stats                    per-shard build/query/eviction counters
+//	GET  /snapshot                 binary codec of the serving map (ETag)
+//	GET  /healthz                  200 serving / 503 empty, version + shards
+//	GET  /version                  serving version tag + shard count
+//
+// Every successful query response carries the serving snapshot version
+// (the JSON "version" field; the dotted per-shard tag on /snapshot,
+// /healthz and /version), so clients can detect generation swaps.
+// /snapshot sets a strong ETag derived from the serving versions and
+// honours If-None-Match — an unchanged map costs one header exchange.
+//
+// Determinism contract rule 8 extends over the wire: the bytes served
+// by /at, /strongest, /stats and /snapshot are exactly what the direct
+// library calls return (for /snapshot, byte-identical to
+// Map.WriteTo of the same serving generation), for any partitioner and
+// shard count, under concurrent rebuilds. The hot handlers allocate
+// nothing after warm-up: request parsing works on the raw query string,
+// and response bodies are assembled in pooled buffers.
+package remserve
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"repro/internal/geom"
+	"repro/internal/rem"
+	"repro/internal/remshard"
+	"repro/internal/remstore"
+)
+
+// ErrEmpty is what queries return before the backing store has
+// published — re-exported so HTTP callers need not import remstore.
+var ErrEmpty = remstore.ErrEmpty
+
+// Backend is the serving surface the HTTP layer fronts. Both store
+// flavours satisfy it (StoreBackend, ShardedBackend); all methods must
+// be safe for arbitrary concurrency with each other and with rebuilds,
+// which the stores guarantee.
+type Backend interface {
+	// At answers a point query for one key; the version is the serving
+	// snapshot generation of the store (or owning shard) that answered.
+	At(key string, p geom.Vec3) (float64, uint64, error)
+	// AtBatchInto answers a multi-point query for one key into a
+	// caller-owned buffer; len(dst) must equal len(pts).
+	AtBatchInto(dst []float64, key string, pts []geom.Vec3) (uint64, error)
+	// Strongest answers a best-server query across the vocabulary.
+	Strongest(p geom.Vec3) (string, float64, uint64, error)
+	// Snapshot returns the serving map and its version tag (the ETag
+	// body): the snapshot version for a monolithic store, the dotted
+	// per-shard version vector for a sharded one. The tag uniquely
+	// identifies the returned bytes.
+	Snapshot() (*rem.Map, string, error)
+	// Stats returns the normalised aggregate view.
+	Stats() Stats
+}
+
+// Stats is the backend-neutral aggregate the /stats, /healthz and
+// /version endpoints serve. PerShard holds one remstore.Stats per shard
+// (exactly one for a monolithic store), so per-shard publish, query and
+// eviction counters and serving snapshot versions are always visible.
+type Stats struct {
+	// Serving is true once every shard that owns keys has published.
+	Serving bool `json:"serving"`
+	// Shards is the shard count (1 for a monolithic store).
+	Shards int `json:"shards"`
+	// Version is the dotted per-shard serving-version tag ("0" entries
+	// for shards that have not published).
+	Version string `json:"version"`
+	// Rounds counts sharded rebuild rounds (0 for a monolithic store).
+	Rounds uint64 `json:"rounds"`
+	// Queries counts logical queries — one per At/Strongest, one per
+	// point of a batch — the monolithic-equivalent figure (rule 8).
+	Queries uint64 `json:"queries"`
+	// Publishes sums snapshot publishes across shards.
+	Publishes uint64 `json:"publishes"`
+	// Evictions sums retention evictions across shards.
+	Evictions uint64 `json:"evictions"`
+	// PerShard is each shard store's own counters, indexed by shard.
+	PerShard []remstore.Stats `json:"per_shard"`
+}
+
+// versionTag renders the serving versions as the dotted tag used by
+// ETags, /healthz and /version: "7" monolithic, "3.1.2.4" sharded.
+func versionTag(versions []uint64) string {
+	b := make([]byte, 0, 4*len(versions))
+	for i, v := range versions {
+		if i > 0 {
+			b = append(b, '.')
+		}
+		b = strconv.AppendUint(b, v, 10)
+	}
+	return string(b)
+}
+
+// storeBackend fronts one monolithic remstore.Store.
+type storeBackend struct{ st *remstore.Store }
+
+// StoreBackend adapts a monolithic snapshot store to the serving
+// surface.
+func StoreBackend(st *remstore.Store) Backend { return storeBackend{st} }
+
+func (b storeBackend) At(key string, p geom.Vec3) (float64, uint64, error) {
+	return b.st.At(key, p)
+}
+
+func (b storeBackend) AtBatchInto(dst []float64, key string, pts []geom.Vec3) (uint64, error) {
+	return b.st.AtBatchInto(dst, key, pts)
+}
+
+func (b storeBackend) Strongest(p geom.Vec3) (string, float64, uint64, error) {
+	return b.st.Strongest(p)
+}
+
+func (b storeBackend) Snapshot() (*rem.Map, string, error) {
+	s := b.st.Current()
+	if s == nil {
+		return nil, "", ErrEmpty
+	}
+	return s.Map(), strconv.FormatUint(s.Version(), 10), nil
+}
+
+func (b storeBackend) Stats() Stats {
+	st := b.st.Stats()
+	return Stats{
+		Serving:   st.CurrentVersion > 0,
+		Shards:    1,
+		Version:   versionTag([]uint64{st.CurrentVersion}),
+		Queries:   st.Queries,
+		Publishes: st.Publishes,
+		Evictions: st.Evictions,
+		PerShard:  []remstore.Stats{st},
+	}
+}
+
+// shardedBackend fronts a remshard.ShardedStore.
+type shardedBackend struct{ ss *remshard.ShardedStore }
+
+// ShardedBackend adapts a sharded store to the serving surface.
+func ShardedBackend(ss *remshard.ShardedStore) Backend { return shardedBackend{ss} }
+
+func (b shardedBackend) At(key string, p geom.Vec3) (float64, uint64, error) {
+	return b.ss.At(key, p)
+}
+
+func (b shardedBackend) AtBatchInto(dst []float64, key string, pts []geom.Vec3) (uint64, error) {
+	return b.ss.AtBatchInto(dst, key, pts)
+}
+
+func (b shardedBackend) Strongest(p geom.Vec3) (string, float64, uint64, error) {
+	return b.ss.Strongest(p)
+}
+
+func (b shardedBackend) Snapshot() (*rem.Map, string, error) {
+	m, versions, err := b.ss.MergedSnapshotVersions()
+	if err != nil {
+		return nil, "", err
+	}
+	return m, versionTag(versions), nil
+}
+
+func (b shardedBackend) Stats() Stats {
+	st := b.ss.Stats()
+	out := Stats{
+		Serving:  true,
+		Shards:   st.Shards,
+		Rounds:   st.Rounds,
+		Queries:  st.Queries,
+		PerShard: st.PerShard,
+	}
+	versions := make([]uint64, st.Shards)
+	for si, ps := range st.PerShard {
+		versions[si] = ps.CurrentVersion
+		out.Publishes += ps.Publishes
+		out.Evictions += ps.Evictions
+		if ps.CurrentVersion == 0 && b.ss.ShardLen(si) > 0 {
+			out.Serving = false
+		}
+	}
+	out.Version = versionTag(versions)
+	return out
+}
+
+const (
+	// DefaultMaxBatchBytes caps a POST /at body; larger bodies get 413.
+	DefaultMaxBatchBytes = 1 << 20
+	// DefaultMaxBatchPoints caps the points of one batch; larger
+	// batches get 413.
+	DefaultMaxBatchPoints = 8192
+)
+
+// Options tunes a Server.
+type Options struct {
+	// MaxBatchBytes caps the POST /at request body in bytes
+	// (≤ 0 means DefaultMaxBatchBytes).
+	MaxBatchBytes int64
+	// MaxBatchPoints caps the points of one POST /at batch
+	// (≤ 0 means DefaultMaxBatchPoints).
+	MaxBatchPoints int
+}
+
+// Server is the HTTP front. It is an http.Handler (mount it anywhere)
+// and owns an optional listener lifecycle: Serve/ListenAndServe block
+// until Shutdown, which stops accepting and drains in-flight requests.
+type Server struct {
+	b         Backend
+	maxBytes  int64
+	maxPoints int
+
+	mu   sync.Mutex
+	hs   *http.Server
+	addr string
+}
+
+// New builds a server over any backend.
+func New(b Backend, opts Options) *Server {
+	if opts.MaxBatchBytes <= 0 {
+		opts.MaxBatchBytes = DefaultMaxBatchBytes
+	}
+	if opts.MaxBatchPoints <= 0 {
+		opts.MaxBatchPoints = DefaultMaxBatchPoints
+	}
+	return &Server{b: b, maxBytes: opts.MaxBatchBytes, maxPoints: opts.MaxBatchPoints}
+}
+
+// NewStore is New over a monolithic store.
+func NewStore(st *remstore.Store, opts Options) *Server {
+	return New(StoreBackend(st), opts)
+}
+
+// NewSharded is New over a sharded store.
+func NewSharded(ss *remshard.ShardedStore, opts Options) *Server {
+	return New(ShardedBackend(ss), opts)
+}
+
+// Serve accepts connections on l until Shutdown; a clean shutdown
+// returns nil. The bound address is available via Addr from the moment
+// Serve is entered.
+func (s *Server) Serve(l net.Listener) error {
+	hs := &http.Server{Handler: s}
+	s.mu.Lock()
+	s.hs = hs
+	s.addr = l.Addr().String()
+	s.mu.Unlock()
+	err := hs.Serve(l)
+	if err == http.ErrServerClosed {
+		return nil
+	}
+	return err
+}
+
+// ListenAndServe binds addr (":0" picks a free port, see Addr) and
+// serves until Shutdown.
+func (s *Server) ListenAndServe(addr string) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(l)
+}
+
+// Addr returns the bound listen address, or "" before Serve.
+func (s *Server) Addr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.addr
+}
+
+// Shutdown stops accepting new connections and drains in-flight
+// requests, waiting up to ctx. A server that never served is a no-op.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	hs := s.hs
+	s.mu.Unlock()
+	if hs == nil {
+		return nil
+	}
+	return hs.Shutdown(ctx)
+}

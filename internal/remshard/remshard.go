@@ -42,6 +42,12 @@ import (
 // sharded front need not import remstore to match it.
 var ErrEmpty = remstore.ErrEmpty
 
+// ErrPartial is what MergedSnapshot returns for a store mid-first-round:
+// some shards serve, others have never published, so no consistent
+// monolithic view exists yet. Like ErrEmpty it is retryable — the next
+// rounds fill the missing shards in.
+var ErrPartial = errors.New("remshard: not every shard has published")
+
 // Config parameterises a ShardedStore.
 type Config struct {
 	// Shards is the shard count; ≤ 0 means 1 (a sharded store over one
@@ -169,6 +175,10 @@ func (s *ShardedStore) ShardFor(key string) (int, bool) {
 func (s *ShardedStore) ShardKeys(si int) []string {
 	return append([]string(nil), s.shards[si].keys...)
 }
+
+// ShardLen returns how many keys shard si owns — the allocation-free
+// cardinality check (ShardKeys copies the slice).
+func (s *ShardedStore) ShardLen(si int) int { return len(s.shards[si].keys) }
 
 // StoreOf exposes shard si's underlying snapshot store — history and
 // retention are managed there (e.g. StoreOf(i).SetRetention).
@@ -369,7 +379,7 @@ func (s *ShardedStore) AtBatchInto(dst []float64, key string, pts []geom.Vec3) (
 func (s *ShardedStore) route(key string) (*shardState, error) {
 	gi, ok := s.keyIdx[key]
 	if !ok {
-		return nil, fmt.Errorf("remshard: unknown key %q", key)
+		return nil, fmt.Errorf("remshard: %w %q", rem.ErrUnknownKey, key)
 	}
 	return s.shards[s.shardOf[gi]], nil
 }
@@ -482,9 +492,22 @@ func (s *ShardedStore) StrongestBatch(pts []geom.Vec3) ([]string, []float64, err
 // the whole map. It errors if only some shards have published (a store
 // mid-first-round); ErrEmpty if none have.
 func (s *ShardedStore) MergedSnapshot() (*rem.Map, error) {
+	m, _, err := s.MergedSnapshotVersions()
+	return m, err
+}
+
+// MergedSnapshotVersions is MergedSnapshot plus the serving provenance:
+// versions[si] is the snapshot version of shard si that contributed its
+// tiles to the merged map (0 for a shard with no keys). Each shard's
+// serving snapshot is loaded exactly once and used for both the merge
+// and the version vector, so under concurrent rebuilds the vector
+// describes precisely the generation combination the returned map holds
+// — the identity the HTTP front's ETag relies on.
+func (s *ShardedStore) MergedSnapshotVersions() (*rem.Map, []uint64, error) {
+	versions := make([]uint64, len(s.shards))
 	var parts []*rem.Map
 	missing := 0
-	for _, sh := range s.shards {
+	for si, sh := range s.shards {
 		if len(sh.keys) == 0 {
 			continue
 		}
@@ -493,15 +516,20 @@ func (s *ShardedStore) MergedSnapshot() (*rem.Map, error) {
 			missing++
 			continue
 		}
+		versions[si] = snap.Version()
 		parts = append(parts, snap.Map())
 	}
 	if len(parts) == 0 {
-		return nil, remstore.ErrEmpty
+		return nil, nil, remstore.ErrEmpty
 	}
 	if missing > 0 {
-		return nil, fmt.Errorf("remshard: %d shard(s) have not published yet", missing)
+		return nil, nil, fmt.Errorf("%w (%d shard(s) pending)", ErrPartial, missing)
 	}
-	return rem.Merge(s.keys, parts)
+	m, err := rem.Merge(s.keys, parts)
+	if err != nil {
+		return nil, nil, err
+	}
+	return m, versions, nil
 }
 
 // Stats is the aggregate view across shards.

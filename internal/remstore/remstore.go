@@ -317,22 +317,23 @@ func (st *Store) liveTilesLocked() int {
 	return live
 }
 
-// Stats is an aggregate view of the store.
+// Stats is an aggregate view of the store. The json tags are the wire
+// shape the remserve /stats endpoint exposes per shard.
 type Stats struct {
 	// Publishes counts snapshots ever published.
-	Publishes uint64
+	Publishes uint64 `json:"publishes"`
 	// Queries counts queries served across all snapshots (each point of
 	// a batch query counts once).
-	Queries uint64
+	Queries uint64 `json:"queries"`
 	// CurrentVersion is the serving snapshot's version (0 when empty).
-	CurrentVersion uint64
+	CurrentVersion uint64 `json:"current_version"`
 	// HistoryLen is the retained snapshot count.
-	HistoryLen int
+	HistoryLen int `json:"history_len"`
 	// Evictions counts snapshots dropped by the retention policy.
-	Evictions uint64
+	Evictions uint64 `json:"evictions"`
 	// LiveTiles is the distinct tile count the retained history
 	// references (see Store.LiveTiles).
-	LiveTiles int
+	LiveTiles int `json:"live_tiles"`
 }
 
 // Stats returns the aggregate counters.
