@@ -15,6 +15,8 @@ import (
 	"math"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"runtime"
 	"testing"
 
 	"repro/internal/core"
@@ -900,6 +902,16 @@ func BenchmarkServeAt(b *testing.B) {
 	})
 }
 
+// TestMain stamps the benchmark environment into every `go test -bench`
+// run: BENCH_*.json sections carry num_cpu/gomaxprocs so 1-vCPU numbers
+// can never silently masquerade as scaling results, and this line is
+// where a re-recorder copies them from — mechanical, no guessing.
+func TestMain(m *testing.M) {
+	fmt.Fprintf(os.Stderr, "bench-env: num_cpu=%d gomaxprocs=%d go=%s arch=%s/%s\n",
+		runtime.NumCPU(), runtime.GOMAXPROCS(0), runtime.Version(), runtime.GOOS, runtime.GOARCH)
+	os.Exit(m.Run())
+}
+
 // BenchmarkServeAtBatch is POST /at with 512 points through the
 // handler: one op = one batch (body decode, one AtBatchInto, JSON
 // array render), so per-point cost is ns/op ÷ 512.
@@ -922,10 +934,42 @@ func BenchmarkServeAtBatch(b *testing.B) {
 		w := &benchServeRW{h: make(http.Header)}
 		req := httptest.NewRequest("POST", "/at", nil)
 		var rd bytes.Reader
+		req.Body = io.NopCloser(&rd)
 		for pb.Next() {
 			w.code = 0
 			rd.Reset(payload)
-			req.Body = io.NopCloser(&rd)
+			srv.ServeHTTP(w, req)
+			if w.code != 0 && w.code != http.StatusOK {
+				b.Fatalf("status %d", w.code)
+			}
+		}
+	})
+}
+
+// BenchmarkServeAtBatchBinary is the same 512-point batch over the
+// binary wire format, both directions (Content-Type and Accept both
+// application/x-rem-batch): one op = header validation, coordinates
+// decoded straight into the pooled query buffer, one AtBatchInto, and
+// the raw value bits appended back out — no decimal text anywhere.
+// Compare per-point cost (ns/op ÷ 512) against BenchmarkServeAtBatch
+// (the JSON wire) and BenchmarkREMQueryAtBatch512 (the library floor);
+// the acceptance bar is ≤ 2× the floor. 0 allocs/op after warm-up.
+func BenchmarkServeAtBatchBinary(b *testing.B) {
+	srv, keys := benchServeServer(b)
+	pts := benchQueryPoints(512)
+	payload := remserve.AppendBatchRequest(nil, keys[0], pts)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		w := &benchServeRW{h: make(http.Header)}
+		req := httptest.NewRequest("POST", "/at", nil)
+		req.Header.Set("Content-Type", remserve.WireContentType)
+		req.Header.Set("Accept", remserve.WireContentType)
+		var rd bytes.Reader
+		req.Body = io.NopCloser(&rd)
+		for pb.Next() {
+			w.code = 0
+			rd.Reset(payload)
 			srv.ServeHTTP(w, req)
 			if w.code != 0 && w.code != http.StatusOK {
 				b.Fatalf("status %d", w.code)

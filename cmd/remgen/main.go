@@ -25,18 +25,33 @@
 //	remgen -stream -window 400 -o rem.csv   # windowed incremental serving
 //	remgen -stream -shards 4 -o rem.csv     # sharded stores, per-shard rebuilds
 //	remgen -stream -shards 4 -serve 127.0.0.1:8080   # HTTP query front
+//	remgen -stream -serve 127.0.0.1:8080 -rate 50    # per-client rate limit
 //	remgen -stream -snapshot rem.remt       # binary codec export (rem.ReadFrom)
+//
+// With -query, remgen is instead a batch query client against a running
+// -serve instance: it POSTs the points to /at over the JSON or the
+// binary wire (-wire) and prints one value per line — the output is
+// identical for both wires (rule 8 over the wire), which is exactly
+// what the CI smoke diffs:
+//
+//	remgen -query http://127.0.0.1:8080 -key aa:.. -points "1,2,3;4,5,6" -wire binary
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
+	"io"
+	"math"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"runtime"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -71,9 +86,18 @@ func run() error {
 		history  = flag.Int("history", 0, "with -stream, retained snapshot history (≤0 uses the store default)")
 		shards   = flag.Int("shards", 0, "with -stream, partition the vocabulary across N independent stores (hash-by-MAC routing); only the shards a window dirties rebuild and publish")
 		serve    = flag.String("serve", "", "with -stream, serve the live store over HTTP on this address (e.g. 127.0.0.1:8080) while and after streaming; SIGINT/SIGTERM stop cleanly")
+		rate     = flag.Float64("rate", 0, "with -serve, per-client request budget in requests/second (token bucket keyed by client IP; 0 disables)")
 		snapOut  = flag.String("snapshot", "", "also export the final REM in the binary snapshot codec (rem.ReadFrom loads it) to this path")
+		query    = flag.String("query", "", "query client mode: base URL of a running -serve instance (e.g. http://127.0.0.1:8080); POSTs -points for -key to /at and prints one value per line")
+		queryKey = flag.String("key", "", "with -query, the source key to query")
+		points   = flag.String("points", "", "with -query, the batch points as 'x,y,z;x,y,z;…' (z may be omitted)")
+		wire     = flag.String("wire", "json", "with -query, the wire format: json or binary (the printed values are identical)")
 	)
 	flag.Parse()
+
+	if *query != "" {
+		return runQuery(*query, *queryKey, *points, *wire)
+	}
 
 	cfg := core.DefaultConfig(*seed)
 	cfg.Workers = *workers
@@ -108,7 +132,7 @@ func run() error {
 		}
 		return runStream(cfg, stored, streamOpts{
 			window: *window, history: *history, shards: *shards,
-			out: *out, snapOut: *snapOut, serve: *serve,
+			out: *out, snapOut: *snapOut, serve: *serve, rate: *rate,
 			dark: *dark, slice: *slice,
 		})
 	}
@@ -151,6 +175,132 @@ func run() error {
 	return writeCSVOut(m, *out)
 }
 
+// runQuery is the -query client: one batch POST to /at of a running
+// -serve instance, over the JSON or the binary wire. Both wires print
+// the same lines — one shortest-round-trip decimal per value, "null"
+// for a non-finite one — so the CI smoke can diff the two outputs
+// byte for byte (rule 8 over the wire). The serving snapshot version
+// goes to stderr.
+func runQuery(base, key, pointsSpec, wire string) error {
+	if key == "" || pointsSpec == "" {
+		return errors.New("-query needs -key and -points")
+	}
+	pts, err := parsePoints(pointsSpec)
+	if err != nil {
+		return err
+	}
+	url := strings.TrimRight(base, "/") + "/at"
+
+	var vals []float64
+	var version uint64
+	switch wire {
+	case "json":
+		body, err := json.Marshal(struct {
+			Key    string       `json:"key"`
+			Points [][3]float64 `json:"points"`
+		}{key, pts})
+		if err != nil {
+			return err
+		}
+		resp, err := http.Post(url, "application/json", strings.NewReader(string(body)))
+		if err != nil {
+			return err
+		}
+		raw, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if rerr != nil {
+			return rerr
+		}
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("POST /at: %s: %s", resp.Status, strings.TrimSpace(string(raw)))
+		}
+		var out struct {
+			Values  []*float64 `json:"values"`
+			Version uint64     `json:"version"`
+		}
+		if err := json.Unmarshal(raw, &out); err != nil {
+			return err
+		}
+		vals = make([]float64, len(out.Values))
+		for i, v := range out.Values {
+			if v == nil {
+				vals[i] = math.NaN() // prints as "null", like the JSON wire sent it
+			} else {
+				vals[i] = *v
+			}
+		}
+		version = out.Version
+	case "binary":
+		gpts := make([]geom.Vec3, len(pts))
+		for i, p := range pts {
+			gpts[i] = geom.Vec3{X: p[0], Y: p[1], Z: p[2]}
+		}
+		body := remserve.AppendBatchRequest(nil, key, gpts)
+		req, err := http.NewRequest(http.MethodPost, url, strings.NewReader(string(body)))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", remserve.WireContentType)
+		req.Header.Set("Accept", remserve.WireContentType)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			return err
+		}
+		raw, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if rerr != nil {
+			return rerr
+		}
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("POST /at: %s: %s", resp.Status, strings.TrimSpace(string(raw)))
+		}
+		if vals, version, err = remserve.DecodeBatchResponse(raw); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown -wire %q (want json or binary)", wire)
+	}
+
+	fmt.Fprintf(os.Stderr, "version %d (%s wire, %d values)\n", version, wire, len(vals))
+	for _, v := range vals {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			fmt.Println("null")
+		} else {
+			fmt.Println(strconv.FormatFloat(v, 'g', -1, 64))
+		}
+	}
+	return nil
+}
+
+// parsePoints parses the -points spec: semicolon-separated triples of
+// comma-separated coordinates, z optional ("1,2;3,4,5").
+func parsePoints(spec string) ([][3]float64, error) {
+	var pts [][3]float64
+	for _, group := range strings.Split(spec, ";") {
+		group = strings.TrimSpace(group)
+		if group == "" {
+			continue
+		}
+		comps := strings.Split(group, ",")
+		if len(comps) != 2 && len(comps) != 3 {
+			return nil, fmt.Errorf("bad point %q: want x,y or x,y,z", group)
+		}
+		var p [3]float64
+		for i, c := range comps {
+			v, err := strconv.ParseFloat(strings.TrimSpace(c), 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad point %q: %w", group, err)
+			}
+			p[i] = v
+		}
+		pts = append(pts, p)
+	}
+	if len(pts) == 0 {
+		return nil, errors.New("-points is empty")
+	}
+	return pts, nil
+}
+
 // reportMap writes the REM summary, coverage figures and the optional
 // slice heatmap to stderr — shared by the batch and streaming paths so
 // their reporting cannot drift apart.
@@ -177,6 +327,7 @@ func reportMap(m *rem.Map, dark, slice float64) error {
 type streamOpts struct {
 	window, history, shards int
 	out, snapOut, serve     string
+	rate                    float64
 	dark, slice             float64
 }
 
@@ -215,10 +366,11 @@ func runStream(base core.Config, stored *dataset.Dataset, opts streamOpts) error
 		defer cancel()
 		cfg.Context = ctx
 		cfg.OnStore = func(st *remstore.Store, ss *remshard.ShardedStore) {
+			sopts := remserve.Options{RateLimit: remserve.RateLimit{RPS: opts.rate}}
 			if ss != nil {
-				srv = remserve.NewSharded(ss, remserve.Options{})
+				srv = remserve.NewSharded(ss, sopts)
 			} else {
-				srv = remserve.NewStore(st, remserve.Options{})
+				srv = remserve.NewStore(st, sopts)
 			}
 			l, err := net.Listen("tcp", opts.serve)
 			if err != nil {

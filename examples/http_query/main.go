@@ -166,6 +166,42 @@ func run() error {
 	r.Body.Close()
 	fmt.Printf("batch of %d points served by v%d\n", len(br.Values), br.Version)
 
+	// The same batch over the binary wire: Content-Type selects the
+	// request codec, Accept the response codec. The value block carries
+	// raw float64 bits — bit-identical to what the JSON response rendered.
+	wireBody := remserve.AppendBatchRequest(nil, key,
+		[]geom.Vec3{probe, {X: 0.5, Y: 0.5, Z: 0.5}, {X: 3, Y: 2, Z: 2}})
+	wreq, err := http.NewRequest(http.MethodPost, base+"/at", bytes.NewReader(wireBody))
+	if err != nil {
+		return err
+	}
+	wreq.Header.Set("Content-Type", remserve.WireContentType)
+	wreq.Header.Set("Accept", remserve.WireContentType)
+	r, err = client.Do(wreq)
+	if err != nil {
+		return err
+	}
+	wireResp, err := io.ReadAll(r.Body)
+	r.Body.Close()
+	if err != nil {
+		return err
+	}
+	wvals, wver, err := remserve.DecodeBatchResponse(wireResp)
+	if err != nil {
+		return err
+	}
+	for i, v := range wvals {
+		jv := math.NaN()
+		if br.Values[i] != nil {
+			jv = *br.Values[i]
+		}
+		if math.Float64bits(v) != math.Float64bits(jv) && !(math.IsNaN(v) && br.Values[i] == nil) {
+			return fmt.Errorf("rule 8 violated on the binary wire: value %d is %v binary vs %v JSON", i, v, jv)
+		}
+	}
+	fmt.Printf("binary wire: %d-byte request, %d-byte response, v%d — values ≡ JSON bit for bit\n",
+		len(wireBody), len(wireResp), wver)
+
 	// Best-server query: merged across shards, same winner as the
 	// library call.
 	r, err = client.Get(fmt.Sprintf("%s/strongest?x=%g&y=%g&z=%g", base, probe.X, probe.Y, probe.Z))

@@ -2,7 +2,6 @@ package rem
 
 import (
 	"bufio"
-	"encoding/binary"
 	"fmt"
 	"io"
 	"math"
@@ -56,12 +55,12 @@ func (cw *codecWriter) bytes(p []byte) {
 }
 
 func (cw *codecWriter) u32(v uint32) {
-	binary.LittleEndian.PutUint32(cw.buf[:4], v)
+	PutU32(cw.buf[:4], v)
 	cw.bytes(cw.buf[:4])
 }
 
 func (cw *codecWriter) u64(v uint64) {
-	binary.LittleEndian.PutUint64(cw.buf[:8], v)
+	PutU64(cw.buf[:8], v)
 	cw.bytes(cw.buf[:8])
 }
 
@@ -167,14 +166,14 @@ func (cr *codecReader) u32() (uint32, error) {
 	if err := cr.bytes(cr.buf[:4]); err != nil {
 		return 0, err
 	}
-	return binary.LittleEndian.Uint32(cr.buf[:4]), nil
+	return U32(cr.buf[:4]), nil
 }
 
 func (cr *codecReader) u64() (uint64, error) {
 	if err := cr.bytes(cr.buf[:8]); err != nil {
 		return 0, err
 	}
-	return binary.LittleEndian.Uint64(cr.buf[:8]), nil
+	return U64(cr.buf[:8]), nil
 }
 
 func (cr *codecReader) f64() (float64, error) {

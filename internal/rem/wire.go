@@ -1,0 +1,53 @@
+package rem
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// Wire primitives: the little-endian integer and float encodings the
+// snapshot codec (codec.go) is built from, exported so every other
+// binary surface in the repo — the remserve batch wire format, client
+// tools, examples — speaks exactly the same dialect instead of growing
+// a second one. A float64 is always its IEEE-754 bits as a little-endian
+// uint64 (NaN payloads survive), integers are fixed-width little-endian,
+// and multi-field layouts put a 4-byte magic and a u32 format version
+// first — the conventions WriteTo/ReadFrom established.
+
+// WireMaxKeyLen is the codec's bound on one key string's byte length,
+// shared with the snapshot format so no binary surface accepts a key
+// the snapshot codec would refuse to persist.
+const WireMaxKeyLen = codecMaxKey
+
+// PutU32 writes v into b[:4] little-endian.
+func PutU32(b []byte, v uint32) { binary.LittleEndian.PutUint32(b, v) }
+
+// PutU64 writes v into b[:8] little-endian.
+func PutU64(b []byte, v uint64) { binary.LittleEndian.PutUint64(b, v) }
+
+// PutF64 writes v's IEEE-754 bits into b[:8] little-endian.
+func PutF64(b []byte, v float64) { PutU64(b, math.Float64bits(v)) }
+
+// U32 reads a little-endian uint32 from b[:4].
+func U32(b []byte) uint32 { return binary.LittleEndian.Uint32(b) }
+
+// U64 reads a little-endian uint64 from b[:8].
+func U64(b []byte) uint64 { return binary.LittleEndian.Uint64(b) }
+
+// F64 reads a little-endian float64 (IEEE-754 bits) from b[:8].
+func F64(b []byte) float64 { return math.Float64frombits(U64(b)) }
+
+// AppendU32 appends v little-endian to b.
+func AppendU32(b []byte, v uint32) []byte {
+	return binary.LittleEndian.AppendUint32(b, v)
+}
+
+// AppendU64 appends v little-endian to b.
+func AppendU64(b []byte, v uint64) []byte {
+	return binary.LittleEndian.AppendUint64(b, v)
+}
+
+// AppendF64 appends v's IEEE-754 bits little-endian to b.
+func AppendF64(b []byte, v float64) []byte {
+	return AppendU64(b, math.Float64bits(v))
+}

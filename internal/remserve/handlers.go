@@ -1,6 +1,7 @@
 package remserve
 
 import (
+	"compress/gzip"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -32,12 +33,15 @@ import (
 
 // buffers is the per-request scratch a handler borrows from the pool:
 // the response body, the POST body, decoded points and query outputs.
+// wireKey memoises the last binary-batch key so steady-state binary
+// requests allocate nothing at all.
 type buffers struct {
-	out  []byte
-	body []byte
-	pts  []geom.Vec3
-	vals []float64
-	req  batchReq
+	out     []byte
+	body    []byte
+	pts     []geom.Vec3
+	vals    []float64
+	req     batchReq
+	wireKey string
 }
 
 // batchReq is the POST /at body shape.
@@ -48,17 +52,29 @@ type batchReq struct {
 
 var bufPool = sync.Pool{New: func() any { return new(buffers) }}
 
-// jsonCT and binCT are installed into response header maps as shared
-// slices so the hot path never allocates a header value. They are never
-// mutated.
+// jsonCT, binCT and wireCT are installed into response header maps as
+// shared slices so the hot path never allocates a header value. They
+// are never mutated.
 var (
 	jsonCT = []string{"application/json"}
 	binCT  = []string{"application/octet-stream"}
+	wireCT = []string{WireContentType}
+	varyAE = []string{"Accept-Encoding"}
 )
 
 // ServeHTTP routes the fixed endpoint set. Unknown paths get 404,
-// wrong methods 405 with an Allow header.
+// wrong methods 405 with an Allow header. With rate limiting enabled,
+// over-budget clients get 429 + Retry-After before any routing —
+// /healthz stays exempt so orchestrator readiness probes cannot be
+// throttled into a false "down".
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if s.limiter != nil && r.URL.Path != "/healthz" {
+		if ok, retryAfter := s.limiter.allow(r.RemoteAddr); !ok {
+			w.Header().Set("Retry-After", strconv.Itoa(retryAfter))
+			http.Error(w, "remserve: rate limit exceeded", http.StatusTooManyRequests)
+			return
+		}
+	}
 	switch r.URL.Path {
 	case "/at":
 		switch r.Method {
@@ -139,7 +155,20 @@ func writeJSON(w http.ResponseWriter, body []byte) {
 	w.Write(body)
 }
 
-// handleAt serves GET /at?key=K&x=…&y=…[&z=…].
+// writeWire is writeJSON's binary twin: a completed wire message from a
+// pooled buffer under the wire media type.
+func writeWire(w http.ResponseWriter, body []byte) {
+	h := w.Header()
+	if _, ok := h["Content-Type"]; !ok {
+		h["Content-Type"] = wireCT
+	}
+	w.Write(body)
+}
+
+// handleAt serves GET /at?key=K&x=…&y=…[&z=…]. An Accept naming the
+// binary wire media type switches the response to the "REMS" keyed
+// message (the raw value bits, no text rendering); JSON stays the
+// default.
 func (s *Server) handleAt(w http.ResponseWriter, r *http.Request) {
 	key, p, err := queryParams(r.URL.RawQuery, true)
 	if err != nil {
@@ -151,6 +180,14 @@ func (s *Server) handleAt(w http.ResponseWriter, r *http.Request) {
 		queryError(w, err)
 		return
 	}
+	if acceptsWire(r.Header.Get("Accept")) {
+		bb := bufPool.Get().(*buffers)
+		b := appendWireKeyedResponse(bb.out[:0], ver, key, v)
+		writeWire(w, b)
+		bb.out = b
+		bufPool.Put(bb)
+		return
+	}
 	bb := bufPool.Get().(*buffers)
 	b := append(bb.out[:0], `{"key":`...)
 	b = appendJSONString(b, key)
@@ -164,7 +201,9 @@ func (s *Server) handleAt(w http.ResponseWriter, r *http.Request) {
 	bufPool.Put(bb)
 }
 
-// handleStrongest serves GET /strongest?x=…&y=…[&z=…].
+// handleStrongest serves GET /strongest?x=…&y=…[&z=…], with the same
+// Accept-negotiated binary variant as GET /at (the winning key rides in
+// the "REMS" message).
 func (s *Server) handleStrongest(w http.ResponseWriter, r *http.Request) {
 	_, p, err := queryParams(r.URL.RawQuery, false)
 	if err != nil {
@@ -176,6 +215,14 @@ func (s *Server) handleStrongest(w http.ResponseWriter, r *http.Request) {
 		queryError(w, err)
 		return
 	}
+	if acceptsWire(r.Header.Get("Accept")) {
+		bb := bufPool.Get().(*buffers)
+		b := appendWireKeyedResponse(bb.out[:0], ver, key, v)
+		writeWire(w, b)
+		bb.out = b
+		bufPool.Put(bb)
+		return
+	}
 	bb := bufPool.Get().(*buffers)
 	b := append(bb.out[:0], `{"key":`...)
 	b = appendJSONString(b, key)
@@ -189,10 +236,15 @@ func (s *Server) handleStrongest(w http.ResponseWriter, r *http.Request) {
 	bufPool.Put(bb)
 }
 
-// handleAtBatch serves POST /at with {"key":K,"points":[[x,y,z],…]}:
-// the key is resolved once and the whole batch is answered by one
-// snapshot of the owning store. Bodies over MaxBatchBytes and batches
-// over MaxBatchPoints get 413.
+// handleAtBatch serves POST /at: the key is resolved once and the whole
+// batch is answered by one snapshot of the owning store. The request
+// codec follows Content-Type — the binary wire format
+// (application/x-rem-batch, decoded straight into the pooled point
+// buffer with zero text parsing) or JSON (the fast-path scanner with the
+// encoding/json fallback, unchanged) — and the response codec follows
+// Accept independently, so any of the four format pairings works.
+// Bodies over MaxBatchBytes and batches over MaxBatchPoints get 413 on
+// both codecs.
 func (s *Server) handleAtBatch(w http.ResponseWriter, r *http.Request) {
 	if r.ContentLength > s.maxBytes {
 		http.Error(w, fmt.Sprintf("remserve: batch body exceeds %d bytes", s.maxBytes), http.StatusRequestEntityTooLarge)
@@ -210,34 +262,16 @@ func (s *Server) handleAtBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		return
 	}
-	if !parseBatchFast(body, &bb.req) {
-		// Outside the fast subset: decode generically, so exotic-but-
-		// legal bodies still work and malformed ones get encoding/json's
-		// diagnostics.
-		bb.req.Key = ""
-		bb.req.Points = bb.req.Points[:0]
-		if err := json.Unmarshal(body, &bb.req); err != nil {
-			http.Error(w, "remserve: bad batch body: "+err.Error(), http.StatusBadRequest)
+	if isWireContentType(r.Header.Get("Content-Type")) {
+		if err := decodeWireBatch(body, bb, s.maxPoints); err != nil {
+			we := err.(*wireError)
+			http.Error(w, we.msg, we.status)
 			return
 		}
-	}
-	if bb.req.Key == "" {
-		http.Error(w, `remserve: batch body needs a "key"`, http.StatusBadRequest)
+	} else if err := s.parseJSONBatch(body, bb); err != nil {
+		we := err.(*wireError)
+		http.Error(w, we.msg, we.status)
 		return
-	}
-	if len(bb.req.Points) > s.maxPoints {
-		http.Error(w, fmt.Sprintf("remserve: batch of %d points exceeds the %d-point cap", len(bb.req.Points), s.maxPoints), http.StatusRequestEntityTooLarge)
-		return
-	}
-	bb.pts = bb.pts[:0]
-	for i, q := range bb.req.Points {
-		for _, c := range q {
-			if math.IsNaN(c) || math.IsInf(c, 0) {
-				http.Error(w, fmt.Sprintf("remserve: point %d is not finite", i), http.StatusBadRequest)
-				return
-			}
-		}
-		bb.pts = append(bb.pts, geom.V(q[0], q[1], q[2]))
 	}
 	if cap(bb.vals) < len(bb.pts) {
 		bb.vals = make([]float64, len(bb.pts))
@@ -246,6 +280,12 @@ func (s *Server) handleAtBatch(w http.ResponseWriter, r *http.Request) {
 	ver, err := s.b.AtBatchInto(vals, bb.req.Key, bb.pts)
 	if err != nil {
 		queryError(w, err)
+		return
+	}
+	if acceptsWire(r.Header.Get("Accept")) {
+		b := appendWireBatchResponse(bb.out[:0], ver, vals)
+		writeWire(w, b)
+		bb.out = b
 		return
 	}
 	b := append(bb.out[:0], `{"key":`...)
@@ -264,12 +304,50 @@ func (s *Server) handleAtBatch(w http.ResponseWriter, r *http.Request) {
 	bb.out = b
 }
 
+// parseJSONBatch is the JSON request codec: the strict fast-path
+// scanner, the encoding/json fallback for anything outside its subset,
+// then the finiteness and batch-size checks — producing bb.req.Key and
+// bb.pts exactly like the binary decoder does.
+func (s *Server) parseJSONBatch(body []byte, bb *buffers) error {
+	if !parseBatchFast(body, &bb.req) {
+		// Outside the fast subset: decode generically, so exotic-but-
+		// legal bodies still work and malformed ones get encoding/json's
+		// diagnostics.
+		bb.req.Key = ""
+		bb.req.Points = bb.req.Points[:0]
+		if err := json.Unmarshal(body, &bb.req); err != nil {
+			return wireErrorf(400, "remserve: bad batch body: %s", err.Error())
+		}
+	}
+	if bb.req.Key == "" {
+		return wireErrorf(400, `remserve: batch body needs a "key"`)
+	}
+	if len(bb.req.Points) > s.maxPoints {
+		return wireErrorf(413, "remserve: batch of %d points exceeds the %d-point cap", len(bb.req.Points), s.maxPoints)
+	}
+	bb.pts = bb.pts[:0]
+	for i, q := range bb.req.Points {
+		for _, c := range q {
+			if math.IsNaN(c) || math.IsInf(c, 0) {
+				return wireErrorf(400, "remserve: point %d is not finite", i)
+			}
+		}
+		bb.pts = append(bb.pts, geom.V(q[0], q[1], q[2]))
+	}
+	return nil
+}
+
 // handleSnapshot serves GET /snapshot: the binary codec of the serving
 // map (Map.WriteTo — byte-identical to a direct library export of the
 // same generation), with a strong ETag derived from the serving
 // version(s). If-None-Match on an unchanged map answers 304 with no
 // body, so a polling client pays one header exchange per unchanged
-// generation.
+// generation. An Accept-Encoding naming gzip compresses the codec
+// stream on the fly (pooled writers; decompressed bytes remain exactly
+// Map.WriteTo); the ETag is the generation validator and is shared by
+// both encodings — If-None-Match revalidation works identically with
+// and without compression — and Vary: Accept-Encoding keeps shared
+// caches from serving one client's encoding to the other.
 func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	m, tag, err := s.b.Snapshot()
 	if err != nil {
@@ -279,21 +357,68 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	etag := `"` + tag + `"`
 	h := w.Header()
 	h.Set("ETag", etag)
+	h["Vary"] = varyAE
 	if etagMatch(r.Header.Get("If-None-Match"), etag) {
 		w.WriteHeader(http.StatusNotModified)
 		return
 	}
 	h["Content-Type"] = binCT
 	h.Set("X-REM-Version", tag)
+	gz := acceptsGzip(r.Header.Get("Accept-Encoding"))
+	if gz {
+		h.Set("Content-Encoding", "gzip")
+	}
 	if r.Method == http.MethodHead {
 		// Validators are set; skip serialising a body net/http would
 		// discard anyway.
 		return
 	}
-	if _, err := m.WriteTo(w); err != nil {
-		// Headers are gone; all we can do is abandon the connection.
+	if !gz {
+		if _, err := m.WriteTo(w); err != nil {
+			// Headers are gone; all we can do is abandon the connection.
+			return
+		}
 		return
 	}
+	zw := gzPool.Get().(*gzip.Writer)
+	zw.Reset(w)
+	_, werr := m.WriteTo(zw)
+	cerr := zw.Close()
+	gzPool.Put(zw)
+	if werr != nil || cerr != nil {
+		// Headers (and possibly partial compressed bytes) are gone;
+		// abandon the connection.
+		return
+	}
+}
+
+// gzPool recycles gzip writers across /snapshot downloads — the
+// deflate state is ~hundreds of KB, far too much to allocate per
+// request.
+var gzPool = sync.Pool{New: func() any { return gzip.NewWriter(io.Discard) }}
+
+// acceptsGzip reports whether an Accept-Encoding header admits gzip:
+// a "gzip" (or "x-gzip") member without q=0. The bare wildcard is
+// deliberately not honoured — identity is this endpoint's default and
+// always acceptable.
+func acceptsGzip(header string) bool {
+	for header != "" {
+		var elem string
+		if i := strings.IndexByte(header, ','); i >= 0 {
+			elem, header = header[:i], header[i+1:]
+		} else {
+			elem, header = header, ""
+		}
+		coding := elem
+		if i := strings.IndexByte(elem, ';'); i >= 0 {
+			coding = elem[:i]
+		}
+		switch strings.ToLower(strings.TrimSpace(coding)) {
+		case "gzip", "x-gzip":
+			return !refusedByQ(elem)
+		}
+	}
+	return false
 }
 
 // etagMatch reports whether an If-None-Match header matches the given

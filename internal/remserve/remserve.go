@@ -213,6 +213,9 @@ type Options struct {
 	// MaxBatchPoints caps the points of one POST /at batch
 	// (≤ 0 means DefaultMaxBatchPoints).
 	MaxBatchPoints int
+	// RateLimit throttles per-client request rates (429 + Retry-After
+	// past the budget; /healthz exempt). The zero value disables it.
+	RateLimit RateLimit
 }
 
 // Server is the HTTP front. It is an http.Handler (mount it anywhere)
@@ -222,6 +225,7 @@ type Server struct {
 	b         Backend
 	maxBytes  int64
 	maxPoints int
+	limiter   *limiter
 
 	mu   sync.Mutex
 	hs   *http.Server
@@ -236,7 +240,12 @@ func New(b Backend, opts Options) *Server {
 	if opts.MaxBatchPoints <= 0 {
 		opts.MaxBatchPoints = DefaultMaxBatchPoints
 	}
-	return &Server{b: b, maxBytes: opts.MaxBatchBytes, maxPoints: opts.MaxBatchPoints}
+	return &Server{
+		b:         b,
+		maxBytes:  opts.MaxBatchBytes,
+		maxPoints: opts.MaxBatchPoints,
+		limiter:   newLimiter(opts.RateLimit),
+	}
 }
 
 // NewStore is New over a monolithic store.
