@@ -469,6 +469,95 @@ func BenchmarkREMIncrementalRebuild(b *testing.B) {
 }
 
 // ---------------------------------------------------------------------------
+// Delta-sync benchmarks (PR 7): the REMD tile-delta wire a remfollow
+// replica pulls instead of the full snapshot codec. Same paper-scale
+// 2-of-44-key targeted rebuild as the incremental-rebuild pair above, so
+// the wire ratio lines up with the tile-sharing ratio that produces it.
+
+// benchDeltaPair builds the paper-scale map plus a 2-dirty-key successor
+// and returns both with their codec sizes.
+func benchDeltaPair(b *testing.B) (base, next *rem.Map, fullBytes int) {
+	b.Helper()
+	base, predict, _ := benchREMMap(b)
+	// Shift the rebuilt keys' field so the delta carries real changes —
+	// re-running the same deterministic predictor would produce bitwise
+	// identical tiles and an empty delta.
+	shifted := func(centers []geom.Vec3, keyIdx int) ([]float64, error) {
+		out, err := predict(centers, keyIdx)
+		for i := range out {
+			out[i] -= 2.5
+		}
+		return out, err
+	}
+	next, err := base.RebuildKeys([]int{1, 2}, shifted, rem.BuildOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := next.WriteTo(&buf); err != nil {
+		b.Fatal(err)
+	}
+	return base, next, buf.Len()
+}
+
+// BenchmarkREMDeltaEncode is the leader's side of /delta: diff two
+// generations and serialise the changed tiles. The delta-bytes and
+// full-bytes metrics pin the wire saving (acceptance: delta ≤ 25% of
+// the full codec for a 2-of-44-key rebuild).
+func BenchmarkREMDeltaEncode(b *testing.B) {
+	base, next, fullBytes := benchDeltaPair(b)
+	var buf []byte
+	var err error
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if buf, err = rem.AppendDelta(buf[:0], base, next); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(buf)), "delta-bytes")
+	b.ReportMetric(float64(fullBytes), "full-bytes")
+	b.ReportMetric(float64(len(buf))/float64(fullBytes), "delta/full")
+}
+
+// BenchmarkREMDeltaApply is the follower's side: validate (CRC first)
+// and materialise the next generation, sharing every unchanged tile
+// with the base copy-on-write.
+func BenchmarkREMDeltaApply(b *testing.B) {
+	base, next, _ := benchDeltaPair(b)
+	delta, err := rem.AppendDelta(nil, base, next)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rem.ApplyDelta(base, delta); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkREMDeltaRoundTrip is one full replica sync step off the wire:
+// encode on the leader, apply on the follower — the compute cost a
+// follower poll adds beyond the HTTP transfer itself.
+func BenchmarkREMDeltaRoundTrip(b *testing.B) {
+	base, next, _ := benchDeltaPair(b)
+	var buf []byte
+	var err error
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if buf, err = rem.AppendDelta(buf[:0], base, next); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := rem.ApplyDelta(base, buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
 // Batched-query benchmarks: the point-wise At loop against AtBatchInto
 // (key resolved once, zero allocations) over the same 512 points —
 // byte-identical values, only the per-query overhead differs.

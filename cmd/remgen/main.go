@@ -35,6 +35,15 @@
 // what the CI smoke diffs:
 //
 //	remgen -query http://127.0.0.1:8080 -key aa:.. -points "1,2,3;4,5,6" -wire binary
+//
+// With -follow, remgen is a replica: it polls a running -serve leader,
+// pulls tile deltas (full snapshots only on first contact or after
+// corruption), and serves the replicated REM on -serve through leader
+// outages — stale reads keep working, /healthz flips to 503 past the
+// staleness bound, and the follower resyncs automatically when the
+// leader returns:
+//
+//	remgen -follow http://127.0.0.1:8080 -serve 127.0.0.1:8081 -poll 500ms -staleness 10s
 package main
 
 import (
@@ -59,6 +68,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/geom"
 	"repro/internal/rem"
+	"repro/internal/remfollow"
 	"repro/internal/remserve"
 	"repro/internal/remshard"
 	"repro/internal/remstore"
@@ -73,30 +83,39 @@ func main() {
 
 func run() error {
 	var (
-		seed     = flag.Uint64("seed", 1, "master seed for the simulated world")
-		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "worker-pool size for training, evaluation and REM rasterisation (results are identical for any value)")
-		out      = flag.String("o", "-", "REM CSV output path ('-' for stdout)")
-		res      = flag.String("res", "12x10x6", "REM grid resolution as NXxNYxNZ")
-		extended = flag.Bool("extended", false, "include IDW/kriging estimators")
-		dataCSV  = flag.String("dataset", "", "optional stored dataset CSV to re-analyse instead of flying")
-		dark     = flag.Float64("dark", -85, "dark-region threshold in dBm for the coverage summary")
-		slice    = flag.Float64("slice", -1, "if ≥ 0, render an ASCII heatmap of the strongest AP at this height (m) to stderr")
-		stream   = flag.Bool("stream", false, "run the windowed incremental pipeline: one published REM snapshot per sample window")
-		window   = flag.Int("window", 0, "with -stream, preprocessed rows per window (≤0 splits the mission into 4 windows)")
-		history  = flag.Int("history", 0, "with -stream, retained snapshot history (≤0 uses the store default)")
-		shards   = flag.Int("shards", 0, "with -stream, partition the vocabulary across N independent stores (hash-by-MAC routing); only the shards a window dirties rebuild and publish")
-		serve    = flag.String("serve", "", "with -stream, serve the live store over HTTP on this address (e.g. 127.0.0.1:8080) while and after streaming; SIGINT/SIGTERM stop cleanly")
-		rate     = flag.Float64("rate", 0, "with -serve, per-client request budget in requests/second (token bucket keyed by client IP; 0 disables)")
-		snapOut  = flag.String("snapshot", "", "also export the final REM in the binary snapshot codec (rem.ReadFrom loads it) to this path")
-		query    = flag.String("query", "", "query client mode: base URL of a running -serve instance (e.g. http://127.0.0.1:8080); POSTs -points for -key to /at and prints one value per line")
-		queryKey = flag.String("key", "", "with -query, the source key to query")
-		points   = flag.String("points", "", "with -query, the batch points as 'x,y,z;x,y,z;…' (z may be omitted)")
-		wire     = flag.String("wire", "json", "with -query, the wire format: json or binary (the printed values are identical)")
+		seed      = flag.Uint64("seed", 1, "master seed for the simulated world")
+		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "worker-pool size for training, evaluation and REM rasterisation (results are identical for any value)")
+		out       = flag.String("o", "-", "REM CSV output path ('-' for stdout)")
+		res       = flag.String("res", "12x10x6", "REM grid resolution as NXxNYxNZ")
+		extended  = flag.Bool("extended", false, "include IDW/kriging estimators")
+		dataCSV   = flag.String("dataset", "", "optional stored dataset CSV to re-analyse instead of flying")
+		dark      = flag.Float64("dark", -85, "dark-region threshold in dBm for the coverage summary")
+		slice     = flag.Float64("slice", -1, "if ≥ 0, render an ASCII heatmap of the strongest AP at this height (m) to stderr")
+		stream    = flag.Bool("stream", false, "run the windowed incremental pipeline: one published REM snapshot per sample window")
+		window    = flag.Int("window", 0, "with -stream, preprocessed rows per window (≤0 splits the mission into 4 windows)")
+		history   = flag.Int("history", 0, "with -stream or -follow, retained snapshot history (≤0 uses the store default)")
+		shards    = flag.Int("shards", 0, "with -stream, partition the vocabulary across N independent stores (hash-by-MAC routing); only the shards a window dirties rebuild and publish")
+		serve     = flag.String("serve", "", "with -stream or -follow, serve over HTTP on this address (e.g. 127.0.0.1:8080); SIGINT/SIGTERM stop cleanly")
+		rate      = flag.Float64("rate", 0, "with -serve, per-client request budget in requests/second (token bucket keyed by client IP; 0 disables)")
+		snapOut   = flag.String("snapshot", "", "also export the final REM in the binary snapshot codec (rem.ReadFrom loads it) to this path")
+		follow    = flag.String("follow", "", "follower mode: base URL of a running -serve leader to replicate (delta sync); serve the replica on -serve, stop with SIGINT/SIGTERM")
+		poll      = flag.Duration("poll", 0, "with -follow, the leader poll interval (0 uses the follower default)")
+		staleness = flag.Duration("staleness", 0, "with -follow, how old the last successful sync may get before /healthz reports 503 stale (0 uses the follower default)")
+		query     = flag.String("query", "", "query client mode: base URL of a running -serve instance (e.g. http://127.0.0.1:8080); POSTs -points for -key to /at and prints one value per line")
+		queryKey  = flag.String("key", "", "with -query, the source key to query")
+		points    = flag.String("points", "", "with -query, the batch points as 'x,y,z;x,y,z;…' (z may be omitted)")
+		wire      = flag.String("wire", "json", "with -query, the wire format: json or binary (the printed values are identical)")
 	)
 	flag.Parse()
 
 	if *query != "" {
 		return runQuery(*query, *queryKey, *points, *wire)
+	}
+	if *follow != "" {
+		return runFollow(*follow, *serve, *poll, *staleness, *history)
+	}
+	if *poll != 0 || *staleness != 0 {
+		return errors.New("-poll and -staleness configure the follower; add -follow URL")
 	}
 
 	cfg := core.DefaultConfig(*seed)
@@ -270,6 +289,62 @@ func runQuery(base, key, pointsSpec, wire string) error {
 		}
 	}
 	return nil
+}
+
+// runFollow is the -follow replica: a remfollow.Follower polling the
+// leader for tile deltas and serving the replicated store on addr. The
+// sync loop and the HTTP front run until SIGINT/SIGTERM; the loop is
+// deliberately unkillable by leader failures — it backs off, resyncs,
+// and keeps serving the last good generation throughout.
+func runFollow(leader, addr string, poll, staleness time.Duration, history int) error {
+	if addr == "" {
+		return errors.New("-follow needs -serve ADDR to expose the replica")
+	}
+	f, err := remfollow.New(remfollow.Config{
+		Leader:       leader,
+		Poll:         poll,
+		MaxStaleness: staleness,
+		History:      history,
+	})
+	if err != nil {
+		return err
+	}
+
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "following %s; serving replica on http://%s\n", leader, l.Addr())
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- f.Serve(l) }()
+
+	runDone := make(chan struct{})
+	go func() { f.Run(ctx); close(runDone) }()
+
+	select {
+	case err := <-serveErr:
+		cancel()
+		<-runDone
+		if err != nil {
+			return err
+		}
+		return errors.New("remgen: replica HTTP server stopped unexpectedly")
+	case <-ctx.Done():
+		fmt.Fprintln(os.Stderr, "remgen: interrupted; draining replica queries")
+		<-runDone
+		sctx, scancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer scancel()
+		if err := f.Shutdown(sctx); err != nil {
+			return err
+		}
+		s := f.SyncStats()
+		fmt.Fprintf(os.Stderr, "replica: version %s, %d syncs (%d deltas, %d fulls, %d unchanged), %d failures, %d resyncs\n",
+			s.Version, s.Syncs, s.Deltas, s.Fulls, s.NotModified, s.Failures, s.Resyncs)
+		return <-serveErr
+	}
 }
 
 // parsePoints parses the -points spec: semicolon-separated triples of

@@ -3,6 +3,7 @@ package rem
 import (
 	"bufio"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"math"
 
@@ -18,16 +19,27 @@ import (
 //
 // Layout (all integers little-endian):
 //
-//	magic "REMT" | u32 format version (1)
+//	magic "REMT" | u32 format version (2)
 //	6 × f64 volume (Min.X Min.Y Min.Z Max.X Max.Y Max.Z)
 //	u32 nx | u32 ny | u32 nz | u32 tile cells | u64 map version
 //	u32 nKeys | nKeys × (u32 byte length, key bytes)
 //	u32 nTiles | nTiles × u32 tile length   (the tile table)
 //	tile data: f64 bits in tile order
+//	u32 CRC-32 (IEEE) of every preceding byte   (version ≥ 2 only)
+//
+// Version 2 added the CRC-32 trailer so a reload — a follower resyncing
+// over a flaky network, a remgen restart from a snapshot file — detects
+// corrupt bytes instead of loading garbage that happens to parse.
+// ReadFrom still accepts version 1 streams (no trailer, no integrity
+// check) so snapshots persisted before the bump remain loadable;
+// WriteTo always writes version 2.
 
 const (
 	codecMagic   = "REMT"
-	codecVersion = 1
+	codecVersion = 2
+
+	// codecVersionNoCRC is the pre-trailer format, still readable.
+	codecVersionNoCRC = 1
 
 	// Codec sanity bounds: a header that declares more than these is
 	// rejected before any large allocation happens, so a corrupt or
@@ -41,6 +53,7 @@ const (
 type codecWriter struct {
 	w   *bufio.Writer
 	n   int64
+	crc uint32
 	err error
 	buf [8]byte
 }
@@ -49,6 +62,7 @@ func (cw *codecWriter) bytes(p []byte) {
 	if cw.err != nil {
 		return
 	}
+	cw.crc = crc32.Update(cw.crc, crc32.IEEETable, p)
 	n, err := cw.w.Write(p)
 	cw.n += int64(n)
 	cw.err = err
@@ -100,6 +114,9 @@ func (m *Map) WriteTo(w io.Writer) (int64, error) {
 			cw.f64(v)
 		}
 	}
+	// The trailer covers every byte before it; capture the sum first —
+	// writing the trailer itself must not fold into it.
+	cw.u32(cw.crc)
 	if cw.err == nil {
 		cw.err = cw.w.Flush()
 	}
@@ -151,6 +168,7 @@ func (m *Map) codecBounds() error {
 
 type codecReader struct {
 	r   io.Reader
+	crc uint32
 	buf [8]byte
 }
 
@@ -158,6 +176,9 @@ func (cr *codecReader) bytes(p []byte) error {
 	_, err := io.ReadFull(cr.r, p)
 	if err == io.EOF {
 		err = io.ErrUnexpectedEOF
+	}
+	if err == nil {
+		cr.crc = crc32.Update(cr.crc, crc32.IEEETable, p)
 	}
 	return err
 }
@@ -197,8 +218,8 @@ func ReadFrom(r io.Reader) (*Map, error) {
 	if err != nil {
 		return nil, fmt.Errorf("rem: reading format version: %w", err)
 	}
-	if ver != codecVersion {
-		return nil, fmt.Errorf("rem: unsupported format version %d (want %d)", ver, codecVersion)
+	if ver != codecVersion && ver != codecVersionNoCRC {
+		return nil, fmt.Errorf("rem: unsupported format version %d (want %d or %d)", ver, codecVersionNoCRC, codecVersion)
 	}
 	var vol [6]float64
 	for i := range vol {
@@ -290,6 +311,16 @@ func ReadFrom(r io.Reader) (*Map, error) {
 			}
 		}
 		m.tiles[t] = tile
+	}
+	if ver >= codecVersion {
+		sum := cr.crc // capture before the trailer read folds itself in
+		trailer, err := cr.u32()
+		if err != nil {
+			return nil, fmt.Errorf("rem: reading checksum trailer: %w", err)
+		}
+		if trailer != sum {
+			return nil, fmt.Errorf("rem: snapshot checksum mismatch: trailer %08x, content %08x", trailer, sum)
+		}
 	}
 	return m, nil
 }

@@ -141,6 +141,55 @@ func TestCodecRejectsCorruptHeaders(t *testing.T) {
 	}
 }
 
+// TestCodecChecksumCatchesBitFlips: any single flipped bit in a
+// version-2 stream is rejected — either by a structural check or,
+// for flips that still parse (cell values, the map version, the
+// trailer itself), by the CRC-32 trailer. Loading garbage that happens
+// to parse is exactly the failure mode the trailer exists to close.
+func TestCodecChecksumCatchesBitFlips(t *testing.T) {
+	m := randomMap(t, simrand.New(13))
+	var buf bytes.Buffer
+	if _, err := m.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	enc := buf.Bytes()
+	for off := 0; off < len(enc); off += 1 + off/9 {
+		b := append([]byte(nil), enc...)
+		b[off] ^= 0x08
+		if _, err := ReadFrom(bytes.NewReader(b)); err == nil {
+			t.Fatalf("flipped bit at byte %d/%d accepted", off, len(enc))
+		}
+	}
+}
+
+// TestCodecReadsVersion1: a pre-trailer stream (format version 1, no
+// CRC) still loads — snapshots persisted before the version bump stay
+// readable across the upgrade.
+func TestCodecReadsVersion1(t *testing.T) {
+	m := randomMap(t, simrand.New(17))
+	var buf bytes.Buffer
+	if _, err := m.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Rewrite the version field to 1 and strip the trailer — exactly the
+	// bytes the old encoder produced.
+	v1 := append([]byte(nil), buf.Bytes()[:buf.Len()-4]...)
+	PutU32(v1[4:], 1)
+	got, err := ReadFrom(bytes.NewReader(v1))
+	if err != nil {
+		t.Fatalf("version-1 stream rejected: %v", err)
+	}
+	if !got.Equal(m) || got.Version() != m.Version() {
+		t.Fatal("version-1 stream decoded differently")
+	}
+	// And a version-1 stream with trailing garbage appended decodes too:
+	// ReadFrom reads exactly the declared layout (the old reader's
+	// behaviour, preserved).
+	if _, err := ReadFrom(bytes.NewReader(append(v1, 0xEE))); err != nil {
+		t.Fatalf("version-1 stream with trailing bytes rejected: %v", err)
+	}
+}
+
 // TestCodecWriteToEnforcesBounds: a map ReadFrom would refuse must fail
 // at write time, not surface as an unreadable file at reload.
 func TestCodecWriteToEnforcesBounds(t *testing.T) {

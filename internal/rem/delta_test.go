@@ -1,0 +1,313 @@
+package rem
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/simrand"
+)
+
+// rebuiltPair returns a random map and a derivation with a random dirty
+// subset rebuilt through a perturbed predictor.
+func rebuiltPair(t *testing.T, rng *simrand.Source) (*Map, *Map, []int) {
+	t.Helper()
+	base := randomMap(t, rng)
+	nKeys := len(base.Keys())
+	dirty := make([]int, 0, nKeys)
+	for k := 0; k < nKeys; k++ {
+		if rng.Intn(2) == 0 {
+			dirty = append(dirty, k)
+		}
+	}
+	next, err := base.RebuildKeys(dirty, func(centers []geom.Vec3, k int) ([]float64, error) {
+		out := make([]float64, len(centers))
+		for i, p := range centers {
+			out[i] = -50 - p.X - float64(k) - float64(i%7)
+		}
+		return out, nil
+	}, BuildOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return base, next, dirty
+}
+
+// TestDeltaRoundTrip: AppendDelta → ApplyDelta reproduces the next
+// generation bit-for-bit across many random (base, next) pairs, and the
+// applied map shares every unchanged tile with the base (copy-on-write,
+// like RebuildKeys itself).
+func TestDeltaRoundTrip(t *testing.T) {
+	rng := simrand.New(99)
+	for trial := 0; trial < 30; trial++ {
+		base, next, _ := rebuiltPair(t, rng)
+		delta, err := AppendDelta(nil, base, next)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := ApplyDelta(base, delta)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !next.Equal(got) {
+			t.Fatalf("trial %d: applied delta differs from next generation", trial)
+		}
+		if got.Version() != next.Version() {
+			t.Fatalf("trial %d: applied version %d, want %d", trial, got.Version(), next.Version())
+		}
+		changed, err := DiffTiles(base, next)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := got.NumTiles() - len(changed); got.SharedTiles(base) != want {
+			t.Fatalf("trial %d: applied map shares %d tiles with base, want %d", trial, got.SharedTiles(base), want)
+		}
+		if bv, nv, err := DeltaVersions(delta); err != nil || bv != base.Version() || nv != next.Version() {
+			t.Fatalf("trial %d: DeltaVersions = (%d, %d, %v), want (%d, %d, nil)", trial, bv, nv, err, base.Version(), next.Version())
+		}
+	}
+}
+
+// TestDeltaDeterministic: the same pair encodes to the same bytes.
+func TestDeltaDeterministic(t *testing.T) {
+	rng := simrand.New(7)
+	base, next, _ := rebuiltPair(t, rng)
+	a, err := AppendDelta(nil, base, next)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := AppendDelta(nil, base, next)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("delta encoding is not deterministic")
+	}
+}
+
+// TestDeltaEmpty: a no-op derivation (empty dirty set) encodes a delta
+// with zero tiles that still applies and advances the version.
+func TestDeltaEmpty(t *testing.T) {
+	rng := simrand.New(11)
+	base := randomMap(t, rng)
+	next, err := base.RebuildKeys(nil, func(centers []geom.Vec3, k int) ([]float64, error) {
+		return make([]float64, len(centers)), nil
+	}, BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	delta, err := AppendDelta(nil, base, next)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := deltaHeaderLen + deltaTrailerLen; len(delta) != want {
+		t.Fatalf("empty delta is %d bytes, want %d", len(delta), want)
+	}
+	got, err := ApplyDelta(base, delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !next.Equal(got) || got.Version() != next.Version() {
+		t.Fatal("empty delta did not reproduce the next generation")
+	}
+}
+
+// TestDeltaSmallerThanSnapshot pins the economics the replication tier
+// exists for: a 2-of-many-key delta costs a small fraction of the full
+// snapshot encoding.
+func TestDeltaSmallerThanSnapshot(t *testing.T) {
+	keys := make([]string, 44)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("aa:bb:cc:00:00:%02x", i)
+	}
+	vol := geom.MustCuboid(geom.V(0, 0, 0), 4, 3, 2.6)
+	predict := func(centers []geom.Vec3, k int) ([]float64, error) {
+		out := make([]float64, len(centers))
+		for i, p := range centers {
+			out[i] = -60 - p.X - 2*p.Y - float64(k)
+		}
+		return out, nil
+	}
+	base, err := BuildMapBatch(vol, 12, 10, 6, keys, predict, BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	next, err := base.RebuildKeys([]int{3, 17}, func(centers []geom.Vec3, k int) ([]float64, error) {
+		out := make([]float64, len(centers))
+		for i := range centers {
+			out[i] = -40 - float64(i%5)
+		}
+		return out, nil
+	}, BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	delta, err := AppendDelta(nil, base, next)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var full bytes.Buffer
+	if _, err := next.WriteTo(&full); err != nil {
+		t.Fatal(err)
+	}
+	if ratio := float64(len(delta)) / float64(full.Len()); ratio > 0.25 {
+		t.Fatalf("2-of-44-key delta is %d bytes, full snapshot %d (%.1f%%) — want ≤ 25%%", len(delta), full.Len(), 100*ratio)
+	}
+}
+
+// TestDeltaRejects: every class of malformed or mismatched delta is an
+// error, never a silently wrong map.
+func TestDeltaRejects(t *testing.T) {
+	rng := simrand.New(23)
+	base, next, _ := rebuiltPair(t, rng)
+	good, err := AppendDelta(nil, base, next)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupt := func(mut func(d []byte)) []byte {
+		d := append([]byte(nil), good...)
+		mut(d)
+		return d
+	}
+	cases := map[string][]byte{
+		"truncated header": good[:deltaHeaderLen-3],
+		"truncated body":   good[:len(good)-5],
+		"bad magic":        corrupt(func(d []byte) { d[0] = 'X' }),
+		"bad version":      corrupt(func(d []byte) { d[4] = 9 }),
+		"flipped bit":      corrupt(func(d []byte) { d[len(d)/2] ^= 0x10 }),
+		"flipped trailer":  corrupt(func(d []byte) { d[len(d)-1] ^= 0xFF }),
+		"appended garbage": append(append([]byte(nil), good...), 0xAB),
+	}
+	for name, d := range cases {
+		if _, err := ApplyDelta(base, d); err == nil {
+			t.Errorf("%s: ApplyDelta accepted a corrupt delta", name)
+		}
+	}
+	// Wrong base generation: applying to next itself must fail the
+	// version check.
+	if _, err := ApplyDelta(next, good); err == nil {
+		t.Error("ApplyDelta accepted a mismatched base version")
+	}
+	// Drifted geometry: a different-resolution map can never accept it.
+	other, err := BuildMapBatch(geom.MustCuboid(geom.V(0, 0, 0), 1, 1, 1), 2, 2, 2,
+		base.Keys(), func(centers []geom.Vec3, k int) ([]float64, error) {
+			return make([]float64, len(centers)), nil
+		}, BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := AppendDelta(nil, base, other); err == nil {
+		t.Error("AppendDelta accepted geometry drift")
+	}
+}
+
+// TestDiffTilesFindsBitwiseChanges: a tile that was reallocated but
+// holds identical bits is not a change; a single flipped bit is.
+func TestDiffTilesFindsBitwiseChanges(t *testing.T) {
+	rng := simrand.New(5)
+	// Rebuild key 0 twice through the same pure position function: the
+	// second rebuild allocates fresh tiles holding identical bits, so the
+	// diff must be empty (this is also rule 7's worker invariance — the
+	// two rebuilds use different worker counts).
+	pure := func(centers []geom.Vec3, k int) ([]float64, error) {
+		out := make([]float64, len(centers))
+		for i, p := range centers {
+			out[i] = -55 - p.X - 2*p.Y - p.Z
+		}
+		return out, nil
+	}
+	base, err := randomMap(t, rng).RebuildKeys([]int{0}, pure, BuildOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same, err := base.RebuildKeys([]int{0}, pure, BuildOptions{Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	changed, err := DiffTiles(base, same)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(changed) != 0 {
+		t.Fatalf("bit-identical rebuild diffs as %d changed tiles", len(changed))
+	}
+	// Now flip one value's low bit in a detached copy of tile 0.
+	mut := &Map{
+		volume: base.volume,
+		nx:     base.nx, ny: base.ny, nz: base.nz,
+		stride: base.stride, tilesPerKey: base.tilesPerKey,
+		keys:    base.keys,
+		tiles:   append([][]float64(nil), base.tiles...),
+		version: base.version + 1,
+	}
+	tile := append([]float64(nil), mut.tiles[0]...)
+	tile[0] = math.Float64frombits(math.Float64bits(tile[0]) ^ 1)
+	mut.tiles[0] = tile
+	changed, err = DiffTiles(base, mut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(changed) != 1 || changed[0] != 0 {
+		t.Fatalf("single-bit flip diffs as %v, want [0]", changed)
+	}
+}
+
+// fuzzDeltaPair builds a small fixed (base, next) pair without a
+// *testing.T, for the fuzz seed corpus.
+func fuzzDeltaPair() (*Map, *Map, []byte) {
+	vol := geom.MustCuboid(geom.V(0, 0, 0), 3, 2, 1.5)
+	keys := []string{"0a:00", "0a:01", "0a:02"}
+	predict := func(centers []geom.Vec3, k int) ([]float64, error) {
+		out := make([]float64, len(centers))
+		for i, p := range centers {
+			out[i] = -60 - p.X - float64(k)
+		}
+		return out, nil
+	}
+	base, err := BuildMapBatch(vol, 6, 5, 4, keys, predict, BuildOptions{})
+	if err != nil {
+		panic(err)
+	}
+	next, err := base.RebuildKeys([]int{1}, func(centers []geom.Vec3, k int) ([]float64, error) {
+		out := make([]float64, len(centers))
+		for i := range centers {
+			out[i] = -45 - float64(i%3)
+		}
+		return out, nil
+	}, BuildOptions{})
+	if err != nil {
+		panic(err)
+	}
+	delta, err := AppendDelta(nil, base, next)
+	if err != nil {
+		panic(err)
+	}
+	return base, next, delta
+}
+
+// FuzzDeltaApply hammers ApplyDelta with arbitrary bytes: it must never
+// panic, and any delta it accepts against the fixed base must declare
+// the base's exact version and geometry (the validation contract).
+func FuzzDeltaApply(f *testing.F) {
+	basef, _, good := fuzzDeltaPair()
+	f.Add(good)
+	f.Add(good[:len(good)-1])
+	f.Add([]byte("REMD"))
+	f.Add([]byte{})
+	flip := append([]byte(nil), good...)
+	flip[len(flip)/3] ^= 0x40
+	f.Add(flip)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := ApplyDelta(basef, data)
+		if err != nil {
+			return
+		}
+		// Accepted ⇒ CRC, geometry echo and base version all matched; the
+		// result must be a well-formed map over the base geometry.
+		if len(m.Keys()) != len(basef.Keys()) || m.NumTiles() != basef.NumTiles() {
+			t.Fatal("accepted delta produced a map with drifted geometry")
+		}
+	})
+}

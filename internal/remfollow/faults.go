@@ -1,0 +1,146 @@
+package remfollow
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+)
+
+// FaultKind is one injectable failure class — together they span the
+// fault matrix the robustness tests drive: a leader that hangs, errors,
+// drops the connection, or hands back damaged bytes.
+type FaultKind int
+
+const (
+	// FaultNone passes the request through untouched.
+	FaultNone FaultKind = iota
+	// FaultTimeout blocks until the request context expires, like a
+	// leader that accepted the connection and went silent.
+	FaultTimeout
+	// FaultStatus short-circuits with Status (e.g. 500, 503, 429),
+	// optionally carrying RetryAfter.
+	FaultStatus
+	// FaultReset fails the round trip with a connection-reset error.
+	FaultReset
+	// FaultTruncate forwards the real response with the second half of
+	// its body cut off — a mid-transfer disconnect.
+	FaultTruncate
+	// FaultBitFlip forwards the real response with one bit flipped in
+	// the middle of the body — line corruption the CRC trailers must
+	// catch.
+	FaultBitFlip
+)
+
+// FaultStep is one scheduled fault.
+type FaultStep struct {
+	Kind FaultKind
+	// Status is the response code for FaultStatus.
+	Status int
+	// RetryAfter, if positive, is sent as a Retry-After header
+	// (delta-seconds) with FaultStatus.
+	RetryAfter int
+}
+
+// ErrConnReset is the error FaultReset fails with.
+var ErrConnReset = errors.New("connection reset by peer")
+
+// FaultTransport is an http.RoundTripper that injects a deterministic
+// fault schedule in front of a real transport: request n suffers
+// Schedule[n] (pass-through once the schedule is exhausted). It makes
+// every failure mode of a flaky leader reproducible in-process, under
+// the race detector, with no real network misbehaviour required.
+type FaultTransport struct {
+	// Inner performs the real round trips (nil means
+	// http.DefaultTransport).
+	Inner http.RoundTripper
+	// Schedule is consumed one step per request.
+	Schedule []FaultStep
+
+	mu   sync.Mutex
+	pos  int
+	reqs int
+}
+
+// Requests returns how many round trips have been attempted.
+func (t *FaultTransport) Requests() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.reqs
+}
+
+// Extend appends steps to the schedule (safe while in use — a test can
+// keep a converged follower misbehaving).
+func (t *FaultTransport) Extend(steps ...FaultStep) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.Schedule = append(t.Schedule, steps...)
+}
+
+func (t *FaultTransport) next() FaultStep {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.reqs++
+	if t.pos >= len(t.Schedule) {
+		return FaultStep{Kind: FaultNone}
+	}
+	step := t.Schedule[t.pos]
+	t.pos++
+	return step
+}
+
+func (t *FaultTransport) inner() http.RoundTripper {
+	if t.Inner != nil {
+		return t.Inner
+	}
+	return http.DefaultTransport
+}
+
+// RoundTrip applies the next scheduled fault.
+func (t *FaultTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	step := t.next()
+	switch step.Kind {
+	case FaultTimeout:
+		<-req.Context().Done()
+		return nil, req.Context().Err()
+	case FaultStatus:
+		h := make(http.Header)
+		if step.RetryAfter > 0 {
+			h.Set("Retry-After", strconv.Itoa(step.RetryAfter))
+		}
+		return &http.Response{
+			StatusCode: step.Status,
+			Status:     fmt.Sprintf("%d %s", step.Status, http.StatusText(step.Status)),
+			Proto:      "HTTP/1.1", ProtoMajor: 1, ProtoMinor: 1,
+			Header:  h,
+			Body:    io.NopCloser(bytes.NewReader(nil)),
+			Request: req,
+		}, nil
+	case FaultReset:
+		return nil, ErrConnReset
+	case FaultTruncate, FaultBitFlip:
+		resp, err := t.inner().RoundTrip(req)
+		if err != nil {
+			return nil, err
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return nil, err
+		}
+		if step.Kind == FaultTruncate {
+			body = body[:len(body)/2]
+		} else if len(body) > 0 {
+			body = append([]byte(nil), body...)
+			body[len(body)/2] ^= 0x20
+		}
+		resp.Body = io.NopCloser(bytes.NewReader(body))
+		resp.ContentLength = int64(len(body))
+		return resp, nil
+	default:
+		return t.inner().RoundTrip(req)
+	}
+}

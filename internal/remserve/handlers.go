@@ -55,11 +55,19 @@ var bufPool = sync.Pool{New: func() any { return new(buffers) }}
 // jsonCT, binCT and wireCT are installed into response header maps as
 // shared slices so the hot path never allocates a header value. They
 // are never mutated.
+// DeltaContentType is the media type of a GET /delta response carrying
+// a rem tile-delta ("REMD") message. A /delta response carrying a full
+// snapshot instead (base no longer retained) uses the /snapshot media
+// type, application/octet-stream — the Content-Type is how a follower
+// tells the two apart.
+const DeltaContentType = "application/x-rem-delta"
+
 var (
-	jsonCT = []string{"application/json"}
-	binCT  = []string{"application/octet-stream"}
-	wireCT = []string{WireContentType}
-	varyAE = []string{"Accept-Encoding"}
+	jsonCT  = []string{"application/json"}
+	binCT   = []string{"application/octet-stream"}
+	wireCT  = []string{WireContentType}
+	deltaCT = []string{DeltaContentType}
+	varyAE  = []string{"Accept-Encoding"}
 )
 
 // ServeHTTP routes the fixed endpoint set. Unknown paths get 404,
@@ -100,6 +108,11 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		s.handleSnapshot(w, r)
+	case "/delta":
+		if !getOrHead(w, r) {
+			return
+		}
+		s.handleDelta(w, r)
 	case "/healthz":
 		if !getOrHead(w, r) {
 			return
@@ -392,6 +405,61 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// handleDelta serves GET /delta?from=<tag>: the tile-delta ("REMD")
+// message that turns the client's generation — named by the version tag
+// it got from a previous /snapshot or /delta ETag — into the serving
+// one. If the client is already current, 304. If the named base is no
+// longer retained (evicted history, a restarted leader, a tag from
+// another deployment — the tag is untrusted input and any unresolvable
+// value lands here), the response degrades to the full snapshot codec,
+// distinguished by Content-Type, so one request always yields bytes the
+// follower can apply. Every 200 carries the serving tag in ETag and
+// X-REM-Version; a delta body also echoes its base in X-REM-Delta-Base.
+func (s *Server) handleDelta(w http.ResponseWriter, r *http.Request) {
+	m, tag, err := s.b.Snapshot()
+	if err != nil {
+		queryError(w, err)
+		return
+	}
+	from, err := unescape(r.URL.Query().Get("from"))
+	if err != nil || from == "" {
+		http.Error(w, `remserve: /delta needs a "from" version tag`, http.StatusBadRequest)
+		return
+	}
+	etag := `"` + tag + `"`
+	h := w.Header()
+	h.Set("ETag", etag)
+	if from == tag || etagMatch(r.Header.Get("If-None-Match"), etag) {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	h.Set("X-REM-Version", tag)
+	if base, ok := s.b.SnapshotAt(from); ok {
+		bb := bufPool.Get().(*buffers)
+		b, err := rem.AppendDelta(bb.out[:0], base, m)
+		if err == nil {
+			h["Content-Type"] = deltaCT
+			h.Set("X-REM-Delta-Base", from)
+			w.Write(b)
+			bb.out = b
+			bufPool.Put(bb)
+			return
+		}
+		// A retained base the serving map cannot diff against (geometry
+		// or vocabulary drift) degrades to a full snapshot like an
+		// evicted one.
+		bufPool.Put(bb)
+	}
+	h["Content-Type"] = binCT
+	if r.Method == http.MethodHead {
+		return
+	}
+	if _, err := m.WriteTo(w); err != nil {
+		// Headers are gone; abandon the connection.
+		return
+	}
+}
+
 // gzPool recycles gzip writers across /snapshot downloads — the
 // deflate state is ~hundreds of KB, far too much to allocate per
 // request.
@@ -453,20 +521,31 @@ func (s *Server) handleStats(w http.ResponseWriter) {
 }
 
 // handleHealthz serves GET /healthz: 200 {"status":"serving",…} once
-// every key-owning shard has published, 503 {"status":"empty",…}
-// before — so "poll until healthz is 200" is a complete readiness
-// check for the CI smoke and for orchestrators.
+// every key-owning shard has published, 503 before — so "poll until
+// healthz is 200" is a complete readiness check for the CI smoke and
+// for orchestrators. The 503 body names the condition: "empty" when
+// nothing has published, "degraded" when some shards serve and others
+// are still pending (a store mid-first-round), with the pending count —
+// an operator reading the probe sees which failure they have, not a
+// bare status code.
 func (s *Server) handleHealthz(w http.ResponseWriter) {
 	st := s.b.Stats()
 	status := "serving"
 	if !st.Serving {
 		status = "empty"
+		if st.Publishes > 0 {
+			status = "degraded"
+		}
 	}
 	bb := bufPool.Get().(*buffers)
 	b := append(bb.out[:0], `{"status":"`...)
 	b = append(b, status...)
 	b = append(b, `","shards":`...)
 	b = strconv.AppendInt(b, int64(st.Shards), 10)
+	if st.PendingShards > 0 {
+		b = append(b, `,"pending_shards":`...)
+		b = strconv.AppendInt(b, int64(st.PendingShards), 10)
+	}
 	b = append(b, `,"version":"`...)
 	b = append(b, st.Version...)
 	b = append(b, "\"}\n"...)

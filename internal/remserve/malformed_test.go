@@ -137,8 +137,12 @@ func TestEmptyAndPartialStores(t *testing.T) {
 	if status != http.StatusServiceUnavailable || !strings.Contains(string(body), "pending") {
 		t.Fatalf("partial store snapshot: status %d body %q, want 503 + pending", status, body)
 	}
-	if status, _, body := get(t, srv.URL+"/healthz"); status != http.StatusServiceUnavailable || !strings.Contains(string(body), `"empty"`) {
-		t.Fatalf("partial store healthz: status %d body %q, want 503 empty", status, body)
+	// A partial store is "degraded", not "empty": the body names the
+	// condition and counts the pending shards, so the probe distinguishes
+	// a store mid-first-round from one that has never published.
+	if status, _, body := get(t, srv.URL+"/healthz"); status != http.StatusServiceUnavailable ||
+		!strings.Contains(string(body), `"degraded"`) || !strings.Contains(string(body), `"pending_shards":1`) {
+		t.Fatalf("partial store healthz: status %d body %q, want 503 degraded with pending_shards", status, body)
 	}
 
 	// Complete the first round: everything serves.

@@ -14,7 +14,10 @@
 //	GET  /strongest?x=…&y=…[&z=…]  best-server query across all keys
 //	GET  /stats                    per-shard build/query/eviction counters
 //	GET  /snapshot                 binary codec of the serving map (ETag)
-//	GET  /healthz                  200 serving / 503 empty, version + shards
+//	GET  /delta?from=<tag>         tile delta since a retained generation
+//	                               (full snapshot when the base is gone)
+//	GET  /healthz                  200 serving / 503 empty or degraded,
+//	                               version + shards (+ pending count)
 //	GET  /version                  serving version tag + shard count
 //
 // Every successful query response carries the serving snapshot version
@@ -37,7 +40,9 @@ import (
 	"net"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/geom"
 	"repro/internal/rem"
@@ -67,6 +72,11 @@ type Backend interface {
 	// per-shard version vector for a sharded one. The tag uniquely
 	// identifies the returned bytes.
 	Snapshot() (*rem.Map, string, error)
+	// SnapshotAt resolves a historical generation by its version tag —
+	// the delta-base lookup behind GET /delta. ok=false means the
+	// generation is no longer retained (or the tag never named one), and
+	// the server falls back to a full snapshot.
+	SnapshotAt(tag string) (*rem.Map, bool)
 	// Stats returns the normalised aggregate view.
 	Stats() Stats
 }
@@ -92,6 +102,10 @@ type Stats struct {
 	Publishes uint64 `json:"publishes"`
 	// Evictions sums retention evictions across shards.
 	Evictions uint64 `json:"evictions"`
+	// PendingShards counts key-owning shards that have not published yet
+	// (0 once serving). /healthz names the store "degraded" — not merely
+	// "empty" — when some but not all shards are pending.
+	PendingShards int `json:"pending_shards"`
 	// PerShard is each shard store's own counters, indexed by shard.
 	PerShard []remstore.Stats `json:"per_shard"`
 }
@@ -107,6 +121,27 @@ func versionTag(versions []uint64) string {
 		b = strconv.AppendUint(b, v, 10)
 	}
 	return string(b)
+}
+
+// parseVersionTag inverts versionTag: a dotted tag back into a version
+// vector, or ok=false for anything malformed (a client-supplied tag is
+// untrusted input).
+func parseVersionTag(tag string) ([]uint64, bool) {
+	var versions []uint64
+	for len(tag) > 0 {
+		part := tag
+		if i := strings.IndexByte(tag, '.'); i >= 0 {
+			part, tag = tag[:i], tag[i+1:]
+		} else {
+			tag = ""
+		}
+		v, err := strconv.ParseUint(part, 10, 64)
+		if err != nil {
+			return nil, false
+		}
+		versions = append(versions, v)
+	}
+	return versions, len(versions) > 0
 }
 
 // storeBackend fronts one monolithic remstore.Store.
@@ -136,9 +171,21 @@ func (b storeBackend) Snapshot() (*rem.Map, string, error) {
 	return s.Map(), strconv.FormatUint(s.Version(), 10), nil
 }
 
+func (b storeBackend) SnapshotAt(tag string) (*rem.Map, bool) {
+	versions, ok := parseVersionTag(tag)
+	if !ok || len(versions) != 1 {
+		return nil, false
+	}
+	s := b.st.SnapshotAt(versions[0])
+	if s == nil {
+		return nil, false
+	}
+	return s.Map(), true
+}
+
 func (b storeBackend) Stats() Stats {
 	st := b.st.Stats()
-	return Stats{
+	out := Stats{
 		Serving:   st.CurrentVersion > 0,
 		Shards:    1,
 		Version:   versionTag([]uint64{st.CurrentVersion}),
@@ -147,6 +194,10 @@ func (b storeBackend) Stats() Stats {
 		Evictions: st.Evictions,
 		PerShard:  []remstore.Stats{st},
 	}
+	if !out.Serving {
+		out.PendingShards = 1
+	}
+	return out
 }
 
 // shardedBackend fronts a remshard.ShardedStore.
@@ -175,6 +226,14 @@ func (b shardedBackend) Snapshot() (*rem.Map, string, error) {
 	return m, versionTag(versions), nil
 }
 
+func (b shardedBackend) SnapshotAt(tag string) (*rem.Map, bool) {
+	versions, ok := parseVersionTag(tag)
+	if !ok || len(versions) != b.ss.NumShards() {
+		return nil, false
+	}
+	return b.ss.MergedSnapshotAt(versions)
+}
+
 func (b shardedBackend) Stats() Stats {
 	st := b.ss.Stats()
 	out := Stats{
@@ -191,6 +250,7 @@ func (b shardedBackend) Stats() Stats {
 		out.Evictions += ps.Evictions
 		if ps.CurrentVersion == 0 && b.ss.ShardLen(si) > 0 {
 			out.Serving = false
+			out.PendingShards++
 		}
 	}
 	out.Version = versionTag(versions)
@@ -203,6 +263,20 @@ const (
 	// DefaultMaxBatchPoints caps the points of one batch; larger
 	// batches get 413.
 	DefaultMaxBatchPoints = 8192
+
+	// DefaultReadHeaderTimeout bounds how long a connection may sit
+	// between accept and a complete request header — the slowloris
+	// guard. Every response the server assembles is small or streamed
+	// from an immutable snapshot, so generous read/idle bounds cost
+	// nothing while unbounded ones leak a goroutine and a connection per
+	// stalled client.
+	DefaultReadHeaderTimeout = 5 * time.Second
+	// DefaultReadTimeout bounds reading one full request (headers and
+	// body; POST /at bodies are capped at MaxBatchBytes anyway).
+	DefaultReadTimeout = 30 * time.Second
+	// DefaultIdleTimeout bounds how long a keep-alive connection may sit
+	// idle between requests.
+	DefaultIdleTimeout = 2 * time.Minute
 )
 
 // Options tunes a Server.
@@ -216,6 +290,24 @@ type Options struct {
 	// RateLimit throttles per-client request rates (429 + Retry-After
 	// past the budget; /healthz exempt). The zero value disables it.
 	RateLimit RateLimit
+	// ReadHeaderTimeout, ReadTimeout and IdleTimeout harden the listener
+	// against stalled and idle clients. Zero means the package default
+	// (DefaultReadHeaderTimeout etc.); negative disables that bound.
+	ReadHeaderTimeout time.Duration
+	ReadTimeout       time.Duration
+	IdleTimeout       time.Duration
+}
+
+// timeoutOr resolves one Options timeout: zero → default, negative →
+// disabled (0 in net/http terms).
+func timeoutOr(v, def time.Duration) time.Duration {
+	if v == 0 {
+		return def
+	}
+	if v < 0 {
+		return 0
+	}
+	return v
 }
 
 // Server is the HTTP front. It is an http.Handler (mount it anywhere)
@@ -226,6 +318,10 @@ type Server struct {
 	maxBytes  int64
 	maxPoints int
 	limiter   *limiter
+
+	readHeaderTimeout time.Duration
+	readTimeout       time.Duration
+	idleTimeout       time.Duration
 
 	mu   sync.Mutex
 	hs   *http.Server
@@ -241,10 +337,13 @@ func New(b Backend, opts Options) *Server {
 		opts.MaxBatchPoints = DefaultMaxBatchPoints
 	}
 	return &Server{
-		b:         b,
-		maxBytes:  opts.MaxBatchBytes,
-		maxPoints: opts.MaxBatchPoints,
-		limiter:   newLimiter(opts.RateLimit),
+		b:                 b,
+		maxBytes:          opts.MaxBatchBytes,
+		maxPoints:         opts.MaxBatchPoints,
+		limiter:           newLimiter(opts.RateLimit),
+		readHeaderTimeout: timeoutOr(opts.ReadHeaderTimeout, DefaultReadHeaderTimeout),
+		readTimeout:       timeoutOr(opts.ReadTimeout, DefaultReadTimeout),
+		idleTimeout:       timeoutOr(opts.IdleTimeout, DefaultIdleTimeout),
 	}
 }
 
@@ -258,11 +357,22 @@ func NewSharded(ss *remshard.ShardedStore, opts Options) *Server {
 	return New(ShardedBackend(ss), opts)
 }
 
+// httpServer assembles the hardened net/http server Serve runs: the
+// handler plus the configured connection-lifecycle bounds.
+func (s *Server) httpServer() *http.Server {
+	return &http.Server{
+		Handler:           s,
+		ReadHeaderTimeout: s.readHeaderTimeout,
+		ReadTimeout:       s.readTimeout,
+		IdleTimeout:       s.idleTimeout,
+	}
+}
+
 // Serve accepts connections on l until Shutdown; a clean shutdown
 // returns nil. The bound address is available via Addr from the moment
 // Serve is entered.
 func (s *Server) Serve(l net.Listener) error {
-	hs := &http.Server{Handler: s}
+	hs := s.httpServer()
 	s.mu.Lock()
 	s.hs = hs
 	s.addr = l.Addr().String()

@@ -532,6 +532,38 @@ func (s *ShardedStore) MergedSnapshotVersions() (*rem.Map, []uint64, error) {
 	return m, versions, nil
 }
 
+// MergedSnapshotAt reassembles the historical merged view identified by
+// a version vector (versions[si] = shard si's snapshot version;
+// key-less shards are ignored). It succeeds only if every key-owning
+// shard still retains its snapshot at exactly that version — the
+// delta-base lookup behind the HTTP front's "changes since <etag>"
+// endpoint. ok=false means at least one constituent was evicted (or
+// never existed) and the caller must fall back to a full snapshot.
+func (s *ShardedStore) MergedSnapshotAt(versions []uint64) (*rem.Map, bool) {
+	if len(versions) != len(s.shards) {
+		return nil, false
+	}
+	var parts []*rem.Map
+	for si, sh := range s.shards {
+		if len(sh.keys) == 0 {
+			continue
+		}
+		snap := sh.store.SnapshotAt(versions[si])
+		if snap == nil {
+			return nil, false
+		}
+		parts = append(parts, snap.Map())
+	}
+	if len(parts) == 0 {
+		return nil, false
+	}
+	m, err := rem.Merge(s.keys, parts)
+	if err != nil {
+		return nil, false
+	}
+	return m, true
+}
+
 // Stats is the aggregate view across shards.
 type Stats struct {
 	// Shards is the shard count.

@@ -443,3 +443,57 @@ func TestShardedValidation(t *testing.T) {
 		t.Fatalf("no-op round = %+v", r)
 	}
 }
+
+// TestMergedSnapshotAt: a version vector resolves to the exact merged
+// view that was serving when the vector was captured — as long as every
+// constituent shard snapshot is still retained.
+func TestMergedSnapshotAt(t *testing.T) {
+	h := newHarness(t, 9, HashByKey{}, 3)
+	type gen struct {
+		versions []uint64
+		m        *rem.Map
+	}
+	var gens []gen
+	for r := 0; r < 3; r++ {
+		h.round([]int{ml.DirtyAll})
+		m, versions, err := h.sharded.MergedSnapshotVersions()
+		if err != nil {
+			t.Fatal(err)
+		}
+		gens = append(gens, gen{versions: versions, m: m})
+	}
+	for i, g := range gens {
+		got, ok := h.sharded.MergedSnapshotAt(g.versions)
+		if !ok {
+			t.Fatalf("generation %d no longer resolvable", i)
+		}
+		if !got.Equal(g.m) {
+			t.Fatalf("generation %d reconstructed differently", i)
+		}
+	}
+	// A vector naming a version no shard ever published, or of the wrong
+	// length, is unresolvable.
+	bogus := append([]uint64(nil), gens[0].versions...)
+	bogus[0] = 99
+	if _, ok := h.sharded.MergedSnapshotAt(bogus); ok {
+		t.Fatal("bogus version vector resolved")
+	}
+	if _, ok := h.sharded.MergedSnapshotAt(gens[0].versions[:1]); ok {
+		t.Fatal("short version vector resolved")
+	}
+	// Push every shard past its history bound: the earliest vector's
+	// constituents evict and the lookup reports the miss.
+	for r := 0; r < remstore.DefaultMaxHistory+1; r++ {
+		h.round([]int{ml.DirtyAll})
+	}
+	if _, ok := h.sharded.MergedSnapshotAt(gens[0].versions); ok {
+		t.Fatal("evicted generation still resolvable")
+	}
+	latest, versions, err := h.sharded.MergedSnapshotVersions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := h.sharded.MergedSnapshotAt(versions); !ok || !got.Equal(latest) {
+		t.Fatal("current generation not resolvable through its own vector")
+	}
+}

@@ -53,8 +53,10 @@ type Snapshot struct {
 // Map returns the snapshot's immutable map.
 func (s *Snapshot) Map() *rem.Map { return s.m }
 
-// Version returns the store's publish sequence number (1 for the first
-// published snapshot).
+// Version returns the snapshot's version: the store's publish sequence
+// number (1 for the first published snapshot), unless the publisher
+// chose one explicitly via PublishAt. Strictly increasing across
+// publishes either way.
 func (s *Snapshot) Version() uint64 { return s.version }
 
 // PublishedAt returns when the snapshot was published (the store clock;
@@ -153,6 +155,24 @@ func (st *Store) pruneLocked(now time.Time) {
 // a from-scratch build). Publishers are serialised; readers continue on
 // the previous snapshot until the single atomic swap.
 func (st *Store) Publish(m *rem.Map, builtKeys int) (*Snapshot, error) {
+	return st.publish(m, builtKeys, 0)
+}
+
+// PublishAt is Publish with an explicit snapshot version instead of the
+// store's own publish sequence — the replication hook: a follower
+// mirroring a leader publishes each synced generation under the
+// leader's version number, so version-tagged responses from leader and
+// replica agree at the same generation. The version must exceed the
+// serving snapshot's (a replica can skip generations, never revisit
+// one); the publish counter still counts every publish.
+func (st *Store) PublishAt(m *rem.Map, builtKeys int, version uint64) (*Snapshot, error) {
+	if version == 0 {
+		return nil, errors.New("remstore: explicit version must be positive")
+	}
+	return st.publish(m, builtKeys, version)
+}
+
+func (st *Store) publish(m *rem.Map, builtKeys int, version uint64) (*Snapshot, error) {
 	if m == nil {
 		return nil, errors.New("remstore: nil map")
 	}
@@ -181,7 +201,20 @@ func (st *Store) Publish(m *rem.Map, builtKeys int) (*Snapshot, error) {
 			return nil, fmt.Errorf("remstore: snapshot volume %v–%v does not match current %v–%v", v.Min, v.Max, pv.Min, pv.Max)
 		}
 	}
-	s := &Snapshot{m: m, version: st.publishes.Add(1), publishedAt: st.now(), builtKeys: builtKeys}
+	if version != 0 && prev != nil && version <= prev.version {
+		return nil, fmt.Errorf("remstore: explicit version %d not after serving version %d", version, prev.version)
+	}
+	seq := st.publishes.Add(1)
+	if version == 0 {
+		version = seq
+		// The publish sequence can lag the serving version if explicit
+		// versions were published into this store; versions stay strictly
+		// monotonic regardless.
+		if prev != nil && version <= prev.version {
+			version = prev.version + 1
+		}
+	}
+	s := &Snapshot{m: m, version: version, publishedAt: st.now(), builtKeys: builtKeys}
 	if prev != nil {
 		s.sharedTiles = m.SharedTiles(prev.m)
 	}
@@ -289,6 +322,23 @@ func (st *Store) History() []*Snapshot {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	return append([]*Snapshot(nil), st.history...)
+}
+
+// SnapshotAt returns the retained snapshot with exactly the given
+// version, or nil if it was never published or has been evicted — the
+// delta-base lookup: a server asked for "the changes since version v"
+// can only answer if v is still in its history.
+func (st *Store) SnapshotAt(version uint64) *Snapshot {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	// Newest first: delta bases are overwhelmingly the latest or
+	// next-to-latest generation.
+	for i := len(st.history) - 1; i >= 0; i-- {
+		if st.history[i].version == version {
+			return st.history[i]
+		}
+	}
+	return nil
 }
 
 // LiveTiles returns the distinct tile count referenced by the retained

@@ -243,3 +243,69 @@ func TestConcurrentQueryDuringPublish(t *testing.T) {
 		t.Fatal("no queries counted")
 	}
 }
+
+// TestPublishAtExplicitVersion: the replication hook publishes under the
+// caller's version numbers — strictly increasing, gaps allowed — and the
+// publish counter still counts every publish.
+func TestPublishAtExplicitVersion(t *testing.T) {
+	st := New(0)
+	keys := []string{"a", "b"}
+	if _, err := st.PublishAt(constMap(t, -1, keys), 2, 0); err == nil {
+		t.Fatal("explicit version 0 accepted")
+	}
+	s, err := st.PublishAt(constMap(t, -1, keys), 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Version() != 7 {
+		t.Fatalf("version = %d, want 7", s.Version())
+	}
+	if _, err := st.PublishAt(constMap(t, -2, keys), 2, 7); err == nil {
+		t.Fatal("repeated version accepted")
+	}
+	if _, err := st.PublishAt(constMap(t, -2, keys), 2, 3); err == nil {
+		t.Fatal("backwards version accepted")
+	}
+	if s, err = st.PublishAt(constMap(t, -2, keys), 2, 12); err != nil || s.Version() != 12 {
+		t.Fatalf("gap publish = (%v, %v), want version 12", s, err)
+	}
+	if _, ver, err := st.At("a", geom.V(1, 1, 1)); err != nil || ver != 12 {
+		t.Fatalf("At serves version %d (%v), want 12", ver, err)
+	}
+	stats := st.Stats()
+	if stats.Publishes != 2 || stats.CurrentVersion != 12 {
+		t.Fatalf("stats = %+v, want 2 publishes at version 12", stats)
+	}
+	// An implicit Publish into the same store stays monotonic even though
+	// the publish sequence (3) lags the serving version.
+	if s, err = st.Publish(constMap(t, -3, keys), 2); err != nil || s.Version() != 13 {
+		t.Fatalf("implicit publish after explicit = version %d (%v), want 13", s.Version(), err)
+	}
+}
+
+// TestSnapshotAt: exact-version history lookup — hit while retained, nil
+// once evicted or for a version never published.
+func TestSnapshotAt(t *testing.T) {
+	st := New(3)
+	keys := []string{"a"}
+	for gen := 1; gen <= 5; gen++ {
+		if _, err := st.Publish(constMap(t, float64(-gen), keys), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for want := uint64(3); want <= 5; want++ {
+		s := st.SnapshotAt(want)
+		if s == nil || s.Version() != want {
+			t.Fatalf("SnapshotAt(%d) = %v", want, s)
+		}
+		if v, err := s.Map().At("a", geom.V(1, 1, 1)); err != nil || v != -float64(want) {
+			t.Fatalf("SnapshotAt(%d) serves %v (%v)", want, v, err)
+		}
+	}
+	if s := st.SnapshotAt(2); s != nil {
+		t.Fatal("evicted version still resolvable")
+	}
+	if s := st.SnapshotAt(99); s != nil {
+		t.Fatal("never-published version resolvable")
+	}
+}
