@@ -991,6 +991,192 @@ func BenchmarkServeAt(b *testing.B) {
 	})
 }
 
+// ---------------------------------------------------------------------------
+// Coverage-index benchmarks (BENCH_rem.json "coverage_index"): Strongest
+// through the materialized per-cube candidate index against the brute
+// O(keys) scan — same map, bit-identical answers (rule 9), only the
+// scan-set size differs. The map is a realistic best-server scenario: 44
+// APs at distinct positions under log-distance path loss, so each cube
+// has a small dominant candidate set. (The kNN-fitted benchREMMap is the
+// adversarial other extreme — every key trained on the same target, so
+// per-cube fields are near-tied and candidate sets stay large; the index
+// prunes little there, honestly reported in BENCH_rem.json.)
+
+// benchStrongestMap rasterises the 44-AP log-distance map at paper
+// resolution.
+func benchStrongestMap(b *testing.B) (*rem.Map, []string) {
+	b.Helper()
+	const nKeys = 44
+	keys := make([]string, nKeys)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key%02d", i)
+	}
+	rng := simrand.New(4242)
+	aps := make([]geom.Vec3, nKeys)
+	for i := range aps {
+		aps[i] = geom.V(rng.Range(0, 4), rng.Range(0, 3), rng.Range(0, 2.6))
+	}
+	predict := func(centers []geom.Vec3, k int) ([]float64, error) {
+		out := make([]float64, len(centers))
+		for i, p := range centers {
+			d := p.Dist(aps[k])
+			if d < 0.1 {
+				d = 0.1
+			}
+			out[i] = -40 - 20*math.Log10(d) - 0.1*float64(k)
+		}
+		return out, nil
+	}
+	m, err := rem.BuildMapBatch(geom.PaperScanVolume(), 12, 10, 6, keys, predict, rem.BuildOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m, keys
+}
+
+// reportCoverStats attaches the index shape to a benchmark: mean
+// candidates per cube (the pruned scan width; brute scans all 44) and
+// index bytes.
+func reportCoverStats(b *testing.B, m *rem.Map) {
+	b.Helper()
+	if cs, ok := m.CoverIndexStats(); ok {
+		b.ReportMetric(float64(cs.Candidates)/float64(cs.Cubes), "candidates/cube")
+		b.ReportMetric(float64(cs.Bytes), "index-bytes")
+	}
+}
+
+// BenchmarkStrongest is one indexed best-server point query: locate the
+// cube, scan its candidate bitmask in vocabulary order. Bit-identical
+// to BenchmarkStrongestBrute's answers; the speedup is the index's win.
+func BenchmarkStrongest(b *testing.B) {
+	m, _ := benchStrongestMap(b)
+	m.BuildCoverIndex()
+	pts := benchQueryPoints(512)
+	var sink float64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, v := m.Strongest(pts[i%len(pts)])
+		sink += v
+	}
+	_ = sink
+	reportCoverStats(b, m)
+}
+
+// BenchmarkStrongestBrute is the pre-index baseline on the same map:
+// interpolate all 44 keys, keep the max.
+func BenchmarkStrongestBrute(b *testing.B) {
+	m, _ := benchStrongestMap(b)
+	pts := benchQueryPoints(512)
+	var sink float64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, v := m.StrongestBrute(pts[i%len(pts)])
+		sink += v
+	}
+	_ = sink
+}
+
+// BenchmarkStrongestBatch512 is the batched indexed path (the engine
+// behind POST /strongest): one StrongestBatchInto per op over 512
+// points, zero allocations.
+func BenchmarkStrongestBatch512(b *testing.B) {
+	m, _ := benchStrongestMap(b)
+	m.BuildCoverIndex()
+	pts := benchQueryPoints(512)
+	keys := make([]string, len(pts))
+	vals := make([]float64, len(pts))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.StrongestBatchInto(keys, vals, pts); err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportCoverStats(b, m)
+}
+
+// BenchmarkStrongestBatch512Brute is the same batch through the brute
+// scan — the pre-index serving cost of one 512-point batch.
+func BenchmarkStrongestBatch512Brute(b *testing.B) {
+	m, _ := benchStrongestMap(b)
+	pts := benchQueryPoints(512)
+	keys := make([]string, len(pts))
+	vals := make([]float64, len(pts))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.StrongestBatchBruteInto(keys, vals, pts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStrongestKNNMap is the honest adversarial case: the indexed
+// point query on the kNN-fitted benchREMMap, whose near-tied per-key
+// fields keep candidate sets large. The candidates/cube metric shows
+// how much pruning survives.
+func BenchmarkStrongestKNNMap(b *testing.B) {
+	m, _, _ := benchREMMap(b)
+	m.BuildCoverIndex()
+	pts := benchQueryPoints(512)
+	var sink float64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, v := m.Strongest(pts[i%len(pts)])
+		sink += v
+	}
+	_ = sink
+	reportCoverStats(b, m)
+}
+
+// BenchmarkCoverIndexBuild is the from-scratch index construction a
+// publish pays when no parent index exists: per-cube corner bounds for
+// all 44 keys, threshold, bitmask fill.
+func BenchmarkCoverIndexBuild(b *testing.B) {
+	m, _ := benchStrongestMap(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.DropCoverIndex()
+		m.BuildCoverIndex()
+	}
+	reportCoverStats(b, m)
+}
+
+// BenchmarkCoverIndexMend is the incremental maintenance cost: a
+// 2-of-44-key RebuildKeys against an indexed base, so each op pays the
+// targeted re-rasterisation PLUS the index mend (dirty-cube bound
+// refresh, untouched index tiles shared). Compare against
+// BenchmarkREMIncrementalRebuild — the same rebuild without an index —
+// to isolate the mend overhead.
+func BenchmarkCoverIndexMend(b *testing.B) {
+	m, predict, _ := benchREMMap(b)
+	m.BuildCoverIndex()
+	// Shift the rebuilt keys' field so the rebuild carries real changes —
+	// re-running the same deterministic predictor would share every tile
+	// and the mend would degenerate to the trivial all-shared path.
+	shifted := func(centers []geom.Vec3, keyIdx int) ([]float64, error) {
+		out, err := predict(centers, keyIdx)
+		for i := range out {
+			out[i] -= 2.5
+		}
+		return out, err
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		next, err := m.RebuildKeys([]int{1, 2}, shifted, rem.BuildOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !next.HasCoverIndex() {
+			b.Fatal("rebuild dropped the index")
+		}
+	}
+}
+
 // TestMain stamps the benchmark environment into every `go test -bench`
 // run: BENCH_*.json sections carry num_cpu/gomaxprocs so 1-vCPU numbers
 // can never silently masquerade as scaling results, and this line is
@@ -1052,6 +1238,68 @@ func BenchmarkServeAtBatchBinary(b *testing.B) {
 	b.RunParallel(func(pb *testing.PB) {
 		w := &benchServeRW{h: make(http.Header)}
 		req := httptest.NewRequest("POST", "/at", nil)
+		req.Header.Set("Content-Type", remserve.WireContentType)
+		req.Header.Set("Accept", remserve.WireContentType)
+		var rd bytes.Reader
+		req.Body = io.NopCloser(&rd)
+		for pb.Next() {
+			w.code = 0
+			rd.Reset(payload)
+			srv.ServeHTTP(w, req)
+			if w.code != 0 && w.code != http.StatusOK {
+				b.Fatalf("status %d", w.code)
+			}
+		}
+	})
+}
+
+// BenchmarkServeStrongestBatch is POST /strongest with 512 points
+// through the handler over the JSON wire: body decode, one
+// StrongestBatchInto through the sharded backend's pooled merge, keys
+// and values rendered back out.
+func BenchmarkServeStrongestBatch(b *testing.B) {
+	srv, _ := benchServeServer(b)
+	pts := benchQueryPoints(512)
+	var body bytes.Buffer
+	body.WriteString(`{"points":[`)
+	for i, p := range pts {
+		if i > 0 {
+			body.WriteByte(',')
+		}
+		fmt.Fprintf(&body, "[%g,%g,%g]", p.X, p.Y, p.Z)
+	}
+	body.WriteString("]}")
+	payload := body.Bytes()
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		w := &benchServeRW{h: make(http.Header)}
+		req := httptest.NewRequest("POST", "/strongest", nil)
+		var rd bytes.Reader
+		req.Body = io.NopCloser(&rd)
+		for pb.Next() {
+			w.code = 0
+			rd.Reset(payload)
+			srv.ServeHTTP(w, req)
+			if w.code != 0 && w.code != http.StatusOK {
+				b.Fatalf("status %d", w.code)
+			}
+		}
+	})
+}
+
+// BenchmarkServeStrongestBatchBinary is the same 512-point strongest
+// batch over the binary wire both ways ("REMQ" in, "REMW" out): zero
+// text codec work, 0 allocs/op after warm-up.
+func BenchmarkServeStrongestBatchBinary(b *testing.B) {
+	srv, _ := benchServeServer(b)
+	pts := benchQueryPoints(512)
+	payload := remserve.AppendStrongestRequest(nil, pts)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		w := &benchServeRW{h: make(http.Header)}
+		req := httptest.NewRequest("POST", "/strongest", nil)
 		req.Header.Set("Content-Type", remserve.WireContentType)
 		req.Header.Set("Accept", remserve.WireContentType)
 		var rd bytes.Reader

@@ -36,6 +36,12 @@
 //
 //	remgen -query http://127.0.0.1:8080 -key aa:.. -points "1,2,3;4,5,6" -wire binary
 //
+// With -mode strongest, the client POSTs to /strongest instead: no key,
+// one "key value" line per point (the best server at that point) —
+// again identical across both wires:
+//
+//	remgen -query http://127.0.0.1:8080 -mode strongest -points "1,2,3;4,5,6"
+//
 // With -follow, remgen is a replica: it polls a running -serve leader,
 // pulls tile deltas (full snapshots only on first contact or after
 // corruption), and serves the replicated REM on -serve through leader
@@ -105,11 +111,19 @@ func run() error {
 		queryKey  = flag.String("key", "", "with -query, the source key to query")
 		points    = flag.String("points", "", "with -query, the batch points as 'x,y,z;x,y,z;…' (z may be omitted)")
 		wire      = flag.String("wire", "json", "with -query, the wire format: json or binary (the printed values are identical)")
+		queryMode = flag.String("mode", "at", "with -query, the endpoint: 'at' (one key, one value per line) or 'strongest' (best server, 'key value' per line)")
 	)
 	flag.Parse()
 
 	if *query != "" {
-		return runQuery(*query, *queryKey, *points, *wire)
+		switch *queryMode {
+		case "at":
+			return runQuery(*query, *queryKey, *points, *wire)
+		case "strongest":
+			return runQueryStrongest(*query, *points, *wire)
+		default:
+			return fmt.Errorf("unknown -mode %q (want at or strongest)", *queryMode)
+		}
 	}
 	if *follow != "" {
 		return runFollow(*follow, *serve, *poll, *staleness, *history)
@@ -286,6 +300,106 @@ func runQuery(base, key, pointsSpec, wire string) error {
 			fmt.Println("null")
 		} else {
 			fmt.Println(strconv.FormatFloat(v, 'g', -1, 64))
+		}
+	}
+	return nil
+}
+
+// runQueryStrongest is the -query -mode strongest client: one batch
+// POST to /strongest, over the JSON or the binary wire, printing one
+// "key value" line per point ("null" for a non-finite value). Like
+// runQuery, both wires print identical lines — the CI smoke diffs them.
+func runQueryStrongest(base, pointsSpec, wire string) error {
+	if pointsSpec == "" {
+		return errors.New("-query -mode strongest needs -points")
+	}
+	pts, err := parsePoints(pointsSpec)
+	if err != nil {
+		return err
+	}
+	url := strings.TrimRight(base, "/") + "/strongest"
+
+	var keys []string
+	var vals []float64
+	var version uint64
+	switch wire {
+	case "json":
+		body, err := json.Marshal(struct {
+			Points [][3]float64 `json:"points"`
+		}{pts})
+		if err != nil {
+			return err
+		}
+		resp, err := http.Post(url, "application/json", strings.NewReader(string(body)))
+		if err != nil {
+			return err
+		}
+		raw, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if rerr != nil {
+			return rerr
+		}
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("POST /strongest: %s: %s", resp.Status, strings.TrimSpace(string(raw)))
+		}
+		var out struct {
+			Keys    []string   `json:"keys"`
+			Values  []*float64 `json:"values"`
+			Version uint64     `json:"version"`
+		}
+		if err := json.Unmarshal(raw, &out); err != nil {
+			return err
+		}
+		keys = out.Keys
+		vals = make([]float64, len(out.Values))
+		for i, v := range out.Values {
+			if v == nil {
+				vals[i] = math.NaN() // prints as "null", like the JSON wire sent it
+			} else {
+				vals[i] = *v
+			}
+		}
+		version = out.Version
+	case "binary":
+		gpts := make([]geom.Vec3, len(pts))
+		for i, p := range pts {
+			gpts[i] = geom.Vec3{X: p[0], Y: p[1], Z: p[2]}
+		}
+		body := remserve.AppendStrongestRequest(nil, gpts)
+		req, err := http.NewRequest(http.MethodPost, url, strings.NewReader(string(body)))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", remserve.WireContentType)
+		req.Header.Set("Accept", remserve.WireContentType)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			return err
+		}
+		raw, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if rerr != nil {
+			return rerr
+		}
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("POST /strongest: %s: %s", resp.Status, strings.TrimSpace(string(raw)))
+		}
+		if keys, vals, version, err = remserve.DecodeStrongestResponse(raw); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown -wire %q (want json or binary)", wire)
+	}
+	if len(keys) != len(vals) {
+		return fmt.Errorf("response has %d keys for %d values", len(keys), len(vals))
+	}
+
+	fmt.Fprintf(os.Stderr, "version %d (%s wire, %d points)\n", version, wire, len(keys))
+	for i, k := range keys {
+		if math.IsNaN(vals[i]) || math.IsInf(vals[i], 0) {
+			fmt.Printf("%s null\n", k)
+		} else {
+			fmt.Printf("%s %s\n", k, strconv.FormatFloat(vals[i], 'g', -1, 64))
 		}
 	}
 	return nil

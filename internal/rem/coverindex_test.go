@@ -1,0 +1,328 @@
+package rem
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/simrand"
+)
+
+// Quickchecks for determinism rule 9 (indexed ≡ scan): the coverage
+// index must reproduce the brute O(keys) scan bit-for-bit — winner key,
+// winner value bits, dark-cell lists — on maps salted with cross-key
+// ties, NaN and ±Inf cells, and must keep doing so across the index's
+// whole lifecycle: fresh build, RebuildKeys mends, ApplyDelta mends,
+// and shard Merge reassembly.
+
+// gnarlyPredict returns a pure (position, key) → value function drawing
+// from a quantised palette (so exact cross-key ties are common) salted
+// with NaN and ±Inf cells. Purity keeps builds deterministic under any
+// chunking; salt varies the field between generations.
+func gnarlyPredict(salt uint64) BatchPredictFunc {
+	return func(centers []geom.Vec3, k int) ([]float64, error) {
+		out := make([]float64, len(centers))
+		for i, p := range centers {
+			h := math.Float64bits(p.X*3.1+p.Y*1.7+p.Z) ^ uint64(k)*0x9E3779B97F4A7C15 ^ salt
+			h ^= h >> 33
+			h *= 0xff51afd7ed558ccd
+			h ^= h >> 33
+			switch h % 29 {
+			case 0:
+				out[i] = math.NaN()
+			case 1:
+				out[i] = math.Inf(1)
+			case 2:
+				out[i] = math.Inf(-1)
+			default:
+				out[i] = -100 + float64((h/29)%14)*4.5
+			}
+		}
+		return out, nil
+	}
+}
+
+// gnarlyMap builds a random-geometry map through gnarlyPredict.
+func gnarlyMap(t *testing.T, rng *simrand.Source, salt uint64) *Map {
+	t.Helper()
+	nx, ny, nz := 1+rng.Intn(6), 1+rng.Intn(5), 1+rng.Intn(4)
+	nKeys := 1 + rng.Intn(9)
+	keys := make([]string, nKeys)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key%02d", i)
+	}
+	vol := geom.MustCuboid(geom.V(rng.Range(-3, 0), rng.Range(-3, 0), 0), rng.Range(1, 5), rng.Range(1, 5), rng.Range(1, 3))
+	m, err := BuildMapBatch(vol, nx, ny, nz, keys, gnarlyPredict(salt), BuildOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// quickcheckPoints mixes interior points, out-of-volume points (the
+// clamping path), exact cell centres and cube-face midpoints (where
+// interpolation weights hit exactly 0 and 1).
+func quickcheckPoints(rng *simrand.Source, m *Map, n int) []geom.Vec3 {
+	vol := m.Volume()
+	s := vol.Size()
+	nx, ny, nz := m.Resolution()
+	pts := make([]geom.Vec3, n)
+	for i := range pts {
+		switch rng.Intn(4) {
+		case 0:
+			pts[i] = geom.V(vol.Min.X+rng.Float64()*s.X, vol.Min.Y+rng.Float64()*s.Y, vol.Min.Z+rng.Float64()*s.Z)
+		case 1:
+			pts[i] = geom.V(vol.Max.X+rng.Range(0, 2), vol.Min.Y-rng.Range(0, 2), vol.Max.Z+rng.Range(0, 1))
+		case 2:
+			pts[i] = m.cellCenter(rng.Intn(nx), rng.Intn(ny), rng.Intn(nz))
+		default:
+			c := m.cellCenter(rng.Intn(nx), rng.Intn(ny), rng.Intn(nz))
+			pts[i] = geom.V(c.X+0.5*s.X/float64(nx), c.Y, c.Z+0.5*s.Z/float64(nz))
+		}
+	}
+	return pts
+}
+
+// requireRule9 asserts indexed ≡ brute, bit for bit, on point queries,
+// batch queries and dark-region sweeps.
+func requireRule9(t *testing.T, rng *simrand.Source, m *Map, tag string) {
+	t.Helper()
+	if !m.HasCoverIndex() {
+		t.Fatalf("%s: map lost its coverage index", tag)
+	}
+	pts := quickcheckPoints(rng, m, 48)
+	for _, p := range pts {
+		ik, iv := m.Strongest(p)
+		bk, bv := m.StrongestBrute(p)
+		if ik != bk || math.Float64bits(iv) != math.Float64bits(bv) {
+			t.Fatalf("%s: Strongest(%v) indexed (%q, %x) != brute (%q, %x)",
+				tag, p, ik, math.Float64bits(iv), bk, math.Float64bits(bv))
+		}
+		if cv := m.CoverageAt(p); math.Float64bits(cv) != math.Float64bits(bv) {
+			t.Fatalf("%s: CoverageAt(%v) %x != brute %x", tag, p, math.Float64bits(cv), math.Float64bits(bv))
+		}
+	}
+	n := len(pts)
+	ik, iv := make([]string, n), make([]float64, n)
+	bk, bv := make([]string, n), make([]float64, n)
+	if err := m.StrongestBatchInto(ik, iv, pts); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.StrongestBatchBruteInto(bk, bv, pts); err != nil {
+		t.Fatal(err)
+	}
+	for i := range pts {
+		if ik[i] != bk[i] || math.Float64bits(iv[i]) != math.Float64bits(bv[i]) {
+			t.Fatalf("%s: batch point %d indexed (%q, %x) != brute (%q, %x)",
+				tag, i, ik[i], math.Float64bits(iv[i]), bk[i], math.Float64bits(bv[i]))
+		}
+	}
+	for _, thr := range []float64{math.Inf(-1), -120, -75, -40, 0, math.Inf(1)} {
+		di := m.DarkRegions(thr)
+		db := m.DarkRegionsBrute(thr)
+		if len(di) != len(db) {
+			t.Fatalf("%s: DarkRegions(%v) indexed %d cells, brute %d", tag, thr, len(di), len(db))
+		}
+		for i := range di {
+			if di[i].Center != db[i].Center || math.Float64bits(di[i].BestRSS) != math.Float64bits(db[i].BestRSS) {
+				t.Fatalf("%s: DarkRegions(%v) cell %d indexed %+v != brute %+v", tag, thr, i, di[i], db[i])
+			}
+		}
+	}
+}
+
+// TestCoverIndexQuickcheck: a freshly built index reproduces the brute
+// scan bit-for-bit on random maps with ties and non-finite cells.
+func TestCoverIndexQuickcheck(t *testing.T) {
+	rng := simrand.New(4242)
+	for trial := 0; trial < 40; trial++ {
+		m := gnarlyMap(t, rng, uint64(trial)*17)
+		m.BuildCoverIndex()
+		requireRule9(t, rng, m, fmt.Sprintf("trial %d", trial))
+		st, ok := m.CoverIndexStats()
+		if !ok || st.Cubes == 0 || st.Bytes == 0 {
+			t.Fatalf("trial %d: implausible index stats %+v ok=%v", trial, st, ok)
+		}
+	}
+}
+
+// TestCoverIndexOptOut: dropping the index falls back to the brute scan
+// with identical results, and rebuilding re-attaches it.
+func TestCoverIndexOptOut(t *testing.T) {
+	rng := simrand.New(77)
+	m := gnarlyMap(t, rng, 5)
+	m.BuildCoverIndex()
+	p := quickcheckPoints(rng, m, 1)[0]
+	ik, iv := m.Strongest(p)
+	m.DropCoverIndex()
+	if m.HasCoverIndex() {
+		t.Fatal("index survived DropCoverIndex")
+	}
+	bk, bv := m.Strongest(p)
+	if ik != bk || math.Float64bits(iv) != math.Float64bits(bv) {
+		t.Fatalf("opt-out changed the answer: (%q, %v) != (%q, %v)", ik, iv, bk, bv)
+	}
+	m.BuildCoverIndex()
+	if !m.HasCoverIndex() {
+		t.Fatal("BuildCoverIndex did not re-attach")
+	}
+}
+
+// TestCoverIndexMendRebuildKeys: rule 9 holds on generations derived by
+// RebuildKeys, whose index is mended from the parent, across a chain of
+// derivations (so looseness or staleness would accumulate and surface).
+func TestCoverIndexMendRebuildKeys(t *testing.T) {
+	rng := simrand.New(9001)
+	for trial := 0; trial < 15; trial++ {
+		m := gnarlyMap(t, rng, uint64(trial))
+		m.BuildCoverIndex()
+		for gen := 1; gen <= 3; gen++ {
+			nKeys := len(m.Keys())
+			var dirty []int
+			for k := 0; k < nKeys; k++ {
+				if rng.Intn(2) == 0 {
+					dirty = append(dirty, k)
+				}
+			}
+			next, err := m.RebuildKeys(dirty, gnarlyPredict(uint64(trial)*100+uint64(gen)), BuildOptions{Workers: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !next.HasCoverIndex() {
+				t.Fatalf("trial %d gen %d: mend did not carry the index forward", trial, gen)
+			}
+			requireRule9(t, rng, next, fmt.Sprintf("trial %d gen %d", trial, gen))
+			m = next
+		}
+	}
+}
+
+// TestCoverIndexMendApplyDelta: rule 9 holds on a follower's generation
+// derived by ApplyDelta, whose index is mended from the base using the
+// delta's own changed-tile table.
+func TestCoverIndexMendApplyDelta(t *testing.T) {
+	rng := simrand.New(31337)
+	for trial := 0; trial < 15; trial++ {
+		base := gnarlyMap(t, rng, uint64(trial))
+		base.BuildCoverIndex()
+		nKeys := len(base.Keys())
+		var dirty []int
+		for k := 0; k < nKeys; k++ {
+			if rng.Intn(3) == 0 {
+				dirty = append(dirty, k)
+			}
+		}
+		next, err := base.RebuildKeys(dirty, gnarlyPredict(uint64(trial)+999), BuildOptions{Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		delta, err := AppendDelta(nil, base, next)
+		if err != nil {
+			t.Fatal(err)
+		}
+		applied, err := ApplyDelta(base, delta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !applied.HasCoverIndex() {
+			t.Fatalf("trial %d: ApplyDelta did not mend the index", trial)
+		}
+		requireRule9(t, rng, applied, fmt.Sprintf("trial %d", trial))
+		// The applied map is Equal to next, so its indexed answers must
+		// also match next's answers bit-for-bit.
+		for _, p := range quickcheckPoints(rng, applied, 16) {
+			ak, av := applied.Strongest(p)
+			nk, nv := next.Strongest(p)
+			if ak != nk || math.Float64bits(av) != math.Float64bits(nv) {
+				t.Fatalf("trial %d: applied (%q, %x) != next (%q, %x)", trial, ak, math.Float64bits(av), nk, math.Float64bits(nv))
+			}
+		}
+	}
+}
+
+// TestCoverIndexMerge: a merged map reassembles its index from indexed
+// parts (rule 9 against the merged brute scan), and stays unindexed —
+// with identical query results — when any part lacks one.
+func TestCoverIndexMerge(t *testing.T) {
+	rng := simrand.New(555)
+	for trial := 0; trial < 15; trial++ {
+		nx, ny, nz := 1+rng.Intn(5), 1+rng.Intn(4), 1+rng.Intn(3)
+		vol := geom.MustCuboid(geom.V(-1, -1, 0), 3, 3, 2)
+		nParts := 1 + rng.Intn(3)
+		var order []string
+		parts := make([]*Map, nParts)
+		for pi := 0; pi < nParts; pi++ {
+			nk := 1 + rng.Intn(4)
+			keys := make([]string, nk)
+			for i := range keys {
+				keys[i] = fmt.Sprintf("p%d-%02d", pi, i)
+			}
+			order = append(order, keys...)
+			p, err := BuildMapBatch(vol, nx, ny, nz, keys, gnarlyPredict(uint64(trial)*31+uint64(pi)), BuildOptions{Workers: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			p.BuildCoverIndex()
+			parts[pi] = p
+		}
+		// Interleave the order so part-local key order differs from the
+		// merged vocabulary order.
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		merged, err := Merge(order, parts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !merged.HasCoverIndex() {
+			t.Fatalf("trial %d: merge of indexed parts lost the index", trial)
+		}
+		requireRule9(t, rng, merged, fmt.Sprintf("trial %d", trial))
+
+		// One unindexed part disables reassembly but changes no answer.
+		parts[nParts-1].DropCoverIndex()
+		plain, err := Merge(order, parts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if plain.HasCoverIndex() {
+			t.Fatalf("trial %d: merge with an unindexed part built an index", trial)
+		}
+		for _, p := range quickcheckPoints(rng, merged, 16) {
+			mk, mv := merged.Strongest(p)
+			pk, pv := plain.Strongest(p)
+			if mk != pk || math.Float64bits(mv) != math.Float64bits(pv) {
+				t.Fatalf("trial %d: merged indexed (%q, %x) != unindexed (%q, %x)", trial, mk, math.Float64bits(mv), pk, math.Float64bits(pv))
+			}
+		}
+	}
+}
+
+// TestCoverIndexSharing: a no-op rebuild shares the whole index with the
+// parent, and a small dirty set keeps cell-tile sharing intact (the index
+// rides the same copy-on-write discipline as cell tiles).
+func TestCoverIndexSharing(t *testing.T) {
+	m, err := BuildMapBatch(geom.MustCuboid(geom.V(0, 0, 0), 4, 3, 2), 12, 10, 6,
+		[]string{"a", "b", "c", "d"}, gnarlyPredict(1), BuildOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.BuildCoverIndex()
+	same, err := m.RebuildKeys([]int{1}, gnarlyPredict(1), BuildOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Identical predictor → no tile content changed → the child must
+	// share the parent's index object outright.
+	if same.cover.Load() != m.cover.Load() {
+		t.Fatal("no-op rebuild did not share the parent's index")
+	}
+	next, err := m.RebuildKeys([]int{1}, gnarlyPredict(2), BuildOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !next.HasCoverIndex() {
+		t.Fatal("mend dropped the index")
+	}
+	rng := simrand.New(8)
+	requireRule9(t, rng, next, "dirty-key mend")
+}

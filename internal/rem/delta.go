@@ -232,6 +232,7 @@ func ApplyDelta(base *Map, data []byte) (*Map, error) {
 		version:     nextVer,
 	}
 	off := dataOff
+	changed := make([]int, int(nChanged))
 	for i := 0; i < int(nChanged); i++ {
 		t := int(U32(body[idxOff+4*i:]))
 		tile := make([]float64, base.tileLen(t%base.tilesPerKey))
@@ -240,6 +241,11 @@ func ApplyDelta(base *Map, data []byte) (*Map, error) {
 			off += 8
 		}
 		child.tiles[t] = tile
+		changed[i] = t
 	}
+	// The delta's tile index table says exactly which cells moved, so the
+	// coverage index is mended, not rebuilt: only cubes touching a changed
+	// cell are re-filtered, and untouched index tiles stay shared.
+	child.mendCoverFrom(base, changed)
 	return child, nil
 }

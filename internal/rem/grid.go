@@ -7,6 +7,7 @@ import (
 	"io"
 	"math"
 	"strconv"
+	"sync/atomic"
 
 	"repro/internal/geom"
 	"repro/internal/parallel"
@@ -74,6 +75,12 @@ type Map struct {
 	// version counts rebuild generations: 1 for a fresh build, parent+1
 	// for every RebuildKeys derivation.
 	version uint64
+	// cover is the optional materialised coverage index (coverindex.go)
+	// behind Strongest/CoverageAt/DarkRegions. nil means those queries
+	// brute-scan every key. Loaded atomically so an index can be attached
+	// (or dropped) while queries are in flight; it never changes a query
+	// result, only its cost, and is ignored by the codec and by Equal.
+	cover atomic.Pointer[coverIndex]
 }
 
 // cells returns the per-key cell count (the hoisted stride).
@@ -268,24 +275,44 @@ func (m *Map) At(key string, p geom.Vec3) (float64, error) {
 }
 
 func (m *Map) at(ki int, p geom.Vec3) float64 {
+	return m.interpolate(ki, m.locate(p))
+}
+
+// cubeLoc is a resolved query position: the interpolation cube's low
+// corner (cell indices) plus the fractional offsets along each axis.
+// locate depends only on the point, so one resolution can be shared by
+// any number of per-key interpolate calls at the same point.
+type cubeLoc struct {
+	ix0, iy0, iz0 int
+	tx, ty, tz    float64
+}
+
+// locate clamps p into the volume and resolves its interpolation cube.
+func (m *Map) locate(p geom.Vec3) cubeLoc {
 	p = m.volume.Clamp(p)
 	s := m.volume.Size()
 	// Continuous cell coordinates of the query relative to cell centres.
 	fx := (p.X-m.volume.Min.X)/s.X*float64(m.nx) - 0.5
 	fy := (p.Y-m.volume.Min.Y)/s.Y*float64(m.ny) - 0.5
 	fz := (p.Z-m.volume.Min.Z)/s.Z*float64(m.nz) - 0.5
-	ix0, tx := splitIndex(fx, m.nx)
-	iy0, ty := splitIndex(fy, m.ny)
-	iz0, tz := splitIndex(fz, m.nz)
+	var l cubeLoc
+	l.ix0, l.tx = splitIndex(fx, m.nx)
+	l.iy0, l.ty = splitIndex(fy, m.ny)
+	l.iz0, l.tz = splitIndex(fz, m.nz)
+	return l
+}
 
+// interpolate evaluates key ki at a resolved location: the 8-corner
+// trilinear sum over the cube, clamped at the grid edge.
+func (m *Map) interpolate(ki int, l cubeLoc) float64 {
 	val := 0.0
 	for dz := 0; dz <= 1; dz++ {
 		for dy := 0; dy <= 1; dy++ {
 			for dx := 0; dx <= 1; dx++ {
-				w := lerpW(tx, dx) * lerpW(ty, dy) * lerpW(tz, dz)
-				ix := clampIdx(ix0+dx, m.nx)
-				iy := clampIdx(iy0+dy, m.ny)
-				iz := clampIdx(iz0+dz, m.nz)
+				w := lerpW(l.tx, dx) * lerpW(l.ty, dy) * lerpW(l.tz, dz)
+				ix := clampIdx(l.ix0+dx, m.nx)
+				iy := clampIdx(l.iy0+dy, m.ny)
+				iz := clampIdx(l.iz0+dz, m.nz)
 				val += w * m.val(ki, ix+m.nx*(iy+m.ny*iz))
 			}
 		}
@@ -323,8 +350,20 @@ func clampIdx(i, n int) int {
 }
 
 // Strongest returns the key with the highest predicted RSS at p and that
-// value.
+// value. With a coverage index attached (BuildCoverIndex) only the
+// point's cube candidates are interpolated; the result is bit-identical
+// to the brute scan either way (rule 9).
 func (m *Map) Strongest(p geom.Vec3) (string, float64) {
+	if ci := m.cover.Load(); ci != nil {
+		return m.strongestIndexed(ci, m.locate(p))
+	}
+	return m.StrongestBrute(p)
+}
+
+// StrongestBrute is the unindexed O(keys) scan behind Strongest — the
+// pre-index code path, kept callable as the opt-out and as the test
+// oracle the coverage index is quickchecked against.
+func (m *Map) StrongestBrute(p geom.Vec3) (string, float64) {
 	best, bestVal := "", math.Inf(-1)
 	for ki, key := range m.keys {
 		if v := m.at(ki, p); v > bestVal {
@@ -350,8 +389,36 @@ type DarkCell struct {
 }
 
 // DarkRegions lists all cells whose best coverage is below thresholdDBm,
-// worst first.
+// worst first. With a coverage index attached, each cell's max scans only
+// its cube's candidates: the cell is the cube's own low corner, so the
+// cube candidate set soundly covers the cell maximum (a NaN cell value
+// never wins the strict > either way).
 func (m *Map) DarkRegions(thresholdDBm float64) []DarkCell {
+	ci := m.cover.Load()
+	if ci == nil {
+		return m.DarkRegionsBrute(thresholdDBm)
+	}
+	var out []DarkCell
+	for iz := 0; iz < m.nz; iz++ {
+		for iy := 0; iy < m.ny; iy++ {
+			for ix := 0; ix < m.nx; ix++ {
+				best := math.Inf(-1)
+				idx := ix + m.nx*(iy+m.ny*iz)
+				best = m.cellMaxIndexed(ci, idx, best)
+				if best < thresholdDBm {
+					out = append(out, DarkCell{Center: m.cellCenter(ix, iy, iz), BestRSS: best})
+				}
+			}
+		}
+	}
+	sortDarkWorstFirst(out)
+	return out
+}
+
+// DarkRegionsBrute is the unindexed O(keys)-per-cell scan behind
+// DarkRegions — the opt-out path and the oracle the index is checked
+// against.
+func (m *Map) DarkRegionsBrute(thresholdDBm float64) []DarkCell {
 	var out []DarkCell
 	for iz := 0; iz < m.nz; iz++ {
 		for iy := 0; iy < m.ny; iy++ {
@@ -370,13 +437,18 @@ func (m *Map) DarkRegions(thresholdDBm float64) []DarkCell {
 			}
 		}
 	}
-	// Worst first.
+	sortDarkWorstFirst(out)
+	return out
+}
+
+// sortDarkWorstFirst orders dark cells worst (lowest best-RSS) first,
+// with the stable insertion sort both scan paths share.
+func sortDarkWorstFirst(out []DarkCell) {
 	for i := 1; i < len(out); i++ {
 		for j := i; j > 0 && out[j].BestRSS < out[j-1].BestRSS; j-- {
 			out[j], out[j-1] = out[j-1], out[j]
 		}
 	}
-	return out
 }
 
 // CoverageFraction returns the fraction of cells whose best coverage meets

@@ -67,6 +67,8 @@ func Merge(order []string, parts []*Map) (*Map, error) {
 	}
 	seen := make(map[string]bool, len(order))
 	m.tiles = make([][]float64, len(order)*m.tilesPerKey)
+	partOf := make([]int, len(order))
+	localOf := make([]int, len(order))
 	for gi, k := range order {
 		if seen[k] {
 			return nil, fmt.Errorf("rem: merge order lists %q twice", k)
@@ -78,9 +80,16 @@ func Merge(order []string, parts []*Map) (*Map, error) {
 		}
 		p := parts[l.part]
 		copy(m.tiles[gi*m.tilesPerKey:(gi+1)*m.tilesPerKey], p.tiles[l.ki*p.tilesPerKey:(l.ki+1)*p.tilesPerKey])
+		partOf[gi], localOf[gi] = l.part, l.ki
 		if p.version > m.version {
 			m.version = p.version
 		}
+	}
+	// Reassemble the coverage index from the parts' indexes (cheap: per
+	// cube it folds the part bounds and re-tests only part candidates).
+	// If any part is unindexed the merged map simply stays unindexed too.
+	if ci := mergeCover(m, parts, partOf, localOf); ci != nil {
+		m.cover.Store(ci)
 	}
 	return m, nil
 }

@@ -68,6 +68,32 @@ func (m *Map) StrongestBatchInto(keys []string, vals []float64, pts []geom.Vec3)
 }
 
 func (m *Map) strongestBatchInto(keys []string, vals []float64, pts []geom.Vec3) {
+	ci := m.cover.Load()
+	if ci == nil {
+		m.strongestBatchBruteInto(keys, vals, pts)
+		return
+	}
+	// Point-outer with the index: each point resolves its cube once and
+	// interpolates only that cube's candidates, in vocabulary order with
+	// the same strict > — so the winners match the brute path bit for bit
+	// (rule 9) while the work per point drops from keys to candidates.
+	for i, p := range pts {
+		keys[i], vals[i] = m.strongestIndexed(ci, m.locate(p))
+	}
+}
+
+// StrongestBatchBruteInto is the unindexed key-outer scan behind
+// StrongestBatchInto — the pre-index code path, kept callable as the
+// opt-out and as the oracle the coverage index is quickchecked against.
+func (m *Map) StrongestBatchBruteInto(keys []string, vals []float64, pts []geom.Vec3) error {
+	if len(keys) != len(pts) || len(vals) != len(pts) {
+		return fmt.Errorf("rem: batch destinations hold %d keys / %d values for %d points", len(keys), len(vals), len(pts))
+	}
+	m.strongestBatchBruteInto(keys, vals, pts)
+	return nil
+}
+
+func (m *Map) strongestBatchBruteInto(keys []string, vals []float64, pts []geom.Vec3) {
 	for i := range vals {
 		keys[i] = ""
 		vals[i] = math.Inf(-1)

@@ -95,6 +95,18 @@ func (m *Map) RebuildKeys(dirty []int, predict BatchPredictFunc, opts BuildOptio
 	if err != nil {
 		return nil, err
 	}
+	// Carry the coverage index forward: re-derive bounds only for keys
+	// whose tiles actually changed content (a re-predicted key often
+	// reproduces some tiles bit-for-bit) and re-filter only the cubes
+	// those cells touch, sharing every other index tile with the parent.
+	if m.cover.Load() != nil {
+		changed, err := DiffTiles(m, child)
+		if err != nil {
+			// Unreachable: the child shares m's geometry by construction.
+			return nil, err
+		}
+		child.mendCoverFrom(m, changed)
+	}
 	return child, nil
 }
 

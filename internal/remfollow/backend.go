@@ -34,6 +34,10 @@ func (b followBackend) Strongest(p geom.Vec3) (string, float64, uint64, error) {
 	return b.f.store.Strongest(p)
 }
 
+func (b followBackend) StrongestBatchInto(keys []string, vals []float64, pts []geom.Vec3) (uint64, error) {
+	return b.f.store.StrongestBatchInto(keys, vals, pts)
+}
+
 func (b followBackend) Snapshot() (*rem.Map, string, error) {
 	g := b.f.gen.Load()
 	if g == nil {

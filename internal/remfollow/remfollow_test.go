@@ -243,6 +243,90 @@ func TestRule8Replica(t *testing.T) {
 	}
 }
 
+// TestFollowerCoverIndex: the replica's serving map carries a coverage
+// index after both sync paths — the full-snapshot first sync (publish
+// builds it) and delta syncs (ApplyDelta mends the previous index) —
+// and the indexed answers match the brute scan bit for bit (rule 9 at
+// the replica). POST /strongest on the replica front matches the
+// leader's batch answers.
+func TestFollowerCoverIndex(t *testing.T) {
+	h := newLeader(t, 9, 2)
+	h.round()
+	f := newFollower(t, h, nil, nil)
+	ctx := context.Background()
+	if err := f.SyncOnce(ctx); err != nil {
+		t.Fatal(err)
+	}
+	pts := []geom.Vec3{
+		geom.V(2, 1.5, 1.3), geom.V(0, 0, 0), geom.V(4, 3, 2.6), geom.V(0.7, 2.1, 0.4),
+	}
+	checkIndexed := func(stage string) {
+		t.Helper()
+		g := f.gen.Load()
+		if g == nil {
+			t.Fatalf("%s: follower serves nothing", stage)
+		}
+		if !g.m.HasCoverIndex() {
+			t.Fatalf("%s: serving map has no coverage index", stage)
+		}
+		for _, p := range pts {
+			ik, iv := g.m.Strongest(p)
+			bk, bv := g.m.StrongestBrute(p)
+			if ik != bk || iv != bv {
+				t.Fatalf("%s: indexed (%q, %v) != brute (%q, %v) at %v", stage, ik, iv, bk, bv, p)
+			}
+		}
+	}
+	checkIndexed("after full sync")
+	for i := 0; i < 3; i++ {
+		h.round()
+		if err := f.SyncOnce(ctx); err != nil {
+			t.Fatal(err)
+		}
+		checkIndexed(fmt.Sprintf("after delta sync %d", i))
+	}
+	if s := f.SyncStats(); s.Deltas == 0 {
+		t.Fatalf("no delta syncs happened: %+v", s)
+	}
+
+	// The replica's batch endpoint answers byte-identically to the
+	// leader's.
+	fsrv := httptest.NewServer(f)
+	defer fsrv.Close()
+	body := `{"points":[[2,1.5,1.3],[0,0,0],[4,3,2.6],[0.7,2.1,0.4]]}`
+	lreq, _ := http.NewRequest(http.MethodPost, h.srv.URL+"/strongest", strings.NewReader(body))
+	lreq.Header.Set("Content-Type", "application/json")
+	lr, err := http.DefaultClient.Do(lreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb, _ := io.ReadAll(lr.Body)
+	lr.Body.Close()
+	freq, _ := http.NewRequest(http.MethodPost, fsrv.URL+"/strongest", strings.NewReader(body))
+	freq.Header.Set("Content-Type", "application/json")
+	fr, err := http.DefaultClient.Do(freq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb, _ := io.ReadAll(fr.Body)
+	fr.Body.Close()
+	if lr.StatusCode != 200 || fr.StatusCode != 200 {
+		t.Fatalf("POST /strongest: leader %d, follower %d", lr.StatusCode, fr.StatusCode)
+	}
+	// The leader is sharded (version 0), the follower monolithic under
+	// the leader's tag — strip the version field before comparing.
+	trim := func(b []byte) string {
+		s := string(b)
+		if i := strings.LastIndex(s, `,"version":`); i >= 0 {
+			return s[:i]
+		}
+		return s
+	}
+	if trim(lb) != trim(fb) {
+		t.Fatalf("batch strongest: leader %s, follower %s", lb, fb)
+	}
+}
+
 func get(t testing.TB, url string) (int, http.Header, []byte) {
 	t.Helper()
 	r, err := http.Get(url)

@@ -40,6 +40,7 @@ type buffers struct {
 	body    []byte
 	pts     []geom.Vec3
 	vals    []float64
+	skeys   []string
 	req     batchReq
 	wireKey string
 }
@@ -94,10 +95,14 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			methodNotAllowed(w, "GET, POST")
 		}
 	case "/strongest":
-		if !getOrHead(w, r) {
-			return
+		switch r.Method {
+		case http.MethodGet, http.MethodHead:
+			s.handleStrongest(w, r)
+		case http.MethodPost:
+			s.handleStrongestBatch(w, r)
+		default:
+			methodNotAllowed(w, "GET, POST")
 		}
-		s.handleStrongest(w, r)
 	case "/stats":
 		if !getOrHead(w, r) {
 			return
@@ -276,12 +281,12 @@ func (s *Server) handleAtBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if isWireContentType(r.Header.Get("Content-Type")) {
-		if err := decodeWireBatch(body, bb, s.maxPoints); err != nil {
+		if err := decodeWireBatch(body, bb, s.maxPoints, false); err != nil {
 			we := err.(*wireError)
 			http.Error(w, we.msg, we.status)
 			return
 		}
-	} else if err := s.parseJSONBatch(body, bb); err != nil {
+	} else if err := s.parseJSONBatch(body, bb, true); err != nil {
 		we := err.(*wireError)
 		http.Error(w, we.msg, we.status)
 		return
@@ -317,11 +322,91 @@ func (s *Server) handleAtBatch(w http.ResponseWriter, r *http.Request) {
 	bb.out = b
 }
 
+// handleStrongestBatch serves POST /strongest: a best-server query for
+// every point of the batch, answered through the coverage index of the
+// serving snapshot(s). The codec negotiation mirrors POST /at —
+// Content-Type picks the request decoder (JSON `{"points":[[x,y,z],…]}`
+// or a "REMQ" message with a zero-length key; a key is accepted and
+// ignored on both, strongest always scans the whole vocabulary), Accept
+// picks the response encoder (JSON `{"keys":…,"values":…,"version":…}`
+// or the "REMW" keyed-batch message) — and the same size caps apply.
+// The version is the serving snapshot generation for a monolithic
+// backend and 0 for a sharded one.
+func (s *Server) handleStrongestBatch(w http.ResponseWriter, r *http.Request) {
+	if r.ContentLength > s.maxBytes {
+		http.Error(w, fmt.Sprintf("remserve: batch body exceeds %d bytes", s.maxBytes), http.StatusRequestEntityTooLarge)
+		return
+	}
+	bb := bufPool.Get().(*buffers)
+	defer func() { bufPool.Put(bb) }()
+	body, err := readBody(bb.body[:0], r.Body, s.maxBytes)
+	bb.body = body[:0]
+	if err != nil {
+		if errors.Is(err, errBodyTooLarge) {
+			http.Error(w, fmt.Sprintf("remserve: batch body exceeds %d bytes", s.maxBytes), http.StatusRequestEntityTooLarge)
+		} else {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+		}
+		return
+	}
+	if isWireContentType(r.Header.Get("Content-Type")) {
+		if err := decodeWireBatch(body, bb, s.maxPoints, true); err != nil {
+			we := err.(*wireError)
+			http.Error(w, we.msg, we.status)
+			return
+		}
+	} else if err := s.parseJSONBatch(body, bb, false); err != nil {
+		we := err.(*wireError)
+		http.Error(w, we.msg, we.status)
+		return
+	}
+	if cap(bb.vals) < len(bb.pts) {
+		bb.vals = make([]float64, len(bb.pts))
+	}
+	if cap(bb.skeys) < len(bb.pts) {
+		bb.skeys = make([]string, len(bb.pts))
+	}
+	vals := bb.vals[:len(bb.pts)]
+	keys := bb.skeys[:len(bb.pts)]
+	ver, err := s.b.StrongestBatchInto(keys, vals, bb.pts)
+	if err != nil {
+		queryError(w, err)
+		return
+	}
+	if acceptsWire(r.Header.Get("Accept")) {
+		b := appendWireStrongestResponse(bb.out[:0], ver, keys, vals)
+		writeWire(w, b)
+		bb.out = b
+		return
+	}
+	b := append(bb.out[:0], `{"keys":[`...)
+	for i, k := range keys {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = appendJSONString(b, k)
+	}
+	b = append(b, `],"values":[`...)
+	for i, v := range vals {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = appendJSONFloat(b, v)
+	}
+	b = append(b, `],"version":`...)
+	b = strconv.AppendUint(b, ver, 10)
+	b = append(b, "}\n"...)
+	writeJSON(w, b)
+	bb.out = b
+}
+
 // parseJSONBatch is the JSON request codec: the strict fast-path
 // scanner, the encoding/json fallback for anything outside its subset,
 // then the finiteness and batch-size checks — producing bb.req.Key and
-// bb.pts exactly like the binary decoder does.
-func (s *Server) parseJSONBatch(body []byte, bb *buffers) error {
+// bb.pts exactly like the binary decoder does. needKey is false on
+// POST /strongest, whose body is `{"points":…}` (a "key" member is
+// accepted and ignored — strongest scans the whole vocabulary).
+func (s *Server) parseJSONBatch(body []byte, bb *buffers, needKey bool) error {
 	if !parseBatchFast(body, &bb.req) {
 		// Outside the fast subset: decode generically, so exotic-but-
 		// legal bodies still work and malformed ones get encoding/json's
@@ -332,7 +417,7 @@ func (s *Server) parseJSONBatch(body []byte, bb *buffers) error {
 			return wireErrorf(400, "remserve: bad batch body: %s", err.Error())
 		}
 	}
-	if bb.req.Key == "" {
+	if needKey && bb.req.Key == "" {
 		return wireErrorf(400, `remserve: batch body needs a "key"`)
 	}
 	if len(bb.req.Points) > s.maxPoints {
@@ -415,6 +500,11 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 // distinguished by Content-Type, so one request always yields bytes the
 // follower can apply. Every 200 carries the serving tag in ETag and
 // X-REM-Version; a delta body also echoes its base in X-REM-Delta-Base.
+// An Accept-Encoding naming gzip compresses the response body — delta
+// or full-snapshot fallback — exactly like /snapshot (pooled writers;
+// the decompressed bytes remain the identical "REMD" message or
+// Map.WriteTo codec, CRC trailer included), with Vary: Accept-Encoding
+// on every response so shared caches keep the encodings apart.
 func (s *Server) handleDelta(w http.ResponseWriter, r *http.Request) {
 	m, tag, err := s.b.Snapshot()
 	if err != nil {
@@ -429,18 +519,38 @@ func (s *Server) handleDelta(w http.ResponseWriter, r *http.Request) {
 	etag := `"` + tag + `"`
 	h := w.Header()
 	h.Set("ETag", etag)
+	h["Vary"] = varyAE
 	if from == tag || etagMatch(r.Header.Get("If-None-Match"), etag) {
 		w.WriteHeader(http.StatusNotModified)
 		return
 	}
 	h.Set("X-REM-Version", tag)
+	gz := acceptsGzip(r.Header.Get("Accept-Encoding"))
 	if base, ok := s.b.SnapshotAt(from); ok {
 		bb := bufPool.Get().(*buffers)
 		b, err := rem.AppendDelta(bb.out[:0], base, m)
 		if err == nil {
 			h["Content-Type"] = deltaCT
 			h.Set("X-REM-Delta-Base", from)
-			w.Write(b)
+			if gz {
+				h.Set("Content-Encoding", "gzip")
+			}
+			if r.Method == http.MethodHead {
+				bb.out = b
+				bufPool.Put(bb)
+				return
+			}
+			if !gz {
+				w.Write(b)
+			} else {
+				zw := gzPool.Get().(*gzip.Writer)
+				zw.Reset(w)
+				_, werr := zw.Write(b)
+				cerr := zw.Close()
+				gzPool.Put(zw)
+				_ = werr
+				_ = cerr // headers are gone either way; nothing to report
+			}
 			bb.out = b
 			bufPool.Put(bb)
 			return
@@ -451,11 +561,27 @@ func (s *Server) handleDelta(w http.ResponseWriter, r *http.Request) {
 		bufPool.Put(bb)
 	}
 	h["Content-Type"] = binCT
+	if gz {
+		h.Set("Content-Encoding", "gzip")
+	}
 	if r.Method == http.MethodHead {
 		return
 	}
-	if _, err := m.WriteTo(w); err != nil {
-		// Headers are gone; abandon the connection.
+	if !gz {
+		if _, err := m.WriteTo(w); err != nil {
+			// Headers are gone; abandon the connection.
+			return
+		}
+		return
+	}
+	zw := gzPool.Get().(*gzip.Writer)
+	zw.Reset(w)
+	_, werr := m.WriteTo(zw)
+	cerr := zw.Close()
+	gzPool.Put(zw)
+	if werr != nil || cerr != nil {
+		// Headers (and possibly partial compressed bytes) are gone;
+		// abandon the connection.
 		return
 	}
 }

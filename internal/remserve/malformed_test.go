@@ -44,7 +44,14 @@ func TestMalformedRequests(t *testing.T) {
 		{name: "at wrong method", method: "DELETE", path: "/at?key=" + key + "&x=1&y=1", want: 405, allow: "GET, POST"},
 		{name: "strongest ok", method: "GET", path: "/strongest?x=1&y=1", want: 200},
 		{name: "strongest bad float", method: "GET", path: "/strongest?x=1&y=1e", want: 400},
-		{name: "strongest wrong method", method: "POST", path: "/strongest?x=1&y=1", body: "{}", want: 405, allow: "GET"},
+		{name: "strongest wrong method", method: "DELETE", path: "/strongest?x=1&y=1", want: 405, allow: "GET, POST"},
+		{name: "strongest batch ok", method: "POST", path: "/strongest", body: `{"points":[[1,1,1]]}`, want: 200},
+		{name: "strongest batch empty points", method: "POST", path: "/strongest", body: `{"points":[]}`, want: 200},
+		{name: "strongest batch key ignored", method: "POST", path: "/strongest", body: `{"key":"nope","points":[[1,1,1]]}`, want: 200},
+		{name: "strongest batch bad json", method: "POST", path: "/strongest", body: `{"points":`, want: 400},
+		{name: "strongest batch overflow point", method: "POST", path: "/strongest", body: `{"points":[[1,1e999,1]]}`, want: 400},
+		{name: "strongest batch too many points", method: "POST", path: "/strongest",
+			body: `{"points":[[1,1,1],[1,1,1],[1,1,1],[1,1,1],[1,1,1]]}`, want: 413},
 		{name: "batch ok", method: "POST", path: "/at", body: `{"key":"` + key + `","points":[[1,1,1]]}`, want: 200},
 		{name: "batch empty points", method: "POST", path: "/at", body: `{"key":"` + key + `","points":[]}`, want: 200},
 		{name: "batch bad json", method: "POST", path: "/at", body: `{"key":`, want: 400},

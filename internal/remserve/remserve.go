@@ -12,6 +12,7 @@
 //	GET  /at?key=K&x=…&y=…[&z=…]   one interpolated value for key K
 //	POST /at                       batch: {"key":K,"points":[[x,y,z],…]}
 //	GET  /strongest?x=…&y=…[&z=…]  best-server query across all keys
+//	POST /strongest                batch: {"points":[[x,y,z],…]}
 //	GET  /stats                    per-shard build/query/eviction counters
 //	GET  /snapshot                 binary codec of the serving map (ETag)
 //	GET  /delta?from=<tag>         tile delta since a retained generation
@@ -67,6 +68,13 @@ type Backend interface {
 	AtBatchInto(dst []float64, key string, pts []geom.Vec3) (uint64, error)
 	// Strongest answers a best-server query across the vocabulary.
 	Strongest(p geom.Vec3) (string, float64, uint64, error)
+	// StrongestBatchInto answers a best-server query for every point into
+	// caller-owned buffers; len(keys) and len(vals) must equal len(pts).
+	// The version is the serving snapshot generation for a monolithic
+	// store and 0 for a sharded one (a batch may span shard snapshots; the
+	// per-point answers still match the monolithic store bit for bit —
+	// rule 8 — only the single version tag has no sharded equivalent).
+	StrongestBatchInto(keys []string, vals []float64, pts []geom.Vec3) (uint64, error)
 	// Snapshot returns the serving map and its version tag (the ETag
 	// body): the snapshot version for a monolithic store, the dotted
 	// per-shard version vector for a sharded one. The tag uniquely
@@ -163,6 +171,10 @@ func (b storeBackend) Strongest(p geom.Vec3) (string, float64, uint64, error) {
 	return b.st.Strongest(p)
 }
 
+func (b storeBackend) StrongestBatchInto(keys []string, vals []float64, pts []geom.Vec3) (uint64, error) {
+	return b.st.StrongestBatchInto(keys, vals, pts)
+}
+
 func (b storeBackend) Snapshot() (*rem.Map, string, error) {
 	s := b.st.Current()
 	if s == nil {
@@ -216,6 +228,12 @@ func (b shardedBackend) AtBatchInto(dst []float64, key string, pts []geom.Vec3) 
 
 func (b shardedBackend) Strongest(p geom.Vec3) (string, float64, uint64, error) {
 	return b.ss.Strongest(p)
+}
+
+func (b shardedBackend) StrongestBatchInto(keys []string, vals []float64, pts []geom.Vec3) (uint64, error) {
+	// A sharded batch may merge answers from different shard snapshots;
+	// there is no single serving version to report, so the tag is 0.
+	return 0, b.ss.StrongestBatchInto(keys, vals, pts)
 }
 
 func (b shardedBackend) Snapshot() (*rem.Map, string, error) {

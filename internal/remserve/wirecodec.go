@@ -40,6 +40,12 @@ import (
 //	  magic "REMS" | u32 version (1) | u64 snapshot version
 //	  u32 key length | key bytes | f64 value
 //
+//	strongest-batch response ("REMW"), POST /strongest with the same
+//	Accept — one winning (key, value) pair per request point; the
+//	request is a "REMQ" message whose key length is 0:
+//	  magic "REMW" | u32 version (1) | u64 snapshot version
+//	  u32 pair count | count × (u32 key length | key bytes | f64 value)
+//
 // Every field is validated before any allocation: bad magic, an
 // unsupported version, a truncated header, a key over the snapshot
 // codec's key bound, a non-finite coordinate, or a declared size that
@@ -56,9 +62,10 @@ const WireContentType = "application/x-rem-batch"
 // Wire magics (little-endian u32 of the 4 ASCII bytes, in the snapshot
 // codec's magic-first convention).
 const (
-	wireMagicReq   = "REMQ"
-	wireMagicBatch = "REMA"
-	wireMagicKeyed = "REMS"
+	wireMagicReq       = "REMQ"
+	wireMagicBatch     = "REMA"
+	wireMagicKeyed     = "REMS"
+	wireMagicStrongest = "REMW"
 )
 
 // wireVersion is the binary wire format version.
@@ -87,8 +94,10 @@ func wireErrorf(status int, format string, args ...any) *wireError {
 // buffers: the key is memoised on bb (steady-state requests for the
 // same key allocate nothing) and the coordinates are decoded directly
 // into bb.pts — no intermediate representation, no text. maxPoints
-// mirrors the JSON path's batch cap.
-func decodeWireBatch(body []byte, bb *buffers, maxPoints int) error {
+// mirrors the JSON path's batch cap. allowEmptyKey admits a zero-length
+// key — the POST /strongest form, where the query spans the whole
+// vocabulary and the key field is vestigial.
+func decodeWireBatch(body []byte, bb *buffers, maxPoints int, allowEmptyKey bool) error {
 	if len(body) < wireReqHeaderLen {
 		return wireErrorf(400, "remserve: binary batch header truncated: %d bytes, need %d", len(body), wireReqHeaderLen)
 	}
@@ -100,8 +109,12 @@ func decodeWireBatch(body []byte, bb *buffers, maxPoints int) error {
 	}
 	keyLen := rem.U32(body[8:])
 	count := rem.U32(body[12:])
-	if keyLen == 0 || keyLen > rem.WireMaxKeyLen {
-		return wireErrorf(400, "remserve: binary batch key length %d outside [1, %d]", keyLen, rem.WireMaxKeyLen)
+	minKey := uint32(1)
+	if allowEmptyKey {
+		minKey = 0
+	}
+	if keyLen < minKey || keyLen > rem.WireMaxKeyLen {
+		return wireErrorf(400, "remserve: binary batch key length %d outside [%d, %d]", keyLen, minKey, rem.WireMaxKeyLen)
 	}
 	// Declared sizes must agree with the body exactly, checked before the
 	// point cap so an overflowed count is reported as the malformed body
@@ -165,6 +178,68 @@ func appendWireKeyedResponse(b []byte, version uint64, key string, val float64) 
 	b = append(b, key...)
 	b = rem.AppendF64(b, val)
 	return b
+}
+
+// appendWireStrongestResponse renders a "REMW" strongest-batch
+// response: one (key, value) pair per request point, keys and raw value
+// bits straight from the pooled workspace StrongestBatchInto filled.
+func appendWireStrongestResponse(b []byte, version uint64, keys []string, vals []float64) []byte {
+	b = append(b, wireMagicStrongest...)
+	b = rem.AppendU32(b, wireVersion)
+	b = rem.AppendU64(b, version)
+	b = rem.AppendU32(b, uint32(len(keys)))
+	for i, k := range keys {
+		b = rem.AppendU32(b, uint32(len(k)))
+		b = append(b, k...)
+		b = rem.AppendF64(b, vals[i])
+	}
+	return b
+}
+
+// AppendStrongestRequest appends the binary wire encoding of a
+// strongest batch query — a "REMQ" message with a zero-length key —
+// the client-side counterpart of POST /strongest's binary decoder.
+func AppendStrongestRequest(b []byte, pts []geom.Vec3) []byte {
+	return AppendBatchRequest(b, "", pts)
+}
+
+// DecodeStrongestResponse parses a "REMW" binary strongest-batch
+// response into per-point winning keys and values plus the serving
+// snapshot version.
+func DecodeStrongestResponse(body []byte) (keys []string, vals []float64, version uint64, err error) {
+	const header = 4 + 4 + 8 + 4
+	if len(body) < header {
+		return nil, nil, 0, fmt.Errorf("remserve: binary strongest response truncated: %d bytes", len(body))
+	}
+	if string(body[:4]) != wireMagicStrongest {
+		return nil, nil, 0, fmt.Errorf("remserve: bad binary strongest response magic %q", body[:4])
+	}
+	if v := rem.U32(body[4:]); v != wireVersion {
+		return nil, nil, 0, fmt.Errorf("remserve: unsupported binary wire version %d", v)
+	}
+	version = rem.U64(body[8:])
+	count := rem.U32(body[16:])
+	keys = make([]string, 0, count)
+	vals = make([]float64, 0, count)
+	off := header
+	for i := uint32(0); i < count; i++ {
+		if uint64(off)+4 > uint64(len(body)) {
+			return nil, nil, 0, fmt.Errorf("remserve: binary strongest response truncated at pair %d", i)
+		}
+		keyLen := rem.U32(body[off:])
+		off += 4
+		if uint64(off)+uint64(keyLen)+8 > uint64(len(body)) {
+			return nil, nil, 0, fmt.Errorf("remserve: binary strongest response truncated at pair %d", i)
+		}
+		keys = append(keys, string(body[off:off+int(keyLen)]))
+		off += int(keyLen)
+		vals = append(vals, rem.F64(body[off:]))
+		off += 8
+	}
+	if off != len(body) {
+		return nil, nil, 0, fmt.Errorf("remserve: binary strongest response has %d trailing bytes", len(body)-off)
+	}
+	return keys, vals, version, nil
 }
 
 // AppendBatchRequest appends the binary wire encoding of a batch query

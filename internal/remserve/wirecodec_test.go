@@ -299,7 +299,7 @@ func FuzzWireBatchDecode(f *testing.F) {
 	f.Add(trunc[:len(trunc)-5])
 	f.Fuzz(func(t *testing.T, body []byte) {
 		bb := &buffers{}
-		if err := decodeWireBatch(body, bb, DefaultMaxBatchPoints); err != nil {
+		if err := decodeWireBatch(body, bb, DefaultMaxBatchPoints, false); err != nil {
 			we, ok := err.(*wireError)
 			if !ok {
 				t.Fatalf("non-wireError %T from decode", err)
@@ -323,11 +323,11 @@ func FuzzWireBatchDecode(f *testing.F) {
 func TestWireBatchDecodeZeroAlloc(t *testing.T) {
 	bb := &buffers{}
 	body := AppendBatchRequest(nil, "AA:BB:00:00:00:01", testPoints())
-	if err := decodeWireBatch(body, bb, 16); err != nil {
+	if err := decodeWireBatch(body, bb, 16, false); err != nil {
 		t.Fatal(err)
 	}
 	allocs := testing.AllocsPerRun(200, func() {
-		if err := decodeWireBatch(body, bb, 16); err != nil {
+		if err := decodeWireBatch(body, bb, 16, false); err != nil {
 			t.Fatal(err)
 		}
 	})
@@ -335,7 +335,7 @@ func TestWireBatchDecodeZeroAlloc(t *testing.T) {
 		t.Fatalf("steady-state binary decode allocates %v/op, want 0", allocs)
 	}
 	other := AppendBatchRequest(nil, "key-b", testPoints()[:1])
-	if err := decodeWireBatch(other, bb, 16); err != nil {
+	if err := decodeWireBatch(other, bb, 16, false); err != nil {
 		t.Fatal(err)
 	}
 	if bb.req.Key != "key-b" || len(bb.pts) != 1 {

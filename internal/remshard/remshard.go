@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/geom"
@@ -425,26 +426,65 @@ func (s *ShardedStore) Strongest(p geom.Vec3) (string, float64, uint64, error) {
 }
 
 // StrongestBatch answers a best-server query for every point: each
-// serving shard's snapshot is loaded once for the whole batch and
-// streamed key-outer, then the per-point winners merge under the global
-// vocabulary order — element i matches Strongest(pts[i]) exactly.
-// Serving versions are per-shard; use Strongest for a versioned answer.
+// serving shard's snapshot is loaded once for the whole batch, then the
+// per-point winners merge under the global vocabulary order — element i
+// matches Strongest(pts[i]) exactly. Serving versions are per-shard; use
+// Strongest for a versioned answer.
 func (s *ShardedStore) StrongestBatch(pts []geom.Vec3) ([]string, []float64, error) {
 	keys := make([]string, len(pts))
 	vals := make([]float64, len(pts))
-	gis := make([]int, len(pts))
-	for i := range vals {
-		vals[i] = math.Inf(-1)
-		gis[i] = -1
+	if err := s.StrongestBatchInto(keys, vals, pts); err != nil {
+		return nil, nil, err
 	}
-	var firstServing *shardState
-	winners := make(map[*shardState]uint64, len(s.shards))
-	shardKeys := make([]*shardState, len(pts))
-	// Scratch for the per-shard winners, reused across shards —
-	// StrongestBatchInto re-initialises it on every call.
-	ks := make([]string, len(pts))
-	vs := make([]float64, len(pts))
-	for _, sh := range s.shards {
+	return keys, vals, nil
+}
+
+// strongestScratch is the pooled working set of StrongestBatchInto: the
+// per-shard winner buffers, the global tie-break indices, each point's
+// winning shard and the per-shard logical-query tallies. Pooling keeps
+// the serving path allocation-free at steady state.
+type strongestScratch struct {
+	ks     []string
+	vs     []float64
+	gis    []int
+	win    []int
+	counts []uint64
+}
+
+var strongestScratchPool = sync.Pool{New: func() any { return new(strongestScratch) }}
+
+func (sc *strongestScratch) grow(pts, shards int) {
+	if cap(sc.ks) < pts {
+		sc.ks = make([]string, pts)
+		sc.vs = make([]float64, pts)
+		sc.gis = make([]int, pts)
+		sc.win = make([]int, pts)
+	}
+	sc.ks, sc.vs, sc.gis, sc.win = sc.ks[:pts], sc.vs[:pts], sc.gis[:pts], sc.win[:pts]
+	if cap(sc.counts) < shards {
+		sc.counts = make([]uint64, shards)
+	}
+	sc.counts = sc.counts[:shards]
+}
+
+// StrongestBatchInto is StrongestBatch into caller-owned buffers — the
+// zero-allocation serving path behind POST /strongest on a sharded
+// backend. len(keys) and len(vals) must equal len(pts).
+func (s *ShardedStore) StrongestBatchInto(keys []string, vals []float64, pts []geom.Vec3) error {
+	if len(keys) != len(pts) || len(vals) != len(pts) {
+		return fmt.Errorf("remshard: batch destinations hold %d keys / %d values for %d points", len(keys), len(vals), len(pts))
+	}
+	sc := strongestScratchPool.Get().(*strongestScratch)
+	defer strongestScratchPool.Put(sc)
+	sc.grow(len(pts), len(s.shards))
+	for i := range vals {
+		keys[i] = ""
+		vals[i] = math.Inf(-1)
+		sc.gis[i] = -1
+		sc.win[i] = -1
+	}
+	firstServing := -1
+	for si, sh := range s.shards {
 		if len(sh.keys) == 0 {
 			continue
 		}
@@ -452,36 +492,41 @@ func (s *ShardedStore) StrongestBatch(pts []geom.Vec3) ([]string, []float64, err
 		if snap == nil {
 			continue
 		}
-		if firstServing == nil {
-			firstServing = sh
+		if firstServing < 0 {
+			firstServing = si
 		}
-		if err := snap.Map().StrongestBatchInto(ks, vs, pts); err != nil {
-			return nil, nil, err
+		if err := snap.Map().StrongestBatchInto(sc.ks, sc.vs, pts); err != nil {
+			return err
 		}
 		for i := range pts {
-			if ks[i] == "" {
-				continue
+			if sc.ks[i] == "" {
+				continue // every value NaN in this shard — monolithic skips them too
 			}
-			gi := s.keyIdx[ks[i]]
-			if vs[i] > vals[i] || (vs[i] == vals[i] && gi < gis[i]) {
-				keys[i], vals[i], gis[i], shardKeys[i] = ks[i], vs[i], gi, sh
+			gi := s.keyIdx[sc.ks[i]]
+			if sc.vs[i] > vals[i] || (sc.vs[i] == vals[i] && gi < sc.gis[i]) {
+				keys[i], vals[i], sc.gis[i], sc.win[i] = sc.ks[i], sc.vs[i], gi, si
 			}
 		}
 	}
-	if firstServing == nil {
-		return nil, nil, remstore.ErrEmpty
+	if firstServing < 0 {
+		return remstore.ErrEmpty
+	}
+	for i := range sc.counts {
+		sc.counts[i] = 0
 	}
 	for i := range pts {
-		if shardKeys[i] != nil {
-			winners[shardKeys[i]]++
+		if sc.win[i] >= 0 {
+			sc.counts[sc.win[i]]++
 		} else {
-			winners[firstServing]++
+			sc.counts[firstServing]++
 		}
 	}
-	for sh, n := range winners {
-		sh.logical.Add(n)
+	for si, n := range sc.counts {
+		if n > 0 {
+			s.shards[si].logical.Add(n)
+		}
 	}
-	return keys, vals, nil
+	return nil
 }
 
 // MergedSnapshot reassembles the current per-shard snapshots into one

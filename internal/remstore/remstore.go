@@ -100,6 +100,11 @@ type Store struct {
 	// age-based retention is testable without sleeping.
 	now func() time.Time
 
+	// noIndex disables publish-time coverage-index construction (the
+	// opt-out; see SetCoverIndexing). Guarded by mu like the rest of the
+	// publish path.
+	noIndex bool
+
 	// The store-wide counters are padded to their own cache lines:
 	// queries is bumped by every concurrent reader and must not share a
 	// line with publishes (bumped by writers) or with cur (loaded by
@@ -116,6 +121,17 @@ func New(maxHistory int) *Store {
 		maxHistory = DefaultMaxHistory
 	}
 	return &Store{retain: Retention{MaxCount: maxHistory}, now: time.Now}
+}
+
+// SetCoverIndexing toggles publish-time coverage-index construction (on
+// by default). With it off, snapshots without an index serve
+// Strongest/StrongestBatch via the brute O(keys) scan — same results
+// (rule 9), pre-index cost. Maps that already carry an index (a mended
+// RebuildKeys/ApplyDelta generation) keep it either way.
+func (st *Store) SetCoverIndexing(on bool) {
+	st.mu.Lock()
+	st.noIndex = !on
+	st.mu.Unlock()
 }
 
 // SetRetention updates the history policy and prunes immediately.
@@ -213,6 +229,14 @@ func (st *Store) publish(m *rem.Map, builtKeys int, version uint64) (*Snapshot, 
 		if prev != nil && version <= prev.version {
 			version = prev.version + 1
 		}
+	}
+	// Materialise the coverage index before the snapshot becomes visible,
+	// so no reader ever pays the brute Strongest scan on an indexed
+	// store. Incremental generations usually arrive with a mended index
+	// already attached (RebuildKeys/ApplyDelta carry it forward); this
+	// covers from-scratch builds and codec-loaded maps.
+	if !st.noIndex {
+		m.BuildCoverIndex()
 	}
 	s := &Snapshot{m: m, version: version, publishedAt: st.now(), builtKeys: builtKeys}
 	if prev != nil {
@@ -313,6 +337,22 @@ func (st *Store) StrongestBatch(pts []geom.Vec3) ([]string, []float64, uint64, e
 	st.queries.Add(uint64(len(pts)))
 	keys, vals := s.m.StrongestBatch(pts)
 	return keys, vals, s.version, nil
+}
+
+// StrongestBatchInto is StrongestBatch into caller-owned buffers — the
+// zero-allocation serving path behind POST /strongest. len(keys) and
+// len(vals) must equal len(pts). A failed batch counts no queries.
+func (st *Store) StrongestBatchInto(keys []string, vals []float64, pts []geom.Vec3) (uint64, error) {
+	s := st.cur.Load()
+	if s == nil {
+		return 0, ErrEmpty
+	}
+	if err := s.m.StrongestBatchInto(keys, vals, pts); err != nil {
+		return 0, err
+	}
+	s.queries.Add(uint64(len(pts)))
+	st.queries.Add(uint64(len(pts)))
+	return s.version, nil
 }
 
 // History returns the retained snapshots, oldest first. The slice is a
