@@ -10,6 +10,7 @@ package repro
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -31,6 +32,7 @@ import (
 	"repro/internal/remserve"
 	"repro/internal/remshard"
 	"repro/internal/remstore"
+	"repro/internal/remwal"
 	"repro/internal/simrand"
 	"repro/internal/uwb"
 )
@@ -1313,4 +1315,149 @@ func BenchmarkServeStrongestBatchBinary(b *testing.B) {
 			}
 		}
 	})
+}
+
+// ---------------------------------------------------------------------------
+// Ingestion benchmarks (BENCH_rem.json "ingestion"): the durable write
+// edge. POST /observe through the handler — JSON vs the binary REMO
+// codec — then the WAL itself: append cost with and without the fsync
+// barrier, and replay throughput (the restart path).
+
+// benchIngestServer is benchServeServer with POST /observe enabled: the
+// queue is unbounded enough that the benchmark never sheds, and each op
+// drains its own submission so the channel stays shallow.
+func benchIngestServer(b *testing.B) (*remserve.Server, *remwal.Queue, string) {
+	b.Helper()
+	predict, keys := benchREMSetup(b)
+	ss, err := remshard.New(keys, remshard.Config{
+		Shards: 4, Volume: geom.PaperScanVolume(), Resolution: [3]int{12, 10, 6},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := ss.Rebuild(benchAllKeys(len(keys)), predict, rem.BuildOptions{}); err != nil {
+		b.Fatal(err)
+	}
+	q := remwal.NewQueue(remwal.QueueConfig{Capacity: 4})
+	srv := remserve.NewSharded(ss, remserve.Options{Ingest: remserve.IngestOptions{Queue: q}})
+	return srv, q, keys[0]
+}
+
+// benchObserveBatch is a 64-observation batch for key.
+func benchObserveBatch(key string) remwal.Batch {
+	rng := simrand.New(99)
+	bt := remwal.Batch{Key: key}
+	for i := 0; i < 64; i++ {
+		bt.Points = append(bt.Points, geom.V(rng.Range(0, 4), rng.Range(0, 3), rng.Range(0, 2.6)))
+		bt.Values = append(bt.Values, -40-rng.Range(0, 50))
+	}
+	return bt
+}
+
+// benchmarkObserve drives POST /observe with the given body: one op =
+// auth + decode + validate + enqueue + drain of one 64-point batch, so
+// per-observation cost is ns/op ÷ 64.
+func benchmarkObserve(b *testing.B, body []byte, contentType string) {
+	srv, q, _ := benchIngestServer(b)
+	ctx := context.Background()
+	w := &benchServeRW{h: make(http.Header)}
+	req := httptest.NewRequest("POST", "/observe", nil)
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	var rd bytes.Reader
+	req.Body = io.NopCloser(&rd)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.code = 0
+		rd.Reset(body)
+		srv.ServeHTTP(w, req)
+		if w.code != 0 && w.code != http.StatusOK {
+			b.Fatalf("status %d", w.code)
+		}
+		if _, err := q.Pop(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkObserveJSON(b *testing.B) {
+	_, _, key := benchIngestServer(b)
+	bt := benchObserveBatch(key)
+	var body bytes.Buffer
+	fmt.Fprintf(&body, "{\"key\":%q,\"observations\":[", key)
+	for i, p := range bt.Points {
+		if i > 0 {
+			body.WriteByte(',')
+		}
+		fmt.Fprintf(&body, "[%g,%g,%g,%g]", p.X, p.Y, p.Z, bt.Values[i])
+	}
+	body.WriteString("]}")
+	benchmarkObserve(b, body.Bytes(), "")
+}
+
+func BenchmarkObserveBinary(b *testing.B) {
+	_, _, key := benchIngestServer(b)
+	benchmarkObserve(b, remwal.AppendBatch(nil, benchObserveBatch(key)), remserve.WireContentType)
+}
+
+// benchmarkWALAppend is one framed record append of a 64-observation
+// REMO payload; with SyncAlways every op pays the fsync barrier — the
+// durability price the ingest ack includes.
+func benchmarkWALAppend(b *testing.B, sync remwal.SyncPolicy) {
+	payload := remwal.AppendBatch(nil, benchObserveBatch("key00"))
+	l, _, err := remwal.Open(remwal.Config{Dir: b.TempDir(), Sync: sync})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer l.Close()
+	b.SetBytes(int64(len(payload)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := l.Append(payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWALAppendFsync(b *testing.B)   { benchmarkWALAppend(b, remwal.SyncAlways) }
+func BenchmarkWALAppendNoFsync(b *testing.B) { benchmarkWALAppend(b, remwal.SyncNone) }
+
+// BenchmarkWALReplay is the restart path: one op = Open (scan, CRC,
+// copy out) of a 1024-record segment set; b.SetBytes reports replay
+// throughput over the raw segment bytes.
+func BenchmarkWALReplay(b *testing.B) {
+	dir := b.TempDir()
+	payload := remwal.AppendBatch(nil, benchObserveBatch("key00"))
+	l, _, err := remwal.Open(remwal.Config{Dir: dir, Sync: remwal.SyncNone})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var total int64
+	for i := 0; i < 1024; i++ {
+		if _, err := l.Append(payload); err != nil {
+			b.Fatal(err)
+		}
+		total += int64(len(payload)) + 8
+	}
+	if err := l.Close(); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(total)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l, recs, err := remwal.Open(remwal.Config{Dir: dir, Sync: remwal.SyncNone})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(recs) != 1024 {
+			b.Fatalf("replayed %d records", len(recs))
+		}
+		if err := l.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
 }

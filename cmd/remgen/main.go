@@ -42,6 +42,17 @@
 //
 //	remgen -query http://127.0.0.1:8080 -mode strongest -points "1,2,3;4,5,6"
 //
+// With -ingest, remgen is a live ingestion server: it bootstraps the
+// estimator on the mission's survey, serves it on -serve, and accepts
+// observation batches on POST /observe (JSON or the binary "REMO"
+// wire) — each accepted batch incrementally refits the estimator and
+// publishes a new snapshot. With -wal DIR every batch is persisted to
+// a write-ahead log before it is acknowledged, and a restart with the
+// same -wal replays the log into byte-identical snapshots (determinism
+// contract rule 10):
+//
+//	remgen -ingest -serve 127.0.0.1:8080 -wal /var/lib/rem/wal -ingest-token s3cret
+//
 // With -follow, remgen is a replica: it polls a running -serve leader,
 // pulls tile deltas (full snapshots only on first contact or after
 // corruption), and serves the replicated REM on -serve through leader
@@ -78,6 +89,7 @@ import (
 	"repro/internal/remserve"
 	"repro/internal/remshard"
 	"repro/internal/remstore"
+	"repro/internal/remwal"
 )
 
 func main() {
@@ -104,6 +116,10 @@ func run() error {
 		serve     = flag.String("serve", "", "with -stream or -follow, serve over HTTP on this address (e.g. 127.0.0.1:8080); SIGINT/SIGTERM stop cleanly")
 		rate      = flag.Float64("rate", 0, "with -serve, per-client request budget in requests/second (token bucket keyed by client IP; 0 disables)")
 		snapOut   = flag.String("snapshot", "", "also export the final REM in the binary snapshot codec (rem.ReadFrom loads it) to this path")
+		ingest    = flag.Bool("ingest", false, "live ingestion server: bootstrap on the survey, then accept observation batches on POST /observe of -serve, one published snapshot per batch")
+		walDir    = flag.String("wal", "", "with -ingest, persist accepted batches to a write-ahead log in this directory; a restart replays it into identical snapshots")
+		ingestTok = flag.String("ingest-token", "", "with -ingest, require 'Authorization: Bearer TOKEN' on POST /observe")
+		ingestCap = flag.Int("ingest-queue", 0, "with -ingest, the bounded ingest-queue capacity; a full queue answers 429 + Retry-After (≤0 uses the default)")
 		follow    = flag.String("follow", "", "follower mode: base URL of a running -serve leader to replicate (delta sync); serve the replica on -serve, stop with SIGINT/SIGTERM")
 		poll      = flag.Duration("poll", 0, "with -follow, the leader poll interval (0 uses the follower default)")
 		staleness = flag.Duration("staleness", 0, "with -follow, how old the last successful sync may get before /healthz reports 503 stale (0 uses the follower default)")
@@ -159,6 +175,28 @@ func run() error {
 		stored = data
 	}
 
+	if *ingest {
+		if *stream {
+			return errors.New("-ingest and -stream are exclusive: ingestion is batch-driven, streaming is window-driven")
+		}
+		if *shards != 0 {
+			return errors.New("-ingest serves a monolithic store; -shards only applies to -stream")
+		}
+		if *serve == "" {
+			return errors.New("-ingest needs -serve ADDR: the batches arrive on POST /observe")
+		}
+		if *extended {
+			return errors.New("-extended has no effect with -ingest: ingestion serves a single estimator")
+		}
+		return runIngest(cfg, stored, ingestOpts{
+			history: *history, out: *out, snapOut: *snapOut,
+			serve: *serve, rate: *rate, dark: *dark, slice: *slice,
+			wal: *walDir, token: *ingestTok, queue: *ingestCap,
+		})
+	}
+	if *walDir != "" || *ingestTok != "" || *ingestCap != 0 {
+		return errors.New("-wal, -ingest-token and -ingest-queue configure the ingestion server; add -ingest")
+	}
 	if *stream {
 		if *extended {
 			return fmt.Errorf("-extended has no effect with -stream: streaming serves a single estimator, not the Figure 8 suite")
@@ -624,6 +662,138 @@ func runStream(base core.Config, stored *dataset.Dataset, opts streamOpts) error
 		}
 	}
 	return nil
+}
+
+// ingestOpts gathers the ingestion-mode flags.
+type ingestOpts struct {
+	history      int
+	out, snapOut string
+	serve        string
+	rate         float64
+	dark, slice  float64
+	wal, token   string
+	queue        int
+}
+
+// runIngest drives the live ingestion server: open (and replay) the
+// WAL, bootstrap the estimator on the survey, front the store with
+// remserve — POST /observe enabled — and publish one snapshot per
+// accepted batch until SIGINT/SIGTERM. Shutdown is ordered for
+// durability: the HTTP edge drains first (no more acks), then the WAL
+// segment is fsynced and closed, so every acknowledged batch is intact
+// on disk when the process exits and the next -wal run replays it.
+func runIngest(base core.Config, stored *dataset.Dataset, opts ingestOpts) error {
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+
+	var wal *remwal.Log
+	queueCfg := remwal.QueueConfig{Capacity: opts.queue}
+	var replay []remwal.Batch
+	if opts.wal != "" {
+		l, recs, err := remwal.Open(remwal.Config{Dir: opts.wal})
+		if err != nil {
+			return err
+		}
+		wal = l
+		queueCfg.Log = l
+		batches, good := remwal.Batches(recs)
+		if good != len(recs) {
+			return fmt.Errorf("wal %s: record %d does not decode as an observation batch (wrong directory?)", opts.wal, recs[good].Seq)
+		}
+		replay = batches
+		fmt.Fprintf(os.Stderr, "wal %s: replaying %d batch(es)\n", opts.wal, len(replay))
+	}
+	q := remwal.NewQueue(queueCfg)
+
+	var srv *remserve.Server
+	serveErr := make(chan error, 1)
+	cfg := core.IngestConfig{
+		Config:     base,
+		MaxHistory: opts.history,
+		Queue:      q,
+		Replay:     replay,
+		Context:    ctx,
+		OnStore: func(st *remstore.Store) {
+			srv = remserve.NewStore(st, remserve.Options{
+				RateLimit: remserve.RateLimit{RPS: opts.rate},
+				Ingest:    remserve.IngestOptions{Queue: q, Token: opts.token},
+			})
+			l, err := net.Listen("tcp", opts.serve)
+			if err != nil {
+				serveErr <- err
+				cancel() // no edge to ingest through; stop the loop too
+				return
+			}
+			fmt.Fprintf(os.Stderr, "serving REM queries and POST /observe on http://%s\n", l.Addr())
+			go func() { serveErr <- srv.Serve(l) }()
+		},
+		OnBatch: func(rep core.IngestReport) {
+			src := "live"
+			if rep.Replayed {
+				src = "replay"
+			}
+			fmt.Fprintf(os.Stderr, "batch %d (%s): +%d rows → snapshot v%d: %d keys dirty, %d tiles shared\n",
+				rep.Seq, src, rep.Rows, rep.Version, rep.DirtyKeys, rep.SharedTiles)
+		},
+	}
+
+	var res *core.IngestResult
+	var err error
+	if stored != nil {
+		res, err = core.RunIngestWithDataset(cfg, stored, nil)
+	} else {
+		res, err = core.RunIngest(cfg)
+	}
+	cancelled := err != nil && errors.Is(err, context.Canceled)
+	closeWAL := func(prev error) error {
+		if wal == nil {
+			return prev
+		}
+		last := wal.NextSeq() - 1
+		if cerr := wal.Close(); cerr != nil {
+			if prev == nil {
+				return fmt.Errorf("closing wal: %w", cerr)
+			}
+			return prev
+		}
+		fmt.Fprintf(os.Stderr, "wal %s: closed cleanly at seq %d\n", opts.wal, last)
+		return prev
+	}
+	if err != nil && !cancelled {
+		_ = shutdownServer(srv) // the run error dominates
+		return closeWAL(err)
+	}
+	if cancelled {
+		// A bind failure cancels the loop through the same context a
+		// signal does — surface it instead of reporting a clean stop.
+		select {
+		case serr := <-serveErr:
+			if serr != nil {
+				return closeWAL(fmt.Errorf("starting HTTP front: %w", serr))
+			}
+		default:
+		}
+		fmt.Fprintf(os.Stderr, "remgen: %v; draining queries\n", err)
+	}
+	serr := shutdownServer(srv)
+	serr = closeWAL(serr)
+	if res == nil || res.Store == nil || res.Store.Current() == nil {
+		return serr
+	}
+	stats := res.Store.Stats()
+	fmt.Fprintf(os.Stderr, "ingest: %d batch(es) published over %d snapshots (%d retained); serving v%d\n",
+		len(res.Batches), stats.Publishes, stats.HistoryLen, stats.CurrentVersion)
+	m := res.Store.Current().Map()
+	if rerr := reportMap(m, opts.dark, opts.slice); rerr != nil {
+		return rerr
+	}
+	if rerr := writeSnapshotOut(m, opts.snapOut); rerr != nil {
+		return rerr
+	}
+	if rerr := writeCSVOut(m, opts.out); rerr != nil {
+		return rerr
+	}
+	return serr
 }
 
 // shutdownServer drains the HTTP front, bounded so a stuck client

@@ -1,0 +1,287 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/internal/dataset"
+	"repro/internal/geom"
+	"repro/internal/mission"
+	"repro/internal/ml"
+	"repro/internal/rem"
+	"repro/internal/remstore"
+	"repro/internal/remwal"
+)
+
+// This file is the ingest-driven variant of the stream loop: instead of
+// windowing a pre-recorded dataset, RunIngest bootstraps the estimator
+// on the mission's survey and then consumes live observation batches
+// from a remwal.Queue — each popped batch is one window (Observe →
+// Refit → RebuildKeys → Publish), so the serving store advances one
+// version per accepted batch and queries never block on a rebuild.
+//
+// Durability rides on the queue's write-ahead log: a batch is
+// acknowledged only after its canonical REMO bytes are on disk, and
+// Config.Replay re-feeds recovered batches through the identical code
+// path before any live batch is popped. Determinism contract rule 10
+// follows: a run killed at any point and restarted from its WAL
+// publishes snapshots byte-identical to a run that never crashed,
+// because the publish sequence is a pure function of the batch
+// sequence, which the WAL preserves exactly.
+//
+// The key vocabulary stays fixed by the bootstrap dataset — a live
+// batch for an unknown MAC is rejected at the serving edge (404) by
+// the validator this loop installs, and never reaches the WAL.
+
+// IngestConfig tunes an ingest run. The embedded Config supplies the
+// seed, mission options, MAC threshold, REM resolution and worker
+// bound; TrainFraction and Estimators are unused here.
+type IngestConfig struct {
+	Config
+	// Spec is the served estimator; nil means DefaultStreamSpec.
+	// Features.IncludeChannel is rejected: live observations carry no
+	// channel, so the design-matrix row for a batch could not be built.
+	Spec *EstimatorSpec
+	// MaxHistory bounds the store's retained snapshot history
+	// (≤ 0 means remstore.DefaultMaxHistory).
+	MaxHistory int
+	// Store, when set, receives the published snapshots instead of a
+	// freshly created store (MaxHistory is then ignored).
+	Store *remstore.Store
+	// Queue is the batch source — required. The loop installs a
+	// vocabulary/geometry validator on it (so rejected batches never
+	// reach the WAL) and closes it when the loop exits, flipping the
+	// serving edge to 503.
+	Queue *remwal.Queue
+	// Replay is the WAL's recovered batches, processed before any live
+	// pop — pass remwal.Batches(recs) from the Open that produced Queue's
+	// log so a restart resumes exactly where the crash interrupted.
+	Replay []remwal.Batch
+	// Context stops the loop — required (an ingest run has no natural
+	// end). Cancellation between batches is a clean stop: everything
+	// published keeps serving and the partial result is returned
+	// alongside the context's error.
+	Context context.Context
+	// OnStore fires exactly once, after the sink store exists and before
+	// the bootstrap snapshot publishes — the serve-while-ingesting hook.
+	OnStore func(*remstore.Store)
+	// OnBatch observes every published batch in order (replayed ones
+	// included, flagged), after the bootstrap publish.
+	OnBatch func(IngestReport)
+}
+
+// IngestReport summarises one published batch.
+type IngestReport struct {
+	// Seq is the batch ordinal (1-based; the bootstrap publish is not a
+	// batch). For WAL-backed queues this equals the record sequence.
+	Seq uint64
+	// Version is the published snapshot's store version (bootstrap is 1,
+	// so Version = Seq+1).
+	Version uint64
+	// Rows is the number of observations in the batch.
+	Rows int
+	// DirtyKeys is how many keys the batch dirtied.
+	DirtyKeys int
+	// SharedTiles is how many tiles the published snapshot shares with
+	// its predecessor.
+	SharedTiles int
+	// Replayed marks a batch recovered from the WAL rather than popped
+	// live.
+	Replayed bool
+}
+
+// IngestResult is the full ingest output.
+type IngestResult struct {
+	// Store serves the published snapshots; Store.Current() is the final
+	// generation.
+	Store *remstore.Store
+	// Batches are the per-batch reports, in publish order.
+	Batches []IngestReport
+	// Data is the bootstrap mission dataset.
+	Data *dataset.Dataset
+	// Report is the mission flight report (nil for stored datasets).
+	Report *mission.Report
+	// Pre is the preprocessed bootstrap whose vocabulary the snapshots
+	// share.
+	Pre *dataset.Preprocessed
+	// Estimator is the served incremental estimator, left fitted on
+	// every row seen.
+	Estimator ml.IncrementalEstimator
+}
+
+// RunIngest flies the mission for the bootstrap survey and then serves
+// live batches; see RunIngestWithDataset.
+func RunIngest(cfg IngestConfig) (*IngestResult, error) {
+	ctrl, err := mission.NewPaperController(cfg.Mission)
+	if err != nil {
+		return nil, err
+	}
+	data, report, err := ctrl.Run()
+	if err != nil {
+		return nil, err
+	}
+	return RunIngestWithDataset(cfg, data, report)
+}
+
+// RunIngestWithDataset bootstraps the estimator on the full dataset,
+// publishes the bootstrap snapshot (version 1), then consumes batches —
+// Replay first, then live pops — publishing one snapshot per batch
+// until the context cancels or the queue closes. The returned result is
+// partial but valid in both cases; the error wraps the cause.
+func RunIngestWithDataset(cfg IngestConfig, data *dataset.Dataset, report *mission.Report) (*IngestResult, error) {
+	if data == nil || data.Len() == 0 {
+		return nil, errors.New("core: empty dataset")
+	}
+	if cfg.Queue == nil {
+		return nil, errors.New("core: ingest needs a Queue")
+	}
+	if cfg.Context == nil {
+		return nil, errors.New("core: ingest needs a Context (the loop has no natural end)")
+	}
+	if cfg.MinSamplesPerMAC < 1 {
+		return nil, errors.New("core: MinSamplesPerMAC must be ≥1")
+	}
+	if cfg.REMResolution[0] < 1 || cfg.REMResolution[1] < 1 || cfg.REMResolution[2] < 1 {
+		return nil, fmt.Errorf("core: ingest needs a positive REM resolution, got %v", cfg.REMResolution)
+	}
+	spec := DefaultStreamSpec()
+	if cfg.Spec != nil {
+		spec = *cfg.Spec
+	}
+	if spec.Features.IncludeChannel {
+		return nil, errors.New("core: ingest cannot serve channel features (live observations carry no channel)")
+	}
+	pre, err := dataset.Preprocess(data, cfg.MinSamplesPerMAC)
+	if err != nil {
+		return nil, err
+	}
+	est, err := spec.Build()
+	if err != nil {
+		return nil, fmt.Errorf("core: building %s: %w", spec.Name, err)
+	}
+	inc := ml.NewRefitAdapter(est)
+	allX, allY := pre.DesignMatrix(spec.Features)
+	featDim := pre.FeatureDim(spec.Features)
+	predict := BatchPredictorFor(inc, featDim, spec.Features.OneHotMACScale)
+	opts := rem.BuildOptions{Workers: cfg.Workers}
+	vol := geom.PaperScanVolume()
+	nKeys := len(pre.MACs)
+	macIdx := make(map[string]int, nKeys)
+	for i, m := range pre.MACs {
+		macIdx[m] = i
+	}
+	res := &IngestResult{
+		Data:      data,
+		Report:    report,
+		Pre:       pre,
+		Estimator: inc,
+	}
+	res.Store = cfg.Store
+	if res.Store == nil {
+		res.Store = remstore.New(cfg.MaxHistory)
+	}
+	// The vocabulary gate: a batch for an unknown MAC never reaches the
+	// WAL, so replay only ever sees batches this loop can encode.
+	cfg.Queue.SetValidator(func(b remwal.Batch) error {
+		if _, ok := macIdx[b.Key]; !ok {
+			return fmt.Errorf("%w: %q", rem.ErrUnknownKey, b.Key)
+		}
+		return nil
+	})
+	// Once the loop exits — however it exits — the serving edge sheds
+	// writes with 503 instead of acknowledging batches nobody will
+	// process.
+	defer cfg.Queue.Close()
+	if cfg.OnStore != nil {
+		cfg.OnStore(res.Store)
+	}
+
+	// Bootstrap: fit on the whole survey, build and publish version 1.
+	if err := inc.Fit(allX, allY); err != nil {
+		return nil, fmt.Errorf("core: fitting %s on the bootstrap survey: %w", spec.Name, err)
+	}
+	cur, err := rem.BuildMapBatch(vol, cfg.REMResolution[0], cfg.REMResolution[1], cfg.REMResolution[2], pre.MACs, predict, opts)
+	if err != nil {
+		return nil, fmt.Errorf("core: rasterising the bootstrap snapshot: %w", err)
+	}
+	if _, err := res.Store.Publish(cur, nKeys); err != nil {
+		return nil, err
+	}
+
+	processBatch := func(b remwal.Batch, seq uint64, replayed bool) error {
+		ki, ok := macIdx[b.Key]
+		if !ok {
+			// Replay of a WAL written before the validator existed (or by
+			// a different vocabulary) — a config error, not a data fault.
+			return fmt.Errorf("core: batch %d: %w: %q", seq, rem.ErrUnknownKey, b.Key)
+		}
+		x := make([][]float64, len(b.Points))
+		y := make([]float64, len(b.Points))
+		for i, p := range b.Points {
+			row := make([]float64, featDim)
+			row[0], row[1], row[2] = p.X, p.Y, p.Z
+			row[3+ki] = spec.Features.OneHotMACScale
+			x[i] = row
+			y[i] = b.Values[i]
+		}
+		dirty, err := inc.Observe(x, y)
+		if err != nil {
+			return fmt.Errorf("core: observing batch %d: %w", seq, err)
+		}
+		if err := inc.Refit(); err != nil {
+			return fmt.Errorf("core: refitting after batch %d: %w", seq, err)
+		}
+		dirtyKeys := resolveDirty(dirty, nKeys, false)
+		next, err := cur.RebuildKeys(dirtyKeys, predict, opts)
+		if err != nil {
+			return fmt.Errorf("core: rasterising batch %d: %w", seq, err)
+		}
+		snap, err := res.Store.Publish(next, len(dirtyKeys))
+		if err != nil {
+			return err
+		}
+		_, shared := snap.BuildStats()
+		rep := IngestReport{
+			Seq:         seq,
+			Version:     snap.Version(),
+			Rows:        len(b.Points),
+			DirtyKeys:   len(dirtyKeys),
+			SharedTiles: shared,
+			Replayed:    replayed,
+		}
+		res.Batches = append(res.Batches, rep)
+		if cfg.OnBatch != nil {
+			cfg.OnBatch(rep)
+		}
+		cur = next
+		return nil
+	}
+
+	stopped := func(cause error) (*IngestResult, error) {
+		return res, fmt.Errorf("core: ingest stopped after %d batch(es): %w", len(res.Batches), cause)
+	}
+	seq := uint64(0)
+	for _, b := range cfg.Replay {
+		if err := cfg.Context.Err(); err != nil {
+			return stopped(err)
+		}
+		seq++
+		if err := processBatch(b, seq, true); err != nil {
+			return res, err
+		}
+	}
+	for {
+		b, err := cfg.Queue.Pop(cfg.Context)
+		if err != nil {
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) || errors.Is(err, remwal.ErrClosed) {
+				return stopped(err)
+			}
+			return res, err
+		}
+		seq++
+		if err := processBatch(b, seq, false); err != nil {
+			return res, err
+		}
+	}
+}

@@ -123,6 +123,10 @@ type SyncStats struct {
 	Stale bool `json:"stale"`
 	// ConsecutiveFailures counts sync failures since the last success.
 	ConsecutiveFailures int `json:"consecutive_failures"`
+	// LastError is the most recent sync failure's message, cleared on
+	// the next success — with ConsecutiveFailures, the first thing an
+	// operator needs when a follower goes stale.
+	LastError string `json:"last_error"`
 	// Syncs counts successful syncs (deltas, fulls and 304s).
 	Syncs uint64 `json:"syncs"`
 	// Deltas, Fulls and NotModified break the successful syncs down by
@@ -316,6 +320,7 @@ func (f *Follower) SyncOnce(ctx context.Context) error {
 		f.fails++
 		f.stats.Failures++
 		f.stats.ConsecutiveFailures = f.fails
+		f.stats.LastError = err.Error()
 		if f.fails >= f.cfg.MaxFailures {
 			// A delta chain that keeps failing is not worth resuming:
 			// refetch the whole map next time.
@@ -325,6 +330,7 @@ func (f *Follower) SyncOnce(ctx context.Context) error {
 	}
 	f.fails = 0
 	f.stats.ConsecutiveFailures = 0
+	f.stats.LastError = ""
 	f.lastSync = f.cfg.Now()
 	f.stats.Syncs++
 	return nil

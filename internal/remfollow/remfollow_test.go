@@ -3,6 +3,7 @@ package remfollow
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
@@ -778,5 +779,67 @@ func TestConcurrentReadsDuringSync(t *testing.T) {
 		if err := <-errs; err != nil {
 			t.Fatal(err)
 		}
+	}
+}
+
+// TestStatsSurfacesFailureDetail pins the operator telemetry satellite:
+// /stats carries the consecutive-failure count and the last sync
+// error's message while a follower is failing, and clears both on the
+// next success.
+func TestStatsSurfacesFailureDetail(t *testing.T) {
+	h := newLeader(t, 6, 2)
+	h.round()
+	ft := &FaultTransport{}
+	f := newFollower(t, h, ft, nil)
+	fsrv := httptest.NewServer(f)
+	defer fsrv.Close()
+	ctx := context.Background()
+	if err := f.SyncOnce(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	fetchStats := func() (int, string) {
+		t.Helper()
+		resp, err := http.Get(fsrv.URL + "/stats")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var body struct {
+			Sync struct {
+				ConsecutiveFailures int    `json:"consecutive_failures"`
+				LastError           string `json:"last_error"`
+			} `json:"sync"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			t.Fatal(err)
+		}
+		return body.Sync.ConsecutiveFailures, body.Sync.LastError
+	}
+
+	if fails, lastErr := fetchStats(); fails != 0 || lastErr != "" {
+		t.Fatalf("healthy follower: consecutive_failures %d last_error %q", fails, lastErr)
+	}
+
+	ft.Extend(FaultStep{Kind: FaultStatus, Status: 500}, FaultStep{Kind: FaultReset})
+	var want string
+	for i := 1; i <= 2; i++ {
+		err := f.SyncOnce(ctx)
+		if err == nil {
+			t.Fatal("faulted sync reported success")
+		}
+		want = err.Error()
+		if fails, lastErr := fetchStats(); fails != i || lastErr != want {
+			t.Fatalf("after %d failures: consecutive_failures %d last_error %q, want %d %q",
+				i, fails, lastErr, i, want)
+		}
+	}
+
+	h.round()
+	if err := f.SyncOnce(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if fails, lastErr := fetchStats(); fails != 0 || lastErr != "" {
+		t.Fatalf("recovered follower: consecutive_failures %d last_error %q", fails, lastErr)
 	}
 }

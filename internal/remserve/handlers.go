@@ -103,6 +103,17 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		default:
 			methodNotAllowed(w, "GET, POST")
 		}
+	case "/observe":
+		if s.ingestQ == nil {
+			// Read-only deployments do not reveal a write surface.
+			http.NotFound(w, r)
+			return
+		}
+		if r.Method != http.MethodPost {
+			methodNotAllowed(w, "POST")
+			return
+		}
+		s.handleObserve(w, r)
 	case "/stats":
 		if !getOrHead(w, r) {
 			return
@@ -264,20 +275,10 @@ func (s *Server) handleStrongest(w http.ResponseWriter, r *http.Request) {
 // Bodies over MaxBatchBytes and batches over MaxBatchPoints get 413 on
 // both codecs.
 func (s *Server) handleAtBatch(w http.ResponseWriter, r *http.Request) {
-	if r.ContentLength > s.maxBytes {
-		http.Error(w, fmt.Sprintf("remserve: batch body exceeds %d bytes", s.maxBytes), http.StatusRequestEntityTooLarge)
-		return
-	}
 	bb := bufPool.Get().(*buffers)
 	defer func() { bufPool.Put(bb) }()
-	body, err := readBody(bb.body[:0], r.Body, s.maxBytes)
-	bb.body = body[:0]
-	if err != nil {
-		if errors.Is(err, errBodyTooLarge) {
-			http.Error(w, fmt.Sprintf("remserve: batch body exceeds %d bytes", s.maxBytes), http.StatusRequestEntityTooLarge)
-		} else {
-			http.Error(w, err.Error(), http.StatusBadRequest)
-		}
+	body, ok := s.readCappedBody(w, r, bb)
+	if !ok {
 		return
 	}
 	if isWireContentType(r.Header.Get("Content-Type")) {
@@ -333,20 +334,10 @@ func (s *Server) handleAtBatch(w http.ResponseWriter, r *http.Request) {
 // The version is the serving snapshot generation for a monolithic
 // backend and 0 for a sharded one.
 func (s *Server) handleStrongestBatch(w http.ResponseWriter, r *http.Request) {
-	if r.ContentLength > s.maxBytes {
-		http.Error(w, fmt.Sprintf("remserve: batch body exceeds %d bytes", s.maxBytes), http.StatusRequestEntityTooLarge)
-		return
-	}
 	bb := bufPool.Get().(*buffers)
 	defer func() { bufPool.Put(bb) }()
-	body, err := readBody(bb.body[:0], r.Body, s.maxBytes)
-	bb.body = body[:0]
-	if err != nil {
-		if errors.Is(err, errBodyTooLarge) {
-			http.Error(w, fmt.Sprintf("remserve: batch body exceeds %d bytes", s.maxBytes), http.StatusRequestEntityTooLarge)
-		} else {
-			http.Error(w, err.Error(), http.StatusBadRequest)
-		}
+	body, ok := s.readCappedBody(w, r, bb)
+	if !ok {
 		return
 	}
 	if isWireContentType(r.Header.Get("Content-Type")) {
@@ -701,6 +692,29 @@ func (s *Server) handleVersion(w http.ResponseWriter) {
 	writeJSON(w, b)
 	bb.out = b
 	bufPool.Put(bb)
+}
+
+// readCappedBody is the one body-cap gate every POST endpoint (/at,
+// /strongest, /observe) shares: the declared Content-Length and the
+// actual bytes are both held to MaxBatchBytes (413 over it, 400 on a
+// read fault), and the body lands in the pooled request buffer. ok is
+// false when a response has already been written.
+func (s *Server) readCappedBody(w http.ResponseWriter, r *http.Request, bb *buffers) ([]byte, bool) {
+	if r.ContentLength > s.maxBytes {
+		http.Error(w, fmt.Sprintf("remserve: batch body exceeds %d bytes", s.maxBytes), http.StatusRequestEntityTooLarge)
+		return nil, false
+	}
+	body, err := readBody(bb.body[:0], r.Body, s.maxBytes)
+	bb.body = body[:0]
+	if err != nil {
+		if errors.Is(err, errBodyTooLarge) {
+			http.Error(w, fmt.Sprintf("remserve: batch body exceeds %d bytes", s.maxBytes), http.StatusRequestEntityTooLarge)
+		} else {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+		}
+		return nil, false
+	}
+	return body, true
 }
 
 // errBodyTooLarge marks a request body over the configured cap.

@@ -2,6 +2,7 @@ package remserve
 
 import (
 	"errors"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -10,6 +11,7 @@ import (
 	"repro/internal/rem"
 	"repro/internal/remshard"
 	"repro/internal/remstore"
+	"repro/internal/remwal"
 )
 
 // TestMalformedRequests is the table of everything a client can get
@@ -18,7 +20,25 @@ import (
 // paths — each pinned to its status code.
 func TestMalformedRequests(t *testing.T) {
 	ss, _, keys := newServedShards(t, 4, 2)
-	srv := httptest.NewServer(NewSharded(ss, Options{MaxBatchBytes: 256, MaxBatchPoints: 4}))
+	// Ingest enabled with the serving vocabulary as validator, so
+	// POST /observe shares the table (and the body/point caps) with
+	// the read batches.
+	vocab := make(map[string]bool, len(keys))
+	for _, k := range keys {
+		vocab[k] = true
+	}
+	q := remwal.NewQueue(remwal.QueueConfig{Capacity: 64})
+	defer q.Close()
+	q.SetValidator(func(b remwal.Batch) error {
+		if !vocab[b.Key] {
+			return fmt.Errorf("%w: %q", rem.ErrUnknownKey, b.Key)
+		}
+		return nil
+	})
+	srv := httptest.NewServer(NewSharded(ss, Options{
+		MaxBatchBytes: 256, MaxBatchPoints: 4,
+		Ingest: IngestOptions{Queue: q},
+	}))
 	defer srv.Close()
 	key := keys[0]
 
@@ -27,6 +47,7 @@ func TestMalformedRequests(t *testing.T) {
 		method string
 		path   string
 		body   string
+		ct     string // Content-Type; "" means none (JSON path)
 		want   int
 		allow  string // expected Allow header on 405s
 	}{
@@ -62,6 +83,27 @@ func TestMalformedRequests(t *testing.T) {
 			body: `{"key":"` + key + `","points":[[1,1,1],[1,1,1],[1,1,1],[1,1,1],[1,1,1]]}`, want: 413},
 		{name: "batch oversized body", method: "POST", path: "/at",
 			body: `{"key":"` + key + `","points":[[1,1,1]],"pad":"` + strings.Repeat("x", 300) + `"}`, want: 413},
+		{name: "batch wire truncated body", method: "POST", path: "/at", body: "REMQ\x01\x00", ct: WireContentType, want: 400},
+		{name: "batch wire wrong magic", method: "POST", path: "/at",
+			body: "XERT" + strings.Repeat("\x00", 12), ct: WireContentType, want: 400},
+		{name: "strongest wire truncated body", method: "POST", path: "/strongest", body: "REMQ\x01\x00", ct: WireContentType, want: 400},
+		{name: "strongest wire wrong magic", method: "POST", path: "/strongest",
+			body: "XERT" + strings.Repeat("\x00", 12), ct: WireContentType, want: 400},
+		{name: "observe ok", method: "POST", path: "/observe", body: `{"key":"` + key + `","observations":[[1,1,1,-50]]}`, want: 200},
+		{name: "observe wrong method", method: "GET", path: "/observe", want: 405, allow: "POST"},
+		{name: "observe truncated json", method: "POST", path: "/observe", body: `{"key":`, want: 400},
+		{name: "observe missing key", method: "POST", path: "/observe", body: `{"observations":[[1,1,1,-50]]}`, want: 400},
+		{name: "observe unknown key", method: "POST", path: "/observe", body: `{"key":"nope","observations":[[1,1,1,-50]]}`, want: 404},
+		{name: "observe empty batch", method: "POST", path: "/observe", body: `{"key":"` + key + `","observations":[]}`, want: 400},
+		{name: "observe non-finite value", method: "POST", path: "/observe",
+			body: `{"key":"` + key + `","observations":[[1,1,1,1e999]]}`, want: 400},
+		{name: "observe too many points", method: "POST", path: "/observe",
+			body: `{"key":"` + key + `","observations":[[1,1,1,-50],[1,1,1,-50],[1,1,1,-50],[1,1,1,-50],[1,1,1,-50]]}`, want: 413},
+		{name: "observe oversized body", method: "POST", path: "/observe",
+			body: `{"key":"` + key + `","observations":[[1,1,1,-50]],"pad":"` + strings.Repeat("x", 300) + `"}`, want: 413},
+		{name: "observe wire truncated body", method: "POST", path: "/observe", body: "REMO\x01\x00", ct: WireContentType, want: 400},
+		{name: "observe wire wrong magic", method: "POST", path: "/observe",
+			body: "XERT" + strings.Repeat("\x00", 12), ct: WireContentType, want: 400},
 		{name: "snapshot wrong method", method: "POST", path: "/snapshot", body: "{}", want: 405, allow: "GET"},
 		{name: "stats wrong method", method: "PUT", path: "/stats", body: "{}", want: 405, allow: "GET"},
 		{name: "healthz wrong method", method: "POST", path: "/healthz", body: "{}", want: 405, allow: "GET"},
@@ -73,6 +115,9 @@ func TestMalformedRequests(t *testing.T) {
 			req, err := http.NewRequest(tc.method, srv.URL+tc.path, strings.NewReader(tc.body))
 			if err != nil {
 				t.Fatal(err)
+			}
+			if tc.ct != "" {
+				req.Header.Set("Content-Type", tc.ct)
 			}
 			r, err := srv.Client().Do(req)
 			if err != nil {

@@ -13,6 +13,8 @@
 //	POST /at                       batch: {"key":K,"points":[[x,y,z],…]}
 //	GET  /strongest?x=…&y=…[&z=…]  best-server query across all keys
 //	POST /strongest                batch: {"points":[[x,y,z],…]}
+//	POST /observe                  ingest (Options.Ingest): WAL-durable
+//	                               observation batches, see ingest.go
 //	GET  /stats                    per-shard build/query/eviction counters
 //	GET  /snapshot                 binary codec of the serving map (ETag)
 //	GET  /delta?from=<tag>         tile delta since a retained generation
@@ -49,6 +51,7 @@ import (
 	"repro/internal/rem"
 	"repro/internal/remshard"
 	"repro/internal/remstore"
+	"repro/internal/remwal"
 )
 
 // ErrEmpty is what queries return before the backing store has
@@ -308,6 +311,9 @@ type Options struct {
 	// RateLimit throttles per-client request rates (429 + Retry-After
 	// past the budget; /healthz exempt). The zero value disables it.
 	RateLimit RateLimit
+	// Ingest enables POST /observe: a queue to submit into and an
+	// optional bearer token. The zero value leaves the server read-only.
+	Ingest IngestOptions
 	// ReadHeaderTimeout, ReadTimeout and IdleTimeout harden the listener
 	// against stalled and idle clients. Zero means the package default
 	// (DefaultReadHeaderTimeout etc.); negative disables that bound.
@@ -332,10 +338,12 @@ func timeoutOr(v, def time.Duration) time.Duration {
 // and owns an optional listener lifecycle: Serve/ListenAndServe block
 // until Shutdown, which stops accepting and drains in-flight requests.
 type Server struct {
-	b         Backend
-	maxBytes  int64
-	maxPoints int
-	limiter   *limiter
+	b           Backend
+	maxBytes    int64
+	maxPoints   int
+	limiter     *limiter
+	ingestQ     *remwal.Queue
+	ingestToken string
 
 	readHeaderTimeout time.Duration
 	readTimeout       time.Duration
@@ -359,6 +367,8 @@ func New(b Backend, opts Options) *Server {
 		maxBytes:          opts.MaxBatchBytes,
 		maxPoints:         opts.MaxBatchPoints,
 		limiter:           newLimiter(opts.RateLimit),
+		ingestQ:           opts.Ingest.Queue,
+		ingestToken:       opts.Ingest.Token,
 		readHeaderTimeout: timeoutOr(opts.ReadHeaderTimeout, DefaultReadHeaderTimeout),
 		readTimeout:       timeoutOr(opts.ReadTimeout, DefaultReadTimeout),
 		idleTimeout:       timeoutOr(opts.IdleTimeout, DefaultIdleTimeout),

@@ -1,0 +1,456 @@
+// Package remwal is the durability layer of the ingestion edge: a
+// segmented write-ahead log of observation batches, in the snapshot
+// codec's dialect (rem/wire.go — little-endian integers, 4-byte magic
+// and a u32 format version first, CRC-32/IEEE integrity), plus the
+// bounded ingest queue remserve's POST /observe feeds and core's
+// ingest loop drains.
+//
+// A segment file is
+//
+//	magic "REML" | u32 version (1) | u64 first sequence number
+//
+// followed by length-prefixed CRC-framed records:
+//
+//	u32 payload length | u32 CRC-32/IEEE of payload | payload bytes
+//
+// Records are observation batches in the "REMO" encoding (batch.go),
+// but the log itself is payload-agnostic. Segments are named
+// <first-seq, 16 hex digits>.reml, rotate at SegmentBytes, and are
+// pruned as whole files by Prune once the observations they hold are
+// folded into a durably exported snapshot.
+//
+// The replayer (Open) is the crash-recovery half of determinism
+// contract rule 10: it scans the segments in sequence order and
+// truncates at the first torn or corrupt record — a crash mid-write
+// loses at most the unacknowledged tail, never an acknowledged record
+// (with SyncAlways, the default, Append returns only after fsync).
+// Open never fails on corruption and never panics on hostile bytes
+// (FuzzWALReplay): the corrupt segment is physically truncated at the
+// last good record and any later segments are deleted, so the log is
+// immediately appendable again and a second Open replays the same
+// prefix.
+package remwal
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/rem"
+)
+
+const (
+	segMagic   = "REML"
+	segVersion = 1
+	// segHeaderLen is the fixed segment prefix: magic, version, first
+	// sequence number.
+	segHeaderLen = 4 + 4 + 8
+	// recHeaderLen frames one record: payload length, payload CRC.
+	recHeaderLen = 4 + 4
+
+	// DefaultSegmentBytes rotates segments at 4 MiB — small enough that
+	// retention (Prune) reclaims space promptly, large enough that a
+	// directory holds few files.
+	DefaultSegmentBytes = 4 << 20
+
+	// maxRecordLen bounds one record payload, mirroring the serving
+	// layer's body cap with headroom; a declared length beyond it is
+	// treated as corruption, so a torn length field cannot make the
+	// replayer attempt a huge allocation.
+	maxRecordLen = 64 << 20
+)
+
+// SyncPolicy selects when Append reaches the disk.
+type SyncPolicy int
+
+const (
+	// SyncAlways fsyncs after every append — an acknowledged record
+	// survives kill -9 and power loss. The default.
+	SyncAlways SyncPolicy = iota
+	// SyncNone leaves flushing to the OS (and to explicit Sync/Close
+	// calls). A crash may lose an acknowledged tail; replay then
+	// recovers the longest synced prefix (rule 10's fsync-lag fault).
+	SyncNone
+)
+
+// Config tunes a Log.
+type Config struct {
+	// Dir is the segment directory, created if absent.
+	Dir string
+	// Sync is the fsync policy (zero value: SyncAlways).
+	Sync SyncPolicy
+	// SegmentBytes rotates to a fresh segment once the current one
+	// reaches this size (≤ 0 means DefaultSegmentBytes).
+	SegmentBytes int64
+}
+
+// Record is one replayed WAL entry.
+type Record struct {
+	// Seq is the record's log-wide sequence number (1-based).
+	Seq uint64
+	// Payload is the framed bytes, CRC-verified.
+	Payload []byte
+}
+
+// ErrLogClosed is returned by Append and Sync after Close.
+var ErrLogClosed = errors.New("remwal: log closed")
+
+// segment is one on-disk file of the log.
+type segment struct {
+	path     string
+	firstSeq uint64
+}
+
+// Log is the segmented write-ahead log. All methods are safe for
+// concurrent use; appends are serialised.
+type Log struct {
+	dir      string
+	sync     SyncPolicy
+	segBytes int64
+
+	mu      sync.Mutex
+	f       *os.File // active segment, open for append
+	size    int64    // bytes written to the active segment
+	nextSeq uint64
+	segs    []segment // in sequence order; last is active
+	scratch []byte    // frame assembly buffer, reused across appends
+	closed  bool
+}
+
+// Open opens (or creates) the log in cfg.Dir and replays every intact
+// record, truncating at the first torn or corrupt one. The returned
+// records are the durable history in append order; the log is ready
+// for Append, continuing the sequence numbering after them.
+func Open(cfg Config) (*Log, []Record, error) {
+	if cfg.Dir == "" {
+		return nil, nil, errors.New("remwal: config needs a directory")
+	}
+	if cfg.SegmentBytes <= 0 {
+		cfg.SegmentBytes = DefaultSegmentBytes
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, nil, err
+	}
+	l := &Log{dir: cfg.Dir, sync: cfg.Sync, segBytes: cfg.SegmentBytes}
+	recs, err := l.replay()
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := l.openActive(); err != nil {
+		return nil, nil, err
+	}
+	return l, recs, nil
+}
+
+// segmentPath names the segment whose first record is seq.
+func (l *Log) segmentPath(seq uint64) string {
+	return filepath.Join(l.dir, fmt.Sprintf("%016x.reml", seq))
+}
+
+// listSegments enumerates the on-disk segments in sequence order,
+// ignoring anything that is not a well-formed segment name (the log
+// owns its directory, but a stray file must not wedge recovery).
+func (l *Log) listSegments() ([]segment, error) {
+	entries, err := os.ReadDir(l.dir)
+	if err != nil {
+		return nil, err
+	}
+	var segs []segment
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".reml") || len(name) != 16+5 {
+			continue
+		}
+		seq, err := strconv.ParseUint(name[:16], 16, 64)
+		if err != nil {
+			continue
+		}
+		segs = append(segs, segment{path: filepath.Join(l.dir, name), firstSeq: seq})
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].firstSeq < segs[j].firstSeq })
+	return segs, nil
+}
+
+// replay scans the segments in order, collecting intact records and
+// repairing the log in place: the first segment with a corrupt header
+// (or a sequence gap) is deleted along with everything after it; a
+// segment with a corrupt record is truncated at the last good offset
+// and everything after it is deleted.
+func (l *Log) replay() ([]Record, error) {
+	segs, err := l.listSegments()
+	if err != nil {
+		return nil, err
+	}
+	var recs []Record
+	l.nextSeq = 1
+	for i, s := range segs {
+		if i == 0 {
+			// The first remaining segment fixes the numbering origin —
+			// earlier segments may have been pruned.
+			l.nextSeq = s.firstSeq
+		}
+		data, err := os.ReadFile(s.path)
+		if err != nil {
+			return nil, err
+		}
+		good, segRecs := scanSegment(data, s.firstSeq)
+		headerOK := good > 0
+		if !headerOK || s.firstSeq != l.nextSeq {
+			// A corrupt header or a gap in the sequence: this segment and
+			// everything after it are unusable.
+			if err := removeAll(segs[i:]); err != nil {
+				return nil, err
+			}
+			return recs, nil
+		}
+		recs = append(recs, segRecs...)
+		l.nextSeq = s.firstSeq + uint64(len(segRecs))
+		if good < int64(len(data)) {
+			// A torn or corrupt record: keep the intact prefix, drop the
+			// tail and every later segment.
+			if err := os.Truncate(s.path, good); err != nil {
+				return nil, err
+			}
+			if err := removeAll(segs[i+1:]); err != nil {
+				return nil, err
+			}
+			l.segs = append(l.segs, s)
+			return recs, nil
+		}
+		l.segs = append(l.segs, s)
+	}
+	return recs, nil
+}
+
+// scanSegment validates one segment's bytes: the byte offset of the
+// last intact record's end (0 when the header itself is bad) and the
+// decoded records. Every check guards an allocation, so hostile bytes
+// (FuzzWALReplay) cost at most one bounded copy.
+func scanSegment(data []byte, firstSeq uint64) (good int64, recs []Record) {
+	if len(data) < segHeaderLen ||
+		string(data[:4]) != segMagic ||
+		rem.U32(data[4:]) != segVersion ||
+		rem.U64(data[8:]) != firstSeq {
+		return 0, nil
+	}
+	off := int64(segHeaderLen)
+	seq := firstSeq
+	for {
+		rest := data[off:]
+		if len(rest) < recHeaderLen {
+			return off, recs
+		}
+		n := rem.U32(rest)
+		if uint64(n) > maxRecordLen || uint64(recHeaderLen)+uint64(n) > uint64(len(rest)) {
+			return off, recs
+		}
+		payload := rest[recHeaderLen : recHeaderLen+int(n)]
+		if crc32.ChecksumIEEE(payload) != rem.U32(rest[4:]) {
+			return off, recs
+		}
+		// The copy detaches the record from the file read buffer.
+		recs = append(recs, Record{Seq: seq, Payload: append([]byte(nil), payload...)})
+		seq++
+		off += recHeaderLen + int64(n)
+	}
+}
+
+// removeAll deletes the listed segment files.
+func removeAll(segs []segment) error {
+	for _, s := range segs {
+		if err := os.Remove(s.path); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// openActive opens the last replayed segment for append, or creates
+// the first one.
+func (l *Log) openActive() error {
+	if len(l.segs) == 0 {
+		return l.createSegment()
+	}
+	s := l.segs[len(l.segs)-1]
+	f, err := os.OpenFile(s.path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	info, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return err
+	}
+	l.f, l.size = f, info.Size()
+	return nil
+}
+
+// createSegment starts a fresh segment whose first record will be
+// nextSeq, fsyncing the directory so the new name itself is durable.
+func (l *Log) createSegment() error {
+	path := l.segmentPath(l.nextSeq)
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return err
+	}
+	var hdr [segHeaderLen]byte
+	copy(hdr[:], segMagic)
+	rem.PutU32(hdr[4:], segVersion)
+	rem.PutU64(hdr[8:], l.nextSeq)
+	if _, err := f.Write(hdr[:]); err != nil {
+		f.Close()
+		return err
+	}
+	if l.sync == SyncAlways {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return err
+		}
+		if err := syncDir(l.dir); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	l.f, l.size = f, segHeaderLen
+	l.segs = append(l.segs, segment{path: path, firstSeq: l.nextSeq})
+	return nil
+}
+
+// syncDir fsyncs a directory so a just-created file name survives a
+// crash.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	serr := d.Sync()
+	cerr := d.Close()
+	if serr != nil {
+		return serr
+	}
+	return cerr
+}
+
+// Append frames payload into the active segment (rotating first if it
+// is full) and returns the record's sequence number. With SyncAlways
+// the record is on disk when Append returns — the acknowledgement
+// contract POST /observe relies on.
+func (l *Log) Append(payload []byte) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, ErrLogClosed
+	}
+	if len(payload) > maxRecordLen {
+		return 0, fmt.Errorf("remwal: record of %d bytes exceeds the %d-byte bound", len(payload), maxRecordLen)
+	}
+	rec := int64(recHeaderLen + len(payload))
+	if l.size > segHeaderLen && l.size+rec > l.segBytes {
+		if err := l.rotateLocked(); err != nil {
+			return 0, err
+		}
+	}
+	l.scratch = l.scratch[:0]
+	l.scratch = rem.AppendU32(l.scratch, uint32(len(payload)))
+	l.scratch = rem.AppendU32(l.scratch, crc32.ChecksumIEEE(payload))
+	l.scratch = append(l.scratch, payload...)
+	if _, err := l.f.Write(l.scratch); err != nil {
+		return 0, err
+	}
+	l.size += rec
+	if l.sync == SyncAlways {
+		if err := l.f.Sync(); err != nil {
+			return 0, err
+		}
+	}
+	seq := l.nextSeq
+	l.nextSeq++
+	return seq, nil
+}
+
+// rotateLocked seals the active segment and starts the next one.
+func (l *Log) rotateLocked() error {
+	if err := l.f.Sync(); err != nil {
+		return err
+	}
+	if err := l.f.Close(); err != nil {
+		return err
+	}
+	l.f = nil
+	return l.createSegment()
+}
+
+// Sync flushes the active segment to disk — the explicit flush point
+// for SyncNone logs (graceful shutdown, periodic checkpoints).
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrLogClosed
+	}
+	return l.f.Sync()
+}
+
+// Close fsyncs and closes the active segment; the tail record is
+// intact on the next Open regardless of the sync policy. Further
+// appends fail with ErrLogClosed.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	if err := l.f.Sync(); err != nil {
+		l.f.Close()
+		return err
+	}
+	return l.f.Close()
+}
+
+// NextSeq returns the sequence number the next Append will get.
+func (l *Log) NextSeq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.nextSeq
+}
+
+// Prune deletes whole segments every one of whose records has sequence
+// number < beforeSeq — retention keyed to published snapshot versions:
+// once a snapshot that folds in observation seq S is durably exported,
+// Prune(S+1) reclaims the segments replay no longer needs. The active
+// segment is never removed, so the log stays appendable.
+func (l *Log) Prune(beforeSeq uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrLogClosed
+	}
+	kept := l.segs[:0]
+	for i, s := range l.segs {
+		last := i == len(l.segs)-1
+		// A non-final segment's records end where the next one starts.
+		if !last && l.segs[i+1].firstSeq <= beforeSeq {
+			if err := os.Remove(s.path); err != nil {
+				return err
+			}
+			continue
+		}
+		kept = append(kept, s)
+	}
+	l.segs = kept
+	return nil
+}
+
+// Segments returns the number of on-disk segment files.
+func (l *Log) Segments() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.segs)
+}
