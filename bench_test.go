@@ -29,6 +29,7 @@ import (
 	"repro/internal/ml/nn"
 	"repro/internal/parallel"
 	"repro/internal/rem"
+	"repro/internal/remobs"
 	"repro/internal/remserve"
 	"repro/internal/remshard"
 	"repro/internal/remstore"
@@ -423,6 +424,36 @@ func BenchmarkREMQueryAt(b *testing.B) {
 func BenchmarkREMStoreQuery(b *testing.B) {
 	m, _, keys := benchREMMap(b)
 	st := remstore.New(0)
+	if _, err := st.Publish(m, len(keys)); err != nil {
+		b.Fatal(err)
+	}
+	rng := simrand.New(99)
+	pts := make([]geom.Vec3, 512)
+	for i := range pts {
+		pts[i] = geom.V(rng.Range(0, 4), rng.Range(0, 3), rng.Range(0, 2.6))
+	}
+	var sink float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v, _, err := st.At(keys[i%len(keys)], pts[i%len(pts)])
+		if err != nil {
+			b.Fatal(err)
+		}
+		sink += v
+	}
+	_ = sink
+}
+
+// BenchmarkREMStoreQueryObserved is BenchmarkREMStoreQuery with a
+// remobs Observer attached. The PR 10 acceptance bound is that this
+// stays within noise of the unobserved number: the query counters the
+// store already keeps are bridged at scrape time (CounterFunc), so
+// attaching instruments adds no per-query work at all — the CI bench
+// smoke asserts ≤ 2 ns/op of drift.
+func BenchmarkREMStoreQueryObserved(b *testing.B) {
+	m, _, keys := benchREMMap(b)
+	st := remstore.New(0)
+	st.SetObserver(remobs.New(0))
 	if _, err := st.Publish(m, len(keys)); err != nil {
 		b.Fatal(err)
 	}
@@ -971,6 +1002,46 @@ func benchServeServer(b *testing.B) (*remserve.Server, []string) {
 // warm-up.
 func BenchmarkServeAt(b *testing.B) {
 	srv, keys := benchServeServer(b)
+	pts := benchQueryPoints(512)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		w := &benchServeRW{h: make(http.Header)}
+		reqs := make([]*http.Request, len(keys))
+		for i, k := range keys {
+			p := pts[i%len(pts)]
+			reqs[i] = httptest.NewRequest("GET", fmt.Sprintf("/at?key=%s&x=%g&y=%g&z=%g", k, p.X, p.Y, p.Z), nil)
+		}
+		i := 0
+		for pb.Next() {
+			w.code = 0
+			srv.ServeHTTP(w, reqs[i%len(reqs)])
+			if w.code != 0 && w.code != http.StatusOK {
+				b.Fatalf("status %d", w.code)
+			}
+			i++
+		}
+	})
+}
+
+// BenchmarkServeAtObserved is BenchmarkServeAt with a remobs Observer
+// attached: the per-request cost of the instrumentation wrapper — a
+// pooled status recorder, two clock reads, one counter increment and
+// one histogram observe — still at zero allocations per op.
+func BenchmarkServeAtObserved(b *testing.B) {
+	predict, keys := benchREMSetup(b)
+	ss, err := remshard.New(keys, remshard.Config{
+		Shards: 4, Volume: geom.PaperScanVolume(), Resolution: [3]int{12, 10, 6},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := ss.Rebuild(benchAllKeys(len(keys)), predict, rem.BuildOptions{}); err != nil {
+		b.Fatal(err)
+	}
+	obs := remobs.New(0)
+	ss.SetObserver(obs)
+	srv := remserve.NewSharded(ss, remserve.Options{Observer: obs})
 	pts := benchQueryPoints(512)
 	b.ReportAllocs()
 	b.ResetTimer()

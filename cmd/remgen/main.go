@@ -61,6 +61,15 @@
 // leader returns:
 //
 //	remgen -follow http://127.0.0.1:8080 -serve 127.0.0.1:8081 -poll 500ms -staleness 10s
+//
+// Every server mode takes -metrics (instrument the stack and expose
+// Prometheus text on GET /metrics of -serve), -pprof ADDR (a
+// net/http/pprof side listener) and -events N (a bounded in-memory ring
+// of generation lifecycle events — publishes, WAL appends, follower
+// syncs — dumped to stderr on SIGUSR1 and at exit):
+//
+//	remgen -ingest -serve 127.0.0.1:8080 -wal wal/ -metrics -pprof 127.0.0.1:6060 -events 256
+//	curl -s http://127.0.0.1:8080/metrics | grep rem_wal_fsync_seconds
 package main
 
 import (
@@ -73,6 +82,7 @@ import (
 	"math"
 	"net"
 	"net/http"
+	_ "net/http/pprof" // -pprof side listener (DefaultServeMux)
 	"os"
 	"os/signal"
 	"runtime"
@@ -86,6 +96,7 @@ import (
 	"repro/internal/geom"
 	"repro/internal/rem"
 	"repro/internal/remfollow"
+	"repro/internal/remobs"
 	"repro/internal/remserve"
 	"repro/internal/remshard"
 	"repro/internal/remstore"
@@ -128,10 +139,16 @@ func run() error {
 		points    = flag.String("points", "", "with -query, the batch points as 'x,y,z;x,y,z;…' (z may be omitted)")
 		wire      = flag.String("wire", "json", "with -query, the wire format: json or binary (the printed values are identical)")
 		queryMode = flag.String("mode", "at", "with -query, the endpoint: 'at' (one key, one value per line) or 'strongest' (best server, 'key value' per line)")
+		metrics   = flag.Bool("metrics", false, "instrument the pipeline and expose Prometheus text on GET /metrics of -serve (leader, ingester and follower alike)")
+		pprofFlg  = flag.String("pprof", "", "serve net/http/pprof on a side listener at this address (e.g. 127.0.0.1:6060)")
+		events    = flag.Int("events", 0, "with -metrics, capacity of the generation event ring, dumped to stderr on SIGUSR1 and at exit (≤0 uses the default)")
 	)
 	flag.Parse()
 
 	if *query != "" {
+		if *metrics || *pprofFlg != "" || *events != 0 {
+			return errors.New("-metrics, -pprof and -events instrument the server modes; they have no effect with -query")
+		}
 		switch *queryMode {
 		case "at":
 			return runQuery(*query, *queryKey, *points, *wire)
@@ -141,8 +158,13 @@ func run() error {
 			return fmt.Errorf("unknown -mode %q (want at or strongest)", *queryMode)
 		}
 	}
+	obs, obsDone, err := setupObservability(*metrics, *events, *pprofFlg)
+	if err != nil {
+		return err
+	}
+	defer obsDone()
 	if *follow != "" {
-		return runFollow(*follow, *serve, *poll, *staleness, *history)
+		return runFollow(*follow, *serve, *poll, *staleness, *history, obs)
 	}
 	if *poll != 0 || *staleness != 0 {
 		return errors.New("-poll and -staleness configure the follower; add -follow URL")
@@ -192,6 +214,7 @@ func run() error {
 			history: *history, out: *out, snapOut: *snapOut,
 			serve: *serve, rate: *rate, dark: *dark, slice: *slice,
 			wal: *walDir, token: *ingestTok, queue: *ingestCap,
+			obs: obs,
 		})
 	}
 	if *walDir != "" || *ingestTok != "" || *ingestCap != 0 {
@@ -204,7 +227,7 @@ func run() error {
 		return runStream(cfg, stored, streamOpts{
 			window: *window, history: *history, shards: *shards,
 			out: *out, snapOut: *snapOut, serve: *serve, rate: *rate,
-			dark: *dark, slice: *slice,
+			dark: *dark, slice: *slice, obs: obs,
 		})
 	}
 	if *window != 0 || *history != 0 || *shards != 0 || *serve != "" {
@@ -212,7 +235,6 @@ func run() error {
 	}
 
 	var result *core.Result
-	var err error
 	if stored != nil {
 		result, err = core.RunWithDataset(cfg, stored, nil)
 		if err != nil {
@@ -244,6 +266,50 @@ func run() error {
 		return err
 	}
 	return writeCSVOut(m, *out)
+}
+
+// setupObservability builds the optional side-kit shared by every
+// server mode: the Observer (-metrics / -events) handed down the
+// pipeline, a net/http/pprof listener (-pprof), and the event-ring
+// dump — on SIGUSR1 while running, and once more through the returned
+// cleanup at exit.
+func setupObservability(metrics bool, events int, pprofAddr string) (*remobs.Observer, func(), error) {
+	var obs *remobs.Observer
+	if metrics || events != 0 {
+		obs = remobs.New(events)
+	}
+	cleanup := func() {}
+	if obs != nil {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, syscall.SIGUSR1)
+		go func() {
+			for range sig {
+				fmt.Fprintln(os.Stderr, "remgen: event ring (SIGUSR1):")
+				obs.Events.Dump(os.Stderr)
+			}
+		}()
+		cleanup = func() {
+			signal.Stop(sig)
+			if obs.Events.Len() > 0 {
+				fmt.Fprintln(os.Stderr, "remgen: event ring at exit:")
+				obs.Events.Dump(os.Stderr)
+			}
+		}
+	}
+	if pprofAddr != "" {
+		l, err := net.Listen("tcp", pprofAddr)
+		if err != nil {
+			cleanup()
+			return nil, nil, fmt.Errorf("pprof listener: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "pprof on http://%s/debug/pprof/\n", l.Addr())
+		// net/http/pprof registered its handlers on DefaultServeMux at
+		// import; the side listener serves nothing else.
+		go func() { _ = http.Serve(l, nil) }()
+		prev := cleanup
+		cleanup = func() { l.Close(); prev() }
+	}
+	return obs, cleanup, nil
 }
 
 // runQuery is the -query client: one batch POST to /at of a running
@@ -448,7 +514,7 @@ func runQueryStrongest(base, pointsSpec, wire string) error {
 // sync loop and the HTTP front run until SIGINT/SIGTERM; the loop is
 // deliberately unkillable by leader failures — it backs off, resyncs,
 // and keeps serving the last good generation throughout.
-func runFollow(leader, addr string, poll, staleness time.Duration, history int) error {
+func runFollow(leader, addr string, poll, staleness time.Duration, history int, obs *remobs.Observer) error {
 	if addr == "" {
 		return errors.New("-follow needs -serve ADDR to expose the replica")
 	}
@@ -457,6 +523,7 @@ func runFollow(leader, addr string, poll, staleness time.Duration, history int) 
 		Poll:         poll,
 		MaxStaleness: staleness,
 		History:      history,
+		Observer:     obs,
 	})
 	if err != nil {
 		return err
@@ -556,6 +623,7 @@ type streamOpts struct {
 	out, snapOut, serve     string
 	rate                    float64
 	dark, slice             float64
+	obs                     *remobs.Observer
 }
 
 // runStream drives the windowed incremental pipeline — monolithic, or
@@ -571,6 +639,7 @@ func runStream(base core.Config, stored *dataset.Dataset, opts streamOpts) error
 		Config:     base,
 		WindowRows: opts.window,
 		MaxHistory: opts.history,
+		Observer:   opts.obs,
 	}
 	if shards > 0 {
 		cfg.Shards = shards
@@ -593,7 +662,7 @@ func runStream(base core.Config, stored *dataset.Dataset, opts streamOpts) error
 		defer cancel()
 		cfg.Context = ctx
 		cfg.OnStore = func(st *remstore.Store, ss *remshard.ShardedStore) {
-			sopts := remserve.Options{RateLimit: remserve.RateLimit{RPS: opts.rate}}
+			sopts := remserve.Options{RateLimit: remserve.RateLimit{RPS: opts.rate}, Observer: opts.obs}
 			if ss != nil {
 				srv = remserve.NewSharded(ss, sopts)
 			} else {
@@ -673,6 +742,7 @@ type ingestOpts struct {
 	dark, slice  float64
 	wal, token   string
 	queue        int
+	obs          *remobs.Observer
 }
 
 // runIngest drives the live ingestion server: open (and replay) the
@@ -690,7 +760,7 @@ func runIngest(base core.Config, stored *dataset.Dataset, opts ingestOpts) error
 	queueCfg := remwal.QueueConfig{Capacity: opts.queue}
 	var replay []remwal.Batch
 	if opts.wal != "" {
-		l, recs, err := remwal.Open(remwal.Config{Dir: opts.wal})
+		l, recs, err := remwal.Open(remwal.Config{Dir: opts.wal, Observer: opts.obs})
 		if err != nil {
 			return err
 		}
@@ -704,6 +774,7 @@ func runIngest(base core.Config, stored *dataset.Dataset, opts ingestOpts) error
 		fmt.Fprintf(os.Stderr, "wal %s: replaying %d batch(es)\n", opts.wal, len(replay))
 	}
 	q := remwal.NewQueue(queueCfg)
+	q.SetObserver(opts.obs)
 
 	var srv *remserve.Server
 	serveErr := make(chan error, 1)
@@ -713,10 +784,12 @@ func runIngest(base core.Config, stored *dataset.Dataset, opts ingestOpts) error
 		Queue:      q,
 		Replay:     replay,
 		Context:    ctx,
+		Observer:   opts.obs,
 		OnStore: func(st *remstore.Store) {
 			srv = remserve.NewStore(st, remserve.Options{
 				RateLimit: remserve.RateLimit{RPS: opts.rate},
 				Ingest:    remserve.IngestOptions{Queue: q, Token: opts.token},
+				Observer:  opts.obs,
 			})
 			l, err := net.Listen("tcp", opts.serve)
 			if err != nil {

@@ -4,12 +4,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"time"
 
 	"repro/internal/dataset"
 	"repro/internal/geom"
 	"repro/internal/mission"
 	"repro/internal/ml"
 	"repro/internal/rem"
+	"repro/internal/remobs"
 	"repro/internal/remstore"
 	"repro/internal/remwal"
 )
@@ -69,6 +71,12 @@ type IngestConfig struct {
 	// OnBatch observes every published batch in order (replayed ones
 	// included, flagged), after the bootstrap publish.
 	OnBatch func(IngestReport)
+	// Observer, when set, instruments the loop: per-batch stage
+	// latencies, generation events with dirty-key counts, and the sink
+	// store's publish metrics. The caller should hand the same Observer
+	// to the Queue and its Log so one scrape covers the whole ingest
+	// edge. Nil is the no-op.
+	Observer *remobs.Observer
 }
 
 // IngestReport summarises one published batch.
@@ -193,23 +201,33 @@ func RunIngestWithDataset(cfg IngestConfig, data *dataset.Dataset, report *missi
 	// writes with 503 instead of acknowledging batches nobody will
 	// process.
 	defer cfg.Queue.Close()
+	o := newGenObs(cfg.Observer)
+	res.Store.SetObserver(cfg.Observer)
 	if cfg.OnStore != nil {
 		cfg.OnStore(res.Store)
 	}
 
 	// Bootstrap: fit on the whole survey, build and publish version 1.
+	bootStart := time.Now()
+	t := time.Now()
 	if err := inc.Fit(allX, allY); err != nil {
 		return nil, fmt.Errorf("core: fitting %s on the bootstrap survey: %w", spec.Name, err)
 	}
+	fitD := time.Since(t)
+	t = time.Now()
 	cur, err := rem.BuildMapBatch(vol, cfg.REMResolution[0], cfg.REMResolution[1], cfg.REMResolution[2], pre.MACs, predict, opts)
 	if err != nil {
 		return nil, fmt.Errorf("core: rasterising the bootstrap snapshot: %w", err)
 	}
+	buildD := time.Since(t)
 	if _, err := res.Store.Publish(cur, nKeys); err != nil {
 		return nil, err
 	}
+	o.markStages(0, fitD, buildD)
+	o.markGeneration("batch", len(allX), nKeys, 0, time.Since(bootStart), "bootstrap version=1")
 
 	processBatch := func(b remwal.Batch, seq uint64, replayed bool) error {
+		batchStart := time.Now()
 		ki, ok := macIdx[b.Key]
 		if !ok {
 			// Replay of a WAL written before the validator existed (or by
@@ -225,22 +243,29 @@ func RunIngestWithDataset(cfg IngestConfig, data *dataset.Dataset, report *missi
 			x[i] = row
 			y[i] = b.Values[i]
 		}
+		t := time.Now()
 		dirty, err := inc.Observe(x, y)
 		if err != nil {
 			return fmt.Errorf("core: observing batch %d: %w", seq, err)
 		}
+		observeD := time.Since(t)
+		t = time.Now()
 		if err := inc.Refit(); err != nil {
 			return fmt.Errorf("core: refitting after batch %d: %w", seq, err)
 		}
+		refitD := time.Since(t)
 		dirtyKeys := resolveDirty(dirty, nKeys, false)
+		t = time.Now()
 		next, err := cur.RebuildKeys(dirtyKeys, predict, opts)
 		if err != nil {
 			return fmt.Errorf("core: rasterising batch %d: %w", seq, err)
 		}
+		rebuildD := time.Since(t)
 		snap, err := res.Store.Publish(next, len(dirtyKeys))
 		if err != nil {
 			return err
 		}
+		o.markStages(observeD, refitD, rebuildD)
 		_, shared := snap.BuildStats()
 		rep := IngestReport{
 			Seq:         seq,
@@ -251,6 +276,8 @@ func RunIngestWithDataset(cfg IngestConfig, data *dataset.Dataset, report *missi
 			Replayed:    replayed,
 		}
 		res.Batches = append(res.Batches, rep)
+		o.markGeneration("batch", rep.Rows, rep.DirtyKeys, rep.SharedTiles,
+			time.Since(batchStart), fmt.Sprintf("seq=%d version=%d replayed=%v", rep.Seq, rep.Version, rep.Replayed))
 		if cfg.OnBatch != nil {
 			cfg.OnBatch(rep)
 		}

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/remobs"
+)
+
+// genObs instruments a generation loop — the streaming windows of
+// RunStream or the live batches of RunIngest. Both loops share the
+// Observe → Refit → rebuild → publish shape, so they share one
+// instrument set; the publish half is timed by the sink store itself
+// (remstore/remshard SetObserver), which the loops wire up from the
+// same Observer. A nil *genObs is the no-op: every method checks the
+// receiver, so uninstrumented runs pay one pointer test per window.
+type genObs struct {
+	obs     *remobs.Observer
+	observe *remobs.Histogram
+	refit   *remobs.Histogram
+	rebuild *remobs.Histogram
+	gen     *remobs.Histogram
+	gens    *remobs.Counter
+	rows    *remobs.Counter
+	dirty   *remobs.Counter
+}
+
+// newGenObs registers the generation metrics, or returns nil for a nil
+// observer.
+func newGenObs(obs *remobs.Observer) *genObs {
+	if obs == nil || obs.Registry == nil {
+		return nil
+	}
+	reg := obs.Registry
+	return &genObs{
+		obs: obs,
+		observe: reg.Histogram("rem_gen_observe_seconds",
+			"estimator Observe latency per generation (dirty-set reporting)"),
+		refit: reg.Histogram("rem_gen_refit_seconds",
+			"estimator Refit latency per generation"),
+		rebuild: reg.Histogram("rem_gen_rebuild_seconds",
+			"rasterisation latency per generation (RebuildKeys or from-scratch build)"),
+		gen: reg.Histogram("rem_gen_generation_seconds",
+			"whole-generation latency: observe, refit, rebuild and publish"),
+		gens: reg.Counter("rem_gen_generations_total",
+			"generations published (stream windows plus ingest batches, bootstrap included)"),
+		rows: reg.Counter("rem_gen_rows_total",
+			"observation rows consumed across generations"),
+		dirty: reg.Counter("rem_gen_dirty_keys_total",
+			"keys dirtied across generations (every key on a bootstrap)"),
+	}
+}
+
+// markStages records the learner-side stage timings (zero durations —
+// a bootstrap window has no Observe/Refit — are skipped rather than
+// polluting the low buckets).
+func (o *genObs) markStages(observe, refit, rebuild time.Duration) {
+	if o == nil {
+		return
+	}
+	if observe > 0 {
+		o.observe.Observe(observe)
+	}
+	if refit > 0 {
+		o.refit.Observe(refit)
+	}
+	o.rebuild.Observe(rebuild)
+}
+
+// markGeneration records one published generation: the end-to-end
+// histogram, the volume counters and a lifecycle event. kind is
+// "window" (stream) or "batch" (ingest); detail carries the per-loop
+// tail (window/seq numbering, replay flag).
+func (o *genObs) markGeneration(kind string, rows, dirtyKeys, sharedTiles int, total time.Duration, detail string) {
+	if o == nil {
+		return
+	}
+	o.gen.Observe(total)
+	o.gens.Inc()
+	o.rows.Add(uint64(rows))
+	o.dirty.Add(uint64(dirtyKeys))
+	o.obs.Event(kind, "%s rows=%d dirty_keys=%d shared_tiles=%d took=%s",
+		detail, rows, dirtyKeys, sharedTiles, total.Round(time.Microsecond))
+}

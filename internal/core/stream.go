@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"time"
 
 	"repro/internal/dataset"
 	"repro/internal/geom"
@@ -11,6 +12,7 @@ import (
 	"repro/internal/ml"
 	"repro/internal/ml/knn"
 	"repro/internal/rem"
+	"repro/internal/remobs"
 	"repro/internal/remshard"
 	"repro/internal/remstore"
 )
@@ -99,6 +101,13 @@ type StreamConfig struct {
 	// OnShardWindow observes every sharded window in order — the
 	// sharded analogue of OnWindow.
 	OnShardWindow func(WindowReport, remshard.Round)
+
+	// Observer, when set, instruments the stream: per-window stage
+	// latencies (Observe/Refit/rebuild), generation events with
+	// dirty-key counts, and — wired through to the sink store — publish
+	// and cover-index timings. Nil is the no-op and costs nothing on
+	// the query path.
+	Observer *remobs.Observer
 }
 
 // DefaultStreamConfig mirrors DefaultConfig for streaming runs.
@@ -250,6 +259,12 @@ func RunStreamWithDataset(cfg StreamConfig, data *dataset.Dataset, report *missi
 			res.Store = remstore.New(cfg.MaxHistory)
 		}
 	}
+	o := newGenObs(cfg.Observer)
+	if sharded {
+		res.Sharded.SetObserver(cfg.Observer)
+	} else {
+		res.Store.SetObserver(cfg.Observer)
+	}
 	if cfg.OnStore != nil {
 		cfg.OnStore(res.Store, res.Sharded)
 	}
@@ -265,18 +280,27 @@ func RunStreamWithDataset(cfg StreamConfig, data *dataset.Dataset, report *missi
 			}
 		}
 		end := min(start+win, rows)
+		winStart := time.Now()
 		var dirty []int
+		var observeD, refitD time.Duration
 		if first {
+			// The bootstrap Fit is the refit stage of window 0.
+			t := time.Now()
 			if err := inc.Fit(allX[:end], allY[:end]); err != nil {
 				return nil, fmt.Errorf("core: fitting %s on window 0: %w", spec.Name, err)
 			}
+			refitD = time.Since(t)
 		} else {
+			t := time.Now()
 			if dirty, err = inc.Observe(allX[start:end], allY[start:end]); err != nil {
 				return nil, fmt.Errorf("core: observing window %d: %w", w, err)
 			}
+			observeD = time.Since(t)
+			t = time.Now()
 			if err := inc.Refit(); err != nil {
 				return nil, fmt.Errorf("core: refitting after window %d: %w", w, err)
 			}
+			refitD = time.Since(t)
 		}
 		dirtyKeys := resolveDirty(dirty, nKeys, first)
 		rep := WindowReport{
@@ -288,31 +312,41 @@ func RunStreamWithDataset(cfg StreamConfig, data *dataset.Dataset, report *missi
 		if sharded {
 			// The window's dirty set, grouped by shard: only the
 			// affected shards re-rasterise and publish, concurrently on
-			// the worker pool.
+			// the worker pool. Rebuild covers rasterise AND publish, so
+			// the rebuild stage absorbs both here.
+			t := time.Now()
 			round, err := res.Sharded.Rebuild(dirtyKeys, predict, opts)
 			if err != nil {
 				return nil, fmt.Errorf("core: rasterising window %d: %w", w, err)
 			}
+			o.markStages(observeD, refitD, time.Since(t))
 			rep.SharedTiles = round.SharedTiles
 			rep.Version = round.Seq
 			rep.Shards = round.AffectedShards
 			res.Windows = append(res.Windows, rep)
+			o.markGeneration("window", rep.NewRows, rep.DirtyKeys, rep.SharedTiles,
+				time.Since(winStart), fmt.Sprintf("window=%d version=%d shards=%d", w, rep.Version, rep.Shards))
 			if cfg.OnShardWindow != nil {
 				cfg.OnShardWindow(rep, round)
 			}
 		} else {
+			t := time.Now()
 			next, err := rebuild(cur, vol, cfg.REMResolution, pre.MACs, dirtyKeys, predict, opts)
 			if err != nil {
 				return nil, fmt.Errorf("core: rasterising window %d: %w", w, err)
 			}
+			rebuildD := time.Since(t)
 			snap, err := res.Store.Publish(next, len(dirtyKeys))
 			if err != nil {
 				return nil, err
 			}
+			o.markStages(observeD, refitD, rebuildD)
 			_, shared := snap.BuildStats() // computed once by Publish
 			rep.SharedTiles = shared
 			rep.Version = snap.Version()
 			res.Windows = append(res.Windows, rep)
+			o.markGeneration("window", rep.NewRows, rep.DirtyKeys, rep.SharedTiles,
+				time.Since(winStart), fmt.Sprintf("window=%d version=%d", w, rep.Version))
 			if cfg.OnWindow != nil {
 				cfg.OnWindow(rep, snap)
 			}

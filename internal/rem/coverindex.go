@@ -3,6 +3,7 @@ package rem
 import (
 	"math"
 	"math/bits"
+	"time"
 
 	"repro/internal/parallel"
 )
@@ -318,7 +319,9 @@ func (m *Map) mendCoverFrom(parent *Map, changed []int) {
 		m.cover.Store(ci)
 		return
 	}
+	start := time.Now()
 	m.cover.Store(m.mendCover(ci, changed))
+	m.coverMendNs = time.Since(start).Nanoseconds()
 }
 
 func (m *Map) mendCover(ci *coverIndex, changed []int) *coverIndex {
@@ -384,6 +387,7 @@ func (m *Map) mendCover(ci *coverIndex, changed []int) *coverIndex {
 			c := lo + slot
 			if affected[c>>6]&(1<<(c&63)) != 0 {
 				m.mendCube(ct, ci.words, slot, c, dirty, isDirty, ubs)
+				m.coverMended++
 			}
 		}
 		out.tiles[t] = ct

@@ -8,6 +8,7 @@ import (
 	"math"
 	"strconv"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/geom"
 	"repro/internal/parallel"
@@ -81,6 +82,21 @@ type Map struct {
 	// (or dropped) while queries are in flight; it never changes a query
 	// result, only its cost, and is ignored by the codec and by Equal.
 	cover atomic.Pointer[coverIndex]
+	// coverMended / coverMendNs record the last index mend applied while
+	// deriving this map (RebuildKeys, ApplyDelta): how many cubes were
+	// re-filtered and how long the mend took. Build provenance for the
+	// observability layer — written before the map becomes visible, zero
+	// for from-scratch builds, ignored by the codec and by Equal.
+	coverMended int
+	coverMendNs int64
+}
+
+// CoverMendStats returns the coverage-index mend provenance of this
+// map's derivation: the number of cubes the mend re-filtered and the
+// mend duration. Both are zero for maps whose index was built from
+// scratch (or never built).
+func (m *Map) CoverMendStats() (mendedCubes int, d time.Duration) {
+	return m.coverMended, time.Duration(m.coverMendNs)
 }
 
 // cells returns the per-key cell count (the hoisted stride).

@@ -44,6 +44,7 @@ import (
 	"time"
 
 	"repro/internal/rem"
+	"repro/internal/remobs"
 	"repro/internal/remserve"
 	"repro/internal/remstore"
 )
@@ -99,6 +100,13 @@ type Config struct {
 	// Rand yields the jitter fraction in [0, 1) (nil means a seeded
 	// private source).
 	Rand func() float64
+	// Observer, when set, instruments the follower: sync latency and
+	// outcomes, staleness and failure gauges, the local store's metrics
+	// and the inner HTTP server (which also answers GET /metrics). A
+	// follower sharing a process with a leader needs its own Observer —
+	// both register rem_store_* names, and func instruments are
+	// last-wins.
+	Observer *remobs.Observer
 }
 
 // generation is the serving (map, leader tag) pair, swapped atomically
@@ -156,6 +164,7 @@ type Follower struct {
 	client *http.Client
 	store  *remstore.Store
 	server *remserve.Server
+	o      *followObs
 
 	gen atomic.Pointer[generation]
 
@@ -220,7 +229,9 @@ func New(cfg Config) (*Follower, error) {
 	if f.rng == nil {
 		f.rng = newJitterSource()
 	}
-	f.server = remserve.New(followBackend{f}, remserve.Options{})
+	f.server = remserve.New(followBackend{f}, remserve.Options{Observer: cfg.Observer})
+	f.store.SetObserver(cfg.Observer)
+	f.initObserver(cfg.Observer)
 	f.stats.Leader = cfg.Leader
 	f.stats.LastSyncAgeMS = -1
 	return f, nil
@@ -313,9 +324,12 @@ func (f *Follower) backoff() time.Duration {
 // keep working — and the failure is recorded for backoff, /healthz and
 // /stats.
 func (f *Follower) SyncOnce(ctx context.Context) error {
+	start := time.Now()
+	f.stateMu.Lock()
+	before := f.stats
+	f.stateMu.Unlock()
 	err := f.syncOnce(ctx)
 	f.stateMu.Lock()
-	defer f.stateMu.Unlock()
 	if err != nil {
 		f.fails++
 		f.stats.Failures++
@@ -326,14 +340,19 @@ func (f *Follower) SyncOnce(ctx context.Context) error {
 			// refetch the whole map next time.
 			f.forceFull = true
 		}
-		return err
+	} else {
+		f.fails = 0
+		f.stats.ConsecutiveFailures = 0
+		f.stats.LastError = ""
+		f.lastSync = f.cfg.Now()
+		f.stats.Syncs++
 	}
-	f.fails = 0
-	f.stats.ConsecutiveFailures = 0
-	f.stats.LastError = ""
-	f.lastSync = f.cfg.Now()
-	f.stats.Syncs++
-	return nil
+	after := f.stats
+	fails := f.fails
+	forceFull := f.forceFull
+	f.stateMu.Unlock()
+	f.observeSync(before, after, err, fails, forceFull, time.Since(start))
+	return err
 }
 
 func (f *Follower) syncOnce(ctx context.Context) error {

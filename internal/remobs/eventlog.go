@@ -1,0 +1,102 @@
+package remobs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// DefaultEventCap is the event-ring capacity when the caller does not
+// pick one (remgen's -events flag does).
+const DefaultEventCap = 256
+
+// Event is one structured entry in the generation-lifecycle ring:
+// publishes and rebuilds (with dirty-key and mended-cube counts), WAL
+// appends and replays (with seq and fsync latency), follower sync
+// outcomes (delta vs full, backoff state). Seq increases forever even
+// as the ring drops old entries, so a dump shows how much history was
+// lost.
+type Event struct {
+	Seq  uint64    `json:"seq"`
+	Time time.Time `json:"time"`
+	Kind string    `json:"kind"`
+	Text string    `json:"text"`
+}
+
+// EventLog is a bounded ring of Events. Recording takes a mutex and
+// formats the text — events fire per generation, sync or replay, never
+// per request, so this is deliberately simple rather than lock-free.
+type EventLog struct {
+	mu   sync.Mutex
+	seq  uint64
+	ring []Event
+	next int // ring slot the next event lands in
+	n    int // live entries (≤ len(ring))
+}
+
+// NewEventLog builds a ring holding the last capacity events
+// (≤ 0 picks DefaultEventCap).
+func NewEventLog(capacity int) *EventLog {
+	if capacity <= 0 {
+		capacity = DefaultEventCap
+	}
+	return &EventLog{ring: make([]Event, capacity)}
+}
+
+// Record appends one formatted event, evicting the oldest when full.
+func (l *EventLog) Record(kind, format string, args ...any) {
+	if l == nil {
+		return
+	}
+	text := fmt.Sprintf(format, args...)
+	l.mu.Lock()
+	l.seq++
+	l.ring[l.next] = Event{Seq: l.seq, Time: time.Now(), Kind: kind, Text: text}
+	l.next = (l.next + 1) % len(l.ring)
+	if l.n < len(l.ring) {
+		l.n++
+	}
+	l.mu.Unlock()
+}
+
+// Len returns the number of retained events.
+func (l *EventLog) Len() int {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.n
+}
+
+// Snapshot returns the retained events oldest-first.
+func (l *EventLog) Snapshot() []Event {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Event, 0, l.n)
+	start := l.next - l.n
+	if start < 0 {
+		start += len(l.ring)
+	}
+	for i := 0; i < l.n; i++ {
+		out = append(out, l.ring[(start+i)%len(l.ring)])
+	}
+	return out
+}
+
+// Dump writes the retained events oldest-first as one line each
+// (`seq time kind text`), the format remgen prints on SIGUSR1 and at
+// exit.
+func (l *EventLog) Dump(w io.Writer) error {
+	for _, e := range l.Snapshot() {
+		if _, err := fmt.Fprintf(w, "%6d %s %-10s %s\n",
+			e.Seq, e.Time.Format("15:04:05.000"), e.Kind, e.Text); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,382 @@
+package remobs
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// AppendPrometheus renders every registered family in Prometheus text
+// format (version 0.0.4) into b, in registration order with series in
+// registration order — the output is deterministic for a fixed
+// registry and workload, which is what lets CI diff two scrapes.
+// Rendering takes the registry lock (registrations are rare) but reads
+// instruments with their own atomics; it is the cold path and may
+// allocate.
+func (r *Registry) AppendPrometheus(b []byte) []byte {
+	if r == nil {
+		return b
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, f := range r.fams {
+		if f.help != "" {
+			b = append(b, "# HELP "...)
+			b = append(b, f.name...)
+			b = append(b, ' ')
+			b = appendEscapedHelp(b, f.help)
+			b = append(b, '\n')
+		}
+		b = append(b, "# TYPE "...)
+		b = append(b, f.name...)
+		b = append(b, ' ')
+		b = append(b, f.kind.String()...)
+		b = append(b, '\n')
+		for _, s := range f.series {
+			switch {
+			case f.kind == kindHistogram:
+				b = appendHistogram(b, f.name, s)
+			case s.fn != nil:
+				b = appendSample(b, f.name, s.labels, s.fn())
+			case f.kind == kindCounter:
+				b = appendSample(b, f.name, s.labels, float64(s.c.Value()))
+			default:
+				b = appendSample(b, f.name, s.labels, s.g.Value())
+			}
+		}
+	}
+	return b
+}
+
+// appendEscapedHelp escapes backslash and newline per the text format.
+func appendEscapedHelp(b []byte, help string) []byte {
+	for i := 0; i < len(help); i++ {
+		switch c := help[i]; c {
+		case '\\':
+			b = append(b, `\\`...)
+		case '\n':
+			b = append(b, `\n`...)
+		default:
+			b = append(b, c)
+		}
+	}
+	return b
+}
+
+func appendSample(b []byte, name, labels string, v float64) []byte {
+	b = append(b, name...)
+	b = append(b, labels...)
+	b = append(b, ' ')
+	b = appendValue(b, v)
+	return append(b, '\n')
+}
+
+// appendValue renders a sample value: NaN/±Inf use the text-format
+// spellings, everything else strconv 'g' shortest form.
+func appendValue(b []byte, v float64) []byte {
+	switch {
+	case math.IsNaN(v):
+		return append(b, "NaN"...)
+	case math.IsInf(v, 1):
+		return append(b, "+Inf"...)
+	case math.IsInf(v, -1):
+		return append(b, "-Inf"...)
+	default:
+		return strconv.AppendFloat(b, v, 'g', -1, 64)
+	}
+}
+
+// appendHistogram renders one histogram series: cumulative _bucket
+// lines with le bounds (2^i − 1 ns, in seconds), the +Inf bucket,
+// then _sum and _count. The counts all derive from one bucket
+// snapshot, so `+Inf == _count` holds even while writers race.
+func appendHistogram(b []byte, name string, s *series) []byte {
+	buckets, total := s.h.snapshot()
+	var cum uint64
+	for i := 0; i < HistBuckets; i++ {
+		cum += buckets[i]
+		// Skip empty leading/inner buckets beyond the first to keep the
+		// exposition compact, but always render bucket 0, any bucket with
+		// mass and the +Inf bucket so cumulative semantics stay intact.
+		if i > 0 && i < HistBuckets-1 && buckets[i] == 0 {
+			continue
+		}
+		b = append(b, name...)
+		b = append(b, "_bucket"...)
+		b = appendLe(b, s.labels, BucketUpperSeconds(i))
+		b = append(b, ' ')
+		b = strconv.AppendUint(b, cum, 10)
+		b = append(b, '\n')
+	}
+	b = append(b, name...)
+	b = append(b, "_sum"...)
+	b = append(b, s.labels...)
+	b = append(b, ' ')
+	b = appendValue(b, s.h.SumSeconds())
+	b = append(b, '\n')
+	b = append(b, name...)
+	b = append(b, "_count"...)
+	b = append(b, s.labels...)
+	b = append(b, ' ')
+	b = strconv.AppendUint(b, total, 10)
+	return append(b, '\n')
+}
+
+// appendLe splices the le label into a pre-rendered label set.
+func appendLe(b []byte, labels string, upper float64) []byte {
+	b = append(b, '{')
+	if labels != "" {
+		b = append(b, labels[1:len(labels)-1]...) // strip { }
+		b = append(b, ',')
+	}
+	b = append(b, `le="`...)
+	b = appendValue(b, upper)
+	return append(b, `"}`...)
+}
+
+// CheckExposition validates Prometheus text-format output: line
+// grammar, TYPE declarations preceding their samples, no duplicate
+// series, parseable values, and histogram self-consistency (+Inf
+// bucket present and equal to _count, cumulative buckets
+// non-decreasing). It is the shared backstop between the package's own
+// tests and the CI smoke's line-format lint (internal/remobs/promlint
+// pipes a live scrape through it).
+func CheckExposition(data []byte) error {
+	if len(data) == 0 {
+		return fmt.Errorf("empty exposition")
+	}
+	if data[len(data)-1] != '\n' {
+		return fmt.Errorf("exposition does not end in a newline")
+	}
+	types := map[string]string{}      // family name → declared type
+	seen := map[string]bool{}         // "name{labels}" → sample emitted
+	infBucket := map[string]uint64{}  // histogram series key → +Inf cumulative
+	countValue := map[string]uint64{} // histogram series key → _count
+	lastCum := map[string]uint64{}    // histogram series key → last cumulative seen
+	lines := strings.Split(string(data), "\n")
+	for ln, line := range lines {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				return fmt.Errorf("line %d: malformed comment %q", ln+1, line)
+			}
+			if fields[1] == "TYPE" {
+				if len(fields) < 4 {
+					return fmt.Errorf("line %d: TYPE without a type", ln+1)
+				}
+				switch fields[3] {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return fmt.Errorf("line %d: unknown type %q", ln+1, fields[3])
+				}
+				if _, dup := types[fields[2]]; dup {
+					return fmt.Errorf("line %d: duplicate TYPE for %q", ln+1, fields[2])
+				}
+				types[fields[2]] = fields[3]
+			}
+			if !validMetricName(fields[2]) {
+				return fmt.Errorf("line %d: invalid metric name %q", ln+1, fields[2])
+			}
+			continue
+		}
+		name, labels, value, err := parseSample(line)
+		if err != nil {
+			return fmt.Errorf("line %d: %v", ln+1, err)
+		}
+		fam := familyOf(name, types)
+		if fam == "" {
+			return fmt.Errorf("line %d: sample %q has no preceding TYPE", ln+1, name)
+		}
+		key := name + labels
+		if seen[key] {
+			return fmt.Errorf("line %d: duplicate series %q", ln+1, key)
+		}
+		seen[key] = true
+		if types[fam] == "histogram" {
+			if err := checkHistogramSample(fam, name, labels, value, infBucket, countValue, lastCum); err != nil {
+				return fmt.Errorf("line %d: %v", ln+1, err)
+			}
+		}
+	}
+	for key, inf := range infBucket {
+		c, ok := countValue[key]
+		if !ok {
+			return fmt.Errorf("histogram series %q has buckets but no _count", key)
+		}
+		if c != inf {
+			return fmt.Errorf("histogram series %q: +Inf bucket %d != _count %d", key, inf, c)
+		}
+	}
+	for key := range countValue {
+		if _, ok := infBucket[key]; !ok {
+			return fmt.Errorf("histogram series %q has _count but no +Inf bucket", key)
+		}
+	}
+	return nil
+}
+
+// familyOf resolves a sample name to its declared family, peeling
+// histogram suffixes.
+func familyOf(name string, types map[string]string) string {
+	if _, ok := types[name]; ok {
+		return name
+	}
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if base, ok := strings.CutSuffix(name, suf); ok {
+			if types[base] == "histogram" || types[base] == "summary" {
+				return base
+			}
+		}
+	}
+	return ""
+}
+
+// checkHistogramSample tracks per-series histogram invariants.
+func checkHistogramSample(fam, name, labels string, value float64,
+	infBucket, countValue, lastCum map[string]uint64) error {
+	key := fam + stripLe(labels)
+	switch {
+	case name == fam+"_bucket":
+		le, ok := leValue(labels)
+		if !ok {
+			return fmt.Errorf("bucket series %q has no le label", name+labels)
+		}
+		cum := uint64(value)
+		if float64(cum) != value || value < 0 {
+			return fmt.Errorf("bucket value %v is not a non-negative integer", value)
+		}
+		if prev, ok := lastCum[key]; ok && cum < prev {
+			return fmt.Errorf("bucket counts decrease (%d after %d) in %q", cum, prev, key)
+		}
+		lastCum[key] = cum
+		if le == "+Inf" {
+			infBucket[key] = cum
+		}
+	case name == fam+"_count":
+		countValue[key] = uint64(value)
+	}
+	return nil
+}
+
+// parseSample splits `name{labels} value` (labels optional), checking
+// the grammar and that value parses as a float.
+func parseSample(line string) (name, labels string, value float64, err error) {
+	rest := line
+	if i := strings.IndexByte(rest, '{'); i >= 0 {
+		name = rest[:i]
+		j := strings.IndexByte(rest, '}')
+		if j < i {
+			return "", "", 0, fmt.Errorf("unbalanced braces in %q", line)
+		}
+		labels = rest[i : j+1]
+		if err := checkLabelSyntax(labels); err != nil {
+			return "", "", 0, err
+		}
+		rest = rest[j+1:]
+	} else {
+		sp := strings.IndexByte(rest, ' ')
+		if sp < 0 {
+			return "", "", 0, fmt.Errorf("sample %q has no value", line)
+		}
+		name, rest = rest[:sp], rest[sp:]
+	}
+	if !validMetricName(name) {
+		return "", "", 0, fmt.Errorf("invalid sample name %q", name)
+	}
+	rest = strings.TrimLeft(rest, " ")
+	// A trailing timestamp is legal; the value is the first field.
+	valStr := rest
+	if sp := strings.IndexByte(rest, ' '); sp >= 0 {
+		valStr = rest[:sp]
+	}
+	v, perr := parseValue(valStr)
+	if perr != nil {
+		return "", "", 0, fmt.Errorf("bad value %q: %v", valStr, perr)
+	}
+	return name, labels, v, nil
+}
+
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// checkLabelSyntax validates a `{k="v",…}` block: label-name grammar,
+// quoted values, commas between pairs.
+func checkLabelSyntax(labels string) error {
+	inner := labels[1 : len(labels)-1]
+	for inner != "" {
+		eq := strings.IndexByte(inner, '=')
+		if eq <= 0 || !validLabelName(inner[:eq]) {
+			return fmt.Errorf("bad label name in %q", labels)
+		}
+		rest := inner[eq+1:]
+		if len(rest) < 2 || rest[0] != '"' {
+			return fmt.Errorf("unquoted label value in %q", labels)
+		}
+		end := -1
+		for i := 1; i < len(rest); i++ {
+			if rest[i] == '\\' {
+				i++
+				continue
+			}
+			if rest[i] == '"' {
+				end = i
+				break
+			}
+		}
+		if end < 0 {
+			return fmt.Errorf("unterminated label value in %q", labels)
+		}
+		inner = rest[end+1:]
+		if inner != "" {
+			if inner[0] != ',' {
+				return fmt.Errorf("missing comma in %q", labels)
+			}
+			inner = inner[1:]
+		}
+	}
+	return nil
+}
+
+// stripLe removes the le="…" pair from a bucket label block so bucket,
+// _sum and _count lines of one series share a key.
+func stripLe(labels string) string {
+	if labels == "" {
+		return ""
+	}
+	inner := labels[1 : len(labels)-1]
+	parts := strings.Split(inner, ",")
+	kept := parts[:0]
+	for _, p := range parts {
+		if !strings.HasPrefix(p, `le="`) {
+			kept = append(kept, p)
+		}
+	}
+	if len(kept) == 0 {
+		return ""
+	}
+	return "{" + strings.Join(kept, ",") + "}"
+}
+
+// leValue extracts the le label value from a bucket label block.
+func leValue(labels string) (string, bool) {
+	inner := labels[1 : len(labels)-1]
+	for _, p := range strings.Split(inner, ",") {
+		if v, ok := strings.CutPrefix(p, `le="`); ok {
+			return strings.TrimSuffix(v, `"`), true
+		}
+	}
+	return "", false
+}

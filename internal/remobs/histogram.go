@@ -1,0 +1,123 @@
+package remobs
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// HistBuckets is the fixed bucket count of every latency histogram:
+// buckets 0..HistBuckets-2 hold durations whose nanosecond count has
+// bit length i (i.e. d ∈ [2^(i-1), 2^i)), bucket HistBuckets-1 is the
+// +Inf overflow. 40 buckets cover 1 ns .. ~275 s, which spans every
+// latency in the system from a 190 ns store query to a multi-second
+// WAL replay. Fixed log-scale buckets mean Observe is two atomic adds
+// and a bits.Len64 — no search, no allocation, no configuration.
+const HistBuckets = 40
+
+// Histogram is a fixed-bucket log₂-scale latency histogram. Observe
+// is lock-free and allocation-free; rendering snapshots the buckets
+// and derives the cumulative counts (and the count itself) from that
+// snapshot so one scrape is always self-consistent even while writers
+// race. Padded like Counter so adjacent instruments never share a
+// cache line.
+type Histogram struct {
+	_       [64]byte
+	count   atomic.Uint64
+	sumNs   atomic.Uint64
+	buckets [HistBuckets]atomic.Uint64
+	_       [56]byte
+}
+
+// bucketOf maps a nanosecond count to its bucket index.
+func bucketOf(ns uint64) int {
+	i := bits.Len64(ns)
+	if i >= HistBuckets {
+		i = HistBuckets - 1
+	}
+	return i
+}
+
+// Observe records one duration (negative clamps to zero).
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	ns := uint64(0)
+	if d > 0 {
+		ns = uint64(d)
+	}
+	h.buckets[bucketOf(ns)].Add(1)
+	h.sumNs.Add(ns)
+	h.count.Add(1)
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// SumSeconds returns the sum of all observed durations in seconds.
+func (h *Histogram) SumSeconds() float64 {
+	if h == nil {
+		return 0
+	}
+	return float64(h.sumNs.Load()) / 1e9
+}
+
+// snapshot copies the bucket array and returns it with its total.
+// The total (not the count atomic) is what exposition reports as
+// _count, so `+Inf bucket == count` holds inside one scrape even with
+// observations in flight.
+func (h *Histogram) snapshot() (b [HistBuckets]uint64, total uint64) {
+	for i := range h.buckets {
+		b[i] = h.buckets[i].Load()
+		total += b[i]
+	}
+	return b, total
+}
+
+// BucketUpperSeconds returns the inclusive upper bound of bucket i in
+// seconds: (2^i − 1) ns. Bucket 0 is le="0" (zero-duration
+// observations); the last bucket is +Inf and returns +Inf here.
+func BucketUpperSeconds(i int) float64 {
+	if i >= HistBuckets-1 {
+		return math.Inf(1)
+	}
+	return float64(uint64(1)<<uint(i)-1) / 1e9
+}
+
+// Quantile returns an upper-bound estimate of the q-quantile in
+// seconds from the bucket boundaries (the event-ring dump and the
+// example's summary printer use it; exposition does not).
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	b, total := h.snapshot()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := uint64(q * float64(total))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for i := range b {
+		cum += b[i]
+		if cum >= target {
+			return BucketUpperSeconds(i)
+		}
+	}
+	return BucketUpperSeconds(HistBuckets - 1)
+}

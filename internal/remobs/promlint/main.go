@@ -1,0 +1,37 @@
+// Command promlint reads Prometheus text-format exposition on stdin
+// and validates it with remobs.CheckExposition — the same checker the
+// package tests run against the registry's own output. CI pipes live
+// /metrics scrapes through it:
+//
+//	curl -s localhost:8099/metrics | go run ./internal/remobs/promlint
+//
+// Exit status 0 means the scrape parses; 1 prints the first violation.
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/remobs"
+)
+
+func main() {
+	data, err := io.ReadAll(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "promlint: read:", err)
+		os.Exit(1)
+	}
+	if err := remobs.CheckExposition(data); err != nil {
+		fmt.Fprintln(os.Stderr, "promlint:", err)
+		os.Exit(1)
+	}
+	samples := 0
+	for _, line := range strings.Split(string(data), "\n") {
+		if line != "" && line[0] != '#' {
+			samples++
+		}
+	}
+	fmt.Printf("promlint: ok (%d samples)\n", samples)
+}

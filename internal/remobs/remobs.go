@@ -1,0 +1,355 @@
+// Package remobs is the repo's dependency-free observability layer: a
+// metrics registry (counters, gauges, fixed-bucket log-scale latency
+// histograms), a hand-rolled Prometheus text-format writer, and a
+// bounded structured event ring recording the generation lifecycle.
+//
+// The design constraint is the same one remserve's handlers and
+// remstore's query path already live under: instruments on the hot
+// path must cost nothing but an atomic add — 0 allocs/op after
+// warm-up, pinned by tests. Everything stringy (metric names, label
+// rendering, exposition) happens once at registration or on the cold
+// scrape path. Counters and histograms carry the same leading/trailing
+// cache-line padding as parallel.PaddedUint64 so two instruments
+// updated by different goroutines never share a line.
+//
+// Instrumented packages receive a *Observer (registry + event ring)
+// and pre-create their instruments at construction; a nil Observer
+// means no instruments exist and hot paths pay one nil check.
+package remobs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one name="value" pair attached to a metric series.
+type Label struct {
+	Name, Value string
+}
+
+// L is shorthand for building a Label inline.
+func L(name, value string) Label { return Label{Name: name, Value: value} }
+
+// Counter is a monotonically increasing uint64, cache-line padded so
+// counters registered next to each other never false-share.
+type Counter struct {
+	_ [64]byte
+	v atomic.Uint64
+	_ [56]byte
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a settable float64 (stored as bits under one atomic word),
+// padded like Counter.
+type Gauge struct {
+	_ [64]byte
+	v atomic.Uint64
+	_ [56]byte
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.v.Store(math.Float64bits(v))
+	}
+}
+
+// Add adds d (CAS loop; gauges are low-frequency).
+func (g *Gauge) Add(d float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.v.Load()
+		next := math.Float64bits(math.Float64frombits(old) + d)
+		if g.v.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.v.Load())
+}
+
+// kind is the Prometheus metric family type.
+type kind uint8
+
+const (
+	kindCounter kind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k kind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// series is one labelled instrument inside a family. Exactly one of
+// the instrument fields is set; fn covers both CounterFunc and
+// GaugeFunc (the family kind disambiguates on exposition).
+type series struct {
+	labels string // pre-rendered `{k="v",…}` or ""
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+	fn     func() float64
+}
+
+// family is one metric name with its help text, type and series set.
+type family struct {
+	name   string
+	help   string
+	kind   kind
+	series []*series
+	byKey  map[string]*series
+}
+
+// Registry holds metric families in registration order. Registration
+// takes the lock and may allocate; reading instruments never touches
+// the registry at all.
+type Registry struct {
+	mu     sync.Mutex
+	fams   []*family
+	byName map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*family)}
+}
+
+// family finds or creates the named family, panicking on a kind or
+// help mismatch — re-registering the same (name, labels) is legal and
+// returns the existing instrument, so construction paths can run twice.
+func (r *Registry) family(name, help string, k kind) *family {
+	if !validMetricName(name) {
+		panic(fmt.Sprintf("remobs: invalid metric name %q", name))
+	}
+	f := r.byName[name]
+	if f == nil {
+		f = &family{name: name, help: help, kind: k, byKey: make(map[string]*series)}
+		r.byName[name] = f
+		r.fams = append(r.fams, f)
+		return f
+	}
+	if f.kind != k {
+		panic(fmt.Sprintf("remobs: metric %q registered as %s and %s", name, f.kind, k))
+	}
+	return f
+}
+
+// lookup finds or creates the series for the rendered label set.
+func (f *family) lookup(labels []Label) (*series, bool) {
+	key := renderLabels(labels)
+	if s := f.byKey[key]; s != nil {
+		return s, false
+	}
+	s := &series{labels: key}
+	f.byKey[key] = s
+	f.series = append(f.series, s)
+	return s, true
+}
+
+// Counter registers (or finds) a counter series.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, fresh := r.family(name, help, kindCounter).lookup(labels)
+	if fresh {
+		s.c = new(Counter)
+	} else if s.c == nil {
+		panic(fmt.Sprintf("remobs: %q%s already registered as a counter func", name, s.labels))
+	}
+	return s.c
+}
+
+// Gauge registers (or finds) a gauge series.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, fresh := r.family(name, help, kindGauge).lookup(labels)
+	if fresh {
+		s.g = new(Gauge)
+	} else if s.g == nil {
+		panic(fmt.Sprintf("remobs: %q%s already registered as a gauge func", name, s.labels))
+	}
+	return s.g
+}
+
+// CounterFunc registers a counter whose value is computed at scrape
+// time — the bridge for counters that already exist elsewhere (the
+// store's padded query counters, the follower's sync tallies) so hot
+// paths are never double-instrumented.
+func (r *Registry) CounterFunc(name, help string, fn func() float64, labels ...Label) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, _ := r.family(name, help, kindCounter).lookup(labels)
+	s.fn = fn
+	s.c = nil
+}
+
+// GaugeFunc registers a gauge computed at scrape time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, _ := r.family(name, help, kindGauge).lookup(labels)
+	s.fn = fn
+	s.g = nil
+}
+
+// Histogram registers (or finds) a latency histogram series.
+func (r *Registry) Histogram(name, help string, labels ...Label) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, fresh := r.family(name, help, kindHistogram).lookup(labels)
+	if fresh {
+		s.h = new(Histogram)
+	}
+	return s.h
+}
+
+// validMetricName enforces the Prometheus name grammar
+// [a-zA-Z_:][a-zA-Z0-9_:]*.
+func validMetricName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(c >= '0' && c <= '9' && i > 0)
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// validLabelName enforces [a-zA-Z_][a-zA-Z0-9_]* (no colon in labels).
+func validLabelName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		ok := c == '_' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(c >= '0' && c <= '9' && i > 0)
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// renderLabels produces the canonical `{k="v",…}` suffix (sorted by
+// label name so the same set always renders identically) with
+// backslash, quote and newline escaped per the text format.
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := make([]Label, len(labels))
+	copy(ls, labels)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Name < ls[j].Name })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range ls {
+		if !validLabelName(l.Name) {
+			panic(fmt.Sprintf("remobs: invalid label name %q", l.Name))
+		}
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Name)
+		b.WriteString(`="`)
+		for j := 0; j < len(l.Value); j++ {
+			switch c := l.Value[j]; c {
+			case '\\':
+				b.WriteString(`\\`)
+			case '"':
+				b.WriteString(`\"`)
+			case '\n':
+				b.WriteString(`\n`)
+			default:
+				b.WriteByte(c)
+			}
+		}
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Observer bundles the registry and the event ring that instrumented
+// packages share. A nil *Observer is the documented opt-out: every
+// method is nil-safe, and packages that receive nil simply never
+// create their instruments, so the query path pays one pointer test.
+type Observer struct {
+	Registry *Registry
+	Events   *EventLog
+}
+
+// New builds an Observer with a fresh registry and an event ring
+// holding the last eventCap events (≤ 0 picks DefaultEventCap).
+func New(eventCap int) *Observer {
+	return &Observer{Registry: NewRegistry(), Events: NewEventLog(eventCap)}
+}
+
+// Reg returns the registry, or nil on a nil Observer — callers can
+// chain `obs.Reg()` without a guard when they only need registration
+// to be skipped.
+func (o *Observer) Reg() *Registry {
+	if o == nil {
+		return nil
+	}
+	return o.Registry
+}
+
+// Event records a formatted event in the ring; no-op on a nil
+// Observer or ring. Formatting cost is only paid when a ring exists,
+// and events fire per generation / sync / replay — never per request.
+func (o *Observer) Event(kind, format string, args ...any) {
+	if o == nil || o.Events == nil {
+		return
+	}
+	o.Events.Record(kind, format, args...)
+}

@@ -1,0 +1,282 @@
+package remobs
+
+import (
+	"math"
+	"math/bits"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestExpositionRoundTrip renders a registry with every instrument
+// kind and runs the output through the package's own checker — the
+// same pairing CI uses (live scrape → promlint).
+func TestExpositionRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("rem_test_requests_total", "requests served", L("endpoint", "at"), L("wire", "json"))
+	c.Add(7)
+	r.Counter("rem_test_requests_total", "requests served", L("endpoint", "at"), L("wire", "binary")).Inc()
+	g := r.Gauge("rem_test_depth", "queue depth")
+	g.Set(3.5)
+	r.GaugeFunc("rem_test_ratio", "computed at scrape", func() float64 { return 0.25 })
+	r.CounterFunc("rem_test_queries_total", "bridged counter", func() float64 { return 42 })
+	h := r.Histogram("rem_test_latency_seconds", "request latency", L("endpoint", "at"))
+	for _, d := range []time.Duration{0, time.Nanosecond, 100 * time.Nanosecond, time.Millisecond, time.Second} {
+		h.Observe(d)
+	}
+	out := r.AppendPrometheus(nil)
+	if err := CheckExposition(out); err != nil {
+		t.Fatalf("own exposition fails checker: %v\n%s", err, out)
+	}
+	text := string(out)
+	for _, want := range []string{
+		`rem_test_requests_total{endpoint="at",wire="json"} 7`,
+		`rem_test_requests_total{endpoint="at",wire="binary"} 1`,
+		"rem_test_depth 3.5",
+		"rem_test_ratio 0.25",
+		"rem_test_queries_total 42",
+		`rem_test_latency_seconds_count{endpoint="at"} 5`,
+		`le="+Inf"} 5`,
+		"# TYPE rem_test_latency_seconds histogram",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestRegistrationIdempotent pins that re-registering the same (name,
+// labels) returns the same instrument — construction paths may run
+// more than once (e.g. SetObserver on a restarted component).
+func TestRegistrationIdempotent(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("rem_test_total", "", L("k", "v"))
+	b := r.Counter("rem_test_total", "", L("k", "v"))
+	if a != b {
+		t.Fatal("same (name, labels) returned distinct counters")
+	}
+	// Label order must not matter: the rendered key is sorted.
+	h1 := r.Histogram("rem_test_h", "", L("a", "1"), L("b", "2"))
+	h2 := r.Histogram("rem_test_h", "", L("b", "2"), L("a", "1"))
+	if h1 != h2 {
+		t.Fatal("label order produced distinct histogram series")
+	}
+}
+
+// TestHistogramQuickcheck drives random observations through a
+// histogram and checks the structural invariants: bucket counts sum to
+// the observation count, the sum matches, every observation landed in
+// the bucket its bit length names, and the rendered cumulative
+// sequence is non-decreasing with +Inf == count.
+func TestHistogramQuickcheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		h := new(Histogram)
+		n := rng.Intn(2000)
+		var wantSum uint64
+		wantBuckets := [HistBuckets]uint64{}
+		for i := 0; i < n; i++ {
+			// Span the full range: bias toward small values but include
+			// huge ones that clamp into +Inf.
+			ns := uint64(rng.Int63()) >> uint(rng.Intn(63))
+			wantSum += ns
+			wantBuckets[bucketOf(ns)]++
+			h.Observe(time.Duration(ns))
+		}
+		got, total := h.snapshot()
+		if total != uint64(n) || h.Count() != uint64(n) {
+			t.Fatalf("trial %d: bucket sum %d, count %d, want %d", trial, total, h.Count(), n)
+		}
+		if got != wantBuckets {
+			t.Fatalf("trial %d: bucket layout mismatch", trial)
+		}
+		if math.Abs(h.SumSeconds()-float64(wantSum)/1e9) > 1e-9 {
+			t.Fatalf("trial %d: sum %v, want %v", trial, h.SumSeconds(), float64(wantSum)/1e9)
+		}
+	}
+}
+
+// TestHistogramBucketBounds pins the bucket map: value v lands in the
+// bucket whose inclusive upper bound is the smallest 2^i − 1 ≥ v.
+func TestHistogramBucketBounds(t *testing.T) {
+	for _, ns := range []uint64{0, 1, 2, 3, 4, 7, 8, 255, 256, 1 << 30, 1 << 62} {
+		i := bucketOf(ns)
+		if i < HistBuckets-1 {
+			upper := uint64(1)<<uint(i) - 1
+			if ns > upper {
+				t.Errorf("ns=%d landed in bucket %d with upper %d", ns, i, upper)
+			}
+			if i > 0 {
+				lower := uint64(1)<<uint(i-1) - 1
+				if ns <= lower {
+					t.Errorf("ns=%d landed in bucket %d but fits bucket %d", ns, i, i-1)
+				}
+			}
+		} else if bits.Len64(ns) < HistBuckets {
+			t.Errorf("ns=%d clamped to +Inf prematurely", ns)
+		}
+	}
+}
+
+// TestConcurrentScrapeRace hammers counters, gauges and a histogram
+// from many goroutines while scraping concurrently — run under -race
+// in CI, and every scrape must still pass the checker (histogram
+// consistency is per-snapshot, not global).
+func TestConcurrentScrapeRace(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("rem_race_total", "")
+	g := r.Gauge("rem_race_gauge", "")
+	h := r.Histogram("rem_race_seconds", "")
+	r.GaugeFunc("rem_race_func", "", func() float64 { return float64(c.Value()) })
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				c.Inc()
+				g.Set(rng.Float64())
+				g.Add(1)
+				h.Observe(time.Duration(rng.Intn(1 << 20)))
+			}
+		}(int64(w))
+	}
+	deadline := time.Now().Add(200 * time.Millisecond)
+	var buf []byte
+	scrapes := 0
+	for time.Now().Before(deadline) {
+		buf = r.AppendPrometheus(buf[:0])
+		if err := CheckExposition(buf); err != nil {
+			close(stop)
+			wg.Wait()
+			t.Fatalf("scrape %d inconsistent under concurrency: %v", scrapes, err)
+		}
+		scrapes++
+	}
+	close(stop)
+	wg.Wait()
+	if scrapes == 0 {
+		t.Fatal("no scrapes completed")
+	}
+}
+
+// TestInstrumentZeroAlloc pins the hot-path contract at the source:
+// counter adds, gauge sets and histogram observes allocate nothing.
+func TestInstrumentZeroAlloc(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("rem_alloc_total", "")
+	g := r.Gauge("rem_alloc_gauge", "")
+	h := r.Histogram("rem_alloc_seconds", "")
+	if allocs := testing.AllocsPerRun(200, func() {
+		c.Inc()
+		c.Add(3)
+		g.Set(1.5)
+		h.Observe(123 * time.Microsecond)
+	}); allocs != 0 {
+		t.Fatalf("instrument updates allocate %v/op, want 0", allocs)
+	}
+}
+
+// TestNilObserverSafe pins the opt-out: every nil-receiver method is a
+// no-op, including instruments that were never created.
+func TestNilObserverSafe(t *testing.T) {
+	var o *Observer
+	o.Event("publish", "version=%d", 1)
+	if o.Reg() != nil {
+		t.Fatal("nil observer returned a registry")
+	}
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	var l *EventLog
+	c.Inc()
+	c.Add(2)
+	g.Set(1)
+	g.Add(1)
+	h.Observe(time.Second)
+	l.Record("x", "y")
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || l.Len() != 0 {
+		t.Fatal("nil instruments reported non-zero state")
+	}
+	var r *Registry
+	if out := r.AppendPrometheus(nil); out != nil {
+		t.Fatal("nil registry rendered output")
+	}
+}
+
+// TestEventLogRing pins ring semantics: capacity bounds retention,
+// sequence numbers keep counting across evictions, snapshot is
+// oldest-first.
+func TestEventLogRing(t *testing.T) {
+	l := NewEventLog(4)
+	for i := 1; i <= 10; i++ {
+		l.Record("publish", "gen %d", i)
+	}
+	evs := l.Snapshot()
+	if len(evs) != 4 {
+		t.Fatalf("ring holds %d events, want 4", len(evs))
+	}
+	for i, e := range evs {
+		if want := uint64(7 + i); e.Seq != want {
+			t.Fatalf("event %d has seq %d, want %d", i, e.Seq, want)
+		}
+	}
+	if evs[0].Text != "gen 7" || evs[3].Text != "gen 10" {
+		t.Fatalf("ring order wrong: %q … %q", evs[0].Text, evs[3].Text)
+	}
+	var sb strings.Builder
+	if err := l.Dump(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "gen 10") {
+		t.Fatalf("dump missing newest event:\n%s", sb.String())
+	}
+}
+
+// TestCheckExpositionRejects feeds the checker known-bad expositions.
+func TestCheckExpositionRejects(t *testing.T) {
+	bad := map[string]string{
+		"no newline":        "rem_x 1",
+		"dup series":        "# TYPE rem_x counter\nrem_x 1\nrem_x 2\n",
+		"no TYPE":           "rem_x 1\n",
+		"bad value":         "# TYPE rem_x counter\nrem_x abc\n",
+		"bad label":         "# TYPE rem_x counter\nrem_x{1bad=\"v\"} 1\n",
+		"unterminated":      "# TYPE rem_x counter\nrem_x{k=\"v} 1\n",
+		"inf != count":      "# TYPE rem_h histogram\nrem_h_bucket{le=\"+Inf\"} 5\nrem_h_sum 1\nrem_h_count 4\n",
+		"missing inf":       "# TYPE rem_h histogram\nrem_h_sum 1\nrem_h_count 4\n",
+		"decreasing bucket": "# TYPE rem_h histogram\nrem_h_bucket{le=\"1\"} 5\nrem_h_bucket{le=\"+Inf\"} 3\nrem_h_sum 1\nrem_h_count 3\n",
+	}
+	for name, text := range bad {
+		if err := CheckExposition([]byte(text)); err == nil {
+			t.Errorf("%s: checker accepted\n%s", name, text)
+		}
+	}
+	good := "# HELP rem_ok fine\n# TYPE rem_ok gauge\nrem_ok{k=\"v\"} 1.5\n"
+	if err := CheckExposition([]byte(good)); err != nil {
+		t.Errorf("checker rejected valid exposition: %v", err)
+	}
+}
+
+// TestQuantile sanity-checks the bucket-boundary quantile estimate.
+func TestQuantile(t *testing.T) {
+	h := new(Histogram)
+	for i := 0; i < 100; i++ {
+		h.Observe(100 * time.Nanosecond) // bucket le=127ns
+	}
+	q := h.Quantile(0.5)
+	if q < 100e-9 || q > 127.5e-9 {
+		t.Fatalf("median estimate %v outside [100ns, 127ns]", q)
+	}
+	if e := new(Histogram).Quantile(0.99); e != 0 {
+		t.Fatalf("empty histogram quantile %v, want 0", e)
+	}
+}

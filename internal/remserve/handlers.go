@@ -71,12 +71,13 @@ var (
 	varyAE  = []string{"Accept-Encoding"}
 )
 
-// ServeHTTP routes the fixed endpoint set. Unknown paths get 404,
-// wrong methods 405 with an Allow header. With rate limiting enabled,
+// route routes the fixed endpoint set. Unknown paths get 404, wrong
+// methods 405 with an Allow header. With rate limiting enabled,
 // over-budget clients get 429 + Retry-After before any routing —
 // /healthz stays exempt so orchestrator readiness probes cannot be
-// throttled into a false "down".
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+// throttled into a false "down". ServeHTTP (metrics.go) wraps this
+// with the per-request instrumentation when an Observer is attached.
+func (s *Server) route(w http.ResponseWriter, r *http.Request) {
 	if s.limiter != nil && r.URL.Path != "/healthz" {
 		if ok, retryAfter := s.limiter.allow(r.RemoteAddr); !ok {
 			w.Header().Set("Retry-After", strconv.Itoa(retryAfter))
@@ -139,6 +140,17 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		s.handleVersion(w)
+	case "/metrics":
+		if s.obs == nil || s.obs.Registry == nil {
+			// No observer, no exposition — same posture as /observe on a
+			// read-only deployment.
+			http.NotFound(w, r)
+			return
+		}
+		if !getOrHead(w, r) {
+			return
+		}
+		s.handleMetrics(w)
 	default:
 		http.NotFound(w, r)
 	}
@@ -626,15 +638,28 @@ func etagMatch(header, etag string) bool {
 	return false
 }
 
-// handleStats serves GET /stats: the full Stats JSON (cold path,
-// encoding/json).
+// handleStats serves GET /stats (cold path, encoding/json). The stable
+// schema is the "store" object: every backend flavour nests its
+// aggregate counters under the same key, mirroring the follower's
+// {"sync","store"} document, so a scraper reads .store.queries without
+// caring which binary answered. The legacy flat copy of the same
+// fields is spliced in alongside for one release — see the deprecation
+// note in DESIGN.md's Observability section.
 func (s *Server) handleStats(w http.ResponseWriter) {
 	body, err := json.Marshal(s.b.Stats())
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
-	writeJSON(w, append(body, '\n'))
+	// {"store":{…},…flat copy…}\n — body is "{…}", so its interior
+	// (body[1:]) supplies the deprecated top-level fields verbatim.
+	out := make([]byte, 0, 2*len(body)+len(`{"store":,`)+1)
+	out = append(out, `{"store":`...)
+	out = append(out, body...)
+	out = append(out, ',')
+	out = append(out, body[1:]...)
+	out = append(out, '\n')
+	writeJSON(w, out)
 }
 
 // handleHealthz serves GET /healthz: 200 {"status":"serving",…} once

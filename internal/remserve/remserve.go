@@ -49,6 +49,7 @@ import (
 
 	"repro/internal/geom"
 	"repro/internal/rem"
+	"repro/internal/remobs"
 	"repro/internal/remshard"
 	"repro/internal/remstore"
 	"repro/internal/remwal"
@@ -320,6 +321,12 @@ type Options struct {
 	ReadHeaderTimeout time.Duration
 	ReadTimeout       time.Duration
 	IdleTimeout       time.Duration
+	// Observer attaches the observability layer: per-endpoint request
+	// counters and latency histograms (split by wire codec and status
+	// class) plus GET /metrics exposition of the observer's registry.
+	// nil (the default) keeps the server uninstrumented — /metrics
+	// answers 404 and the request path pays one pointer test.
+	Observer *remobs.Observer
 }
 
 // timeoutOr resolves one Options timeout: zero → default, negative →
@@ -349,6 +356,9 @@ type Server struct {
 	readTimeout       time.Duration
 	idleTimeout       time.Duration
 
+	obs     *remobs.Observer
+	metrics *serveMetrics
+
 	mu   sync.Mutex
 	hs   *http.Server
 	addr string
@@ -362,7 +372,7 @@ func New(b Backend, opts Options) *Server {
 	if opts.MaxBatchPoints <= 0 {
 		opts.MaxBatchPoints = DefaultMaxBatchPoints
 	}
-	return &Server{
+	s := &Server{
 		b:                 b,
 		maxBytes:          opts.MaxBatchBytes,
 		maxPoints:         opts.MaxBatchPoints,
@@ -373,6 +383,11 @@ func New(b Backend, opts Options) *Server {
 		readTimeout:       timeoutOr(opts.ReadTimeout, DefaultReadTimeout),
 		idleTimeout:       timeoutOr(opts.IdleTimeout, DefaultIdleTimeout),
 	}
+	if opts.Observer != nil {
+		s.obs = opts.Observer
+		s.metrics = newServeMetrics(opts.Observer.Registry)
+	}
+	return s
 }
 
 // NewStore is New over a monolithic store.

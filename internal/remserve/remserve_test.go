@@ -235,17 +235,20 @@ func TestRule8OverTheWire(t *testing.T) {
 				t.Fatal("snapshot bytes do not restore the serving map")
 			}
 
-			// Stats ≡ the marshalled backend stats (counters quiesced:
-			// no requests in flight between the two reads).
-			expStats, err := json.Marshal(ShardedBackend(ss).Stats())
+			// Stats ≡ the marshalled backend stats, nested under the
+			// stable "store" key with the legacy flat copy alongside
+			// (counters quiesced: no requests in flight between the two
+			// reads).
+			raw, err := json.Marshal(ShardedBackend(ss).Stats())
 			if err != nil {
 				t.Fatal(err)
 			}
+			expStats := `{"store":` + string(raw) + `,` + string(raw[1:])
 			status, _, body = get(t, srv.URL+"/stats")
 			if status != http.StatusOK {
 				t.Fatalf("GET /stats: status %d", status)
 			}
-			if string(body) != string(expStats)+"\n" {
+			if string(body) != expStats+"\n" {
 				t.Fatalf("GET /stats bytes:\n got %s\nwant %s", body, expStats)
 			}
 		})

@@ -30,6 +30,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/geom"
 	"repro/internal/ml"
@@ -97,6 +98,10 @@ type ShardedStore struct {
 	shardOf []int
 	shards  []*shardState
 	rounds  atomic.Uint64
+	// o is the attached instrument set (observe.go); nil means
+	// uninstrumented. Written once by SetObserver before rebuild
+	// traffic, read on the rebuild path only.
+	o *shardObs
 }
 
 // New builds a sharded store over the vocabulary. The partitioner is
@@ -222,6 +227,7 @@ func (s *ShardedStore) Rebuild(dirty []int, predict rem.BatchPredictFunc, opts r
 	if predict == nil {
 		return Round{}, errors.New("remshard: rebuild needs a predictor")
 	}
+	start := time.Now()
 	local := make([][]int, len(s.shards))
 	resolved := 0
 	add := func(gi int) {
@@ -270,6 +276,7 @@ func (s *ShardedStore) Rebuild(dirty []int, predict rem.BatchPredictFunc, opts r
 		Versions:       make([]uint64, len(s.shards)),
 	}
 	if len(affected) == 0 {
+		s.observeRebuild(round, time.Since(start))
 		return round, nil
 	}
 	// Split the worker budget across the affected shards: outer×inner ≈
@@ -324,6 +331,7 @@ func (s *ShardedStore) Rebuild(dirty []int, predict rem.BatchPredictFunc, opts r
 		round.BuiltKeys += p.built
 		round.SharedTiles += p.sharedTiles
 	}
+	s.observeRebuild(round, time.Since(start))
 	return round, nil
 }
 

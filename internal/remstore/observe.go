@@ -1,0 +1,126 @@
+package remstore
+
+import (
+	"time"
+
+	"repro/internal/remobs"
+)
+
+// This file attaches the observability layer to a snapshot store. The
+// query path is deliberately untouched: the store's existing padded
+// counters are bridged as scrape-time CounterFuncs, so attaching an
+// Observer adds zero work per query — the ≤2 ns no-op bound CI guards
+// is really a zero. Publish-side instruments (latency histograms, the
+// cover-index gauges, the event ring) live on the publish path, which
+// is per-generation, not per-request.
+
+// storeObs is the pre-registered instrument set; nil means
+// uninstrumented.
+type storeObs struct {
+	obs         *remobs.Observer
+	publishHist *remobs.Histogram // whole publish call
+	indexHist   *remobs.Histogram // BuildCoverIndex inside publish
+	mendHist    *remobs.Histogram // index mends carried in by RebuildKeys
+	mendedCubes *remobs.Counter   // cumulative cubes re-filtered by mends
+}
+
+// SetObserver registers the store's metrics with the observer and
+// starts recording publish events. Call before traffic for complete
+// counts; calling again with the same observer is harmless
+// (registration is idempotent). A nil observer (or registry) is the
+// documented opt-out and leaves the store untouched.
+func (st *Store) SetObserver(obs *remobs.Observer) {
+	if obs == nil || obs.Registry == nil {
+		return
+	}
+	reg := obs.Registry
+	o := &storeObs{
+		obs: obs,
+		publishHist: reg.Histogram("rem_store_publish_seconds",
+			"snapshot publish latency (geometry checks, index build, retention)"),
+		indexHist: reg.Histogram("rem_store_coverindex_build_seconds",
+			"coverage-index construction inside publish (zero-length for pre-mended maps)"),
+		mendHist: reg.Histogram("rem_store_coverindex_mend_seconds",
+			"coverage-index mend latency carried in by incremental rebuilds"),
+		mendedCubes: reg.Counter("rem_store_coverindex_mended_cubes_total",
+			"cubes re-filtered by coverage-index mends across all publishes"),
+	}
+	reg.CounterFunc("rem_store_queries_total",
+		"logical queries served (one per point)",
+		func() float64 { return float64(st.queries.Load()) })
+	reg.CounterFunc("rem_store_publishes_total",
+		"snapshot generations published",
+		func() float64 { return float64(st.publishes.Load()) })
+	reg.CounterFunc("rem_store_evictions_total",
+		"snapshots evicted by retention",
+		func() float64 {
+			st.mu.Lock()
+			defer st.mu.Unlock()
+			return float64(st.evictions)
+		})
+	reg.GaugeFunc("rem_store_serving_version",
+		"version of the serving snapshot (0 before the first publish)",
+		func() float64 {
+			if s := st.cur.Load(); s != nil {
+				return float64(s.version)
+			}
+			return 0
+		})
+	reg.GaugeFunc("rem_store_coverindex_candidate_ratio",
+		"mean Strongest candidates per cube over the vocabulary size (1 = no pruning, 0 = empty)",
+		func() float64 { return st.coverCandidateRatio() })
+	reg.GaugeFunc("rem_store_coverindex_bytes",
+		"storage footprint of the serving snapshot's coverage index",
+		func() float64 {
+			s := st.cur.Load()
+			if s == nil {
+				return 0
+			}
+			cs, ok := s.m.CoverIndexStats()
+			if !ok {
+				return 0
+			}
+			return float64(cs.Bytes)
+		})
+	st.mu.Lock()
+	st.o = o
+	st.mu.Unlock()
+}
+
+// coverCandidateRatio is the pruning-ratio gauge: how much of the
+// brute O(K) Strongest scan the serving index actually admits. 1 means
+// the index prunes nothing; the PR 8 benchmarks saw ~0.1 at paper
+// scale. NaN-free: an empty or unindexed store reports 1 (brute cost).
+func (st *Store) coverCandidateRatio() float64 {
+	s := st.cur.Load()
+	if s == nil {
+		return 1
+	}
+	cs, ok := s.m.CoverIndexStats()
+	k := len(s.m.Keys())
+	if !ok || cs.Cubes == 0 || k == 0 {
+		return 1
+	}
+	return float64(cs.Candidates) / float64(cs.Cubes) / float64(k)
+}
+
+// observePublish records one successful publish: latency histograms,
+// mend provenance and the generation event. Called under st.mu with
+// the just-published snapshot.
+func (st *Store) observePublish(s *Snapshot, total, index time.Duration) {
+	o := st.o
+	if o == nil {
+		return
+	}
+	o.publishHist.Observe(total)
+	o.indexHist.Observe(index)
+	mended, mendD := s.m.CoverMendStats()
+	if mended > 0 {
+		o.mendHist.Observe(mendD)
+		o.mendedCubes.Add(uint64(mended))
+	}
+	o.obs.Event("publish",
+		"version=%d built_keys=%d shared_tiles=%d mended_cubes=%d publish=%s index=%s",
+		s.version, s.builtKeys, s.sharedTiles, mended,
+		total.Round(time.Microsecond), index.Round(time.Microsecond))
+}

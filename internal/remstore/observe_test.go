@@ -1,0 +1,83 @@
+package remstore
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/remobs"
+)
+
+// TestObserverPublishMetrics publishes through an instrumented store
+// and asserts the scrape is valid and carries the publish histogram,
+// the bridged counters and a sane candidate-pruning ratio.
+func TestObserverPublishMetrics(t *testing.T) {
+	obs := remobs.New(0)
+	st := New(4)
+	st.SetObserver(obs)
+	keys := []string{"a", "b", "c"}
+	if _, err := st.Publish(constMap(t, -50, keys), len(keys)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Publish(constMap(t, -60, keys), 1); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, _, err := st.At("a", geom.V(1, 1, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	body := obs.Registry.AppendPrometheus(nil)
+	if err := remobs.CheckExposition(body); err != nil {
+		t.Fatalf("exposition: %v\n%s", err, body)
+	}
+	text := string(body)
+	for _, want := range []string{
+		"rem_store_publish_seconds_count 2",
+		"rem_store_queries_total 5",
+		"rem_store_publishes_total 2",
+		"rem_store_serving_version 2",
+		"rem_store_coverindex_candidate_ratio ",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("scrape missing %q:\n%s", want, text)
+		}
+	}
+	// Two events (one per publish) in the ring, in order.
+	evs := obs.Events.Snapshot()
+	if len(evs) != 2 || evs[0].Kind != "publish" || evs[1].Kind != "publish" {
+		t.Fatalf("event ring = %+v, want 2 publish events", evs)
+	}
+	if !strings.Contains(evs[1].Text, "version=2") {
+		t.Errorf("second publish event %q does not name version 2", evs[1].Text)
+	}
+}
+
+// TestObserverQueryZeroAlloc pins the acceptance bound at the library
+// layer: attaching an Observer adds no per-query allocation (the query
+// counters are bridged at scrape time, not incremented per call).
+func TestObserverQueryZeroAlloc(t *testing.T) {
+	obs := remobs.New(0)
+	st := New(2)
+	st.SetObserver(obs)
+	keys := []string{"a", "b", "c"}
+	if _, err := st.Publish(constMap(t, -50, keys), len(keys)); err != nil {
+		t.Fatal(err)
+	}
+	p := geom.V(1, 1, 1)
+	query := func() {
+		if _, _, err := st.At("a", p); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, _, err := st.Strongest(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 20; i++ {
+		query()
+	}
+	if allocs := testing.AllocsPerRun(200, query); allocs != 0 {
+		t.Errorf("instrumented At+Strongest: %v allocs/op, want 0", allocs)
+	}
+}

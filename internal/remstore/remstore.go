@@ -105,6 +105,11 @@ type Store struct {
 	// publish path.
 	noIndex bool
 
+	// o is the attached instrument set (observe.go); nil means
+	// uninstrumented. Guarded by mu: written once by SetObserver, read
+	// on the publish path, never on the query path.
+	o *storeObs
+
 	// The store-wide counters are padded to their own cache lines:
 	// queries is bumped by every concurrent reader and must not share a
 	// line with publishes (bumped by writers) or with cur (loaded by
@@ -192,6 +197,7 @@ func (st *Store) publish(m *rem.Map, builtKeys int, version uint64) (*Snapshot, 
 	if m == nil {
 		return nil, errors.New("remstore: nil map")
 	}
+	start := time.Now()
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	prev := st.cur.Load()
@@ -235,8 +241,11 @@ func (st *Store) publish(m *rem.Map, builtKeys int, version uint64) (*Snapshot, 
 	// store. Incremental generations usually arrive with a mended index
 	// already attached (RebuildKeys/ApplyDelta carry it forward); this
 	// covers from-scratch builds and codec-loaded maps.
+	var indexD time.Duration
 	if !st.noIndex {
+		t0 := time.Now()
 		m.BuildCoverIndex()
+		indexD = time.Since(t0)
 	}
 	s := &Snapshot{m: m, version: version, publishedAt: st.now(), builtKeys: builtKeys}
 	if prev != nil {
@@ -245,6 +254,7 @@ func (st *Store) publish(m *rem.Map, builtKeys int, version uint64) (*Snapshot, 
 	st.history = append(st.history, s)
 	st.cur.Store(s)
 	st.pruneLocked(s.publishedAt)
+	st.observePublish(s, time.Since(start), indexD)
 	return s, nil
 }
 

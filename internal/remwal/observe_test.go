@@ -1,0 +1,158 @@
+package remwal
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/remobs"
+)
+
+func obsBatch(n int) Batch {
+	b := Batch{Key: "aa:bb"}
+	for i := 0; i < n; i++ {
+		b.Points = append(b.Points, geom.V(float64(i), 1, 1))
+		b.Values = append(b.Values, -50)
+	}
+	return b
+}
+
+// TestQueueObserverCounters drives every Submit outcome through an
+// instrumented queue and asserts the rejected-batch counter splits by
+// cause and the depth/capacity/Retry-After gauges are exposed.
+func TestQueueObserverCounters(t *testing.T) {
+	obs := remobs.New(0)
+	q := NewQueue(QueueConfig{Capacity: 2})
+	q.SetValidator(func(b Batch) error {
+		if b.Key == "reject" {
+			return errors.New("rejected by validator")
+		}
+		return nil
+	})
+	q.SetObserver(obs)
+
+	// Two accepted, then full.
+	for i := 0; i < 2; i++ {
+		if _, err := q.Submit(obsBatch(1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var full *FullError
+	if _, err := q.Submit(obsBatch(1)); !errors.As(err, &full) {
+		t.Fatalf("Submit on full queue = %v, want FullError", err)
+	}
+	// Invalid twice: shape error (pre-lock) and validator error.
+	if _, err := q.Submit(Batch{Key: "x", Points: []geom.Vec3{geom.V(1, 1, 1)}}); err == nil {
+		t.Fatal("shape-mismatched batch accepted")
+	}
+	bad := obsBatch(1)
+	bad.Key = "reject"
+	if _, err := q.Submit(bad); err == nil {
+		t.Fatal("validator-rejected batch accepted")
+	}
+	q.Close()
+	if _, err := q.Submit(obsBatch(1)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Submit on closed queue = %v, want ErrClosed", err)
+	}
+
+	body := obs.Registry.AppendPrometheus(nil)
+	if err := remobs.CheckExposition(body); err != nil {
+		t.Fatalf("exposition: %v\n%s", err, body)
+	}
+	text := string(body)
+	for _, want := range []string{
+		"rem_wal_queue_submitted_total 2",
+		`rem_wal_queue_rejected_total{cause="full"} 1`,
+		`rem_wal_queue_rejected_total{cause="invalid"} 2`,
+		`rem_wal_queue_rejected_total{cause="closed"} 1`,
+		"rem_wal_queue_depth 2",
+		"rem_wal_queue_capacity 2",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("scrape missing %q:\n%s", want, text)
+		}
+	}
+	if v, ok := findSample(text, "rem_wal_queue_retry_after_seconds"); !ok || v == "" {
+		t.Errorf("retry-after gauge missing (ok=%v)", ok)
+	}
+}
+
+// findSample returns the raw value of the first sample line for series.
+func findSample(text, series string) (string, bool) {
+	for _, line := range strings.Split(text, "\n") {
+		if rest, ok := strings.CutPrefix(line, series+" "); ok {
+			return strings.TrimSpace(rest), true
+		}
+	}
+	return "", false
+}
+
+// TestLogObserverReplayAndAppend runs a WAL through append, crash and
+// replay with an Observer attached and asserts the fsync/append/replay
+// histograms and the replayed-records counter advance, and that the
+// events land in the ring.
+func TestLogObserverReplayAndAppend(t *testing.T) {
+	dir := t.TempDir()
+	obs := remobs.New(0)
+	l, recs, err := Open(Config{Dir: dir, Observer: obs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("fresh WAL replayed %d records", len(recs))
+	}
+	const appends = 3
+	for i := 0; i < appends; i++ {
+		if _, err := l.Append(AppendBatch(nil, obsBatch(2))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	obs2 := remobs.New(0)
+	l2, recs2, err := Open(Config{Dir: dir, Observer: obs2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if len(recs2) != appends {
+		t.Fatalf("replay returned %d records, want %d", len(recs2), appends)
+	}
+	for _, tc := range []struct {
+		obs  *remobs.Observer
+		want []string
+	}{
+		{obs, []string{
+			fmt.Sprintf("rem_wal_append_seconds_count %d", appends),
+			fmt.Sprintf("rem_wal_fsync_seconds_count %d", appends),
+			"rem_wal_replay_seconds_count 1",
+			"rem_wal_replayed_records_total 0",
+		}},
+		{obs2, []string{
+			"rem_wal_replay_seconds_count 1",
+			fmt.Sprintf("rem_wal_replayed_records_total %d", appends),
+			fmt.Sprintf("rem_wal_next_seq %d", appends+1),
+		}},
+	} {
+		body := tc.obs.Registry.AppendPrometheus(nil)
+		if err := remobs.CheckExposition(body); err != nil {
+			t.Fatalf("exposition: %v\n%s", err, body)
+		}
+		for _, want := range tc.want {
+			if !strings.Contains(string(body), want) {
+				t.Errorf("scrape missing %q:\n%s", want, body)
+			}
+		}
+	}
+	var kinds []string
+	for _, e := range obs2.Events.Snapshot() {
+		kinds = append(kinds, e.Kind)
+	}
+	if len(kinds) == 0 || kinds[0] != "wal-replay" {
+		t.Errorf("event kinds %v, want leading wal-replay", kinds)
+	}
+}

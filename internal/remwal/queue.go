@@ -59,6 +59,9 @@ type Queue struct {
 	ch  chan Batch
 	log *Log
 	now func() time.Time
+	// o is the attached instrument set (observe.go), swapped atomically
+	// so rejection paths that run before the lock stay race-free.
+	o obsPtr
 
 	mu       sync.Mutex
 	closed   bool
@@ -94,23 +97,29 @@ func (q *Queue) SetValidator(fn func(Batch) error) {
 // without persisting anything — the client retries and no duplicate
 // record is left behind; a closed queue returns ErrClosed.
 func (q *Queue) Submit(b Batch) (uint64, error) {
+	o := q.o.Load()
 	if len(b.Points) != len(b.Values) {
+		o.markInvalid()
 		return 0, fmt.Errorf("remwal: batch has %d points for %d values", len(b.Points), len(b.Values))
 	}
 	if len(b.Points) == 0 {
+		o.markInvalid()
 		return 0, errors.New("remwal: empty observation batch")
 	}
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	if q.closed {
+		o.markClosed()
 		return 0, ErrClosed
 	}
 	if q.validate != nil {
 		if err := q.validate(b); err != nil {
+			o.markInvalid()
 			return 0, err
 		}
 	}
 	if len(q.ch) == cap(q.ch) {
+		o.markFull()
 		return 0, &FullError{RetryAfter: q.retryAfterLocked()}
 	}
 	var seq uint64
@@ -124,6 +133,7 @@ func (q *Queue) Submit(b Batch) (uint64, error) {
 	// Cannot block: every sender holds q.mu and the length was checked
 	// under it; Pop only removes.
 	q.ch <- b
+	o.markSubmitted()
 	return seq, nil
 }
 

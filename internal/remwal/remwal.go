@@ -41,8 +41,10 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/rem"
+	"repro/internal/remobs"
 )
 
 const (
@@ -88,6 +90,11 @@ type Config struct {
 	// SegmentBytes rotates to a fresh segment once the current one
 	// reaches this size (≤ 0 means DefaultSegmentBytes).
 	SegmentBytes int64
+	// Observer attaches the observability layer before replay runs, so
+	// the recovery pass itself lands in the replay histogram and event
+	// ring. nil leaves the log uninstrumented (SetObserver can still
+	// attach later, missing only the replay).
+	Observer *remobs.Observer
 }
 
 // Record is one replayed WAL entry.
@@ -121,6 +128,10 @@ type Log struct {
 	segs    []segment // in sequence order; last is active
 	scratch []byte    // frame assembly buffer, reused across appends
 	closed  bool
+	// o is the attached instrument set (observe.go); nil means
+	// uninstrumented. Written under mu by SetObserver, read under mu on
+	// the append path.
+	o *logObs
 }
 
 // Open opens (or creates) the log in cfg.Dir and replays every intact
@@ -138,6 +149,8 @@ func Open(cfg Config) (*Log, []Record, error) {
 		return nil, nil, err
 	}
 	l := &Log{dir: cfg.Dir, sync: cfg.Sync, segBytes: cfg.SegmentBytes}
+	l.SetObserver(cfg.Observer)
+	replayStart := time.Now()
 	recs, err := l.replay()
 	if err != nil {
 		return nil, nil, err
@@ -145,6 +158,7 @@ func Open(cfg Config) (*Log, []Record, error) {
 	if err := l.openActive(); err != nil {
 		return nil, nil, err
 	}
+	l.observeReplay(len(recs), time.Since(replayStart))
 	return l, recs, nil
 }
 
@@ -356,6 +370,10 @@ func (l *Log) Append(payload []byte) (uint64, error) {
 			return 0, err
 		}
 	}
+	var start time.Time
+	if l.o != nil {
+		start = time.Now()
+	}
 	l.scratch = l.scratch[:0]
 	l.scratch = rem.AppendU32(l.scratch, uint32(len(payload)))
 	l.scratch = rem.AppendU32(l.scratch, crc32.ChecksumIEEE(payload))
@@ -364,13 +382,24 @@ func (l *Log) Append(payload []byte) (uint64, error) {
 		return 0, err
 	}
 	l.size += rec
+	var fsyncD time.Duration
 	if l.sync == SyncAlways {
+		var t0 time.Time
+		if l.o != nil {
+			t0 = time.Now()
+		}
 		if err := l.f.Sync(); err != nil {
 			return 0, err
+		}
+		if l.o != nil {
+			fsyncD = time.Since(t0)
 		}
 	}
 	seq := l.nextSeq
 	l.nextSeq++
+	if l.o != nil {
+		l.observeAppend(seq, time.Since(start), fsyncD)
+	}
 	return seq, nil
 }
 
